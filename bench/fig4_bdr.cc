@@ -1,0 +1,85 @@
+// Regenerates Figure 4: distribution of the Behavior Decreasing Ratio
+// (BDR) by vaccine effectiveness type. Every sample with vaccines runs
+// for five virtual minutes on a normal and on a vaccine-deployed machine;
+// BDR = (Nn - Nd) / Nn over native call counts.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/common.h"
+#include "support/table.h"
+#include "vaccine/bdr.h"
+
+using namespace autovac;
+
+int main() {
+  const size_t total = bench::CorpusSizeFromEnv();
+  auto index = bench::BuildBenignIndex();
+  auto analysis = bench::AnalyzeCorpus(index, total);
+
+  // Group samples by the strongest immunization type among their vaccines
+  // (the figure plots one series per effectiveness type).
+  std::map<analysis::ImmunizationType, std::vector<double>> bdr_by_type;
+  size_t measured = 0;
+  for (size_t i = 0; i < analysis.corpus.size(); ++i) {
+    const vaccine::SampleReport& report = analysis.reports[i];
+    if (report.vaccines.empty()) continue;
+    auto strongest = analysis::ImmunizationType::kNone;
+    for (const vaccine::Vaccine& v : report.vaccines) {
+      if (strongest == analysis::ImmunizationType::kNone ||
+          static_cast<int>(v.immunization) < static_cast<int>(strongest)) {
+        strongest = v.immunization;
+      }
+    }
+    auto bdr =
+        vaccine::MeasureBdr(analysis.corpus[i].program, report.vaccines);
+    bdr_by_type[strongest].push_back(bdr.bdr);
+    ++measured;
+  }
+
+  std::printf("== Figure 4: BDR distribution by immunization type ==\n");
+  std::printf("(%zu vaccinated samples, 5-minute runs, corpus size %zu)\n\n",
+              measured, analysis.corpus.size());
+  TextTable table({"Immunization", "Samples", "Min BDR", "Median", "Mean",
+                   "Max BDR"});
+  for (auto& [type, values] : bdr_by_type) {
+    std::sort(values.begin(), values.end());
+    double mean = 0;
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    table.AddRow({std::string(analysis::ImmunizationTypeName(type)),
+                  StrFormat("%zu", values.size()),
+                  StrFormat("%.2f", values.front()),
+                  StrFormat("%.2f", values[values.size() / 2]),
+                  StrFormat("%.2f", mean),
+                  StrFormat("%.2f", values.back())});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nPaper: full-immunization vaccines terminate the malware (BDR near "
+      "but below 100%%\nbecause pre-exit calls still run); every partial "
+      "vaccine reduces at least 24%% of\nthe malware's system-call "
+      "activity.\n");
+
+  // CDF-style series for the figure's x-axis (20%..100%).
+  std::printf("\nCDF series (fraction of samples with BDR >= x):\n");
+  std::printf("%-34s", "type \\ x");
+  for (int x = 20; x <= 100; x += 10) std::printf("%6d%%", x);
+  std::printf("\n");
+  for (auto& [type, values] : bdr_by_type) {
+    std::printf("%-34s",
+                std::string(analysis::ImmunizationTypeName(type)).c_str());
+    for (int x = 20; x <= 100; x += 10) {
+      const double threshold = x / 100.0;
+      const size_t count = static_cast<size_t>(
+          std::count_if(values.begin(), values.end(),
+                        [&](double v) { return v >= threshold - 1e-9; }));
+      std::printf("%6.0f%%",
+                  100.0 * static_cast<double>(count) /
+                      static_cast<double>(values.size()));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks and ablations (google-benchmark): taint-propagation
+// throughput, label-set interning, trace-alignment scaling (with and
+// without the caller-PC context, the ablation DESIGN.md calls out),
+// wildcard-pattern matching, and full Phase-I runs with pointer-taint
+// propagation on/off.
+#include <benchmark/benchmark.h>
+
+#include "analysis/alignment.h"
+#include "malware/families.h"
+#include "sandbox/sandbox.h"
+#include "support/pattern.h"
+#include "support/strings.h"
+#include "taint/engine.h"
+
+using namespace autovac;
+
+namespace {
+
+// --- taint propagation throughput -------------------------------------
+void BM_TaintPropagation(benchmark::State& state) {
+  taint::LabelStore store;
+  taint::TaintEngine engine(store);
+  const auto label = store.AddSource({0, "OpenMutexA",
+                                      os::ResourceType::kMutex,
+                                      os::Operation::kOpen, "m", true});
+  engine.TaintReturnValue(label);
+
+  vm::StepInfo mov_step;
+  mov_step.inst = {vm::Op::kMovRR, vm::Reg::kEbx, vm::Reg::kEax, 0};
+  vm::StepInfo store_step;
+  store_step.inst = {vm::Op::kStore, vm::Reg::kEcx, vm::Reg::kEbx, 0};
+  store_step.mem_addr = vm::kDataBase;
+  store_step.mem_size = 4;
+  vm::StepInfo cmp_step;
+  cmp_step.inst = {vm::Op::kCmpRI, vm::Reg::kEbx, vm::Reg::kNone, 0};
+
+  for (auto _ : state) {
+    engine.OnStep(mov_step);
+    engine.OnStep(store_step);
+    engine.OnStep(cmp_step);
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_TaintPropagation);
+
+// --- label-set union interning ------------------------------------------
+void BM_LabelUnion(benchmark::State& state) {
+  taint::LabelStore store;
+  std::vector<taint::LabelSetId> labels;
+  for (int i = 0; i < 64; ++i) {
+    labels.push_back(store.AddSource(
+        {static_cast<uint32_t>(i), "CreateFileA", os::ResourceType::kFile,
+         os::Operation::kCreate, "f", true}));
+  }
+  size_t i = 0;
+  taint::LabelSetId acc = taint::kEmptySet;
+  for (auto _ : state) {
+    acc = store.Union(acc, labels[i++ % labels.size()]);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_LabelUnion);
+
+// --- trace alignment scaling ----------------------------------------------
+trace::ApiTrace SyntheticTrace(size_t n, uint32_t pc_offset) {
+  trace::ApiTrace trace;
+  for (size_t i = 0; i < n; ++i) {
+    trace::ApiCallRecord call;
+    call.api_name = (i % 3 == 0) ? "CreateFileA"
+                    : (i % 3 == 1) ? "RegOpenKeyA" : "send";
+    call.caller_pc = static_cast<uint32_t>(i * 4 + pc_offset);
+    call.resource_identifier = StrFormat("res%zu", i % 7);
+    call.sequence = static_cast<uint32_t>(i);
+    trace.calls.push_back(std::move(call));
+  }
+  return trace;
+}
+
+void BM_AlignmentScaling(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  auto natural = SyntheticTrace(n, 0);
+  auto mutated = SyntheticTrace(n * 3 / 4, 0);  // mutated run lost a quarter
+  for (auto _ : state) {
+    auto alignment = analysis::AlignTraces(natural, mutated);
+    benchmark::DoNotOptimize(alignment.matches.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AlignmentScaling)->Range(64, 1024)->Complexity();
+
+// Ablation: alignment without the caller-PC in the context triple.
+void BM_AlignmentNoCallerPc(benchmark::State& state) {
+  auto natural = SyntheticTrace(512, 0);
+  auto mutated = SyntheticTrace(384, 1);  // different sites
+  analysis::AlignmentOptions options;
+  options.use_caller_pc = false;
+  for (auto _ : state) {
+    auto alignment = analysis::AlignTraces(natural, mutated, options);
+    benchmark::DoNotOptimize(alignment.matches.size());
+  }
+}
+BENCHMARK(BM_AlignmentNoCallerPc);
+
+// --- wildcard pattern matching ----------------------------------------------
+void BM_PatternMatch(benchmark::State& state) {
+  auto pattern = Pattern::Compile("C:\\\\Windows\\\\system32\\\\sd*64.exe");
+  AUTOVAC_CHECK(pattern.ok());
+  const std::string hit = "C:\\Windows\\system32\\sdra64.exe";
+  const std::string miss = "C:\\Windows\\system32\\kernel32.dll";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern->Matches(hit));
+    benchmark::DoNotOptimize(pattern->Matches(miss));
+  }
+}
+BENCHMARK(BM_PatternMatch);
+
+// --- Phase-I run cost, pointer-taint ablation ----------------------------------
+void BM_Phase1Run(benchmark::State& state) {
+  auto program = malware::BuildZeus({});
+  AUTOVAC_CHECK(program.ok());
+  sandbox::RunOptions options;
+  options.record_instructions = true;
+  options.taint_options.propagate_addresses = state.range(0) != 0;
+  options.taint_options.track_control_dependence = state.range(1) != 0;
+  size_t predicates = 0;
+  for (auto _ : state) {
+    os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+    auto result = sandbox::RunProgram(program.value(), env, options);
+    predicates = result.predicates.size();
+    benchmark::DoNotOptimize(predicates);
+  }
+  state.counters["predicates"] = static_cast<double>(predicates);
+}
+BENCHMARK(BM_Phase1Run)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->ArgNames({"ptr_taint", "ctrl_dep"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

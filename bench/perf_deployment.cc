@@ -1,0 +1,142 @@
+// Regenerates §VI-F.2: vaccine deployment overhead on end hosts —
+// installing all static vaccines, replaying the algorithm-deterministic
+// slices, and the interception overhead partial-static vaccines add to a
+// protected machine's workload (paper: <4.5% for 119 patterns, ~3.9% of
+// it from hooking).
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "vaccine/delivery.h"
+
+using namespace autovac;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const size_t total = bench::CorpusSizeFromEnv();
+  auto index = bench::BuildBenignIndex();
+  auto analysis = bench::AnalyzeCorpus(index, total);
+
+  // Partition vaccines by identifier kind, as the paper's deployment does.
+  vaccine::VaccineDaemon statics;
+  vaccine::VaccineDaemon algorithmic;
+  vaccine::VaccineDaemon patterns;
+  for (const vaccine::SampleReport& report : analysis.reports) {
+    for (const vaccine::Vaccine& v : report.vaccines) {
+      switch (v.identifier_kind) {
+        case analysis::IdentifierClass::kStatic:
+          statics.AddVaccine(v);
+          break;
+        case analysis::IdentifierClass::kAlgorithmDeterministic:
+          algorithmic.AddVaccine(v);
+          break;
+        case analysis::IdentifierClass::kPartialStatic:
+          patterns.AddVaccine(v);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  std::printf("== §VI-F.2: vaccine deployment overhead ==\n\n");
+
+  // ---- static vaccines: one-shot injection -----------------------------
+  {
+    os::HostEnvironment host = os::HostEnvironment::StandardMachine();
+    const auto start = Clock::now();
+    auto report = statics.Install(host);
+    const double elapsed = MillisSince(start);
+    std::printf("static vaccines:      installed %zu in %.2f ms (%.3f ms "
+                "each)\n", report.direct_injected, elapsed,
+                report.direct_injected > 0
+                    ? elapsed / static_cast<double>(report.direct_injected)
+                    : 0.0);
+    std::printf("  (paper: 34 s to install all 373 static vaccines on one "
+                "host)\n");
+  }
+
+  // ---- algorithm-deterministic: slice replay per host -------------------
+  {
+    os::HostEnvironment host = os::HostEnvironment::StandardMachine();
+    const auto start = Clock::now();
+    auto report = algorithmic.Install(host);
+    const double elapsed = MillisSince(start);
+    std::printf("algorithmic vaccines: replayed %zu slices + injected in "
+                "%.2f ms (%.3f ms each)\n", report.slices_replayed, elapsed,
+                report.slices_replayed > 0
+                    ? elapsed / static_cast<double>(report.slices_replayed)
+                    : 0.0);
+    std::printf("  (paper: 1,131 s for 44 slices, 25.7 s per vaccine)\n");
+  }
+
+  // ---- partial static: interception overhead ----------------------------
+  {
+    auto benign = malware::BuildBenignCorpus();
+    AUTOVAC_CHECK(benign.ok());
+    const sandbox::ApiHook hook = patterns.Hook();
+
+    sandbox::RunOptions options;
+    options.enable_taint = false;
+
+    // Workload without the daemon.
+    const auto base_start = Clock::now();
+    for (int round = 0; round < 20; ++round) {
+      for (const vm::Program& program : benign.value()) {
+        os::HostEnvironment host = os::HostEnvironment::StandardMachine();
+        (void)sandbox::RunProgram(program, host, options);
+      }
+    }
+    const double base_ms = MillisSince(base_start);
+
+    // Same workload with every API intercepted by the daemon.
+    const auto hooked_start = Clock::now();
+    for (int round = 0; round < 20; ++round) {
+      for (const vm::Program& program : benign.value()) {
+        os::HostEnvironment host = os::HostEnvironment::StandardMachine();
+        (void)sandbox::RunProgram(program, host, options, {hook});
+      }
+    }
+    const double hooked_ms = MillisSince(hooked_start);
+
+    // Count the workload's API calls once to express the interception
+    // cost per call.
+    size_t calls_per_round = 0;
+    for (const vm::Program& program : benign.value()) {
+      os::HostEnvironment host = os::HostEnvironment::StandardMachine();
+      calls_per_round +=
+          sandbox::RunProgram(program, host, options).api_trace.size();
+    }
+    const double total_calls = 20.0 * static_cast<double>(calls_per_round);
+    const double hook_ns_per_call =
+        total_calls > 0 ? 1e6 * (hooked_ms - base_ms) / total_calls : 0.0;
+    // Our simulated APIs execute in nanoseconds; a real Win32 resource
+    // call costs tens of microseconds, which is the base the paper's
+    // percentage is relative to.
+    constexpr double kRealApiMicros = 30.0;
+    std::printf("partial-static daemon: %zu patterns; %.0f intercepted "
+                "calls, %.0f ns matching per call\n",
+                patterns.vaccines().size(), total_calls, hook_ns_per_call);
+    std::printf("  raw sandbox overhead: %.1f ms -> %.1f ms (+%.1f%%); "
+                "projected against a ~%.0f us\n  real Win32 call: %.2f%% "
+                "overhead\n",
+                base_ms, hooked_ms,
+                base_ms > 0 ? 100.0 * (hooked_ms - base_ms) / base_ms : 0.0,
+                kRealApiMicros,
+                100.0 * (hook_ns_per_call / 1000.0) / kRealApiMicros);
+    std::printf("  (paper: below 4.5%% for 119 partial-static vaccines, "
+                "~3.9%% from function hooking;\n   projected under 12%% at "
+                "10x the vaccine count)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Regenerates Table IV: evaluation on vaccine generation — vaccine counts
+// per resource type × immunization class, plus the static vs
+// algorithm-deterministic/partial-static split the paper reports
+// alongside it (373 static, 163 daemon-kind of 536 from 210 samples).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "support/table.h"
+
+using namespace autovac;
+
+int main() {
+  const size_t total = bench::CorpusSizeFromEnv();
+  auto index = bench::BuildBenignIndex();
+  auto analysis = bench::AnalyzeCorpus(index, total);
+
+  constexpr size_t kNumImm = 6;  // None, Full, I..IV
+  size_t counts[os::kNumResourceTypes][kNumImm] = {};
+  size_t samples_with_vaccines = 0;
+  size_t total_vaccines = 0;
+  size_t static_ids = 0;
+  size_t daemon_ids = 0;
+
+  for (const vaccine::SampleReport& report : analysis.reports) {
+    if (!report.vaccines.empty()) ++samples_with_vaccines;
+    for (const vaccine::Vaccine& v : report.vaccines) {
+      counts[static_cast<size_t>(v.resource_type)]
+            [static_cast<size_t>(v.immunization)]++;
+      ++total_vaccines;
+      if (v.identifier_kind == analysis::IdentifierClass::kStatic) {
+        ++static_ids;
+      } else {
+        ++daemon_ids;
+      }
+    }
+  }
+
+  std::printf("== Table IV: evaluation on vaccine generation ==\n");
+  std::printf("corpus size %zu; %zu vaccines from %zu samples "
+              "(paper: 536 vaccines, 210 samples)\n\n",
+              analysis.corpus.size(), total_vaccines, samples_with_vaccines);
+
+  TextTable table({"Resource", "Full", "Type-I", "Type-II", "Type-III",
+                   "Type-IV", "All"});
+  const os::ResourceType order[] = {
+      os::ResourceType::kFile,    os::ResourceType::kRegistry,
+      os::ResourceType::kMutex,   os::ResourceType::kProcess,
+      os::ResourceType::kWindow,  os::ResourceType::kLibrary,
+      os::ResourceType::kService,
+  };
+  size_t column_totals[kNumImm] = {};
+  for (os::ResourceType type : order) {
+    const size_t* row = counts[static_cast<size_t>(type)];
+    size_t row_total = 0;
+    std::vector<std::string> cells{std::string(os::ResourceTypeName(type))};
+    for (size_t imm = 1; imm < kNumImm; ++imm) {  // skip kNone
+      cells.push_back(StrFormat("%zu", row[imm]));
+      row_total += row[imm];
+      column_totals[imm] += row[imm];
+    }
+    cells.push_back(StrFormat("%zu", row_total));
+    table.AddRow(std::move(cells));
+  }
+  std::vector<std::string> totals{"Total"};
+  size_t grand = 0;
+  for (size_t imm = 1; imm < kNumImm; ++imm) {
+    totals.push_back(StrFormat("%zu", column_totals[imm]));
+    grand += column_totals[imm];
+  }
+  totals.push_back(StrFormat("%zu", grand));
+  table.AddRow(std::move(totals));
+  std::fputs(table.Render().c_str(), stdout);
+
+  std::printf("\nIdentifier kinds: %zu static, %zu algorithm-deterministic/"
+              "partial-static\n(paper: 373 static, 163 daemon-kind)\n",
+              static_ids, daemon_ids);
+  std::printf(
+      "\nPaper Table IV totals: Full 74, Type-I 51, Type-II 29, Type-III "
+      "251, Type-IV 131 = 536;\n  per resource: File 238, Registry 115, "
+      "Mutex 30, Process 32, Windows 18, Library 54, Service 49.\n");
+  return 0;
+}

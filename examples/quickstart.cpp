@@ -1,0 +1,151 @@
+// Quickstart: the whole AUTOVAC loop in one file.
+//
+//   1. Write a malware-like sample in the sandbox's assembly.
+//   2. Run Phase-I (taint-instrumented profiling) + Phase-II (vaccine
+//      generation) with VaccinePipeline.
+//   3. Deploy the vaccines on a fresh machine (Phase-III).
+//   4. Show that the same sample can no longer infect it.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "sandbox/sandbox.h"
+#include "vaccine/delivery.h"
+#include "vaccine/pipeline.h"
+
+using namespace autovac;
+
+// A classic infection-marker sample: it refuses to run twice on one
+// machine (mutex marker), drops a copy, persists via the Run key, then
+// beacons to its C&C.
+constexpr const char* kSample = R"(
+.name demo_malware
+.rdata
+  string marker "demo-infection-marker"
+  string drop   "C:\\Windows\\system32\\demomal.exe"
+  string runkey "HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\Run"
+  string valname "demomal"
+  string host   "cc.demo.example.net"
+  string beacon "PING"
+.data
+  buffer recvbuf 64
+.text
+  ; --- infection marker check -------------------------------------
+  push marker
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  sys GetLastError
+  cmp eax, 183          ; ERROR_ALREADY_EXISTS -> someone was here
+  jz already_infected
+  ; --- drop a copy ---------------------------------------------------
+  push 2                ; CREATE_ALWAYS
+  push drop
+  sys CreateFileA
+  add esp, 8
+  cmp eax, 0xFFFFFFFF
+  jz no_drop
+  ; --- persist -------------------------------------------------------
+  push runkey
+  sys RegOpenKeyA
+  add esp, 4
+  mov ebx, eax
+  push drop
+  push valname
+  push ebx
+  sys RegSetValueExA
+  add esp, 12
+no_drop:
+  ; --- C&C loop ------------------------------------------------------
+  sys WSAStartup
+cc_loop:
+  sys socket
+  mov ebx, eax
+  push 80
+  push host
+  push ebx
+  sys connect
+  add esp, 12
+  push 4
+  push beacon
+  push ebx
+  sys send
+  add esp, 12
+  push ebx
+  sys closesocket
+  add esp, 4
+  push 800
+  sys Sleep
+  add esp, 4
+  jmp cc_loop
+already_infected:
+  push 0
+  sys ExitProcess
+)";
+
+int main() {
+  // ---- step 1: assemble the sample -----------------------------------
+  auto program = sandbox::AssembleForSandbox(kSample);
+  if (!program.ok()) {
+    std::printf("assembly failed: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sample '%s' assembled: %zu instructions, digest %s\n\n",
+              program->name.c_str(), program->code.size(),
+              program->Digest().substr(0, 16).c_str());
+
+  // ---- step 2: run the AUTOVAC pipeline ---------------------------------
+  // (no exclusiveness index in the quickstart; see corpus_triage.cpp for
+  // the benign-corpus-trained version)
+  vaccine::VaccinePipeline pipeline(nullptr);
+  vaccine::SampleReport report = pipeline.Analyze(program.value());
+
+  std::printf("Phase-I: %zu resource-API occurrences, %zu tainted, "
+              "resource-sensitive: %s\n",
+              report.resource_api_occurrences, report.tainted_occurrences,
+              report.resource_sensitive ? "yes" : "no");
+  std::printf("Phase-II: %zu mutation targets -> %zu vaccines\n\n",
+              report.targets_considered, report.vaccines.size());
+  for (const vaccine::Vaccine& v : report.vaccines) {
+    std::printf("  vaccine: %s\n", v.Summary().c_str());
+  }
+
+  // ---- step 3: vaccinate a fresh machine ----------------------------------
+  vaccine::VaccineDaemon daemon;
+  for (const vaccine::Vaccine& v : report.vaccines) daemon.AddVaccine(v);
+  os::HostEnvironment protected_machine = os::HostEnvironment::StandardMachine();
+  auto injection = daemon.Install(protected_machine);
+  std::printf("\nPhase-III: injected %zu resources on the protected "
+              "machine\n", injection.direct_injected);
+
+  // ---- step 4: try to infect it --------------------------------------------
+  sandbox::RunOptions options;
+  options.enable_taint = false;
+  auto attack = sandbox::RunProgram(program.value(), protected_machine,
+                                    options, {daemon.Hook()});
+  // Did the malware manage to persist? (The vaccine plants a locked decoy
+  // at the drop path, so check the autostart entry, not file existence.)
+  auto persisted = [](os::HostEnvironment& machine) {
+    std::string value;
+    return machine.ns()
+        .QueryValue("HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\Run",
+                    "demomal", &value)
+        .ok;
+  };
+  std::printf("\ninfection attempt on the vaccinated machine: %s after %zu "
+              "API calls\n", vm::StopReasonName(attack.stop_reason),
+              attack.api_trace.size());
+  std::printf("autostart entry written: %s\n",
+              persisted(protected_machine) ? "YES (infection!)"
+                                           : "no — machine is immune");
+
+  // Contrast with an unprotected machine.
+  os::HostEnvironment victim = os::HostEnvironment::StandardMachine();
+  auto infection = sandbox::RunProgram(program.value(), victim, options);
+  std::printf("\nsame sample on an unprotected machine: %s after %zu API "
+              "calls; autostart entry written: %s\n",
+              vm::StopReasonName(infection.stop_reason),
+              infection.api_trace.size(),
+              persisted(victim) ? "yes (infected)" : "no");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Vaccine-daemon demo (§V): partial-static vaccines.
+//
+// Some malware randomizes part of its resource identifier
+// (mutex "syshelper-<rand>-svc"). No single name can be injected ahead of
+// time, but the static fragments are distinguishable — so the daemon
+// intercepts resource APIs, matches identifiers against the wildcard
+// pattern AUTOVAC extracted, and returns the predefined result.
+//
+// Build & run:  ./build/examples/vaccine_daemon_demo
+#include <cstdio>
+
+#include "sandbox/sandbox.h"
+#include "vaccine/delivery.h"
+#include "vaccine/pipeline.h"
+
+using namespace autovac;
+
+// Malware whose marker mutex has a random middle: each infection uses a
+// different concrete name, but always "syshelper-%x-svc".
+constexpr const char* kPolymorphicSample = R"(
+.name randmark_malware
+.rdata
+  string fmt "syshelper-%x-svc"
+  string drop "C:\\Windows\\system32\\rndsvc.exe"
+.data
+  buffer name 128
+.text
+  sys rand
+  push eax
+  push fmt
+  push name
+  sys wsprintfA
+  add esp, 12
+  push name
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  sys GetLastError
+  cmp eax, 183
+  jz infected
+  push 2
+  push drop
+  sys CreateFileA
+  add esp, 8
+  hlt
+infected:
+  push 0
+  sys ExitProcess
+)";
+
+int main() {
+  auto program = sandbox::AssembleForSandbox(kPolymorphicSample);
+  AUTOVAC_CHECK(program.ok());
+
+  // ---- pipeline finds the partial-static marker -----------------------
+  vaccine::VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+  const vaccine::Vaccine* pattern_vaccine = nullptr;
+  for (const vaccine::Vaccine& v : report.vaccines) {
+    std::printf("vaccine: %s\n", v.Summary().c_str());
+    if (v.identifier_kind == analysis::IdentifierClass::kPartialStatic) {
+      pattern_vaccine = &v;
+    }
+  }
+  if (pattern_vaccine == nullptr) {
+    std::printf("no partial-static vaccine found\n");
+    return 1;
+  }
+  std::printf("\nextracted wildcard pattern: %s\n",
+              pattern_vaccine->pattern.text().c_str());
+  std::printf("(concrete instance observed during analysis: %s)\n\n",
+              pattern_vaccine->identifier.c_str());
+
+  // ---- without the daemon, direct injection cannot keep up ---------------
+  os::HostEnvironment unprotected = os::HostEnvironment::StandardMachine();
+  // Even injecting the observed concrete name doesn't help: the next
+  // infection draws a different random value.
+  unprotected.ns().InjectVaccineMutex(pattern_vaccine->identifier);
+  sandbox::RunOptions options;
+  options.enable_taint = false;
+  auto attack1 = sandbox::RunProgram(program.value(), unprotected, options);
+  std::printf("static injection of the observed name only: infection %s\n",
+              attack1.stop_reason == vm::StopReason::kExited
+                  ? "blocked (lucky rand collision)"
+                  : "NOT blocked — the marker name changed");
+
+  // ---- with the daemon: API interception ------------------------------------
+  vaccine::VaccineDaemon daemon;
+  daemon.AddVaccine(*pattern_vaccine);
+  os::HostEnvironment protected_machine = os::HostEnvironment::StandardMachine();
+  daemon.Install(protected_machine);
+
+  std::printf("\ndaemon armed with the pattern; five infection attempts on "
+              "different machines\n(a different random name each time):\n");
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    os::HostEnvironment machine =
+        os::HostEnvironment::StandardMachine(/*entropy_seed=*/1000 + attempt);
+    daemon.Install(machine);
+    auto attack = sandbox::RunProgram(program.value(), machine, options,
+                                      {daemon.Hook()});
+    // Which name did the malware try this time?
+    std::string tried = "?";
+    for (const auto& call : attack.api_trace.calls) {
+      if (call.api_name == "CreateMutexA") tried = call.resource_identifier;
+    }
+    std::printf("  attempt %d: tried '%s' -> %s\n", attempt + 1,
+                tried.c_str(),
+                attack.stop_reason == vm::StopReason::kExited
+                    ? "intercepted, malware exited"
+                    : "ran!");
+  }
+
+  // ---- daemon precision: benign identifiers pass through ----------------------
+  std::printf("\nbenign mutex names are untouched by the daemon:\n");
+  auto benign = sandbox::AssembleForSandbox(R"(
+.name wellbehaved
+.rdata
+  string name "BenignAppInstance"
+.text
+  push name
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  sys GetLastError
+  cmp eax, 183
+  jz dup
+  hlt
+dup:
+  push 0
+  sys ExitProcess
+)");
+  AUTOVAC_CHECK(benign.ok());
+  os::HostEnvironment machine = protected_machine;
+  auto run = sandbox::RunProgram(benign.value(), machine, options,
+                                 {daemon.Hook()});
+  std::printf("  'BenignAppInstance' -> %s\n",
+              run.stop_reason == vm::StopReason::kHalted
+                  ? "created normally, app ran to completion"
+                  : "interfered (!)");
+  return 0;
+}

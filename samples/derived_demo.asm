@@ -1,0 +1,50 @@
+; Algorithm-deterministic marker (the Conficker pattern): the mutex name
+; is derived from the computer name. AUTOVAC extracts a replayable slice
+; of the generation logic; the vaccine daemon runs it per host.
+;
+;   ./build/tools/autovac analyze samples/derived_demo.asm --report d.md
+.name derived_demo
+.rdata
+  string fmt "Global\\%s-31"
+.data
+  buffer host 64
+  buffer hex 32
+  buffer name 128
+.text
+  push 64
+  push host
+  sys GetComputerNameA
+  add esp, 8
+  push host
+  sys lstrlenA
+  add esp, 4
+  mov ecx, eax
+  push ecx
+  push host
+  push 0
+  sys RtlComputeCrc32
+  add esp, 12
+  push 16
+  push hex
+  push eax
+  sys _itoa
+  add esp, 12
+  push hex
+  push fmt
+  push name
+  sys wsprintfA
+  add esp, 12
+  push name
+  push 0
+  sys OpenMutexA
+  add esp, 8
+  cmp eax, 0
+  jnz infected
+  push name
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  hlt
+infected:
+  push 0
+  sys ExitProcess

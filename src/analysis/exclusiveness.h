@@ -1,0 +1,53 @@
+// Exclusiveness analysis (§IV-A): exclude resource identifiers that are
+// also used by benign software, "otherwise our vaccine will have false
+// positives".
+//
+// The paper queries the Google search API ("Googling the Internet",
+// unavailable offline); our index is built from the same evidence class:
+// every identifier touched by the benign-software corpus running in the
+// sandbox, plus a pre-built whitelist of well-known system names.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/resources.h"
+#include "trace/trace.h"
+
+namespace autovac::analysis {
+
+struct SearchHit {
+  std::string identifier;
+  std::string context;  // which benign program / whitelist entry uses it
+};
+
+class ExclusivenessIndex {
+ public:
+  ExclusivenessIndex();
+
+  // Indexes every resource identifier in a benign program's trace.
+  void IndexBenignTrace(std::string_view program_name,
+                        const trace::ApiTrace& trace);
+
+  // Adds one whitelist entry directly.
+  void AddKnownBenign(std::string_view identifier, std::string_view context);
+
+  // The "search query": hits for this identifier among benign software.
+  [[nodiscard]] std::vector<SearchHit> Query(std::string_view identifier) const;
+
+  // No conflicting benign use -> safe vaccine candidate.
+  [[nodiscard]] bool IsExclusive(std::string_view identifier) const;
+
+  [[nodiscard]] size_t size() const { return index_.size(); }
+
+ private:
+  void LoadBuiltinWhitelist();
+
+  // canonical identifier -> contexts using it
+  std::map<std::string, std::set<std::string>> index_;
+};
+
+}  // namespace autovac::analysis

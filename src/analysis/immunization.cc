@@ -1,0 +1,176 @@
+#include "analysis/immunization.h"
+
+#include "sandbox/api_ids.h"
+#include "support/strings.h"
+
+namespace autovac::analysis {
+
+std::string_view ImmunizationTypeName(ImmunizationType type) {
+  switch (type) {
+    case ImmunizationType::kNone: return "No Immunization";
+    case ImmunizationType::kFull: return "Full Immunization";
+    case ImmunizationType::kTypeIKernelInjection:
+      return "Disable Kernel Injection";
+    case ImmunizationType::kTypeIINetwork:
+      return "Disable Massive Network Behavior";
+    case ImmunizationType::kTypeIIIPersistence:
+      return "Disable Malware Persistence";
+    case ImmunizationType::kTypeIVProcessInjection:
+      return "Disable Benign Process Injection";
+  }
+  return "?";
+}
+
+std::string_view ImmunizationTypeLabel(ImmunizationType type) {
+  switch (type) {
+    case ImmunizationType::kNone: return "None";
+    case ImmunizationType::kFull: return "Full";
+    case ImmunizationType::kTypeIKernelInjection: return "Type-I";
+    case ImmunizationType::kTypeIINetwork: return "Type-II";
+    case ImmunizationType::kTypeIIIPersistence: return "Type-III";
+    case ImmunizationType::kTypeIVProcessInjection: return "Type-IV";
+  }
+  return "?";
+}
+
+bool IsTerminationCall(const trace::ApiCallRecord& call) {
+  return call.api_name == "ExitProcess" || call.api_name == "ExitThread" ||
+         call.api_name == "TerminateThread" ||
+         (call.api_name == "TerminateProcess" && call.succeeded &&
+          call.params.size() == 1 &&
+          (call.params[0] == "0xffffffff" ||
+           call.resource_identifier.empty()));
+}
+
+bool IsKernelInjectionCall(const trace::ApiCallRecord& call) {
+  // CreateServiceA loads a kernel driver when its binary is a .sys image;
+  // plain service creation is persistence, not kernel injection.
+  if (call.api_name == "CreateServiceA" && call.params.size() >= 3 &&
+      ToLower(call.params[2]).find(".sys") != std::string::npos) {
+    return true;
+  }
+  // "some malware commonly copies itself as a new file with its name
+  // ending with .sys" (§IV-B).
+  if (call.resource_type == os::ResourceType::kFile &&
+      (call.operation == os::Operation::kCreate ||
+       call.operation == os::Operation::kWrite)) {
+    const std::string lower = ToLower(call.resource_identifier);
+    if (lower.size() >= 4 && lower.substr(lower.size() - 4) == ".sys") {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsPersistenceCall(const trace::ApiCallRecord& call) {
+  const std::string lower = ToLower(call.resource_identifier);
+  if (call.resource_type == os::ResourceType::kRegistry &&
+      (call.operation == os::Operation::kWrite ||
+       call.operation == os::Operation::kCreate)) {
+    if (lower.find("\\run") != std::string::npos ||
+        lower.find("winlogon") != std::string::npos ||
+        lower.find("currentcontrolset\\services") != std::string::npos) {
+      return true;
+    }
+  }
+  if (call.resource_type == os::ResourceType::kFile &&
+      (call.operation == os::Operation::kCreate ||
+       call.operation == os::Operation::kWrite)) {
+    if (lower.find("startup") != std::string::npos ||
+        lower.find("system.ini") != std::string::npos ||
+        lower.find("autoexec") != std::string::npos) {
+      return true;
+    }
+  }
+  if (call.api_name == "CreateServiceA") return true;
+  return false;
+}
+
+bool IsProcessInjectionCall(const trace::ApiCallRecord& call) {
+  if (call.api_name != "WriteProcessMemory" &&
+      call.api_name != "CreateRemoteThread" &&
+      call.api_name != "VirtualAllocEx" && call.api_name != "OpenProcess") {
+    return false;
+  }
+  const std::string lower = ToLower(call.resource_identifier);
+  return lower.find("explorer.exe") != std::string::npos ||
+         lower.find("svchost.exe") != std::string::npos ||
+         lower.find("winlogon.exe") != std::string::npos ||
+         lower.find("lsass.exe") != std::string::npos;
+}
+
+bool IsNetworkCall(const trace::ApiCallRecord& call) {
+  auto id = sandbox::FindApiByName(call.api_name);
+  if (!id.has_value()) return false;
+  return sandbox::GetApiSpec(*id).is_network;
+}
+
+ImmunizationEffect ClassifyImmunization(const trace::ApiTrace& natural,
+                                        const trace::ApiTrace& mutated,
+                                        const ClassifierOptions& options) {
+  const Alignment alignment =
+      AlignTraces(natural, mutated, options.alignment);
+
+  ImmunizationEffect effect;
+
+  // Full immunization: the mutated run self-terminates in the unaligned
+  // suffix ("the malware has killed itself").
+  for (uint32_t index : alignment.delta_mutated) {
+    const trace::ApiCallRecord& call = mutated.calls[index];
+    if (IsTerminationCall(call)) {
+      effect.type = ImmunizationType::kFull;
+      effect.evidence.push_back(call.api_name);
+      return effect;
+    }
+  }
+
+  // Partial immunization: important behaviour present in the natural run
+  // but missing from the mutated one (evidence lives in Δn).
+  size_t kernel_injection = 0;
+  size_t network = 0;
+  size_t persistence = 0;
+  size_t process_injection = 0;
+  std::vector<std::string> kernel_evidence;
+  std::vector<std::string> network_evidence;
+  std::vector<std::string> persistence_evidence;
+  std::vector<std::string> injection_evidence;
+
+  for (uint32_t index : alignment.delta_natural) {
+    const trace::ApiCallRecord& call = natural.calls[index];
+    if (!call.succeeded) continue;  // only lost *successful* behaviour
+    if (IsKernelInjectionCall(call)) {
+      ++kernel_injection;
+      kernel_evidence.push_back(call.api_name);
+    }
+    if (IsNetworkCall(call)) {
+      ++network;
+      network_evidence.push_back(call.api_name);
+    }
+    if (IsPersistenceCall(call)) {
+      ++persistence;
+      persistence_evidence.push_back(call.api_name);
+    }
+    if (IsProcessInjectionCall(call)) {
+      ++process_injection;
+      injection_evidence.push_back(call.api_name);
+    }
+  }
+
+  // Priority follows the paper's Type ordering.
+  if (kernel_injection > 0) {
+    effect.type = ImmunizationType::kTypeIKernelInjection;
+    effect.evidence = std::move(kernel_evidence);
+  } else if (network >= options.min_network_calls) {
+    effect.type = ImmunizationType::kTypeIINetwork;
+    effect.evidence = std::move(network_evidence);
+  } else if (persistence > 0) {
+    effect.type = ImmunizationType::kTypeIIIPersistence;
+    effect.evidence = std::move(persistence_evidence);
+  } else if (process_injection > 0) {
+    effect.type = ImmunizationType::kTypeIVProcessInjection;
+    effect.evidence = std::move(injection_evidence);
+  }
+  return effect;
+}
+
+}  // namespace autovac::analysis

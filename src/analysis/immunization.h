@@ -1,0 +1,63 @@
+// Immunization-effect classification (§IV-B): given a natural trace and a
+// mutated trace, decide whether the mutated resource would make a full
+// immunization vaccine (malware kills itself), one of the four partial
+// types (kernel injection / massive network / persistence / benign-
+// process injection disabled), or nothing.
+#pragma once
+
+#include <string_view>
+
+#include "analysis/alignment.h"
+#include "trace/trace.h"
+
+namespace autovac::analysis {
+
+enum class ImmunizationType : uint8_t {
+  kNone = 0,
+  kFull,
+  kTypeIKernelInjection,
+  kTypeIINetwork,
+  kTypeIIIPersistence,
+  kTypeIVProcessInjection,
+};
+
+[[nodiscard]] std::string_view ImmunizationTypeName(ImmunizationType type);
+// Short column label as in Table IV: Full, Type-I ... Type-IV.
+[[nodiscard]] std::string_view ImmunizationTypeLabel(ImmunizationType type);
+
+struct ImmunizationEffect {
+  ImmunizationType type = ImmunizationType::kNone;
+  // Supporting evidence (API names from the Δ sets) for reports.
+  std::vector<std::string> evidence;
+};
+
+struct ClassifierOptions {
+  // Minimum network-related calls lost from the natural run for Type-II.
+  size_t min_network_calls = 3;
+  AlignmentOptions alignment;
+};
+
+[[nodiscard]] ImmunizationEffect ClassifyImmunization(
+    const trace::ApiTrace& natural, const trace::ApiTrace& mutated,
+    const ClassifierOptions& options = {});
+
+// --- building blocks (exposed for tests) --------------------------------
+
+// Is this call a self-termination (ExitProcess/ExitThread/Terminate*)?
+[[nodiscard]] bool IsTerminationCall(const trace::ApiCallRecord& call);
+
+// Kernel-driver injection evidence: OpenSCManagerA / CreateServiceA, or a
+// file create whose name ends in ".sys" (§IV-B Type-I).
+[[nodiscard]] bool IsKernelInjectionCall(const trace::ApiCallRecord& call);
+
+// Autostart persistence evidence: Run-key registry writes, startup-folder
+// or system.ini file operations, service creation, winlogon access.
+[[nodiscard]] bool IsPersistenceCall(const trace::ApiCallRecord& call);
+
+// Injection into benign processes (explorer.exe, svchost.exe, ...).
+[[nodiscard]] bool IsProcessInjectionCall(const trace::ApiCallRecord& call);
+
+// Network-related (spec flag).
+[[nodiscard]] bool IsNetworkCall(const trace::ApiCallRecord& call);
+
+}  // namespace autovac::analysis

@@ -1,0 +1,76 @@
+// Impact analysis (§IV-B): re-run the malware in a controlled environment,
+// mutate the result of one resource operation at a time, and measure via
+// trace differential analysis whether the mutation stops or weakens the
+// malware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/immunization.h"
+#include "os/host_environment.h"
+#include "sandbox/sandbox.h"
+#include "vm/program.h"
+
+namespace autovac::analysis {
+
+// One resource operation chosen for mutation: the paper mutates "each
+// involved API one at a time", matched by call site and identifier.
+struct MutationTarget {
+  std::string api_name;
+  uint32_t caller_pc = 0;
+  std::string identifier;
+  os::ResourceType resource_type = os::ResourceType::kFile;
+  os::Operation operation = os::Operation::kOpen;
+  bool natural_success = false;      // outcome in the natural run
+  bool natural_already_existed = false;  // CreateMutex-style nuance
+  uint32_t anchor_sequence = 0;      // representative call in the natural trace
+
+  // Whether the mutation (and therefore the derived vaccine) simulates
+  // the resource's presence, as opposed to denying access to it.
+  [[nodiscard]] bool SimulatesPresence() const {
+    // A naturally failing access is mutated to success (the resource
+    // appears to exist).
+    if (!natural_success) return true;
+    // A create that already found the resource present is mutated the
+    // other way: deny it.
+    if (natural_already_existed) return false;
+    // A fresh successful create of an infection-marker mutex is mutated
+    // to "already exists".
+    return operation == os::Operation::kCreate &&
+           (resource_type == os::ResourceType::kMutex ||
+            api_name == "CreateMutexA");
+  }
+};
+
+// Derives the deduplicated mutation targets from a Phase-I trace:
+// resource API occurrences whose taint reached a predicate, plus failed
+// resource accesses ("those that lead to the failure of certain system
+// calls can all be considered").
+[[nodiscard]] std::vector<MutationTarget> CollectMutationTargets(
+    const trace::ApiTrace& natural);
+
+// Builds the hook that forces the opposite outcome for every call
+// matching the target (same API, same call site, same identifier).
+[[nodiscard]] sandbox::ApiHook MakeMutationHook(const MutationTarget& target);
+
+struct ImpactResult {
+  MutationTarget target;
+  ImmunizationEffect effect;
+  trace::ApiTrace mutated_trace;
+};
+
+struct ImpactOptions {
+  uint64_t cycle_budget = sandbox::kOneMinuteBudget;
+  ClassifierOptions classifier;
+};
+
+// Runs the mutated execution for one target against a fresh copy of the
+// baseline environment and classifies the immunization effect.
+[[nodiscard]] ImpactResult RunImpactAnalysis(
+    const vm::Program& sample, const os::HostEnvironment& baseline_env,
+    const trace::ApiTrace& natural, const MutationTarget& target,
+    const ImpactOptions& options = {});
+
+}  // namespace autovac::analysis

@@ -1,0 +1,30 @@
+// Win32-style error codes. The sandbox APIs reproduce the success/failure
+// contract of the paper's Table I: results in EAX plus a per-process
+// last-error value readable through GetLastError.
+#pragma once
+
+#include <cstdint>
+
+namespace autovac::os {
+
+inline constexpr uint32_t kErrorSuccess = 0;
+inline constexpr uint32_t kErrorFileNotFound = 2;       // 0x02 (Table I)
+inline constexpr uint32_t kErrorAccessDenied = 5;
+inline constexpr uint32_t kErrorInvalidHandle = 6;
+inline constexpr uint32_t kErrorReadFault = 30;         // 0x1E (Table I)
+inline constexpr uint32_t kErrorSharingViolation = 32;
+inline constexpr uint32_t kErrorAlreadyExists = 183;
+inline constexpr uint32_t kErrorServiceExists = 1073;
+inline constexpr uint32_t kErrorServiceDoesNotExist = 1060;
+inline constexpr uint32_t kErrorModNotFound = 126;
+inline constexpr uint32_t kErrorCannotFindWndClass = 1407;
+
+// Handle conventions: NULL and INVALID_HANDLE_VALUE both denote failure.
+inline constexpr uint32_t kNullHandle = 0;
+inline constexpr uint32_t kInvalidHandleValue = 0xFFFFFFFF;
+
+// Boolean API results.
+inline constexpr uint32_t kFalse = 0;
+inline constexpr uint32_t kTrue = 1;
+
+}  // namespace autovac::os

@@ -1,0 +1,23 @@
+#include "os/host.h"
+
+#include "support/strings.h"
+
+namespace autovac::os {
+
+HostProfile HostProfile::AnalysisMachine() { return HostProfile{}; }
+
+HostProfile HostProfile::Randomized(autovac::Rng& rng) {
+  HostProfile profile;
+  profile.computer_name =
+      "WIN-" + ToUpper(rng.NextIdentifier(8));
+  static const std::vector<std::string> kUsers = {
+      "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"};
+  profile.user_name = rng.Pick(kUsers);
+  profile.volume_serial = static_cast<uint32_t>(rng.NextU64());
+  profile.ip_address =
+      StrFormat("192.168.%u.%u", static_cast<unsigned>(rng.NextBelow(254) + 1),
+                static_cast<unsigned>(rng.NextBelow(253) + 2));
+  return profile;
+}
+
+}  // namespace autovac::os

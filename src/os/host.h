@@ -1,0 +1,43 @@
+// Per-machine environment: the deterministic inputs (computer name,
+// volume serial, user...) that algorithm-deterministic vaccine identifiers
+// derive from, plus a virtual clock and a host-local entropy stream for
+// the genuinely random APIs (GetTickCount, GetTempFileName).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.h"
+
+namespace autovac::os {
+
+struct HostProfile {
+  std::string computer_name = "WIN-DESKTOP7";
+  std::string user_name = "alice";
+  uint32_t volume_serial = 0x1CA0B3F4;
+  std::string ip_address = "192.168.1.23";
+  std::string windows_dir = "C:\\Windows";
+  std::string system_dir = "C:\\Windows\\system32";
+  std::string temp_dir = "C:\\Windows\\Temp";
+  uint32_t os_version = 0x0501;  // XP-era, the paper's test bed
+  std::string language = "en-US";
+
+  // A deterministic default host (the analysis machine).
+  static HostProfile AnalysisMachine();
+
+  // A randomized host, as seen when deploying vaccines in the field.
+  static HostProfile Randomized(autovac::Rng& rng);
+};
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(uint64_t boot_millis = 47'123) : millis_(boot_millis) {}
+
+  [[nodiscard]] uint64_t NowMillis() const { return millis_; }
+  void AdvanceMillis(uint64_t delta) { millis_ += delta; }
+
+ private:
+  uint64_t millis_;
+};
+
+}  // namespace autovac::os

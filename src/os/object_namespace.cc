@@ -1,0 +1,469 @@
+#include "os/object_namespace.h"
+
+#include "support/strings.h"
+
+namespace autovac::os {
+
+std::string ObjectNamespace::Canonical(std::string_view name) {
+  return ToLower(name);
+}
+
+// --- files ----------------------------------------------------------------
+
+NsResult ObjectNamespace::CreateFile(std::string_view path, bool create_new) {
+  const std::string key = Canonical(path);
+  auto it = files_.find(key);
+  if (it != files_.end()) {
+    if (it->second.deny_mask & DenyBit(Operation::kCreate)) {
+      return NsResult::Fail(kErrorAccessDenied);
+    }
+    if (create_new) return NsResult::Fail(kErrorAlreadyExists);
+    return NsResult::OkExisted();
+  }
+  FileObject file;
+  file.path = std::string(path);
+  files_.emplace(key, std::move(file));
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::OpenFile(std::string_view path) const {
+  auto it = files_.find(Canonical(path));
+  if (it == files_.end()) return NsResult::Fail(kErrorFileNotFound);
+  if (it->second.deny_mask & DenyBit(Operation::kOpen)) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::ReadFile(std::string_view path,
+                                   std::string* content) const {
+  auto it = files_.find(Canonical(path));
+  if (it == files_.end()) return NsResult::Fail(kErrorFileNotFound);
+  if (it->second.deny_mask & DenyBit(Operation::kRead)) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  if (content != nullptr) *content = it->second.content;
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::WriteFile(std::string_view path,
+                                    std::string_view content) {
+  auto it = files_.find(Canonical(path));
+  if (it == files_.end()) return NsResult::Fail(kErrorFileNotFound);
+  if (it->second.system_owned ||
+      (it->second.deny_mask & DenyBit(Operation::kWrite))) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  it->second.content = std::string(content);
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::DeleteFile(std::string_view path) {
+  auto it = files_.find(Canonical(path));
+  if (it == files_.end()) return NsResult::Fail(kErrorFileNotFound);
+  if (it->second.system_owned ||
+      (it->second.deny_mask & DenyBit(Operation::kDelete))) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  files_.erase(it);
+  return NsResult::Ok();
+}
+
+bool ObjectNamespace::FileExists(std::string_view path) const {
+  return files_.count(Canonical(path)) > 0;
+}
+
+const FileObject* ObjectNamespace::FindFile(std::string_view path) const {
+  auto it = files_.find(Canonical(path));
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+FileObject* ObjectNamespace::MutableFile(std::string_view path) {
+  auto it = files_.find(Canonical(path));
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+// --- mutexes ----------------------------------------------------------------
+
+NsResult ObjectNamespace::CreateMutex(std::string_view name,
+                                      uint32_t owner_pid) {
+  const std::string key = Canonical(name);
+  auto it = mutexes_.find(key);
+  if (it != mutexes_.end()) return NsResult::OkExisted();
+  MutexObject mutex;
+  mutex.name = std::string(name);
+  mutex.owner_pid = owner_pid;
+  mutexes_.emplace(key, std::move(mutex));
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::OpenMutex(std::string_view name) const {
+  if (mutexes_.count(Canonical(name)) == 0) {
+    return NsResult::Fail(kErrorFileNotFound);
+  }
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::ReleaseMutex(std::string_view name) {
+  auto it = mutexes_.find(Canonical(name));
+  if (it == mutexes_.end()) return NsResult::Fail(kErrorInvalidHandle);
+  if (it->second.system_owned) return NsResult::Fail(kErrorAccessDenied);
+  mutexes_.erase(it);
+  return NsResult::Ok();
+}
+
+bool ObjectNamespace::MutexExists(std::string_view name) const {
+  return mutexes_.count(Canonical(name)) > 0;
+}
+
+// --- registry ----------------------------------------------------------------
+
+NsResult ObjectNamespace::CreateKey(std::string_view path) {
+  const std::string key = Canonical(path);
+  auto it = registry_.find(key);
+  if (it != registry_.end()) {
+    if (it->second.deny_mask & DenyBit(Operation::kCreate)) {
+      return NsResult::Fail(kErrorAccessDenied);
+    }
+    return NsResult::OkExisted();
+  }
+  RegistryKeyObject reg_key;
+  reg_key.path = std::string(path);
+  registry_.emplace(key, std::move(reg_key));
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::OpenKey(std::string_view path) const {
+  auto it = registry_.find(Canonical(path));
+  if (it == registry_.end()) return NsResult::Fail(kErrorFileNotFound);
+  if (it->second.deny_mask & DenyBit(Operation::kOpen)) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::QueryValue(std::string_view path,
+                                     std::string_view value_name,
+                                     std::string* data) const {
+  auto it = registry_.find(Canonical(path));
+  if (it == registry_.end()) return NsResult::Fail(kErrorFileNotFound);
+  if (it->second.deny_mask & DenyBit(Operation::kRead)) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  auto value = it->second.values.find(Canonical(value_name));
+  if (value == it->second.values.end()) {
+    return NsResult::Fail(kErrorFileNotFound);
+  }
+  if (data != nullptr) *data = value->second;
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::SetValue(std::string_view path,
+                                   std::string_view value_name,
+                                   std::string_view data) {
+  auto it = registry_.find(Canonical(path));
+  if (it == registry_.end()) return NsResult::Fail(kErrorFileNotFound);
+  if (it->second.system_owned ||
+      (it->second.deny_mask & DenyBit(Operation::kWrite))) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  it->second.values[Canonical(value_name)] = std::string(data);
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::DeleteKey(std::string_view path) {
+  auto it = registry_.find(Canonical(path));
+  if (it == registry_.end()) return NsResult::Fail(kErrorFileNotFound);
+  if (it->second.system_owned ||
+      (it->second.deny_mask & DenyBit(Operation::kDelete))) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  registry_.erase(it);
+  return NsResult::Ok();
+}
+
+bool ObjectNamespace::KeyExists(std::string_view path) const {
+  return registry_.count(Canonical(path)) > 0;
+}
+
+const RegistryKeyObject* ObjectNamespace::FindKey(std::string_view path) const {
+  auto it = registry_.find(Canonical(path));
+  return it == registry_.end() ? nullptr : &it->second;
+}
+
+RegistryKeyObject* ObjectNamespace::MutableKey(std::string_view path) {
+  auto it = registry_.find(Canonical(path));
+  return it == registry_.end() ? nullptr : &it->second;
+}
+
+// --- processes ----------------------------------------------------------------
+
+uint32_t ObjectNamespace::SpawnProcess(std::string_view image_name,
+                                       bool system_owned) {
+  const uint32_t pid = next_pid_;
+  next_pid_ += 4;
+  ProcessObject process;
+  process.pid = pid;
+  process.image_name = std::string(image_name);
+  process.system_owned = system_owned;
+  processes_.emplace(pid, std::move(process));
+  return pid;
+}
+
+const ProcessObject* ObjectNamespace::FindProcessByName(
+    std::string_view image_name) const {
+  const std::string key = Canonical(image_name);
+  for (const auto& [pid, process] : processes_) {
+    if (Canonical(process.image_name) == key) return &process;
+  }
+  return nullptr;
+}
+
+const ProcessObject* ObjectNamespace::FindProcessByPid(uint32_t pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+NsResult ObjectNamespace::InjectPayload(uint32_t pid,
+                                        std::string_view payload) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return NsResult::Fail(kErrorInvalidHandle);
+  it->second.injected_payloads.emplace_back(payload);
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::KillProcess(uint32_t pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return NsResult::Fail(kErrorInvalidHandle);
+  if (it->second.system_owned) return NsResult::Fail(kErrorAccessDenied);
+  processes_.erase(it);
+  return NsResult::Ok();
+}
+
+// --- services ----------------------------------------------------------------
+
+NsResult ObjectNamespace::CreateService(std::string_view name,
+                                        std::string_view binary_path) {
+  const std::string key = Canonical(name);
+  auto it = services_.find(key);
+  if (it != services_.end()) {
+    if (it->second.system_owned) return NsResult::Fail(kErrorAccessDenied);
+    return NsResult::Fail(kErrorServiceExists);
+  }
+  ServiceObject service;
+  service.name = std::string(name);
+  service.binary_path = std::string(binary_path);
+  services_.emplace(key, std::move(service));
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::OpenService(std::string_view name) const {
+  if (services_.count(Canonical(name)) == 0) {
+    return NsResult::Fail(kErrorServiceDoesNotExist);
+  }
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::StartService(std::string_view name) {
+  auto it = services_.find(Canonical(name));
+  if (it == services_.end()) {
+    return NsResult::Fail(kErrorServiceDoesNotExist);
+  }
+  if (it->second.system_owned) return NsResult::Fail(kErrorAccessDenied);
+  it->second.running = true;
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::DeleteService(std::string_view name) {
+  auto it = services_.find(Canonical(name));
+  if (it == services_.end()) {
+    return NsResult::Fail(kErrorServiceDoesNotExist);
+  }
+  if (it->second.system_owned) return NsResult::Fail(kErrorAccessDenied);
+  services_.erase(it);
+  return NsResult::Ok();
+}
+
+bool ObjectNamespace::ServiceExists(std::string_view name) const {
+  return services_.count(Canonical(name)) > 0;
+}
+
+// --- windows ----------------------------------------------------------------
+
+NsResult ObjectNamespace::CreateWindow(std::string_view class_name,
+                                       std::string_view title,
+                                       uint32_t owner_pid) {
+  if (IsWindowClassReserved(class_name)) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  WindowObject window;
+  window.class_name = std::string(class_name);
+  window.title = std::string(title);
+  window.owner_pid = owner_pid;
+  windows_.push_back(std::move(window));
+  return NsResult::Ok();
+}
+
+NsResult ObjectNamespace::FindWindow(std::string_view class_name,
+                                     std::string_view title) const {
+  const std::string class_key = Canonical(class_name);
+  const std::string title_key = Canonical(title);
+  for (const WindowObject& window : windows_) {
+    const bool class_match =
+        class_key.empty() || Canonical(window.class_name) == class_key;
+    const bool title_match =
+        title_key.empty() || Canonical(window.title) == title_key;
+    if (class_match && title_match) return NsResult::Ok();
+  }
+  // A reserved class is reported as present: the vaccine simulates the
+  // window's existence.
+  if (!class_key.empty() && IsWindowClassReserved(class_name)) {
+    return NsResult::Ok();
+  }
+  return NsResult::Fail(kErrorCannotFindWndClass);
+}
+
+void ObjectNamespace::ReserveWindowClass(std::string_view class_name) {
+  reserved_window_classes_.insert(Canonical(class_name));
+}
+
+bool ObjectNamespace::IsWindowClassReserved(
+    std::string_view class_name) const {
+  return reserved_window_classes_.count(Canonical(class_name)) > 0;
+}
+
+// --- libraries ----------------------------------------------------------------
+
+NsResult ObjectNamespace::LoadLibrary(std::string_view name) {
+  if (blocked_libraries_.count(Canonical(name)) > 0) {
+    return NsResult::Fail(kErrorAccessDenied);
+  }
+  if (!LibraryAvailable(name)) return NsResult::Fail(kErrorModNotFound);
+  return NsResult::Ok();
+}
+
+bool ObjectNamespace::LibraryAvailable(std::string_view name) const {
+  if (preinstalled_libraries_.count(Canonical(name)) > 0) return true;
+  // A dropped DLL is loadable by path or bare name.
+  if (FileExists(name)) return true;
+  return false;
+}
+
+void ObjectNamespace::PreinstallLibrary(std::string_view name) {
+  preinstalled_libraries_.insert(Canonical(name));
+}
+
+void ObjectNamespace::BlockLibrary(std::string_view name) {
+  blocked_libraries_.insert(Canonical(name));
+}
+
+// --- vaccine injection ---------------------------------------------------------
+
+void ObjectNamespace::InjectVaccineFile(std::string_view path,
+                                        uint32_t deny_mask) {
+  FileObject file;
+  file.path = std::string(path);
+  file.system_owned = true;
+  file.deny_mask = deny_mask;
+  files_[Canonical(path)] = std::move(file);
+}
+
+void ObjectNamespace::InjectVaccineMutex(std::string_view name) {
+  MutexObject mutex;
+  mutex.name = std::string(name);
+  mutex.owner_pid = 4;  // SYSTEM
+  mutex.system_owned = true;
+  mutexes_[Canonical(name)] = std::move(mutex);
+}
+
+void ObjectNamespace::InjectVaccineKey(std::string_view path,
+                                       uint32_t deny_mask) {
+  RegistryKeyObject key;
+  key.path = std::string(path);
+  key.system_owned = true;
+  key.deny_mask = deny_mask;
+  registry_[Canonical(path)] = std::move(key);
+}
+
+void ObjectNamespace::InjectVaccineService(std::string_view name) {
+  ServiceObject service;
+  service.name = std::string(name);
+  service.binary_path = "C:\\Windows\\system32\\svchost.exe -k vaccine";
+  service.system_owned = true;
+  services_[Canonical(name)] = std::move(service);
+}
+
+// --- enumeration ---------------------------------------------------------------
+
+std::vector<std::string> ObjectNamespace::FileNames() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [key, file] : files_) out.push_back(file.path);
+  return out;
+}
+
+std::vector<std::string> ObjectNamespace::MutexNames() const {
+  std::vector<std::string> out;
+  out.reserve(mutexes_.size());
+  for (const auto& [key, mutex] : mutexes_) out.push_back(mutex.name);
+  return out;
+}
+
+std::vector<std::string> ObjectNamespace::KeyPaths() const {
+  std::vector<std::string> out;
+  out.reserve(registry_.size());
+  for (const auto& [key, reg] : registry_) out.push_back(reg.path);
+  return out;
+}
+
+std::vector<std::string> ObjectNamespace::ServiceNames() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [key, service] : services_) out.push_back(service.name);
+  return out;
+}
+
+// --- standard machine -----------------------------------------------------------
+
+void PopulateStandardMachine(ObjectNamespace& ns) {
+  // Benign processes malware commonly injects into.
+  ns.SpawnProcess("explorer.exe", /*system_owned=*/false);
+  ns.SpawnProcess("svchost.exe", /*system_owned=*/false);
+  ns.SpawnProcess("winlogon.exe", /*system_owned=*/true);
+  ns.SpawnProcess("lsass.exe", /*system_owned=*/true);
+  ns.SpawnProcess("services.exe", /*system_owned=*/true);
+
+  // System libraries (the exclusiveness analysis must flag these as
+  // benign-shared identifiers — the paper's uxtheme.dll example).
+  for (const char* dll :
+       {"kernel32.dll", "ntdll.dll", "user32.dll", "advapi32.dll",
+        "uxtheme.dll", "msvcrt.dll", "mscrt.dll", "ws2_32.dll",
+        "wininet.dll", "shell32.dll", "ole32.dll", "gdi32.dll",
+        "comctl32.dll", "crypt32.dll"}) {
+    ns.PreinstallLibrary(dll);
+  }
+
+  // Autostart locations and common system keys.
+  ns.CreateKey("HKLM\\Software\\Microsoft\\Windows\\CurrentVersion\\Run");
+  ns.CreateKey("HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\Run");
+  ns.CreateKey(
+      "HKLM\\Software\\Microsoft\\Windows NT\\CurrentVersion\\Winlogon");
+  ns.CreateKey("HKLM\\System\\CurrentControlSet\\Services");
+  ns.SetValue("HKLM\\Software\\Microsoft\\Windows NT\\CurrentVersion\\Winlogon",
+              "Shell", "explorer.exe");
+
+  // A few system files.
+  ns.CreateFile("C:\\Windows\\system32\\ntoskrnl.exe", false);
+  ns.CreateFile("C:\\Windows\\system32\\svchost.exe", false);
+  ns.CreateFile("C:\\Windows\\explorer.exe", false);
+  ns.CreateFile("C:\\Windows\\system.ini", false);
+  ns.CreateFile("C:\\autoexec.bat", false);
+  for (const char* path :
+       {"C:\\Windows\\system32\\ntoskrnl.exe",
+        "C:\\Windows\\system32\\svchost.exe", "C:\\Windows\\explorer.exe"}) {
+    FileObject* file = ns.MutableFile(path);
+    if (file != nullptr) file->system_owned = true;
+  }
+}
+
+}  // namespace autovac::os

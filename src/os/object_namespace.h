@@ -1,0 +1,143 @@
+// The kernel object namespace: every named resource a sandboxed program
+// (malicious or benign) can create, open, read, write or delete, with
+// Windows-flavoured semantics (case-insensitive names, CreateMutex
+// succeeding-with-ERROR_ALREADY_EXISTS, ACL deny masks used by injected
+// vaccines).
+//
+// The namespace is a value type: copying it snapshots machine state, which
+// is how the pipeline re-runs a sample against an identical environment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/errors.h"
+#include "os/resources.h"
+
+namespace autovac::os {
+
+// Outcome of a namespace operation. `error` is a Win32-style code;
+// `already_existed` carries the CreateMutex/CreateFile nuance the
+// infection-marker logic depends on.
+struct NsResult {
+  bool ok = false;
+  uint32_t error = kErrorSuccess;
+  bool already_existed = false;
+
+  static NsResult Ok() { return {true, kErrorSuccess, false}; }
+  static NsResult OkExisted() { return {true, kErrorAlreadyExists, true}; }
+  static NsResult Fail(uint32_t code) { return {false, code, false}; }
+};
+
+class ObjectNamespace {
+ public:
+  ObjectNamespace() = default;
+
+  // --- files ----------------------------------------------------------
+  // create_new: fail with kErrorAlreadyExists when the path exists
+  // (CREATE_NEW disposition); otherwise an existing file opens in place.
+  NsResult CreateFile(std::string_view path, bool create_new);
+  NsResult OpenFile(std::string_view path) const;
+  NsResult ReadFile(std::string_view path, std::string* content) const;
+  NsResult WriteFile(std::string_view path, std::string_view content);
+  NsResult DeleteFile(std::string_view path);
+  [[nodiscard]] bool FileExists(std::string_view path) const;
+  [[nodiscard]] const FileObject* FindFile(std::string_view path) const;
+  FileObject* MutableFile(std::string_view path);
+
+  // --- mutexes ----------------------------------------------------------
+  NsResult CreateMutex(std::string_view name, uint32_t owner_pid);
+  NsResult OpenMutex(std::string_view name) const;
+  NsResult ReleaseMutex(std::string_view name);
+  [[nodiscard]] bool MutexExists(std::string_view name) const;
+
+  // --- registry ---------------------------------------------------------
+  NsResult CreateKey(std::string_view path);
+  NsResult OpenKey(std::string_view path) const;
+  NsResult QueryValue(std::string_view path, std::string_view value_name,
+                      std::string* data) const;
+  NsResult SetValue(std::string_view path, std::string_view value_name,
+                    std::string_view data);
+  NsResult DeleteKey(std::string_view path);
+  [[nodiscard]] bool KeyExists(std::string_view path) const;
+  [[nodiscard]] const RegistryKeyObject* FindKey(std::string_view path) const;
+  RegistryKeyObject* MutableKey(std::string_view path);
+
+  // --- processes ---------------------------------------------------------
+  // Returns the new pid.
+  uint32_t SpawnProcess(std::string_view image_name, bool system_owned);
+  [[nodiscard]] const ProcessObject* FindProcessByName(
+      std::string_view image_name) const;
+  [[nodiscard]] const ProcessObject* FindProcessByPid(uint32_t pid) const;
+  NsResult InjectPayload(uint32_t pid, std::string_view payload);
+  NsResult KillProcess(uint32_t pid);
+  [[nodiscard]] const std::map<uint32_t, ProcessObject>& processes() const {
+    return processes_;
+  }
+
+  // --- services ----------------------------------------------------------
+  NsResult CreateService(std::string_view name, std::string_view binary_path);
+  NsResult OpenService(std::string_view name) const;
+  NsResult StartService(std::string_view name);
+  NsResult DeleteService(std::string_view name);
+  [[nodiscard]] bool ServiceExists(std::string_view name) const;
+
+  // --- windows -------------------------------------------------------------
+  NsResult CreateWindow(std::string_view class_name, std::string_view title,
+                        uint32_t owner_pid);
+  NsResult FindWindow(std::string_view class_name,
+                      std::string_view title) const;
+  // A registered-but-unowned window class blocks RegisterClass/CreateWindow
+  // for that class (window-type vaccine).
+  void ReserveWindowClass(std::string_view class_name);
+  [[nodiscard]] bool IsWindowClassReserved(std::string_view class_name) const;
+
+  // --- libraries -----------------------------------------------------------
+  // A library loads when it is preinstalled or a file of that name exists.
+  NsResult LoadLibrary(std::string_view name);
+  [[nodiscard]] bool LibraryAvailable(std::string_view name) const;
+  void PreinstallLibrary(std::string_view name);
+  // A blocked library name always fails to load (library vaccine daemon).
+  void BlockLibrary(std::string_view name);
+
+  // --- vaccine injection hooks ----------------------------------------------
+  // Creates a resource owned by the system with the given deny mask; used
+  // by Phase-III direct injection.
+  void InjectVaccineFile(std::string_view path, uint32_t deny_mask);
+  void InjectVaccineMutex(std::string_view name);
+  void InjectVaccineKey(std::string_view path, uint32_t deny_mask);
+  void InjectVaccineService(std::string_view name);
+
+  // Enumeration for reports/diffing.
+  [[nodiscard]] std::vector<std::string> FileNames() const;
+  [[nodiscard]] std::vector<std::string> MutexNames() const;
+  [[nodiscard]] std::vector<std::string> KeyPaths() const;
+  [[nodiscard]] std::vector<std::string> ServiceNames() const;
+
+  // Canonical (lower-cased) form used as the map key.
+  [[nodiscard]] static std::string Canonical(std::string_view name);
+
+ private:
+  std::map<std::string, FileObject> files_;
+  std::map<std::string, MutexObject> mutexes_;
+  std::map<std::string, RegistryKeyObject> registry_;
+  std::map<uint32_t, ProcessObject> processes_;
+  std::map<std::string, ServiceObject> services_;
+  std::vector<WindowObject> windows_;
+  std::set<std::string> reserved_window_classes_;
+  std::set<std::string> preinstalled_libraries_;
+  std::set<std::string> blocked_libraries_;
+  uint32_t next_pid_ = 1000;
+};
+
+// A ready-to-infect machine: standard system libraries, the usual benign
+// processes (explorer.exe, svchost.exe, ...), autostart registry keys and
+// a few system files — everything the malware corpus expects to find.
+void PopulateStandardMachine(ObjectNamespace& ns);
+
+}  // namespace autovac::os

@@ -1,0 +1,43 @@
+#include "os/resources.h"
+
+namespace autovac::os {
+
+std::string_view ResourceTypeName(ResourceType type) {
+  switch (type) {
+    case ResourceType::kFile: return "File";
+    case ResourceType::kRegistry: return "Registry";
+    case ResourceType::kMutex: return "Mutex";
+    case ResourceType::kProcess: return "Process";
+    case ResourceType::kWindow: return "Windows";
+    case ResourceType::kLibrary: return "Library";
+    case ResourceType::kService: return "Service";
+    case ResourceType::kTypeCount: break;
+  }
+  return "?";
+}
+
+std::string_view OperationName(Operation op) {
+  switch (op) {
+    case Operation::kCreate: return "Create";
+    case Operation::kOpen: return "Read/Open";
+    case Operation::kRead: return "Read";
+    case Operation::kWrite: return "Write";
+    case Operation::kDelete: return "Delete";
+    case Operation::kOpCount: break;
+  }
+  return "?";
+}
+
+char OperationSymbol(Operation op) {
+  switch (op) {
+    case Operation::kCreate: return 'C';
+    case Operation::kOpen: return 'E';
+    case Operation::kRead: return 'R';
+    case Operation::kWrite: return 'W';
+    case Operation::kDelete: return 'D';
+    case Operation::kOpCount: break;
+  }
+  return '?';
+}
+
+}  // namespace autovac::os

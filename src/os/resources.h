@@ -1,0 +1,98 @@
+// System-resource model: the seven resource types the paper's evaluation
+// covers (file, registry, mutex, process, window, library, service) and
+// the operations whose success/failure the vaccine pipeline manipulates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autovac::os {
+
+enum class ResourceType : uint8_t {
+  kFile = 0,
+  kRegistry,
+  kMutex,
+  kProcess,
+  kWindow,
+  kLibrary,
+  kService,
+  kTypeCount,
+};
+inline constexpr size_t kNumResourceTypes =
+    static_cast<size_t>(ResourceType::kTypeCount);
+
+[[nodiscard]] std::string_view ResourceTypeName(ResourceType type);
+
+// Figure 3's operation buckets; Table III additionally distinguishes
+// existence checks (open that only tests presence).
+enum class Operation : uint8_t {
+  kCreate = 0,
+  kOpen,    // read/open in Figure 3; existence check in Table III terms
+  kRead,
+  kWrite,
+  kDelete,
+  kOpCount,
+};
+inline constexpr size_t kNumOperations =
+    static_cast<size_t>(Operation::kOpCount);
+
+[[nodiscard]] std::string_view OperationName(Operation op);
+
+// Short Table III-style symbol: C, E, R, W, D.
+[[nodiscard]] char OperationSymbol(Operation op);
+
+// Operation-deny bits used by injected vaccines (the paper adjusts the
+// injected file's ACL "to disallow certain operation such as read and
+// write").
+[[nodiscard]] constexpr uint32_t DenyBit(Operation op) {
+  return 1u << static_cast<uint32_t>(op);
+}
+
+// ---- objects ---------------------------------------------------------
+
+struct FileObject {
+  std::string path;
+  std::string content;
+  bool system_owned = false;  // owned by a super user (vaccine injection)
+  uint32_t deny_mask = 0;     // DenyBit(op) bits
+};
+
+struct MutexObject {
+  std::string name;
+  uint32_t owner_pid = 0;
+  bool system_owned = false;
+};
+
+struct ServiceObject {
+  std::string name;
+  std::string binary_path;
+  bool running = false;
+  bool system_owned = false;
+};
+
+struct WindowObject {
+  std::string class_name;
+  std::string title;
+  uint32_t owner_pid = 0;
+};
+
+struct ProcessObject {
+  uint32_t pid = 0;
+  std::string image_name;  // e.g. "explorer.exe"
+  bool system_owned = false;
+  // Payload names written by WriteProcessMemory/CreateRemoteThread —
+  // visible in traces as successful injection.
+  std::vector<std::string> injected_payloads;
+};
+
+struct RegistryKeyObject {
+  std::string path;  // full path, e.g. "HKLM\\Software\\...\\Run"
+  std::map<std::string, std::string> values;
+  bool system_owned = false;
+  uint32_t deny_mask = 0;
+};
+
+}  // namespace autovac::os

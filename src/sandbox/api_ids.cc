@@ -1,0 +1,323 @@
+#include "sandbox/api_ids.h"
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "support/status.h"
+
+namespace autovac::sandbox {
+namespace {
+
+using os::Operation;
+using os::ResourceType;
+
+std::array<ApiSpec, kNumApis> BuildTable() {
+  std::array<ApiSpec, kNumApis> table{};
+  auto set = [&table](ApiSpec spec) {
+    table[static_cast<size_t>(spec.id)] = spec;
+  };
+
+  // ---- file -------------------------------------------------------------
+  set({.id = ApiId::kCreateFileA, .name = "CreateFileA", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kFile,
+       .operation = Operation::kCreate, .identifier_arg = 0,
+       .returns_handle = true});
+  set({.id = ApiId::kOpenFileA, .name = "OpenFileA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kFile,
+       .operation = Operation::kOpen, .identifier_arg = 0,
+       .returns_handle = true});
+  set({.id = ApiId::kReadFile, .name = "ReadFile", .num_args = 3,
+       .is_resource_api = true, .resource_type = ResourceType::kFile,
+       .operation = Operation::kRead, .handle_arg = 0});
+  set({.id = ApiId::kWriteFile, .name = "WriteFile", .num_args = 3,
+       .is_resource_api = true, .resource_type = ResourceType::kFile,
+       .operation = Operation::kWrite, .handle_arg = 0});
+  set({.id = ApiId::kDeleteFileA, .name = "DeleteFileA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kFile,
+       .operation = Operation::kDelete, .identifier_arg = 0});
+  set({.id = ApiId::kCloseHandle, .name = "CloseHandle", .num_args = 1});
+  set({.id = ApiId::kGetFileAttributesA, .name = "GetFileAttributesA",
+       .num_args = 1, .is_resource_api = true,
+       .resource_type = ResourceType::kFile, .operation = Operation::kOpen,
+       .identifier_arg = 0});
+  set({.id = ApiId::kSetFileAttributesA, .name = "SetFileAttributesA",
+       .num_args = 2, .is_resource_api = true,
+       .resource_type = ResourceType::kFile, .operation = Operation::kWrite,
+       .identifier_arg = 0});
+  set({.id = ApiId::kCopyFileA, .name = "CopyFileA", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kFile,
+       .operation = Operation::kCreate, .identifier_arg = 1});
+  set({.id = ApiId::kMoveFileA, .name = "MoveFileA", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kFile,
+       .operation = Operation::kCreate, .identifier_arg = 1});
+  set({.id = ApiId::kGetTempFileNameA, .name = "GetTempFileNameA",
+       .num_args = 1, .determinism = ApiDeterminism::kRandom});
+  set({.id = ApiId::kCreateDirectoryA, .name = "CreateDirectoryA",
+       .num_args = 1, .is_resource_api = true,
+       .resource_type = ResourceType::kFile, .operation = Operation::kCreate,
+       .identifier_arg = 0});
+  set({.id = ApiId::kGetFileSize, .name = "GetFileSize", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kFile,
+       .operation = Operation::kRead, .handle_arg = 0});
+  set({.id = ApiId::kFindFirstFileA, .name = "FindFirstFileA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kFile,
+       .operation = Operation::kOpen, .identifier_arg = 0,
+       .returns_handle = true});
+
+  // ---- synchronisation -----------------------------------------------------
+  set({.id = ApiId::kCreateMutexA, .name = "CreateMutexA", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kMutex,
+       .operation = Operation::kCreate, .identifier_arg = 1,
+       .returns_handle = true});
+  set({.id = ApiId::kOpenMutexA, .name = "OpenMutexA", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kMutex,
+       .operation = Operation::kOpen, .identifier_arg = 1,
+       .returns_handle = true});
+  set({.id = ApiId::kReleaseMutex, .name = "ReleaseMutex", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kMutex,
+       .operation = Operation::kDelete, .handle_arg = 0});
+  set({.id = ApiId::kWaitForSingleObject, .name = "WaitForSingleObject",
+       .num_args = 2, .is_resource_api = true,
+       .resource_type = ResourceType::kMutex, .operation = Operation::kOpen,
+       .handle_arg = 0});
+
+  // ---- registry ---------------------------------------------------------------
+  set({.id = ApiId::kRegCreateKeyA, .name = "RegCreateKeyA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kRegistry,
+       .operation = Operation::kCreate, .identifier_arg = 0,
+       .returns_handle = true});
+  set({.id = ApiId::kRegOpenKeyA, .name = "RegOpenKeyA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kRegistry,
+       .operation = Operation::kOpen, .identifier_arg = 0,
+       .returns_handle = true});
+  set({.id = ApiId::kRegQueryValueExA, .name = "RegQueryValueExA",
+       .num_args = 4, .is_resource_api = true,
+       .resource_type = ResourceType::kRegistry,
+       .operation = Operation::kRead, .handle_arg = 0});
+  set({.id = ApiId::kRegSetValueExA, .name = "RegSetValueExA", .num_args = 3,
+       .is_resource_api = true, .resource_type = ResourceType::kRegistry,
+       .operation = Operation::kWrite, .handle_arg = 0});
+  set({.id = ApiId::kRegDeleteKeyA, .name = "RegDeleteKeyA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kRegistry,
+       .operation = Operation::kDelete, .identifier_arg = 0});
+  set({.id = ApiId::kRegCloseKey, .name = "RegCloseKey", .num_args = 1});
+  set({.id = ApiId::kRegEnumKeyA, .name = "RegEnumKeyA", .num_args = 4,
+       .is_resource_api = true, .resource_type = ResourceType::kRegistry,
+       .operation = Operation::kRead, .handle_arg = 0});
+
+  // ---- process -------------------------------------------------------------------
+  set({.id = ApiId::kCreateProcessA, .name = "CreateProcessA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kProcess,
+       .operation = Operation::kCreate, .identifier_arg = 0});
+  set({.id = ApiId::kOpenProcess, .name = "OpenProcess", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kProcess,
+       .operation = Operation::kOpen, .returns_handle = true});
+  set({.id = ApiId::kTerminateProcess, .name = "TerminateProcess",
+       .num_args = 1, .is_resource_api = true,
+       .resource_type = ResourceType::kProcess,
+       .operation = Operation::kDelete, .handle_arg = 0});
+  set({.id = ApiId::kExitProcess, .name = "ExitProcess", .num_args = 1});
+  set({.id = ApiId::kExitThread, .name = "ExitThread", .num_args = 1});
+  set({.id = ApiId::kTerminateThread, .name = "TerminateThread",
+       .num_args = 1});
+  set({.id = ApiId::kWriteProcessMemory, .name = "WriteProcessMemory",
+       .num_args = 3, .is_resource_api = true,
+       .resource_type = ResourceType::kProcess,
+       .operation = Operation::kWrite, .handle_arg = 0});
+  set({.id = ApiId::kReadProcessMemory, .name = "ReadProcessMemory",
+       .num_args = 3, .is_resource_api = true,
+       .resource_type = ResourceType::kProcess, .operation = Operation::kRead,
+       .handle_arg = 0});
+  set({.id = ApiId::kCreateRemoteThread, .name = "CreateRemoteThread",
+       .num_args = 2, .is_resource_api = true,
+       .resource_type = ResourceType::kProcess,
+       .operation = Operation::kWrite, .handle_arg = 0,
+       .returns_handle = true});
+  set({.id = ApiId::kVirtualAllocEx, .name = "VirtualAllocEx", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kProcess,
+       .operation = Operation::kWrite, .handle_arg = 0});
+  set({.id = ApiId::kCreateToolhelp32Snapshot,
+       .name = "CreateToolhelp32Snapshot", .num_args = 0,
+       .returns_handle = true});
+  set({.id = ApiId::kProcess32FindA, .name = "Process32FindA", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kProcess,
+       .operation = Operation::kOpen, .identifier_arg = 1});
+  set({.id = ApiId::kGetCurrentProcessId, .name = "GetCurrentProcessId",
+       .num_args = 0});
+  set({.id = ApiId::kGetCurrentProcess, .name = "GetCurrentProcess",
+       .num_args = 0});
+
+  // ---- service ---------------------------------------------------------------------
+  set({.id = ApiId::kOpenSCManagerA, .name = "OpenSCManagerA", .num_args = 0,
+       .is_resource_api = true, .resource_type = ResourceType::kService,
+       .operation = Operation::kOpen, .returns_handle = true});
+  set({.id = ApiId::kCreateServiceA, .name = "CreateServiceA", .num_args = 3,
+       .is_resource_api = true, .resource_type = ResourceType::kService,
+       .operation = Operation::kCreate, .identifier_arg = 1,
+       .returns_handle = true});
+  set({.id = ApiId::kOpenServiceA, .name = "OpenServiceA", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kService,
+       .operation = Operation::kOpen, .identifier_arg = 1,
+       .returns_handle = true});
+  set({.id = ApiId::kStartServiceA, .name = "StartServiceA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kService,
+       .operation = Operation::kWrite, .handle_arg = 0});
+  set({.id = ApiId::kDeleteService, .name = "DeleteService", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kService,
+       .operation = Operation::kDelete, .handle_arg = 0});
+  set({.id = ApiId::kCloseServiceHandle, .name = "CloseServiceHandle",
+       .num_args = 1});
+
+  // ---- window -----------------------------------------------------------------------
+  set({.id = ApiId::kFindWindowA, .name = "FindWindowA", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kWindow,
+       .operation = Operation::kOpen, .identifier_arg = 0,
+       .returns_handle = true});
+  set({.id = ApiId::kRegisterClassA, .name = "RegisterClassA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kWindow,
+       .operation = Operation::kCreate, .identifier_arg = 0});
+  set({.id = ApiId::kCreateWindowExA, .name = "CreateWindowExA",
+       .num_args = 2, .is_resource_api = true,
+       .resource_type = ResourceType::kWindow,
+       .operation = Operation::kCreate, .identifier_arg = 0,
+       .returns_handle = true});
+  set({.id = ApiId::kShowWindow, .name = "ShowWindow", .num_args = 2});
+
+  // ---- library -----------------------------------------------------------------------
+  set({.id = ApiId::kLoadLibraryA, .name = "LoadLibraryA", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kLibrary,
+       .operation = Operation::kOpen, .identifier_arg = 0,
+       .returns_handle = true});
+  set({.id = ApiId::kGetModuleHandleA, .name = "GetModuleHandleA",
+       .num_args = 1, .is_resource_api = true,
+       .resource_type = ResourceType::kLibrary, .operation = Operation::kOpen,
+       .identifier_arg = 0, .returns_handle = true});
+  set({.id = ApiId::kGetProcAddress, .name = "GetProcAddress", .num_args = 2,
+       .is_resource_api = true, .resource_type = ResourceType::kLibrary,
+       .operation = Operation::kRead, .handle_arg = 0});
+  set({.id = ApiId::kFreeLibrary, .name = "FreeLibrary", .num_args = 1});
+
+  // ---- system information ---------------------------------------------------------------
+  set({.id = ApiId::kGetComputerNameA, .name = "GetComputerNameA",
+       .num_args = 2, .determinism = ApiDeterminism::kEnvironment});
+  set({.id = ApiId::kGetUserNameA, .name = "GetUserNameA", .num_args = 2,
+       .determinism = ApiDeterminism::kEnvironment});
+  set({.id = ApiId::kGetVolumeInformationA, .name = "GetVolumeInformationA",
+       .num_args = 0, .determinism = ApiDeterminism::kEnvironment});
+  set({.id = ApiId::kGetSystemDirectoryA, .name = "GetSystemDirectoryA",
+       .num_args = 2, .determinism = ApiDeterminism::kEnvironment});
+  set({.id = ApiId::kGetWindowsDirectoryA, .name = "GetWindowsDirectoryA",
+       .num_args = 2, .determinism = ApiDeterminism::kEnvironment});
+  set({.id = ApiId::kGetTempPathA, .name = "GetTempPathA", .num_args = 2,
+       .determinism = ApiDeterminism::kEnvironment});
+  set({.id = ApiId::kGetVersion, .name = "GetVersion", .num_args = 0,
+       .determinism = ApiDeterminism::kEnvironment});
+  set({.id = ApiId::kGetTickCount, .name = "GetTickCount", .num_args = 0,
+       .determinism = ApiDeterminism::kRandom});
+  set({.id = ApiId::kQueryPerformanceCounter,
+       .name = "QueryPerformanceCounter", .num_args = 1,
+       .determinism = ApiDeterminism::kRandom});
+  set({.id = ApiId::kGetSystemTime, .name = "GetSystemTime", .num_args = 1,
+       .determinism = ApiDeterminism::kRandom});
+  set({.id = ApiId::kGetLastError, .name = "GetLastError", .num_args = 0});
+  set({.id = ApiId::kSetLastError, .name = "SetLastError", .num_args = 1});
+  set({.id = ApiId::kSleep, .name = "Sleep", .num_args = 1});
+  set({.id = ApiId::kGetCommandLineA, .name = "GetCommandLineA",
+       .num_args = 0});
+
+  // ---- network -----------------------------------------------------------------------------
+  set({.id = ApiId::kWSAStartup, .name = "WSAStartup", .num_args = 0,
+       .is_network = true});
+  set({.id = ApiId::kSocket, .name = "socket", .num_args = 0,
+       .returns_handle = true, .is_network = true});
+  set({.id = ApiId::kConnect, .name = "connect", .num_args = 3,
+       .is_network = true});
+  set({.id = ApiId::kSend, .name = "send", .num_args = 3,
+       .is_network = true});
+  set({.id = ApiId::kRecv, .name = "recv", .num_args = 3,
+       .determinism = ApiDeterminism::kRandom, .is_network = true});
+  set({.id = ApiId::kClosesocket, .name = "closesocket", .num_args = 1,
+       .is_network = true});
+  set({.id = ApiId::kGethostbyname, .name = "gethostbyname", .num_args = 1,
+       .is_network = true});
+  set({.id = ApiId::kDnsQueryA, .name = "DnsQuery_A", .num_args = 1,
+       .is_network = true});
+  set({.id = ApiId::kInternetOpenA, .name = "InternetOpenA", .num_args = 1,
+       .returns_handle = true, .is_network = true});
+  set({.id = ApiId::kInternetConnectA, .name = "InternetConnectA",
+       .num_args = 3, .returns_handle = true, .is_network = true});
+  set({.id = ApiId::kHttpOpenRequestA, .name = "HttpOpenRequestA",
+       .num_args = 2, .returns_handle = true, .is_network = true});
+  set({.id = ApiId::kHttpSendRequestA, .name = "HttpSendRequestA",
+       .num_args = 1, .is_network = true});
+  set({.id = ApiId::kInternetReadFile, .name = "InternetReadFile",
+       .num_args = 3, .determinism = ApiDeterminism::kRandom,
+       .is_network = true});
+  set({.id = ApiId::kURLDownloadToFileA, .name = "URLDownloadToFileA",
+       .num_args = 2, .is_resource_api = true,
+       .resource_type = ResourceType::kFile, .operation = Operation::kCreate,
+       .identifier_arg = 1, .is_network = true});
+
+  // ---- string helpers ----------------------------------------------------------------------
+  set({.id = ApiId::kLstrcpyA, .name = "lstrcpyA", .num_args = 2});
+  set({.id = ApiId::kLstrcatA, .name = "lstrcatA", .num_args = 2});
+  set({.id = ApiId::kLstrlenA, .name = "lstrlenA", .num_args = 1});
+  set({.id = ApiId::kLstrcmpA, .name = "lstrcmpA", .num_args = 2});
+  set({.id = ApiId::kLstrcmpiA, .name = "lstrcmpiA", .num_args = 2});
+  set({.id = ApiId::kWsprintfA, .name = "wsprintfA", .num_args = 2});
+  set({.id = ApiId::kRtlComputeCrc32, .name = "RtlComputeCrc32",
+       .num_args = 3});
+  set({.id = ApiId::kItoa, .name = "_itoa", .num_args = 3});
+  set({.id = ApiId::kCharUpperA, .name = "CharUpperA", .num_args = 1});
+  set({.id = ApiId::kCharLowerA, .name = "CharLowerA", .num_args = 1});
+
+  // ---- misc ----------------------------------------------------------------------------------
+  set({.id = ApiId::kVirtualAlloc, .name = "VirtualAlloc", .num_args = 1});
+  set({.id = ApiId::kWinExec, .name = "WinExec", .num_args = 1,
+       .is_resource_api = true, .resource_type = ResourceType::kProcess,
+       .operation = Operation::kCreate, .identifier_arg = 0});
+  set({.id = ApiId::kRand, .name = "rand", .num_args = 0,
+       .determinism = ApiDeterminism::kRandom});
+  set({.id = ApiId::kSrand, .name = "srand", .num_args = 1});
+
+  return table;
+}
+
+const std::array<ApiSpec, kNumApis>& Table() {
+  static const auto table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+const ApiSpec& GetApiSpec(ApiId id) {
+  const auto index = static_cast<size_t>(id);
+  AUTOVAC_CHECK_MSG(index < kNumApis, "bad ApiId");
+  const ApiSpec& spec = Table()[index];
+  AUTOVAC_CHECK_MSG(spec.id == id, "ApiSpec table hole");
+  return spec;
+}
+
+std::optional<ApiId> FindApiByName(std::string_view name) {
+  static const auto by_name = [] {
+    std::map<std::string, ApiId, std::less<>> index;
+    for (const ApiSpec& spec : Table()) index.emplace(spec.name, spec.id);
+    return index;
+  }();
+  auto it = by_name.find(name);
+  if (it == by_name.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view ApiName(ApiId id) { return GetApiSpec(id).name; }
+
+size_t CountResourceApis() {
+  size_t count = 0;
+  for (const ApiSpec& spec : Table()) {
+    if (spec.is_resource_api) ++count;
+  }
+  return count;
+}
+
+}  // namespace autovac::sandbox

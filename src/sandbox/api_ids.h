@@ -1,0 +1,184 @@
+// The sandbox system-API surface and its labelling table.
+//
+// The paper "examined over 800 windows APIs" and hooked 89 resource-
+// related calls as taint sources (§VI-B). Every API here carries the
+// metadata of the paper's Table I: resource type, operation, where the
+// resource-identifier lives (a string argument or a handle argument that
+// maps back to a name), and whether the tainted value is the return value
+// or an out-argument. Signatures are simplified (cdecl-like, 32-bit slots,
+// result in EAX) but names and success/failure semantics mirror Win32.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "os/resources.h"
+
+namespace autovac::sandbox {
+
+enum class ApiId : int32_t {
+  // --- file ---------------------------------------------------------
+  kCreateFileA = 0,   // (lpFileName, dwCreationDisposition) -> HANDLE
+  kOpenFileA,         // (lpFileName) -> HANDLE
+  kReadFile,          // (hFile, lpBuffer, nBytes) -> BOOL
+  kWriteFile,         // (hFile, lpBuffer, nBytes) -> BOOL
+  kDeleteFileA,       // (lpFileName) -> BOOL
+  kCloseHandle,       // (hObject) -> BOOL
+  kGetFileAttributesA,// (lpFileName) -> attrs | 0xFFFFFFFF
+  kSetFileAttributesA,// (lpFileName, attrs) -> BOOL
+  kCopyFileA,         // (lpExisting, lpNew) -> BOOL
+  kMoveFileA,         // (lpExisting, lpNew) -> BOOL
+  kGetTempFileNameA,  // (lpBuffer) -> len; writes a fresh temp path
+  kCreateDirectoryA,  // (lpPath) -> BOOL
+  kGetFileSize,       // (hFile) -> size | 0xFFFFFFFF
+  kFindFirstFileA,    // (lpPattern) -> HANDLE (existence probe)
+
+  // --- synchronisation ------------------------------------------------
+  kCreateMutexA,      // (bInitialOwner, lpName) -> HANDLE
+  kOpenMutexA,        // (dwAccess, lpName) -> HANDLE
+  kReleaseMutex,      // (hMutex) -> BOOL
+  kWaitForSingleObject,  // (hObject, dwMillis) -> DWORD
+
+  // --- registry ---------------------------------------------------------
+  kRegCreateKeyA,     // (lpPath) -> HANDLE (0 on failure)
+  kRegOpenKeyA,       // (lpPath) -> HANDLE (0 on failure)
+  kRegQueryValueExA,  // (hKey, lpValueName, lpBuffer, nBytes) -> ERROR_*
+  kRegSetValueExA,    // (hKey, lpValueName, lpData) -> ERROR_*
+  kRegDeleteKeyA,     // (lpPath) -> ERROR_*
+  kRegCloseKey,       // (hKey) -> ERROR_*
+  kRegEnumKeyA,       // (hKey, index, lpBuffer, nBytes) -> ERROR_*
+
+  // --- process -----------------------------------------------------------
+  kCreateProcessA,    // (lpApplicationName) -> BOOL
+  kOpenProcess,       // (dwAccess, pid) -> HANDLE
+  kTerminateProcess,  // (hProcess) -> BOOL
+  kExitProcess,       // (uExitCode) -> never returns
+  kExitThread,        // (uExitCode) -> never returns (single-thread model)
+  kTerminateThread,   // (hThread) -> BOOL (self model: terminates run)
+  kWriteProcessMemory,// (hProcess, lpBuffer, nBytes) -> BOOL
+  kReadProcessMemory, // (hProcess, lpBuffer, nBytes) -> BOOL
+  kCreateRemoteThread,// (hProcess, lpPayloadName) -> HANDLE
+  kVirtualAllocEx,    // (hProcess, nBytes) -> address
+  kCreateToolhelp32Snapshot,  // () -> HANDLE
+  kProcess32FindA,    // (hSnapshot, lpImageName) -> pid | 0
+  kGetCurrentProcessId,  // () -> pid
+  kGetCurrentProcess, // () -> pseudo-handle
+
+  // --- service (SCM) -------------------------------------------------------
+  kOpenSCManagerA,    // () -> HANDLE
+  kCreateServiceA,    // (hSCM, lpServiceName, lpBinaryPath) -> HANDLE
+  kOpenServiceA,      // (hSCM, lpServiceName) -> HANDLE
+  kStartServiceA,     // (hService) -> BOOL
+  kDeleteService,     // (hService) -> BOOL
+  kCloseServiceHandle,// (hHandle) -> BOOL
+
+  // --- window ---------------------------------------------------------------
+  kFindWindowA,       // (lpClassName, lpWindowTitle) -> HWND
+  kRegisterClassA,    // (lpClassName) -> ATOM | 0
+  kCreateWindowExA,   // (lpClassName, lpTitle) -> HWND
+  kShowWindow,        // (hWnd, nCmdShow) -> BOOL
+
+  // --- library ----------------------------------------------------------------
+  kLoadLibraryA,      // (lpLibName) -> HMODULE
+  kGetModuleHandleA,  // (lpLibName) -> HMODULE
+  kGetProcAddress,    // (hModule, lpProcName) -> address
+  kFreeLibrary,       // (hModule) -> BOOL
+
+  // --- system information --------------------------------------------------------
+  kGetComputerNameA,  // (lpBuffer, nSize) -> BOOL       [environment]
+  kGetUserNameA,      // (lpBuffer, nSize) -> BOOL       [environment]
+  kGetVolumeInformationA,  // () -> serial DWORD          [environment]
+  kGetSystemDirectoryA,    // (lpBuffer, nSize) -> len    [environment]
+  kGetWindowsDirectoryA,   // (lpBuffer, nSize) -> len    [environment]
+  kGetTempPathA,      // (lpBuffer, nSize) -> len          [environment]
+  kGetVersion,        // () -> version DWORD               [environment]
+  kGetTickCount,      // () -> millis                      [random]
+  kQueryPerformanceCounter,  // (lpBuffer) -> BOOL         [random]
+  kGetSystemTime,     // (lpBuffer16) -> void              [random]
+  kGetLastError,      // () -> last error
+  kSetLastError,      // (dwErr) -> void
+  kSleep,             // (dwMillis) -> void
+  kGetCommandLineA,   // () -> pointer to command line
+
+  // --- network ------------------------------------------------------------------
+  kWSAStartup,        // () -> 0
+  kSocket,            // () -> SOCKET
+  kConnect,           // (s, lpHost, port) -> 0 | -1
+  kSend,              // (s, lpBuffer, nBytes) -> bytes sent
+  kRecv,              // (s, lpBuffer, nBytes) -> bytes received  [random]
+  kClosesocket,       // (s) -> 0
+  kGethostbyname,     // (lpName) -> fake hostent address | 0
+  kDnsQueryA,         // (lpName) -> 0 | 9003
+  kInternetOpenA,     // (lpAgent) -> HINTERNET
+  kInternetConnectA,  // (hInternet, lpHost, port) -> HINTERNET
+  kHttpOpenRequestA,  // (hConnect, lpPath) -> HINTERNET
+  kHttpSendRequestA,  // (hRequest) -> BOOL
+  kInternetReadFile,  // (hRequest, lpBuffer, nBytes) -> BOOL      [random]
+  kURLDownloadToFileA,// (lpUrl, lpFileName) -> 0 | error
+
+  // --- string / format helpers ------------------------------------------------------
+  kLstrcpyA,          // (lpDest, lpSrc) -> lpDest
+  kLstrcatA,          // (lpDest, lpSrc) -> lpDest
+  kLstrlenA,          // (lpStr) -> length
+  kLstrcmpA,          // (lpA, lpB) -> -1|0|1
+  kLstrcmpiA,         // (lpA, lpB) -> -1|0|1 (case-insensitive)
+  kWsprintfA,         // (lpDest, lpFmt, ...) -> length; %s %d %u %x %c
+  kRtlComputeCrc32,   // (initial, lpBuffer, nBytes) -> crc32
+  kItoa,              // (value, lpDest, radix) -> lpDest
+  kCharUpperA,        // (lpStr) -> lpStr, in place
+  kCharLowerA,        // (lpStr) -> lpStr, in place
+
+  // --- misc ---------------------------------------------------------------------------
+  kVirtualAlloc,      // (nBytes) -> address
+  kWinExec,           // (lpCmdLine) -> >31 on success
+  kRand,              // () -> pseudo-random                [random]
+  kSrand,             // (seed) -> void
+
+  kApiCount,
+};
+
+inline constexpr size_t kNumApis = static_cast<size_t>(ApiId::kApiCount);
+
+// How an API's fresh output bytes relate to the machine, for the
+// determinism analysis (§IV-C): environment-derived values make an
+// identifier algorithm-deterministic; random values make it
+// non-deterministic.
+enum class ApiDeterminism : uint8_t {
+  kNone = 0,      // not a data source
+  kEnvironment,   // deterministic per machine (computer name, serial...)
+  kRandom,        // non-deterministic (tick count, temp names, recv)
+};
+
+// Labelling-table entry (the generalization of the paper's Table I).
+struct ApiSpec {
+  ApiId id = ApiId::kApiCount;
+  const char* name = "";
+  uint8_t num_args = 0;
+
+  // Resource labelling: only resource APIs become taint sources.
+  bool is_resource_api = false;
+  os::ResourceType resource_type = os::ResourceType::kFile;
+  os::Operation operation = os::Operation::kOpen;
+  int8_t identifier_arg = -1;  // arg index holding the identifier string
+  int8_t handle_arg = -1;      // arg index holding a handle mapped to a name
+  bool returns_handle = false; // EAX is a handle on success
+  bool taint_return = true;    // taint EAX (most APIs; Table I row 1)
+
+  ApiDeterminism determinism = ApiDeterminism::kNone;
+
+  // Counted as "network-related" for Type-II partial immunization.
+  bool is_network = false;
+};
+
+// Full table, indexed by ApiId.
+[[nodiscard]] const ApiSpec& GetApiSpec(ApiId id);
+
+// Name <-> id lookups (names are case-sensitive, matching Win32 spelling).
+[[nodiscard]] std::optional<ApiId> FindApiByName(std::string_view name);
+[[nodiscard]] std::string_view ApiName(ApiId id);
+
+// Number of APIs flagged as resource taint sources (the paper's "89").
+[[nodiscard]] size_t CountResourceApis();
+
+}  // namespace autovac::sandbox

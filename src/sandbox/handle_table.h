@@ -1,0 +1,64 @@
+// Per-run handle table: maps opaque handle values back to the resource
+// identifier they denote. This implements the "hFile for Handle Map"
+// column of the paper's Table I — APIs whose resource-identifier is a
+// handle argument (ReadFile, RegSetValueExA, ...) resolve through here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace autovac::sandbox {
+
+enum class HandleKind : uint8_t {
+  kFile = 0,
+  kMutex,
+  kRegKey,
+  kProcess,
+  kService,
+  kScManager,
+  kSnapshot,
+  kModule,
+  kWindow,
+  kSocket,
+  kInternet,
+  kFindFile,
+  kThread,
+};
+
+struct HandleInfo {
+  HandleKind kind = HandleKind::kFile;
+  std::string identifier;  // resource name behind the handle
+  uint32_t value = 0;      // pid for processes, etc.
+  uint32_t cursor = 0;     // read offset for files / enum index for keys
+  bool fabricated = false; // created by a forced-success mutation
+};
+
+class HandleTable {
+ public:
+  uint32_t Create(HandleInfo info) {
+    const uint32_t handle = next_;
+    next_ += 4;
+    handles_.emplace(handle, std::move(info));
+    return handle;
+  }
+
+  [[nodiscard]] HandleInfo* Get(uint32_t handle) {
+    auto it = handles_.find(handle);
+    return it == handles_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const HandleInfo* Get(uint32_t handle) const {
+    auto it = handles_.find(handle);
+    return it == handles_.end() ? nullptr : &it->second;
+  }
+
+  bool Close(uint32_t handle) { return handles_.erase(handle) > 0; }
+
+  [[nodiscard]] size_t size() const { return handles_.size(); }
+
+ private:
+  std::map<uint32_t, HandleInfo> handles_;
+  uint32_t next_ = 0x100;
+};
+
+}  // namespace autovac::sandbox

@@ -1,0 +1,42 @@
+// API interposition.
+//
+// The same mechanism serves two paper roles:
+//   * Phase-II impact analysis — "manipulating the result of the specific
+//     malware's resource operation" (§IV-B): a mutation hook forces the
+//     opposite outcome for one chosen API occurrence;
+//   * Phase-III vaccine daemon — "we dynamically intercept the APIs and
+//     resolve their resource-identifiers ... return the predefined result"
+//     (§V): a daemon hook forces failure whenever the identifier matches a
+//     partial-static vaccine pattern.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sandbox/api_ids.h"
+
+namespace autovac::sandbox {
+
+// What a hook may inspect before the API executes.
+struct ApiObservation {
+  ApiId id = ApiId::kApiCount;
+  const ApiSpec* spec = nullptr;
+  uint32_t caller_pc = 0;
+  uint32_t sequence = 0;            // position in the run's API trace
+  std::string identifier;           // resolved resource identifier (may be "")
+};
+
+// A hook's decision to override the call.
+struct ForcedOutcome {
+  bool success = false;             // forced success vs forced failure
+  uint32_t last_error = 0;          // error code when forcing failure
+  std::optional<uint32_t> eax;      // explicit result; kernel synthesizes
+                                    // a convention-correct one if absent
+};
+
+using ApiHook =
+    std::function<std::optional<ForcedOutcome>(const ApiObservation&)>;
+
+}  // namespace autovac::sandbox

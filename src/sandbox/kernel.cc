@@ -1,0 +1,215 @@
+#include "sandbox/kernel.h"
+
+#include "support/strings.h"
+
+namespace autovac::sandbox {
+namespace {
+
+HandleKind KindForResource(os::ResourceType type) {
+  switch (type) {
+    case os::ResourceType::kFile: return HandleKind::kFile;
+    case os::ResourceType::kMutex: return HandleKind::kMutex;
+    case os::ResourceType::kRegistry: return HandleKind::kRegKey;
+    case os::ResourceType::kProcess: return HandleKind::kProcess;
+    case os::ResourceType::kWindow: return HandleKind::kWindow;
+    case os::ResourceType::kLibrary: return HandleKind::kModule;
+    case os::ResourceType::kService: return HandleKind::kService;
+    case os::ResourceType::kTypeCount: break;
+  }
+  return HandleKind::kFile;
+}
+
+}  // namespace
+
+Kernel::Kernel(os::HostEnvironment& env, taint::TaintEngine* taint_engine,
+               std::string self_image_name)
+    : env_(env), taint_(taint_engine), heap_cursor_(vm::kHeapBase) {
+  self_pid_ = env_.ns().SpawnProcess(self_image_name, /*system_owned=*/false);
+  // The CRT rand stream is part of the host's entropy: two runs against
+  // byte-identical machine snapshots reproduce each other (which the
+  // impact analysis depends on), while different machines differ.
+  rand_state_ = static_cast<uint32_t>(env_.entropy().NextU64() | 1);
+}
+
+std::string Kernel::ResolveIdentifier(const ApiSpec& spec, vm::Cpu& cpu) {
+  if (spec.id == ApiId::kOpenProcess) {
+    const uint32_t pid = cpu.Arg(1);
+    const os::ProcessObject* process = env_.ns().FindProcessByPid(pid);
+    return process != nullptr ? process->image_name : StrFormat("pid:%u", pid);
+  }
+  if (spec.id == ApiId::kOpenSCManagerA) return "SCManager";
+  if (spec.id == ApiId::kFindWindowA) {
+    std::string class_name = cpu.memory().ReadCString(cpu.Arg(0));
+    if (!class_name.empty()) return class_name;
+    return cpu.memory().ReadCString(cpu.Arg(1));
+  }
+  if (spec.identifier_arg >= 0) {
+    identifier_addr_ = cpu.Arg(static_cast<uint32_t>(spec.identifier_arg));
+    return cpu.memory().ReadCString(identifier_addr_);
+  }
+  if (spec.handle_arg >= 0) {
+    const HandleInfo* info =
+        handles_.Get(cpu.Arg(static_cast<uint32_t>(spec.handle_arg)));
+    if (info != nullptr) return info->identifier;
+  }
+  return "";
+}
+
+uint32_t Kernel::SynthesizeResult(const ApiSpec& spec, bool success,
+                                  uint32_t last_error,
+                                  const std::string& identifier) {
+  if (spec.returns_handle) {
+    if (success) {
+      HandleInfo info;
+      info.kind = KindForResource(spec.resource_type);
+      info.identifier = identifier;
+      info.fabricated = true;
+      return handles_.Create(std::move(info));
+    }
+    // File-family handle APIs fail with INVALID_HANDLE_VALUE, others NULL.
+    switch (spec.id) {
+      case ApiId::kCreateFileA:
+      case ApiId::kOpenFileA:
+      case ApiId::kFindFirstFileA:
+        return os::kInvalidHandleValue;
+      default:
+        return os::kNullHandle;
+    }
+  }
+  switch (spec.id) {
+    case ApiId::kRegQueryValueExA:
+    case ApiId::kRegSetValueExA:
+    case ApiId::kRegDeleteKeyA:
+    case ApiId::kRegEnumKeyA:
+      return success ? 0 : last_error;
+    case ApiId::kGetFileAttributesA:
+      return success ? 0x20 : 0xFFFFFFFF;
+    case ApiId::kGetFileSize:
+      return success ? 0x1000 : 0xFFFFFFFF;
+    case ApiId::kProcess32FindA:
+      return success ? 4242 : 0;
+    case ApiId::kURLDownloadToFileA:
+      return success ? 0 : 0x800C0008;
+    case ApiId::kWinExec:
+      return success ? 33 : 2;
+    case ApiId::kConnect:
+      return success ? 0 : 0xFFFFFFFF;
+    case ApiId::kWaitForSingleObject:
+      return success ? 0 : 0xFFFFFFFF;
+    default:
+      return success ? os::kTrue : os::kFalse;
+  }
+}
+
+void Kernel::OnSyscall(vm::Cpu& cpu, int64_t api_id) {
+  if (api_id < 0 || api_id >= static_cast<int64_t>(kNumApis)) {
+    last_error_ = os::kErrorInvalidHandle;
+    cpu.SetResult(0);
+    return;
+  }
+  const auto id = static_cast<ApiId>(api_id);
+  const ApiSpec& spec = GetApiSpec(id);
+
+  trace::ApiCallRecord record;
+  record.api_name = spec.name;
+  record.caller_pc = cpu.current_syscall_pc();
+  record.call_stack = shadow_stack_;
+  record.sequence = static_cast<uint32_t>(trace_.calls.size());
+  record.is_resource_api = spec.is_resource_api;
+  record.resource_type = spec.resource_type;
+  record.operation = spec.operation;
+  record.stack_args_used = spec.num_args;
+  identifier_addr_ = 0;
+  record.resource_identifier = ResolveIdentifier(spec, cpu);
+  record.identifier_addr = identifier_addr_;
+  record.identifier_len =
+      identifier_addr_ == 0
+          ? 0
+          : static_cast<uint32_t>(record.resource_identifier.size() + 1);
+
+  for (uint32_t i = 0; i < spec.num_args; ++i) {
+    if (static_cast<int32_t>(i) == spec.identifier_arg) {
+      record.params.push_back("\"" + record.resource_identifier + "\"");
+    } else {
+      record.params.push_back(StrFormat("%#x", cpu.Arg(i)));
+    }
+  }
+
+  // Every API costs a little virtual time.
+  cpu.ConsumeCycles(spec.is_network ? 20 * kCyclesPerMilli : 50);
+
+  // --- interposition (mutation hooks / vaccine daemon) -----------------
+  ApiObservation observation{id, &spec, record.caller_pc, record.sequence,
+                             record.resource_identifier};
+  std::optional<ForcedOutcome> forced;
+  for (const ApiHook& hook : hooks_) {
+    forced = hook(observation);
+    if (forced.has_value()) break;
+  }
+
+  pending_taint_outputs_.clear();
+  pending_eax_sources_.clear();
+  pending_eax_label_ = taint::kEmptySet;
+
+  if (forced.has_value()) {
+    // Note: a forced success may still carry an error code — the
+    // CreateMutexA infection marker is "success + ERROR_ALREADY_EXISTS".
+    last_error_ = forced->last_error;
+    const uint32_t eax =
+        forced->eax.has_value()
+            ? *forced->eax
+            : SynthesizeResult(spec, forced->success, last_error_,
+                               record.resource_identifier);
+    cpu.SetResult(eax);
+    record.succeeded = forced->success;
+    record.was_forced = true;
+  } else {
+    Execute(id, spec, cpu, record);
+  }
+  record.result = cpu.reg(vm::Reg::kEax);
+  record.last_error = last_error_;
+  for (const auto& [addr, len] : pending_eax_sources_) {
+    record.eax_sources.push_back({addr, len});
+  }
+
+  // --- taint introduction (the API labelling of Table I) ----------------
+  if (taint_ != nullptr) {
+    // Fresh defines (env/random info APIs) clear stale taint first so a
+    // resource API's own output taint survives below.
+    for (const trace::DataDefine& define : record.defines) {
+      taint_->TaintMemory(define.dst, define.len, taint::kEmptySet);
+    }
+    // Copy flows propagate source-buffer taint into destinations.
+    for (const trace::DataFlow& flow : record.flows) {
+      taint_->TaintMemory(flow.dst, flow.dst_len,
+                          taint_->MemoryLabel(flow.src, flow.src_len));
+    }
+    if (spec.is_resource_api) {
+      taint::TaintSource source;
+      source.api_sequence = record.sequence;
+      source.api_name = spec.name;
+      source.resource_type = spec.resource_type;
+      source.operation = spec.operation;
+      source.identifier = record.resource_identifier;
+      source.call_succeeded = record.succeeded;
+      const taint::LabelSetId label =
+          taint_->map().store().AddSource(std::move(source));
+      if (spec.taint_return) taint_->TaintReturnValue(label);
+      for (const auto& [addr, len] : pending_taint_outputs_) {
+        taint_->TaintMemory(addr, len, label);
+      }
+      last_error_label_ = label;
+    }
+    // EAX derived from input buffers (lstrlen/lstrcmp/crc...).
+    taint::LabelSetId eax_label = pending_eax_label_;
+    for (const auto& [addr, len] : pending_eax_sources_) {
+      eax_label = taint_->map().store().Union(eax_label,
+                                              taint_->MemoryLabel(addr, len));
+    }
+    if (eax_label != taint::kEmptySet) taint_->TaintReturnValue(eax_label);
+  }
+
+  trace_.calls.push_back(std::move(record));
+}
+
+}  // namespace autovac::sandbox

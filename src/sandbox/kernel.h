@@ -1,0 +1,99 @@
+// The sandbox kernel: dispatches `sys` traps against the host
+// environment, maintains handles and last-error state, records the API
+// trace with full calling context, introduces taint per the labelling
+// table, and consults interposition hooks (mutation / vaccine daemon)
+// before every call.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "os/host_environment.h"
+#include "sandbox/api_ids.h"
+#include "sandbox/handle_table.h"
+#include "sandbox/hooks.h"
+#include "taint/engine.h"
+#include "trace/trace.h"
+#include "vm/cpu.h"
+
+namespace autovac::sandbox {
+
+// Virtual-time scale: one CPU cycle = 10 microseconds, so the paper's
+// 1-minute profiling run is a 6,000,000-cycle budget.
+inline constexpr uint64_t kCyclesPerMilli = 100;
+inline constexpr uint64_t kOneMinuteBudget = 60'000 * kCyclesPerMilli;
+inline constexpr uint64_t kFiveMinuteBudget = 5 * kOneMinuteBudget;
+
+class Kernel : public vm::SyscallHandler {
+ public:
+  // `taint_engine` may be null (taint-free runs, e.g. clinic tests).
+  Kernel(os::HostEnvironment& env, taint::TaintEngine* taint_engine,
+         std::string self_image_name);
+
+  void OnSyscall(vm::Cpu& cpu, int64_t api_id) override;
+
+  void AddHook(ApiHook hook) { hooks_.push_back(std::move(hook)); }
+
+  [[nodiscard]] trace::ApiTrace& trace() { return trace_; }
+  [[nodiscard]] const trace::ApiTrace& trace() const { return trace_; }
+
+  [[nodiscard]] os::HostEnvironment& env() { return env_; }
+  [[nodiscard]] HandleTable& handles() { return handles_; }
+  [[nodiscard]] uint32_t self_pid() const { return self_pid_; }
+  [[nodiscard]] uint32_t last_error() const { return last_error_; }
+
+  // Tracks call/ret so API records carry the paper's call-stack context.
+  void OnCall(uint32_t return_pc) { shadow_stack_.push_back(return_pc); }
+  void OnRet() {
+    if (!shadow_stack_.empty()) shadow_stack_.pop_back();
+  }
+
+  // Index of the API record produced by the most recent syscall, or -1.
+  [[nodiscard]] int32_t last_api_sequence() const {
+    return trace_.calls.empty()
+               ? -1
+               : static_cast<int32_t>(trace_.calls.back().sequence);
+  }
+
+ private:
+  os::HostEnvironment& env_;
+  taint::TaintEngine* taint_;
+  trace::ApiTrace trace_;
+  HandleTable handles_;
+  std::vector<ApiHook> hooks_;
+  std::vector<uint32_t> shadow_stack_;
+  uint32_t last_error_ = 0;
+  uint32_t self_pid_ = 0;
+  uint32_t heap_cursor_;  // VirtualAlloc bump pointer
+  uint32_t rand_state_ = 0x2F6E2B1;
+  uint32_t command_line_addr_ = 0;  // lazily materialized GetCommandLineA
+  uint32_t identifier_addr_ = 0;    // scratch set by ResolveIdentifier
+
+  // Scratch state handlers fill during Execute(); the kernel turns it
+  // into taint after the call completes.
+  std::vector<std::pair<uint32_t, uint32_t>> pending_taint_outputs_;
+  std::vector<std::pair<uint32_t, uint32_t>> pending_eax_sources_;
+  taint::LabelSetId pending_eax_label_ = taint::kEmptySet;
+  // Label of the resource call that last set last_error, so GetLastError
+  // returns a tainted value (the Table I "Failure" row).
+  taint::LabelSetId last_error_label_ = taint::kEmptySet;
+
+  // Resolves the resource identifier for hook/trace purposes.
+  std::string ResolveIdentifier(const ApiSpec& spec, vm::Cpu& cpu);
+
+  // Synthesizes a convention-correct EAX for a forced outcome.
+  uint32_t SynthesizeResult(const ApiSpec& spec, bool success,
+                            uint32_t last_error,
+                            const std::string& identifier);
+
+  // The big dispatch: executes the real semantics of one API.
+  void Execute(ApiId id, const ApiSpec& spec, vm::Cpu& cpu,
+               trace::ApiCallRecord& record);
+  void ExecuteWsprintf(vm::Cpu& cpu, trace::ApiCallRecord& record);
+
+  std::set<std::string> loaded_modules_;
+};
+
+}  // namespace autovac::sandbox

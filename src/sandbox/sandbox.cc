@@ -1,0 +1,118 @@
+#include "sandbox/sandbox.h"
+
+#include "vm/disassembler.h"
+
+namespace autovac::sandbox {
+namespace {
+
+// Forwards retired instructions to the taint engine, the kernel's shadow
+// call stack, and (optionally) the instruction trace.
+class Instrumentation : public vm::ExecutionObserver {
+ public:
+  Instrumentation(Kernel& kernel, taint::TaintEngine* taint,
+                  trace::InstructionTrace* inst_trace)
+      : kernel_(kernel), taint_(taint), inst_trace_(inst_trace) {}
+
+  void OnStep(const vm::Cpu& cpu, const vm::StepInfo& step) override {
+    (void)cpu;
+    if (step.inst.op == vm::Op::kCall && step.branch_taken) {
+      kernel_.OnCall(step.pc + 1);
+    } else if (step.inst.op == vm::Op::kRet) {
+      kernel_.OnRet();
+    }
+    if (taint_ != nullptr) taint_->OnStep(step);
+    if (inst_trace_ != nullptr) {
+      trace::InstructionRecord record;
+      record.step = step;
+      if (step.inst.op == vm::Op::kSys) {
+        const int32_t sequence = kernel_.last_api_sequence();
+        record.api_sequence =
+            sequence < 0 ? UINT32_MAX : static_cast<uint32_t>(sequence);
+      }
+      inst_trace_->records.push_back(record);
+    }
+  }
+
+ private:
+  Kernel& kernel_;
+  taint::TaintEngine* taint_;
+  trace::InstructionTrace* inst_trace_;
+};
+
+}  // namespace
+
+RunResult RunProgram(const vm::Program& program, os::HostEnvironment& env,
+                     const RunOptions& options,
+                     const std::vector<ApiHook>& hooks) {
+  RunResult result;
+  result.labels = std::make_shared<taint::LabelStore>();
+
+  std::unique_ptr<taint::TaintEngine> taint_engine;
+  if (options.enable_taint) {
+    taint_engine = std::make_unique<taint::TaintEngine>(
+        *result.labels, options.taint_options);
+  }
+
+  const std::string image_name =
+      (program.name.empty() ? "sample" : program.name) + ".exe";
+  Kernel kernel(env, taint_engine.get(), image_name);
+  for (const ApiHook& hook : hooks) kernel.AddHook(hook);
+
+  vm::Memory memory;
+  program.LoadInto(memory);
+  vm::Cpu cpu(program, memory);
+  cpu.set_syscall_handler(&kernel);
+
+  Instrumentation instrumentation(
+      kernel, taint_engine.get(),
+      options.record_instructions ? &result.instruction_trace : nullptr);
+  cpu.set_observer(&instrumentation);
+
+  result.stop_reason = cpu.Run(options.cycle_budget);
+  if (options.capture_cstring_addr != 0) {
+    result.captured_output = memory.ReadCString(options.capture_cstring_addr);
+  }
+  result.fault_message = cpu.fault_message();
+  result.cycles_used = cpu.cycles_used();
+  result.api_trace = std::move(kernel.trace());
+  result.api_trace.stop_reason = result.stop_reason;
+  result.api_trace.cycles_used = result.cycles_used;
+
+  if (taint_engine != nullptr) {
+    result.predicates = taint_engine->predicates();
+    // Attribute predicates back to the API calls whose taint reached them
+    // (Phase-I output: "the list of the system-resource-sensitive APIs ...
+    // and their propagated taint record that is used in the predicate").
+    for (const taint::PredicateEvent& event : result.predicates) {
+      for (uint32_t source_index : result.labels->Sources(event.labels)) {
+        const taint::TaintSource& source = result.labels->Source(source_index);
+        if (source.api_sequence < result.api_trace.calls.size()) {
+          result.api_trace.calls[source.api_sequence].taint_reached_predicate =
+              true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+vm::ApiResolver SandboxApiResolver() {
+  return [](std::string_view name) -> std::optional<int64_t> {
+    auto id = FindApiByName(name);
+    if (!id.has_value()) return std::nullopt;
+    return static_cast<int64_t>(*id);
+  };
+}
+
+vm::ApiNamer SandboxApiNamer() {
+  return [](int64_t id) -> std::optional<std::string> {
+    if (id < 0 || id >= static_cast<int64_t>(kNumApis)) return std::nullopt;
+    return std::string(ApiName(static_cast<ApiId>(id)));
+  };
+}
+
+Result<vm::Program> AssembleForSandbox(std::string_view source) {
+  return vm::Assemble(source, SandboxApiResolver());
+}
+
+}  // namespace autovac::sandbox

@@ -1,0 +1,65 @@
+// The analysis sandbox: loads a program into a fresh VM over a given host
+// environment, runs it under taint instrumentation with optional API
+// hooks, and returns the traces the AUTOVAC pipeline consumes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/host_environment.h"
+#include "sandbox/hooks.h"
+#include "sandbox/kernel.h"
+#include "taint/engine.h"
+#include "trace/trace.h"
+#include "vm/assembler.h"
+#include "vm/disassembler.h"
+#include "vm/program.h"
+
+namespace autovac::sandbox {
+
+struct RunOptions {
+  // The paper profiles each sample for 1 minute (§VI-B).
+  uint64_t cycle_budget = kOneMinuteBudget;
+  // Record the instruction-level trace (needed for determinism analysis).
+  bool record_instructions = false;
+  // Enable forward taint tracking (Phase-I candidate selection).
+  bool enable_taint = true;
+  taint::TaintEngineOptions taint_options;
+  // When non-zero, read a C string at this address after the run (used by
+  // the vaccine daemon to capture a replayed slice's output identifier).
+  uint32_t capture_cstring_addr = 0;
+};
+
+struct RunResult {
+  vm::StopReason stop_reason = vm::StopReason::kRunning;
+  std::string fault_message;
+  uint64_t cycles_used = 0;
+  trace::ApiTrace api_trace;
+  trace::InstructionTrace instruction_trace;
+  std::vector<taint::PredicateEvent> predicates;
+  // Label store interpreting the predicate label sets.
+  std::shared_ptr<taint::LabelStore> labels;
+  // Contents of capture_cstring_addr after the run.
+  std::string captured_output;
+
+  [[nodiscard]] bool AnyTaintedPredicate() const { return !predicates.empty(); }
+};
+
+// Runs `program` against `env` (which it mutates — the infection).
+// Copy `env` first when the original machine state must be preserved.
+[[nodiscard]] RunResult RunProgram(const vm::Program& program,
+                                   os::HostEnvironment& env,
+                                   const RunOptions& options = {},
+                                   const std::vector<ApiHook>& hooks = {});
+
+// ApiResolver for the assembler, backed by the sandbox API table.
+[[nodiscard]] vm::ApiResolver SandboxApiResolver();
+
+// ApiNamer for the disassembler.
+[[nodiscard]] vm::ApiNamer SandboxApiNamer();
+
+// Convenience: assemble with the sandbox API table.
+[[nodiscard]] Result<vm::Program> AssembleForSandbox(std::string_view source);
+
+}  // namespace autovac::sandbox

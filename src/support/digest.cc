@@ -1,0 +1,39 @@
+#include "support/digest.h"
+
+#include "support/strings.h"
+
+namespace autovac {
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+uint32_t Fnv1a32(std::string_view bytes) {
+  uint32_t hash = 0x811C9DC5U;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x01000193U;
+  }
+  return hash;
+}
+
+std::string HexDigest128(std::string_view bytes) {
+  // Two independent 64-bit lanes: plain FNV-1a and FNV-1a over the
+  // byte-reversed input with a different offset basis.
+  const uint64_t lane0 = Fnv1a64(bytes);
+  uint64_t lane1 = 0x6C62272E07BB0142ULL;
+  for (auto it = bytes.rbegin(); it != bytes.rend(); ++it) {
+    lane1 ^= static_cast<unsigned char>(*it);
+    lane1 *= 0x100000001B3ULL;
+  }
+  return StrFormat("%016llx%016llx",
+                   static_cast<unsigned long long>(lane0),
+                   static_cast<unsigned long long>(lane1));
+}
+
+}  // namespace autovac

@@ -1,0 +1,22 @@
+// Content digests for sample fingerprints (stands in for the MD5 column of
+// the paper's Table III — see DESIGN.md §5) and hash-style identifier
+// derivation inside synthetic malware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace autovac {
+
+// 128-bit FNV-style digest rendered as 32 hex characters.
+[[nodiscard]] std::string HexDigest128(std::string_view bytes);
+
+// 64-bit FNV-1a.
+[[nodiscard]] uint64_t Fnv1a64(std::string_view bytes);
+
+// 32-bit FNV-1a (what the synthetic Conficker model uses to derive its
+// per-host mutex name from the computer name).
+[[nodiscard]] uint32_t Fnv1a32(std::string_view bytes);
+
+}  // namespace autovac

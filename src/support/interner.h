@@ -1,0 +1,47 @@
+// String interner: maps strings to dense uint32_t ids and back. Used by
+// the taint-label store and trace logs to keep records small.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/status.h"
+
+namespace autovac {
+
+class StringInterner {
+ public:
+  static constexpr uint32_t kInvalidId = UINT32_MAX;
+
+  // Returns the id for `text`, inserting it if new.
+  uint32_t Intern(std::string_view text) {
+    auto it = ids_.find(std::string(text));
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(text);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  // Returns the id for `text` or kInvalidId when absent.
+  [[nodiscard]] uint32_t Find(std::string_view text) const {
+    auto it = ids_.find(std::string(text));
+    return it == ids_.end() ? kInvalidId : it->second;
+  }
+
+  [[nodiscard]] const std::string& Lookup(uint32_t id) const {
+    AUTOVAC_CHECK_MSG(id < strings_.size(), "interner id out of range");
+    return strings_[id];
+  }
+
+  [[nodiscard]] size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace autovac

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Defaults to WARNING so library code stays quiet
+// in tests and benches; examples raise the level for narration.
+#pragma once
+
+#include <string>
+
+#include "support/strings.h"
+
+namespace autovac {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level.
+void SetLogLevel(LogLevel level);
+[[nodiscard]] LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const std::string& message);
+
+template <typename... Args>
+void LogDebug(const char* fmt, Args... args) {
+  if (GetLogLevel() <= LogLevel::kDebug) {
+    LogMessage(LogLevel::kDebug, StrFormat(fmt, args...));
+  }
+}
+template <typename... Args>
+void LogInfo(const char* fmt, Args... args) {
+  if (GetLogLevel() <= LogLevel::kInfo) {
+    LogMessage(LogLevel::kInfo, StrFormat(fmt, args...));
+  }
+}
+template <typename... Args>
+void LogWarning(const char* fmt, Args... args) {
+  if (GetLogLevel() <= LogLevel::kWarning) {
+    LogMessage(LogLevel::kWarning, StrFormat(fmt, args...));
+  }
+}
+template <typename... Args>
+void LogError(const char* fmt, Args... args) {
+  if (GetLogLevel() <= LogLevel::kError) {
+    LogMessage(LogLevel::kError, StrFormat(fmt, args...));
+  }
+}
+
+}  // namespace autovac

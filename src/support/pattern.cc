@@ -1,0 +1,74 @@
+#include "support/pattern.h"
+
+#include <vector>
+
+namespace autovac {
+
+Result<Pattern> Pattern::Compile(std::string_view text) {
+  Pattern pattern;
+  pattern.text_ = std::string(text);
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '*') {
+      // Collapse runs of '*' into one token.
+      if (pattern.tokens_.empty() ||
+          pattern.tokens_.back().kind != TokenKind::kAnyRun) {
+        pattern.tokens_.push_back({TokenKind::kAnyRun});
+      }
+      pattern.literal_only_ = false;
+    } else if (c == '?') {
+      pattern.tokens_.push_back({TokenKind::kAnyOne});
+      pattern.literal_only_ = false;
+    } else if (c == '\\') {
+      if (i + 1 >= text.size()) {
+        return Status::InvalidArgument("pattern ends with bare backslash: " +
+                                       std::string(text));
+      }
+      pattern.tokens_.push_back({TokenKind::kChar, text[++i]});
+      ++pattern.literal_length_;
+    } else {
+      pattern.tokens_.push_back({TokenKind::kChar, c});
+      ++pattern.literal_length_;
+    }
+  }
+  return pattern;
+}
+
+Pattern Pattern::Literal(std::string_view literal) {
+  std::string escaped;
+  escaped.reserve(literal.size());
+  for (char c : literal) {
+    if (c == '*' || c == '?' || c == '\\') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  auto result = Compile(escaped);
+  AUTOVAC_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+bool Pattern::Matches(std::string_view text) const {
+  // Iterative glob match with single backtrack point per '*' (classic
+  // two-pointer algorithm, linear in practice).
+  size_t ti = 0, pi = 0;
+  size_t star_pi = SIZE_MAX, star_ti = 0;
+  while (ti < text.size()) {
+    if (pi < tokens_.size() &&
+        (tokens_[pi].kind == TokenKind::kAnyOne ||
+         (tokens_[pi].kind == TokenKind::kChar && tokens_[pi].ch == text[ti]))) {
+      ++ti;
+      ++pi;
+    } else if (pi < tokens_.size() && tokens_[pi].kind == TokenKind::kAnyRun) {
+      star_pi = pi++;
+      star_ti = ti;
+    } else if (star_pi != SIZE_MAX) {
+      pi = star_pi + 1;
+      ti = ++star_ti;
+    } else {
+      return false;
+    }
+  }
+  while (pi < tokens_.size() && tokens_[pi].kind == TokenKind::kAnyRun) ++pi;
+  return pi == tokens_.size();
+}
+
+}  // namespace autovac

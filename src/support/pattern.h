@@ -1,0 +1,52 @@
+// Wildcard patterns for partial-static vaccine identifiers.
+//
+// The paper expresses partial-static identifiers as regular expressions;
+// every pattern the pipeline actually generates is "literal fragments with
+// variable gaps", which wildcards capture exactly (see DESIGN.md §5):
+//   '*'  — any run of characters (including empty)
+//   '?'  — any single character
+//   '\x' — literal x
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace autovac {
+
+class Pattern {
+ public:
+  // Compiles the pattern; malformed input (trailing backslash) is an error.
+  static Result<Pattern> Compile(std::string_view text);
+
+  // Builds a pattern matching `literal` exactly (all metacharacters escaped).
+  static Pattern Literal(std::string_view literal);
+
+  [[nodiscard]] bool Matches(std::string_view text) const;
+
+  // The pattern source text.
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  // True when the pattern contains no wildcards (it is a plain literal).
+  [[nodiscard]] bool is_literal() const { return literal_only_; }
+
+  // Number of literal (non-wildcard) characters; a proxy for how
+  // "distinguishable" a partial-static identifier is.
+  [[nodiscard]] size_t literal_length() const { return literal_length_; }
+
+ private:
+  enum class TokenKind { kChar, kAnyOne, kAnyRun };
+  struct Token {
+    TokenKind kind;
+    char ch = 0;
+  };
+
+  std::string text_;
+  std::vector<Token> tokens_;
+  bool literal_only_ = true;
+  size_t literal_length_ = 0;
+};
+
+}  // namespace autovac

@@ -1,0 +1,101 @@
+#include "support/rng.h"
+
+#include "support/status.h"
+
+namespace autovac {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : state_) lane = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  AUTOVAC_CHECK_MSG(bound > 0, "NextBelow(0)");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  AUTOVAC_CHECK_MSG(lo <= hi, "NextInRange: lo > hi");
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::string Rng::NextIdentifier(size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    // First character alphabetical so the result is identifier-shaped.
+    const size_t span = (i == 0) ? 26 : (sizeof(kAlphabet) - 1);
+    out.push_back(kAlphabet[NextBelow(span)]);
+  }
+  return out;
+}
+
+size_t Rng::PickWeighted(const std::vector<double>& weights) {
+  AUTOVAC_CHECK_MSG(!weights.empty(), "PickWeighted on empty weights");
+  double total = 0;
+  for (double w : weights) {
+    AUTOVAC_CHECK_MSG(w >= 0, "negative weight");
+    total += w;
+  }
+  AUTOVAC_CHECK_MSG(total > 0, "all weights zero");
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(std::string_view label) {
+  return Rng(NextU64() ^ HashSeed(label));
+}
+
+uint64_t HashSeed(std::string_view text) {
+  // FNV-1a 64-bit.
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace autovac

@@ -1,0 +1,56 @@
+// Deterministic, seedable PRNG (splitmix64 + xoshiro256**) so every
+// experiment in the repo is reproducible bit-for-bit from its seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autovac {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform over [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli with probability p.
+  bool NextBool(double p = 0.5);
+
+  // Random lower-case alphanumeric identifier of the given length.
+  std::string NextIdentifier(size_t length);
+
+  // Picks one element (by const reference) from a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[NextBelow(items.size())];
+  }
+
+  // Picks an index according to a weight table (weights need not sum to 1).
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  // Fork a child RNG whose stream is independent of this one's future
+  // output; used to give every corpus sample its own stable stream.
+  Rng Fork(std::string_view label);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Stable 64-bit hash of a string (used for deriving fork seeds).
+[[nodiscard]] uint64_t HashSeed(std::string_view text);
+
+}  // namespace autovac

@@ -1,0 +1,16 @@
+#include "support/status.h"
+
+#include <cstdio>
+
+namespace autovac::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::string what = std::string("CHECK failed at ") + file + ":" +
+                     std::to_string(line) + ": " + expr;
+  if (!message.empty()) what += " — " + message;
+  std::fputs((what + "\n").c_str(), stderr);
+  throw std::logic_error(what);
+}
+
+}  // namespace autovac::internal

@@ -1,0 +1,147 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace autovac {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view text,
+                                  std::string_view delims, bool keep_empty) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (delims.find(c) != std::string_view::npos) {
+      if (!current.empty() || keep_empty) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty() || keep_empty) out.push_back(current);
+  return out;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool IsPrintableAscii(std::string_view text) {
+  for (char c : text) {
+    if (c < 0x20 || c > 0x7E) return false;
+  }
+  return true;
+}
+
+std::string CEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c >= 0x20 && c <= 0x7E && c != '\\') {
+      out.push_back(c);
+    } else {
+      out += StrFormat("\\x%02X", static_cast<unsigned char>(c));
+    }
+  }
+  return out;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  bool negative = false;
+  if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+    negative = text[0] == '-';
+    text.remove_prefix(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseUint64(text, &magnitude)) return false;
+  if (negative) {
+    if (magnitude > static_cast<uint64_t>(INT64_MAX) + 1) return false;
+    *out = static_cast<int64_t>(~magnitude + 1);
+  } else {
+    if (magnitude > static_cast<uint64_t>(INT64_MAX)) return false;
+    *out = static_cast<int64_t>(magnitude);
+  }
+  return true;
+}
+
+size_t CommonPrefixLength(std::string_view a, std::string_view b) {
+  const size_t limit = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace autovac

@@ -1,0 +1,49 @@
+// String utilities used throughout AUTOVAC: joining/splitting, case
+// folding, printf-style formatting, and identifier-oriented predicates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autovac {
+
+// printf-style formatting into a std::string.
+[[nodiscard]] std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins the elements of `parts` with `sep`.
+[[nodiscard]] std::string StrJoin(const std::vector<std::string>& parts,
+                                  std::string_view sep);
+
+// Splits `text` on any character occurring in `delims`; empty tokens are
+// dropped when `keep_empty` is false.
+[[nodiscard]] std::vector<std::string> StrSplit(std::string_view text,
+                                                std::string_view delims,
+                                                bool keep_empty = false);
+
+[[nodiscard]] std::string ToLower(std::string_view text);
+[[nodiscard]] std::string ToUpper(std::string_view text);
+
+// Case-insensitive comparison (ASCII).
+[[nodiscard]] bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view StripWhitespace(std::string_view text);
+
+// True when every character is printable ASCII.
+[[nodiscard]] bool IsPrintableAscii(std::string_view text);
+
+// Escapes non-printable bytes as \xNN for log/report output.
+[[nodiscard]] std::string CEscape(std::string_view text);
+
+// Parses a non-negative integer; returns false on any malformed input.
+[[nodiscard]] bool ParseUint64(std::string_view text, uint64_t* out);
+[[nodiscard]] bool ParseInt64(std::string_view text, int64_t* out);
+
+// Longest common prefix length of two strings.
+[[nodiscard]] size_t CommonPrefixLength(std::string_view a,
+                                        std::string_view b);
+
+}  // namespace autovac

@@ -1,0 +1,27 @@
+// Plain-text table renderer used by the bench harness to print the paper's
+// tables with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autovac {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Renders with a header separator; short rows are padded with blanks.
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autovac

@@ -1,0 +1,84 @@
+// Instruction-level taint propagation ("for any instruction whose source
+// operand has been associated with the tainted labels, we taint the
+// destination operand with the same label", §III-B) plus the
+// tainted-predicate monitor that flags a sample as "possibly has a
+// vaccine" when a cmp/test touches tainted data.
+#pragma once
+
+#include <vector>
+
+#include "taint/taint_map.h"
+#include "vm/cpu.h"
+
+namespace autovac::taint {
+
+// A cmp/test whose operands carried taint.
+struct PredicateEvent {
+  uint32_t pc = 0;
+  LabelSetId labels = kEmptySet;
+};
+
+struct TaintEngineOptions {
+  // Propagate the address register's taint into loaded data (pointer
+  // tainting). Off by default, matching the paper's data-flow focus; the
+  // ablation bench flips it.
+  bool propagate_addresses = false;
+
+  // Propagate taint through control dependences: after a conditional
+  // branch on tainted flags, values written inside the branch's forward
+  // region carry the predicate's labels. This is the paper's §VII future
+  // work ("malware could deliberately ... obfuscate through control
+  // dependence"); off by default to match the published system. The
+  // region is the single-level span between the branch and its forward
+  // target — enough for the if/else laundering idiom, not a full
+  // post-dominator analysis.
+  bool track_control_dependence = false;
+};
+
+class TaintEngine {
+ public:
+  TaintEngine(LabelStore& store, TaintEngineOptions options = {})
+      : map_(store), options_(options) {}
+
+  // Propagates taint for one retired instruction. Call after the CPU
+  // executes the step (register values in `step` are pre-execution).
+  void OnStep(const vm::StepInfo& step);
+
+  // --- kernel-side taint introduction (per the API labelling table) ---
+  void TaintReturnValue(LabelSetId label) { map_.SetReg(vm::Reg::kEax, label); }
+  void TaintMemory(uint32_t addr, uint32_t size, LabelSetId label) {
+    map_.SetRange(addr, size, label);
+  }
+  // String-helper APIs propagate input-buffer taint to outputs.
+  [[nodiscard]] LabelSetId MemoryLabel(uint32_t addr, uint32_t size) const {
+    return map_.RangeUnion(addr, size);
+  }
+
+  [[nodiscard]] const std::vector<PredicateEvent>& predicates() const {
+    return predicates_;
+  }
+  [[nodiscard]] bool AnyTaintedPredicate() const {
+    return !predicates_.empty();
+  }
+
+  [[nodiscard]] TaintMap& map() { return map_; }
+  [[nodiscard]] const TaintMap& map() const { return map_; }
+
+ private:
+  // Label applied to writes control-dependent on a tainted branch, while
+  // execution stays inside [region_start_, region_end_).
+  LabelSetId ControlLabel(uint32_t pc) const {
+    return (pc >= control_region_start_ && pc < control_region_end_)
+               ? control_label_
+               : kEmptySet;
+  }
+
+  TaintMap map_;
+  TaintEngineOptions options_;
+  std::vector<PredicateEvent> predicates_;
+  LabelSetId control_label_ = kEmptySet;
+  uint32_t control_region_start_ = 0;
+  uint32_t control_region_end_ = 0;
+};
+
+}  // namespace autovac::taint

@@ -1,0 +1,40 @@
+#include "taint/labels.h"
+
+#include <algorithm>
+
+namespace autovac::taint {
+
+LabelSetId LabelStore::AddSource(TaintSource source) {
+  const auto index = static_cast<uint32_t>(sources_.size());
+  sources_.push_back(std::move(source));
+  return InternSet({index});
+}
+
+LabelSetId LabelStore::InternSet(std::vector<uint32_t> sorted) {
+  auto it = set_ids_.find(sorted);
+  if (it != set_ids_.end()) return it->second;
+  const auto id = static_cast<LabelSetId>(sets_.size());
+  set_ids_.emplace(sorted, id);
+  sets_.push_back(std::move(sorted));
+  return id;
+}
+
+LabelSetId LabelStore::Union(LabelSetId a, LabelSetId b) {
+  if (a == b || b == kEmptySet) return a;
+  if (a == kEmptySet) return b;
+  if (a > b) std::swap(a, b);
+  auto cached = union_cache_.find({a, b});
+  if (cached != union_cache_.end()) return cached->second;
+
+  const auto& sa = Sources(a);
+  const auto& sb = Sources(b);
+  std::vector<uint32_t> merged;
+  merged.reserve(sa.size() + sb.size());
+  std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                 std::back_inserter(merged));
+  const LabelSetId id = InternSet(std::move(merged));
+  union_cache_.emplace(std::make_pair(a, b), id);
+  return id;
+}
+
+}  // namespace autovac::taint

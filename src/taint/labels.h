@@ -1,0 +1,65 @@
+// Taint labels.
+//
+// Each taint source is one resource-API call occurrence ("AUTOVAC will
+// taint the return values as well as the affected arguments of these
+// functions", §III-A). A location can carry several sources at once, so
+// labels are interned *sets* of source indices: LabelSetId 0 is the empty
+// set, unions are memoized, and storage is shared across the whole run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/resources.h"
+#include "support/status.h"
+
+namespace autovac::taint {
+
+using LabelSetId = uint32_t;
+inline constexpr LabelSetId kEmptySet = 0;
+
+// Provenance of one tainted value: the API occurrence that produced it.
+struct TaintSource {
+  uint32_t api_sequence = 0;  // index into the run's ApiTrace
+  std::string api_name;
+  os::ResourceType resource_type = os::ResourceType::kFile;
+  os::Operation operation = os::Operation::kOpen;
+  std::string identifier;
+  bool call_succeeded = false;
+};
+
+class LabelStore {
+ public:
+  LabelStore() { sets_.push_back({}); }  // id 0 = empty
+
+  // Registers a new source and returns the singleton set containing it.
+  LabelSetId AddSource(TaintSource source);
+
+  // Set union with memoization.
+  LabelSetId Union(LabelSetId a, LabelSetId b);
+
+  [[nodiscard]] const std::vector<uint32_t>& Sources(LabelSetId id) const {
+    AUTOVAC_CHECK_MSG(id < sets_.size(), "bad label set id");
+    return sets_[id];
+  }
+
+  [[nodiscard]] const TaintSource& Source(uint32_t index) const {
+    AUTOVAC_CHECK_MSG(index < sources_.size(), "bad source index");
+    return sources_[index];
+  }
+
+  [[nodiscard]] size_t num_sources() const { return sources_.size(); }
+  [[nodiscard]] size_t num_sets() const { return sets_.size(); }
+
+ private:
+  LabelSetId InternSet(std::vector<uint32_t> sorted);
+
+  std::vector<TaintSource> sources_;
+  std::vector<std::vector<uint32_t>> sets_;
+  std::map<std::vector<uint32_t>, LabelSetId> set_ids_;
+  std::map<std::pair<LabelSetId, LabelSetId>, LabelSetId> union_cache_;
+};
+
+}  // namespace autovac::taint

@@ -1,0 +1,20 @@
+#include "taint/taint_map.h"
+
+namespace autovac::taint {
+
+LabelSetId TaintMap::RangeUnion(uint32_t addr, uint32_t size) const {
+  LabelSetId label = kEmptySet;
+  for (uint32_t i = 0; i < size && addr + i < mem_.size(); ++i) {
+    // Mutable union through the shared store; cheap due to memoization.
+    label = const_cast<LabelStore&>(store_).Union(label, mem_[addr + i]);
+  }
+  return label;
+}
+
+void TaintMap::SetRange(uint32_t addr, uint32_t size, LabelSetId label) {
+  for (uint32_t i = 0; i < size && addr + i < mem_.size(); ++i) {
+    mem_[addr + i] = label;
+  }
+}
+
+}  // namespace autovac::taint

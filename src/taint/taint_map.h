@@ -1,0 +1,48 @@
+// Shadow state: one LabelSetId per register, per memory byte, and for the
+// flags register.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "taint/labels.h"
+#include "vm/isa.h"
+#include "vm/memory.h"
+
+namespace autovac::taint {
+
+class TaintMap {
+ public:
+  explicit TaintMap(LabelStore& store)
+      : store_(store), mem_(vm::kMemSize, kEmptySet) {}
+
+  [[nodiscard]] LabelSetId Reg(vm::Reg reg) const {
+    return reg == vm::Reg::kNone ? kEmptySet
+                                 : regs_[static_cast<size_t>(reg)];
+  }
+  void SetReg(vm::Reg reg, LabelSetId label) {
+    if (reg != vm::Reg::kNone) regs_[static_cast<size_t>(reg)] = label;
+  }
+
+  [[nodiscard]] LabelSetId Flags() const { return flags_; }
+  void SetFlags(LabelSetId label) { flags_ = label; }
+
+  // Union of the labels on [addr, addr+size).
+  [[nodiscard]] LabelSetId RangeUnion(uint32_t addr, uint32_t size) const;
+
+  void SetRange(uint32_t addr, uint32_t size, LabelSetId label);
+
+  [[nodiscard]] LabelSetId Byte(uint32_t addr) const {
+    return addr < mem_.size() ? mem_[addr] : kEmptySet;
+  }
+
+  [[nodiscard]] LabelStore& store() { return store_; }
+
+ private:
+  LabelStore& store_;
+  std::array<LabelSetId, vm::kNumRegs> regs_{};
+  LabelSetId flags_ = kEmptySet;
+  std::vector<LabelSetId> mem_;
+};
+
+}  // namespace autovac::taint

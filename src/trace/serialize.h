@@ -1,0 +1,31 @@
+// Trace (de)serialization.
+//
+// The paper's differential and determinism analyses run "offline on
+// logged traces" (§IV-C); this module gives traces a stable, line-based
+// text format so Phase-I logs can be stored, shipped to an analysis
+// cluster, and re-parsed. Round-trip is exact for every field the
+// analyses consume.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+#include "trace/trace.h"
+
+namespace autovac::trace {
+
+// Percent-encoding for identifier/parameter payloads (space-, newline-
+// and %-safe; everything else passes through).
+[[nodiscard]] std::string EncodeField(std::string_view text);
+[[nodiscard]] Result<std::string> DecodeField(std::string_view text);
+
+[[nodiscard]] std::string SerializeApiTrace(const ApiTrace& trace);
+[[nodiscard]] Result<ApiTrace> ParseApiTrace(std::string_view text);
+
+[[nodiscard]] std::string SerializeInstructionTrace(
+    const InstructionTrace& trace);
+[[nodiscard]] Result<InstructionTrace> ParseInstructionTrace(
+    std::string_view text);
+
+}  // namespace autovac::trace

@@ -1,0 +1,41 @@
+#include "trace/trace.h"
+
+#include "support/strings.h"
+
+namespace autovac::trace {
+
+std::vector<const ApiCallRecord*> ApiTrace::FindCalls(
+    std::string_view api_name) const {
+  std::vector<const ApiCallRecord*> out;
+  for (const ApiCallRecord& call : calls) {
+    if (call.api_name == api_name) out.push_back(&call);
+  }
+  return out;
+}
+
+bool ApiTrace::ContainsApi(std::string_view api_name) const {
+  for (const ApiCallRecord& call : calls) {
+    if (call.api_name == api_name) return true;
+  }
+  return false;
+}
+
+std::string FormatApiCall(const ApiCallRecord& call) {
+  std::string params = StrJoin(call.params, ", ");
+  return StrFormat("#%u pc=%u %s(%s) -> %s (err=%u)%s", call.sequence,
+                   call.caller_pc, call.api_name.c_str(), params.c_str(),
+                   call.succeeded ? "ok" : "FAIL", call.last_error,
+                   call.is_resource_api
+                       ? StrFormat(" [%s %s '%s']",
+                                   std::string(os::ResourceTypeName(
+                                                   call.resource_type))
+                                       .c_str(),
+                                   std::string(os::OperationName(
+                                                   call.operation))
+                                       .c_str(),
+                                   call.resource_identifier.c_str())
+                             .c_str()
+                       : "");
+}
+
+}  // namespace autovac::trace

@@ -1,0 +1,40 @@
+#include "vaccine/bdr.h"
+
+namespace autovac::vaccine {
+
+BdrResult MeasureBdr(const vm::Program& sample,
+                     const std::vector<Vaccine>& vaccines,
+                     const BdrOptions& options) {
+  BdrResult result;
+
+  sandbox::RunOptions run_options;
+  run_options.cycle_budget = options.cycle_budget;
+  run_options.enable_taint = false;
+
+  os::HostEnvironment normal =
+      os::HostEnvironment::StandardMachine(options.machine_seed);
+  auto normal_run = sandbox::RunProgram(sample, normal, run_options);
+  result.native_calls_normal = normal_run.api_trace.NativeCallCount();
+
+  VaccineDaemon daemon;
+  for (const Vaccine& vaccine : vaccines) daemon.AddVaccine(vaccine);
+  os::HostEnvironment vaccinated =
+      os::HostEnvironment::StandardMachine(options.machine_seed);
+  daemon.Install(vaccinated);
+  auto vaccinated_run = sandbox::RunProgram(sample, vaccinated, run_options,
+                                            {daemon.Hook()});
+  result.native_calls_vaccinated = vaccinated_run.api_trace.NativeCallCount();
+  result.malware_terminated_early =
+      vaccinated_run.stop_reason == vm::StopReason::kExited;
+
+  if (result.native_calls_normal > 0) {
+    result.bdr =
+        static_cast<double>(result.native_calls_normal -
+                            std::min(result.native_calls_vaccinated,
+                                     result.native_calls_normal)) /
+        static_cast<double>(result.native_calls_normal);
+  }
+  return result;
+}
+
+}  // namespace autovac::vaccine

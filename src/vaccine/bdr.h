@@ -1,0 +1,35 @@
+// Vaccine effect analysis (§VI-E): run the sample for 5 minutes on a
+// normal machine and on a vaccine-deployed machine, and compute the
+// Behavior Decreasing Ratio  BDR = (Nn - Nd) / Nn  over native call
+// counts. Larger BDR = more malware behaviour suppressed.
+#pragma once
+
+#include <vector>
+
+#include "os/host_environment.h"
+#include "sandbox/sandbox.h"
+#include "vaccine/delivery.h"
+#include "vaccine/vaccine.h"
+#include "vm/program.h"
+
+namespace autovac::vaccine {
+
+struct BdrOptions {
+  uint64_t cycle_budget = sandbox::kFiveMinuteBudget;
+  uint64_t machine_seed = 7;
+};
+
+struct BdrResult {
+  size_t native_calls_normal = 0;      // Nn
+  size_t native_calls_vaccinated = 0;  // Nd
+  double bdr = 0.0;
+  bool malware_terminated_early = false;  // vaccinated run self-exited
+};
+
+// Measures the effect of `vaccines` (typically one sample's set) on the
+// sample's behaviour.
+[[nodiscard]] BdrResult MeasureBdr(const vm::Program& sample,
+                                   const std::vector<Vaccine>& vaccines,
+                                   const BdrOptions& options = {});
+
+}  // namespace autovac::vaccine

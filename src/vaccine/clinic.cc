@@ -1,0 +1,71 @@
+#include "vaccine/clinic.h"
+
+#include "vaccine/delivery.h"
+
+namespace autovac::vaccine {
+
+bool BehavesIdentically(const vm::Program& program,
+                        const os::HostEnvironment& clean,
+                        const os::HostEnvironment& vaccinated,
+                        const sandbox::ApiHook& daemon_hook,
+                        uint64_t cycle_budget) {
+  sandbox::RunOptions options;
+  options.cycle_budget = cycle_budget;
+  options.enable_taint = false;
+
+  os::HostEnvironment clean_copy = clean;
+  os::HostEnvironment vaccinated_copy = vaccinated;
+
+  auto clean_run = sandbox::RunProgram(program, clean_copy, options);
+  std::vector<sandbox::ApiHook> hooks;
+  if (daemon_hook) hooks.push_back(daemon_hook);
+  auto vaccinated_run =
+      sandbox::RunProgram(program, vaccinated_copy, options, hooks);
+
+  if (clean_run.stop_reason != vaccinated_run.stop_reason) return false;
+  const auto& a = clean_run.api_trace.calls;
+  const auto& b = vaccinated_run.api_trace.calls;
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].api_name != b[i].api_name) return false;
+    if (a[i].succeeded != b[i].succeeded) return false;
+    if (a[i].caller_pc != b[i].caller_pc) return false;
+  }
+  return true;
+}
+
+ClinicResult RunClinicTest(const std::vector<Vaccine>& candidates,
+                           const std::vector<vm::Program>& benign_corpus,
+                           const ClinicOptions& options) {
+  ClinicResult result;
+  const os::HostEnvironment clean =
+      os::HostEnvironment::StandardMachine(options.machine_seed);
+
+  for (const Vaccine& vaccine : candidates) {
+    VaccineDaemon daemon;
+    daemon.AddVaccine(vaccine);
+    os::HostEnvironment vaccinated = clean;
+    daemon.Install(vaccinated);
+    const sandbox::ApiHook hook = daemon.Hook();
+
+    bool passed = true;
+    std::string reason;
+    for (const vm::Program& benign : benign_corpus) {
+      if (!BehavesIdentically(benign, clean, vaccinated, hook,
+                              options.cycle_budget)) {
+        passed = false;
+        reason = benign.name;
+        break;
+      }
+    }
+    if (passed) {
+      result.passed.push_back(vaccine);
+    } else {
+      result.discarded.push_back(vaccine);
+      result.discard_reasons.push_back(reason);
+    }
+  }
+  return result;
+}
+
+}  // namespace autovac::vaccine

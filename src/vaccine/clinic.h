@@ -1,0 +1,43 @@
+// Malware clinic test (§IV-D): inject candidate vaccines into an
+// environment running benign software and verify the benign programs
+// behave identically — any deviation discards the vaccine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "os/host_environment.h"
+#include "sandbox/sandbox.h"
+#include "vaccine/vaccine.h"
+#include "vm/program.h"
+
+namespace autovac::vaccine {
+
+struct ClinicResult {
+  std::vector<Vaccine> passed;
+  std::vector<Vaccine> discarded;
+  // For each discarded vaccine: which benign program deviated.
+  std::vector<std::string> discard_reasons;
+};
+
+struct ClinicOptions {
+  uint64_t cycle_budget = sandbox::kOneMinuteBudget;
+  uint64_t machine_seed = 7;
+};
+
+// Tests every vaccine against the full benign corpus, one vaccine at a
+// time (so a single bad vaccine cannot mask others).
+[[nodiscard]] ClinicResult RunClinicTest(
+    const std::vector<Vaccine>& candidates,
+    const std::vector<vm::Program>& benign_corpus,
+    const ClinicOptions& options = {});
+
+// True when `program` behaves identically on the two machines (same API
+// sequence, same success results).
+[[nodiscard]] bool BehavesIdentically(const vm::Program& program,
+                                      const os::HostEnvironment& clean,
+                                      const os::HostEnvironment& vaccinated,
+                                      const sandbox::ApiHook& daemon_hook,
+                                      uint64_t cycle_budget);
+
+}  // namespace autovac::vaccine

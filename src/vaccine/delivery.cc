@@ -1,0 +1,183 @@
+#include "vaccine/delivery.h"
+
+#include "os/errors.h"
+#include "sandbox/sandbox.h"
+
+namespace autovac::vaccine {
+namespace {
+
+// ACL mask a denial vaccine plants on injected files/keys.
+uint32_t DenyAllMask() {
+  return os::DenyBit(os::Operation::kCreate) |
+         os::DenyBit(os::Operation::kOpen) |
+         os::DenyBit(os::Operation::kRead) |
+         os::DenyBit(os::Operation::kWrite) |
+         os::DenyBit(os::Operation::kDelete);
+}
+
+// Presence vaccines stay readable (the malware must *see* the marker)
+// but refuse re-creation and writes, like the paper's sdra64.exe vaccine
+// ("owned by a super user and does not allow any creation operation").
+uint32_t PresenceMask() {
+  return os::DenyBit(os::Operation::kCreate) |
+         os::DenyBit(os::Operation::kWrite) |
+         os::DenyBit(os::Operation::kDelete);
+}
+
+}  // namespace
+
+void InjectVaccine(os::HostEnvironment& env, const Vaccine& vaccine,
+                   const std::string& concrete_identifier) {
+  os::ObjectNamespace& ns = env.ns();
+  const uint32_t mask =
+      vaccine.simulate_presence ? PresenceMask() : DenyAllMask();
+  switch (vaccine.resource_type) {
+    case os::ResourceType::kFile:
+      ns.InjectVaccineFile(concrete_identifier, mask);
+      break;
+    case os::ResourceType::kMutex:
+      ns.InjectVaccineMutex(concrete_identifier);
+      break;
+    case os::ResourceType::kRegistry:
+      ns.InjectVaccineKey(concrete_identifier, mask);
+      break;
+    case os::ResourceType::kWindow:
+      // A reserved class both reports the window as present (FindWindow)
+      // and refuses its creation (RegisterClass/CreateWindowEx).
+      ns.ReserveWindowClass(concrete_identifier);
+      break;
+    case os::ResourceType::kLibrary:
+      if (vaccine.simulate_presence) {
+        ns.PreinstallLibrary(concrete_identifier);
+      } else {
+        ns.BlockLibrary(concrete_identifier);
+      }
+      break;
+    case os::ResourceType::kService:
+      ns.InjectVaccineService(concrete_identifier);
+      break;
+    case os::ResourceType::kProcess:
+      if (vaccine.simulate_presence) {
+        ns.SpawnProcess(concrete_identifier, /*system_owned=*/true);
+      } else {
+        // Denial of a process resource means preventing the malware from
+        // dropping/starting its image: plant a deny-all file.
+        ns.InjectVaccineFile(concrete_identifier, DenyAllMask());
+      }
+      break;
+    case os::ResourceType::kTypeCount:
+      break;
+  }
+}
+
+void VaccineDaemon::AddVaccine(Vaccine vaccine) {
+  vaccines_.push_back(std::move(vaccine));
+}
+
+std::string VaccineDaemon::ReplaySlice(const analysis::VaccineSlice& slice,
+                                       const os::HostEnvironment& host) {
+  // The slice runs against a scratch copy of the host (its env-query APIs
+  // must see the real profile; its side effects must not stick).
+  os::HostEnvironment scratch = host;
+  sandbox::RunOptions options;
+  options.enable_taint = false;
+  options.capture_cstring_addr = slice.output_addr;
+  options.cycle_budget = sandbox::kOneMinuteBudget;
+  auto result = sandbox::RunProgram(slice.program, scratch, options);
+  return result.captured_output;
+}
+
+uint64_t VaccineDaemon::HostFingerprint(const os::HostEnvironment& env) {
+  const os::HostProfile& profile = env.profile();
+  uint64_t hash = HashSeed(profile.computer_name);
+  hash ^= HashSeed(profile.user_name) * 0x9E3779B97F4A7C15ULL;
+  hash ^= profile.volume_serial;
+  hash ^= HashSeed(profile.ip_address) << 1;
+  return hash;
+}
+
+InjectionReport VaccineDaemon::Install(os::HostEnvironment& env) {
+  InjectionReport report;
+  installed_fingerprint_ = HostFingerprint(env);
+  for (const Vaccine& vaccine : vaccines_) {
+    switch (vaccine.identifier_kind) {
+      case analysis::IdentifierClass::kStatic: {
+        InjectVaccine(env, vaccine, vaccine.identifier);
+        ++report.direct_injected;
+        report.injected_identifiers.push_back(vaccine.identifier);
+        break;
+      }
+      case analysis::IdentifierClass::kAlgorithmDeterministic: {
+        std::string concrete = vaccine.identifier;
+        if (vaccine.slice.has_value()) {
+          std::string replayed = ReplaySlice(*vaccine.slice, env);
+          if (!replayed.empty()) concrete = replayed;
+          ++report.slices_replayed;
+        }
+        InjectVaccine(env, vaccine, concrete);
+        report.injected_identifiers.push_back(concrete);
+        break;
+      }
+      case analysis::IdentifierClass::kPartialStatic:
+        ++report.daemon_patterns;  // enforced by Hook()
+        break;
+      case analysis::IdentifierClass::kNonDeterministic:
+        break;  // never deployed
+    }
+  }
+  return report;
+}
+
+size_t VaccineDaemon::RefreshIfHostChanged(os::HostEnvironment& env) {
+  const uint64_t fingerprint = HostFingerprint(env);
+  if (fingerprint == installed_fingerprint_) return 0;
+  installed_fingerprint_ = fingerprint;
+  size_t regenerated = 0;
+  for (const Vaccine& vaccine : vaccines_) {
+    if (vaccine.identifier_kind !=
+            analysis::IdentifierClass::kAlgorithmDeterministic ||
+        !vaccine.slice.has_value()) {
+      continue;
+    }
+    const std::string fresh = ReplaySlice(*vaccine.slice, env);
+    if (fresh.empty()) continue;
+    InjectVaccine(env, vaccine, fresh);
+    ++regenerated;
+  }
+  return regenerated;
+}
+
+sandbox::ApiHook VaccineDaemon::Hook() const {
+  // Copy the pattern vaccines into the closure so the hook outlives the
+  // daemon object if needed.
+  std::vector<Vaccine> patterns;
+  for (const Vaccine& vaccine : vaccines_) {
+    if (vaccine.identifier_kind == analysis::IdentifierClass::kPartialStatic) {
+      patterns.push_back(vaccine);
+    }
+  }
+  return [patterns](const sandbox::ApiObservation& obs)
+             -> std::optional<sandbox::ForcedOutcome> {
+    if (!obs.spec->is_resource_api || obs.identifier.empty()) {
+      return std::nullopt;
+    }
+    for (const Vaccine& vaccine : patterns) {
+      if (vaccine.resource_type != obs.spec->resource_type) continue;
+      if (!vaccine.pattern.Matches(obs.identifier)) continue;
+      sandbox::ForcedOutcome outcome;
+      if (vaccine.simulate_presence) {
+        outcome.success = true;
+        outcome.last_error = obs.spec->operation == os::Operation::kCreate
+                                 ? os::kErrorAlreadyExists
+                                 : os::kErrorSuccess;
+      } else {
+        outcome.success = false;
+        outcome.last_error = os::kErrorAccessDenied;
+      }
+      return outcome;
+    }
+    return std::nullopt;
+  };
+}
+
+}  // namespace autovac::vaccine

@@ -1,0 +1,76 @@
+// Phase-III: vaccine delivery and deployment (§V).
+//
+// Direct injection materializes static vaccines in the target machine's
+// object namespace (create the marker mutex/file/registry key, or plant a
+// system-owned resource whose ACL denies the malware's operation).
+//
+// The vaccine daemon covers the other identifier kinds:
+//   * algorithm-deterministic — replay the extracted program slice against
+//     the host to compute the concrete identifier, then inject it (and
+//     re-check when host inputs change);
+//   * partial static — intercept resource APIs and return the predefined
+//     result whenever the identifier matches the vaccine's pattern.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/host_environment.h"
+#include "sandbox/hooks.h"
+#include "vaccine/vaccine.h"
+
+namespace autovac::vaccine {
+
+struct InjectionReport {
+  size_t direct_injected = 0;
+  size_t slices_replayed = 0;
+  size_t daemon_patterns = 0;
+  std::vector<std::string> injected_identifiers;
+};
+
+// Injects one static (or already-concretized) vaccine into the machine.
+void InjectVaccine(os::HostEnvironment& env, const Vaccine& vaccine,
+                   const std::string& concrete_identifier);
+
+class VaccineDaemon {
+ public:
+  // Registers a vaccine for deployment.
+  void AddVaccine(Vaccine vaccine);
+
+  [[nodiscard]] const std::vector<Vaccine>& vaccines() const {
+    return vaccines_;
+  }
+
+  // Installs everything installable on the machine: direct injections for
+  // static vaccines, slice replays + injection for algorithm-deterministic
+  // ones. Partial-static vaccines stay in the interception table.
+  InjectionReport Install(os::HostEnvironment& env);
+
+  // The interception hook enforcing partial-static vaccines; pass it to
+  // RunProgram for every process on the protected machine.
+  [[nodiscard]] sandbox::ApiHook Hook() const;
+
+  // §V: "Our daemon process runs periodically to check whether the input
+  // has been changed and the vaccine needs to be re-generated." Call on a
+  // schedule; when the host's identity inputs changed since the last
+  // Install/Refresh, algorithm-deterministic slices are replayed and the
+  // fresh identifiers injected. Returns the number of re-generated
+  // vaccines (0 when the host is unchanged).
+  size_t RefreshIfHostChanged(os::HostEnvironment& env);
+
+  // Replays an algorithm-deterministic vaccine's slice against the host
+  // and returns the concrete identifier it computes.
+  [[nodiscard]] static std::string ReplaySlice(
+      const analysis::VaccineSlice& slice, const os::HostEnvironment& host);
+
+ private:
+  // Fingerprint of the identity inputs slices consume.
+  [[nodiscard]] static uint64_t HostFingerprint(
+      const os::HostEnvironment& env);
+
+  std::vector<Vaccine> vaccines_;
+  uint64_t installed_fingerprint_ = 0;
+};
+
+}  // namespace autovac::vaccine

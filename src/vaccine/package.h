@@ -1,0 +1,26 @@
+// Vaccine packages: the deployable artifact of the paper's workflow.
+//
+// The analysis cluster generates vaccines; end hosts receive them as a
+// package ("these vaccines are packed with installation scripts",
+// §VI-F.2). The format is line-based text and round-trips every field the
+// daemon needs, including algorithm-deterministic slices (code + data
+// image), so a host can replay identifier generation without the
+// original sample.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+#include "vaccine/vaccine.h"
+
+namespace autovac::vaccine {
+
+[[nodiscard]] std::string SerializePackage(
+    const std::vector<Vaccine>& vaccines);
+
+[[nodiscard]] Result<std::vector<Vaccine>> ParsePackage(
+    std::string_view text);
+
+}  // namespace autovac::vaccine

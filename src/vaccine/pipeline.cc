@@ -1,0 +1,147 @@
+#include "vaccine/pipeline.h"
+
+#include <set>
+
+#include "sandbox/sandbox.h"
+#include "support/logging.h"
+
+namespace autovac::vaccine {
+
+VaccinePipeline::VaccinePipeline(const analysis::ExclusivenessIndex* index,
+                                 PipelineOptions options)
+    : index_(index), options_(options) {}
+
+os::HostEnvironment VaccinePipeline::BaselineMachine() const {
+  return os::HostEnvironment::StandardMachine(options_.machine_seed);
+}
+
+SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
+  SampleReport report;
+  report.sample_name = sample.name;
+  report.sample_digest = sample.Digest();
+
+  // ---- Phase-I: candidate selection ---------------------------------
+  os::HostEnvironment phase1_env = BaselineMachine();
+  sandbox::RunOptions phase1_options;
+  phase1_options.cycle_budget = options_.phase1_budget;
+  phase1_options.enable_taint = true;
+  phase1_options.record_instructions = true;  // for determinism analysis
+  auto phase1 = sandbox::RunProgram(sample, phase1_env, phase1_options);
+
+  report.phase1_stop = phase1.stop_reason;
+  for (const trace::ApiCallRecord& call : phase1.api_trace.calls) {
+    if (!call.is_resource_api) continue;
+    ++report.resource_api_occurrences;
+    if (call.taint_reached_predicate) ++report.tainted_occurrences;
+  }
+  report.resource_sensitive = phase1.AnyTaintedPredicate();
+  if (!report.resource_sensitive) {
+    // "if we find no program branches depend on any system resource, we
+    // filter this malware" (§II-B).
+    report.natural_trace = std::move(phase1.api_trace);
+    return report;
+  }
+
+  // ---- Phase-II -------------------------------------------------------
+  std::vector<analysis::MutationTarget> targets =
+      analysis::CollectMutationTargets(phase1.api_trace);
+  report.targets_considered = targets.size();
+
+  const os::HostEnvironment baseline = BaselineMachine();
+  std::set<std::pair<os::ResourceType, std::string>> vaccine_keys;
+  size_t impact_runs = 0;
+  for (const analysis::MutationTarget& target : targets) {
+    // One vaccine per resource: several call sites touching the same
+    // identifier collapse into the first effective mutation.
+    if (vaccine_keys.count({target.resource_type, target.identifier}) > 0) {
+      continue;
+    }
+    // Step-I: exclusiveness (cheap — runs before the impact-run cap).
+    if (options_.run_exclusiveness && index_ != nullptr &&
+        !index_->IsExclusive(target.identifier)) {
+      ++report.filtered_not_exclusive;
+      continue;
+    }
+    if (target.identifier.empty()) {
+      ++report.filtered_not_exclusive;
+      continue;
+    }
+    // Each surviving target costs a full mutated re-run; cap them.
+    if (impact_runs >= options_.max_targets) {
+      LogInfo("sample %s: impact-run cap (%zu) reached",
+              sample.name.c_str(), options_.max_targets);
+      break;
+    }
+    ++impact_runs;
+
+    // Step-II: impact.
+    analysis::ImpactResult impact = analysis::RunImpactAnalysis(
+        sample, baseline, phase1.api_trace, target, options_.impact);
+    if (impact.effect.type == analysis::ImmunizationType::kNone) {
+      ++report.filtered_no_impact;
+      continue;
+    }
+
+    // Step-III: determinism. Anchor at a call that carries the identifier
+    // string in memory (handle-based occurrences defer to the opener).
+    uint32_t anchor = target.anchor_sequence;
+    if (phase1.api_trace.calls[anchor].identifier_addr == 0) {
+      for (const trace::ApiCallRecord& call : phase1.api_trace.calls) {
+        if (call.resource_identifier == target.identifier &&
+            call.identifier_addr != 0) {
+          anchor = call.sequence;
+          break;
+        }
+      }
+    }
+    auto determinism = analysis::AnalyzeIdentifier(
+        phase1.instruction_trace, phase1.api_trace, anchor,
+        options_.determinism);
+    if (!determinism.ok()) {
+      ++report.filtered_non_deterministic;
+      continue;
+    }
+    if (determinism->cls == analysis::IdentifierClass::kNonDeterministic) {
+      // "we delete all the entirely random identifiers" (§IV-C).
+      ++report.filtered_non_deterministic;
+      continue;
+    }
+
+    // ---- assemble the vaccine ----------------------------------------
+    Vaccine vaccine;
+    vaccine.malware_name = sample.name;
+    vaccine.malware_digest = report.sample_digest;
+    vaccine.resource_type = target.resource_type;
+    vaccine.operation = target.operation;
+    vaccine.identifier = target.identifier;
+    vaccine.simulate_presence = target.SimulatesPresence();
+    vaccine.identifier_kind = determinism->cls;
+    vaccine.immunization = impact.effect.type;
+    vaccine.pattern = determinism->pattern;
+    vaccine.delivery =
+        determinism->cls == analysis::IdentifierClass::kStatic
+            ? DeliveryMethod::kDirectInjection
+            : DeliveryMethod::kDaemon;
+    if (determinism->cls ==
+        analysis::IdentifierClass::kAlgorithmDeterministic) {
+      auto slice = analysis::ExtractSlice(sample, phase1.instruction_trace,
+                                          phase1.api_trace, *determinism,
+                                          anchor);
+      if (slice.ok()) vaccine.slice = std::move(slice).value();
+    }
+    for (const trace::ApiCallRecord& call : phase1.api_trace.calls) {
+      if (call.is_resource_api &&
+          call.resource_identifier == target.identifier) {
+        vaccine.observed_operations.insert(
+            os::OperationSymbol(call.operation));
+      }
+    }
+    vaccine_keys.insert({target.resource_type, target.identifier});
+    report.vaccines.push_back(std::move(vaccine));
+  }
+
+  report.natural_trace = std::move(phase1.api_trace);
+  return report;
+}
+
+}  // namespace autovac::vaccine

@@ -1,0 +1,76 @@
+// The end-to-end AUTOVAC pipeline (Figure 1): Phase-I candidate selection
+// (taint-instrumented profiling run), Phase-II vaccine generation
+// (exclusiveness analysis, impact analysis via mutation + trace
+// differential, determinism analysis + slice extraction), producing
+// deployable Vaccine records for Phase-III.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/determinism.h"
+#include "analysis/exclusiveness.h"
+#include "analysis/impact.h"
+#include "os/host_environment.h"
+#include "vaccine/vaccine.h"
+#include "vm/program.h"
+
+namespace autovac::vaccine {
+
+struct PipelineOptions {
+  // Phase-I profiling budget: "each sample runs for 1 minute" (§VI-B).
+  uint64_t phase1_budget = sandbox::kOneMinuteBudget;
+  analysis::ImpactOptions impact;
+  analysis::DeterminismOptions determinism;
+  // Ablation switch: skip the exclusiveness filter.
+  bool run_exclusiveness = true;
+  // Cap on mutation targets per sample (each costs a full re-run).
+  size_t max_targets = 24;
+  // Entropy seed for the analysis machine.
+  uint64_t machine_seed = 7;
+};
+
+// Per-sample outcome of Phase-I and Phase-II.
+struct SampleReport {
+  std::string sample_name;
+  std::string sample_digest;
+
+  // Phase-I statistics.
+  size_t resource_api_occurrences = 0;
+  size_t tainted_occurrences = 0;  // occurrences whose taint hit a branch
+  bool resource_sensitive = false; // flagged "possibly has a vaccine"
+  vm::StopReason phase1_stop = vm::StopReason::kRunning;
+
+  // Phase-II counters.
+  size_t targets_considered = 0;
+  size_t filtered_not_exclusive = 0;
+  size_t filtered_no_impact = 0;
+  size_t filtered_non_deterministic = 0;
+
+  std::vector<Vaccine> vaccines;
+
+  // Retained for corpus-level statistics benches.
+  trace::ApiTrace natural_trace;
+};
+
+class VaccinePipeline {
+ public:
+  // `index` may be null, disabling the exclusiveness filter.
+  VaccinePipeline(const analysis::ExclusivenessIndex* index,
+                  PipelineOptions options = {});
+
+  // Runs Phase-I + Phase-II on one sample.
+  [[nodiscard]] SampleReport Analyze(const vm::Program& sample) const;
+
+  // A fresh copy of the analysis machine this pipeline uses as baseline.
+  [[nodiscard]] os::HostEnvironment BaselineMachine() const;
+
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+
+ private:
+  const analysis::ExclusivenessIndex* index_;
+  PipelineOptions options_;
+};
+
+}  // namespace autovac::vaccine

@@ -1,0 +1,101 @@
+#include "vaccine/report.h"
+
+#include "sandbox/sandbox.h"
+#include "support/strings.h"
+#include "vm/disassembler.h"
+
+namespace autovac::vaccine {
+namespace {
+
+std::string DeliveryPlan(const Vaccine& v) {
+  switch (v.identifier_kind) {
+    case analysis::IdentifierClass::kStatic:
+      return v.simulate_presence
+                 ? "direct injection: create the resource (system-owned, "
+                   "create/write/delete denied)"
+                 : "direct injection: plant a deny-all decoy at the "
+                   "identifier";
+    case analysis::IdentifierClass::kAlgorithmDeterministic:
+      return "vaccine daemon: replay the identifier-generation slice per "
+             "host, then inject";
+    case analysis::IdentifierClass::kPartialStatic:
+      return StrFormat(
+          "vaccine daemon: intercept %s APIs, force the predefined result "
+          "for identifiers matching `%s`",
+          std::string(os::ResourceTypeName(v.resource_type)).c_str(),
+          v.pattern.text().c_str());
+    case analysis::IdentifierClass::kNonDeterministic:
+      break;
+  }
+  return "not deployable";
+}
+
+}  // namespace
+
+std::string RenderSampleReport(const SampleReport& report) {
+  std::string out;
+  out += StrFormat("# AUTOVAC analysis: %s\n\n", report.sample_name.c_str());
+  out += StrFormat("sample digest: `%s`\n\n", report.sample_digest.c_str());
+
+  out += "## Phase I — candidate selection\n\n";
+  out += StrFormat(
+      "| metric | value |\n|---|---|\n"
+      "| resource-API occurrences | %zu |\n"
+      "| occurrences whose taint reached a branch | %zu |\n"
+      "| resource-sensitive | %s |\n"
+      "| profiling run ended | %s |\n\n",
+      report.resource_api_occurrences, report.tainted_occurrences,
+      report.resource_sensitive ? "yes" : "no",
+      vm::StopReasonName(report.phase1_stop));
+  if (!report.resource_sensitive) {
+    out += "No program branch depends on any system resource; the sample "
+           "is filtered (no vaccine can exist for it).\n";
+    return out;
+  }
+
+  out += "## Phase II — filter funnel\n\n";
+  out += StrFormat(
+      "| stage | count |\n|---|---|\n"
+      "| mutation targets considered | %zu |\n"
+      "| rejected: identifier not exclusive | %zu |\n"
+      "| rejected: mutation has no behavioural impact | %zu |\n"
+      "| rejected: identifier non-deterministic | %zu |\n"
+      "| **vaccines extracted** | **%zu** |\n\n",
+      report.targets_considered, report.filtered_not_exclusive,
+      report.filtered_no_impact, report.filtered_non_deterministic,
+      report.vaccines.size());
+
+  if (report.vaccines.empty()) return out;
+
+  out += "## Vaccines\n\n";
+  size_t index = 1;
+  for (const Vaccine& v : report.vaccines) {
+    out += StrFormat("### %zu. %s `%s`\n\n", index++,
+                     std::string(os::ResourceTypeName(v.resource_type))
+                         .c_str(),
+                     v.identifier.c_str());
+    out += StrFormat(
+        "| property | value |\n|---|---|\n"
+        "| behaviour | %s |\n"
+        "| identifier kind | %s |\n"
+        "| immunization | %s |\n"
+        "| operations observed | %s |\n"
+        "| delivery | %s |\n\n",
+        v.simulate_presence ? "simulate presence (infection marker)"
+                            : "deny access",
+        std::string(analysis::IdentifierClassName(v.identifier_kind))
+            .c_str(),
+        std::string(analysis::ImmunizationTypeName(v.immunization)).c_str(),
+        v.OperationSymbols().c_str(), DeliveryPlan(v).c_str());
+    if (v.slice.has_value()) {
+      out += "identifier-generation slice (replayed on each end host):\n\n";
+      out += "```asm\n";
+      out += vm::DisassembleProgram(v.slice->program,
+                                    sandbox::SandboxApiNamer());
+      out += "```\n\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace autovac::vaccine

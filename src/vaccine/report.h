@@ -1,0 +1,16 @@
+// Human-readable analysis reports: one markdown document per sample,
+// summarizing Phase-I profiling, the Phase-II filter funnel, every
+// extracted vaccine (with identifier taxonomy, pattern, slice listing)
+// and the deployment plan. The analyst-facing artifact next to the
+// machine-facing vaccine package.
+#pragma once
+
+#include <string>
+
+#include "vaccine/pipeline.h"
+
+namespace autovac::vaccine {
+
+[[nodiscard]] std::string RenderSampleReport(const SampleReport& report);
+
+}  // namespace autovac::vaccine

@@ -1,0 +1,27 @@
+#include "vaccine/vaccine.h"
+
+#include "support/strings.h"
+
+namespace autovac::vaccine {
+
+std::string_view DeliveryMethodName(DeliveryMethod method) {
+  switch (method) {
+    case DeliveryMethod::kDirectInjection: return "Direct";
+    case DeliveryMethod::kDaemon: return "Daemon";
+  }
+  return "?";
+}
+
+std::string Vaccine::Summary() const {
+  return StrFormat(
+      "%s %s '%s' (%s, %s, %s, %s)",
+      simulate_presence ? "inject" : "deny",
+      std::string(os::ResourceTypeName(resource_type)).c_str(),
+      identifier.c_str(),
+      std::string(analysis::IdentifierClassName(identifier_kind)).c_str(),
+      std::string(analysis::ImmunizationTypeLabel(immunization)).c_str(),
+      std::string(DeliveryMethodName(delivery)).c_str(),
+      OperationSymbols().c_str());
+}
+
+}  // namespace autovac::vaccine

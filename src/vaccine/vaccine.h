@@ -1,0 +1,71 @@
+// The malware vaccine: a specific system resource (or manipulation of
+// one) whose presence or denial immunizes a machine against a malware
+// sample (§II-A), with the paper's full taxonomy: identifier kind
+// (static / partial static / algorithm-deterministic), immunization
+// effectiveness (full / partial types I-IV), and delivery method (direct
+// injection / vaccine daemon).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/determinism.h"
+#include "analysis/immunization.h"
+#include "os/resources.h"
+#include "support/pattern.h"
+
+namespace autovac::vaccine {
+
+enum class DeliveryMethod : uint8_t {
+  kDirectInjection = 0,
+  kDaemon,
+};
+
+[[nodiscard]] std::string_view DeliveryMethodName(DeliveryMethod method);
+
+struct Vaccine {
+  // Provenance.
+  std::string malware_name;
+  std::string malware_digest;
+
+  // The manipulated resource.
+  os::ResourceType resource_type = os::ResourceType::kFile;
+  os::Operation operation = os::Operation::kOpen;  // mutated operation
+  std::string identifier;  // concrete value on the analysis machine
+
+  // Vaccine behaviour: simulate the resource's existence (infection
+  // marker) vs deny the malware access to it (§II-A's two behaviours).
+  bool simulate_presence = false;
+
+  // Taxonomy.
+  analysis::IdentifierClass identifier_kind =
+      analysis::IdentifierClass::kStatic;
+  analysis::ImmunizationType immunization =
+      analysis::ImmunizationType::kNone;
+  DeliveryMethod delivery = DeliveryMethod::kDirectInjection;
+
+  // Partial-static identifiers match by wildcard pattern.
+  Pattern pattern = Pattern::Literal("");
+
+  // Algorithm-deterministic identifiers ship a regeneration slice.
+  std::optional<analysis::VaccineSlice> slice;
+
+  // All operations the malware performed on this resource (the OperType
+  // column of Table III), as symbols: C, E, R, W, D.
+  std::set<char> observed_operations;
+
+  // Filled by the effect analysis (§VI-E).
+  double behavior_decreasing_ratio = 0.0;
+
+  [[nodiscard]] std::string OperationSymbols() const {
+    return std::string(observed_operations.begin(),
+                       observed_operations.end());
+  }
+
+  // One-line human-readable description.
+  [[nodiscard]] std::string Summary() const;
+};
+
+}  // namespace autovac::vaccine

@@ -1,0 +1,540 @@
+#include "vm/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace autovac::vm {
+namespace {
+
+struct PendingFixup {
+  size_t inst_index;
+  std::string symbol;   // code or data label
+  bool code_only;       // branch targets must be code labels
+  int64_t addend = 0;
+  int line;
+};
+
+class AssemblerImpl {
+ public:
+  explicit AssemblerImpl(const ApiResolver& resolver) : resolver_(resolver) {}
+
+  Result<Program> Run(std::string_view source) {
+    int line_number = 0;
+    size_t pos = 0;
+    while (pos <= source.size()) {
+      const size_t eol = source.find('\n', pos);
+      std::string_view line = source.substr(
+          pos, eol == std::string_view::npos ? std::string_view::npos
+                                             : eol - pos);
+      ++line_number;
+      if (Status s = ProcessLine(line, line_number); !s.ok()) return s;
+      if (eol == std::string_view::npos) break;
+      pos = eol + 1;
+    }
+    if (Status s = ResolveFixups(); !s.ok()) return s;
+    if (!entry_label_.empty()) {
+      auto entry = program_.CodeSymbol(entry_label_);
+      if (!entry.ok()) {
+        return Status::InvalidArgument(".entry label not defined: " +
+                                       entry_label_);
+      }
+      program_.entry = entry.value();
+    }
+    return std::move(program_);
+  }
+
+ private:
+  Status Error(int line, const std::string& message) {
+    return Status::InvalidArgument(
+        StrFormat("line %d: %s", line, message.c_str()));
+  }
+
+  Status ProcessLine(std::string_view raw, int line) {
+    // Strip comments outside of string literals.
+    bool in_string = false;
+    size_t comment = std::string_view::npos;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '"' && (i == 0 || raw[i - 1] != '\\')) {
+        in_string = !in_string;
+      } else if (raw[i] == ';' && !in_string) {
+        comment = i;
+        break;
+      }
+    }
+    std::string_view text = StripWhitespace(raw.substr(0, comment));
+    if (text.empty()) return Status::Ok();
+
+    if (text[0] == '.') return ProcessDirective(text, line);
+
+    // Code label?
+    if (text.back() == ':' && section_ == Section::kText) {
+      std::string label(StripWhitespace(text.substr(0, text.size() - 1)));
+      if (label.empty()) return Error(line, "empty label");
+      if (program_.code_symbols.count(label) > 0) {
+        return Error(line, "duplicate code label: " + label);
+      }
+      program_.code_symbols[label] =
+          static_cast<uint32_t>(program_.code.size());
+      return Status::Ok();
+    }
+
+    switch (section_) {
+      case Section::kText:
+        return ProcessInstruction(text, line);
+      case Section::kRdata:
+      case Section::kData:
+        return ProcessData(text, line);
+    }
+    return Status::Ok();
+  }
+
+  Status ProcessDirective(std::string_view text, int line) {
+    auto tokens = StrSplit(text, " \t");
+    const std::string& head = tokens[0];
+    if (head == ".text") {
+      section_ = Section::kText;
+    } else if (head == ".rdata") {
+      section_ = Section::kRdata;
+    } else if (head == ".data") {
+      section_ = Section::kData;
+    } else if (head == ".name") {
+      if (tokens.size() != 2) return Error(line, ".name needs one argument");
+      program_.name = tokens[1];
+    } else if (head == ".entry") {
+      if (tokens.size() != 2) return Error(line, ".entry needs one argument");
+      entry_label_ = tokens[1];
+    } else {
+      return Error(line, "unknown directive: " + head);
+    }
+    return Status::Ok();
+  }
+
+  // ---- data section ---------------------------------------------------
+  Status ProcessData(std::string_view text, int line) {
+    auto space = text.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      return Error(line, "malformed data statement");
+    }
+    const std::string kind(text.substr(0, space));
+    std::string_view rest = StripWhitespace(text.substr(space));
+
+    auto name_end = rest.find_first_of(" \t");
+    if (name_end == std::string_view::npos) {
+      return Error(line, "data statement needs a label and a value");
+    }
+    const std::string label(rest.substr(0, name_end));
+    std::string_view value = StripWhitespace(rest.substr(name_end));
+    if (program_.data_symbols.count(label) > 0) {
+      return Error(line, "duplicate data label: " + label);
+    }
+
+    uint32_t& cursor =
+        section_ == Section::kRdata ? rdata_cursor_ : data_cursor_;
+    const uint32_t limit =
+        section_ == Section::kRdata ? kRdataEnd : kDataEnd;
+
+    std::string bytes;
+    if (kind == "string") {
+      auto parsed = ParseStringLiteral(value, line);
+      if (!parsed.ok()) return parsed.status();
+      bytes = std::move(parsed).value();
+      bytes.push_back('\0');
+    } else if (kind == "buffer") {
+      uint64_t size = 0;
+      if (!ParseUint64(value, &size) || size == 0 || size > 0x10000) {
+        return Error(line, "bad buffer size");
+      }
+      bytes.assign(size, '\0');
+    } else if (kind == "word") {
+      for (const std::string& token : StrSplit(value, " \t")) {
+        int64_t word = 0;
+        if (!ParseImmToken(token, &word)) {
+          return Error(line, "bad word value: " + token);
+        }
+        const auto w = static_cast<uint32_t>(word);
+        for (int shift = 0; shift < 32; shift += 8) {
+          bytes.push_back(static_cast<char>((w >> shift) & 0xFF));
+        }
+      }
+      if (bytes.empty()) return Error(line, "word needs at least one value");
+    } else {
+      return Error(line, "unknown data kind: " + kind);
+    }
+
+    // 4-byte alignment keeps word loads in bounds.
+    cursor = (cursor + 3u) & ~3u;
+    if (cursor + bytes.size() > limit) {
+      return Error(line, "section overflow placing " + label);
+    }
+    program_.data_symbols[label] = cursor;
+    program_.data.push_back({cursor, std::move(bytes)});
+    cursor += static_cast<uint32_t>(program_.data.back().bytes.size());
+    return Status::Ok();
+  }
+
+  Result<std::string> ParseStringLiteral(std::string_view text, int line) {
+    if (text.size() < 2 || text.front() != '"' || text.back() != '"') {
+      return Error(line, "string literal must be double-quoted");
+    }
+    std::string out;
+    for (size_t i = 1; i + 1 < text.size(); ++i) {
+      char c = text[i];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (i + 2 >= text.size() + 1) return Error(line, "dangling escape");
+      const char esc = text[++i];
+      switch (esc) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case '0': out.push_back('\0'); break;
+        case '\\': out.push_back('\\'); break;
+        case '"': out.push_back('"'); break;
+        case 'x': {
+          if (i + 2 >= text.size()) return Error(line, "bad \\x escape");
+          auto hex = [](char h) -> int {
+            if (h >= '0' && h <= '9') return h - '0';
+            if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+            if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+            return -1;
+          };
+          const int hi = hex(text[i + 1]);
+          const int lo = hex(text[i + 2]);
+          if (hi < 0 || lo < 0) return Error(line, "bad \\x escape");
+          out.push_back(static_cast<char>(hi * 16 + lo));
+          i += 2;
+          break;
+        }
+        default:
+          return Error(line, StrFormat("unknown escape \\%c", esc));
+      }
+    }
+    return out;
+  }
+
+  // ---- text section ---------------------------------------------------
+  static bool ParseImmToken(std::string_view token, int64_t* out) {
+    if (token.size() >= 3 && token.front() == '\'' && token.back() == '\'') {
+      if (token.size() == 3) {
+        *out = static_cast<unsigned char>(token[1]);
+        return true;
+      }
+      if (token.size() == 4 && token[1] == '\\') {
+        switch (token[2]) {
+          case 'n': *out = '\n'; return true;
+          case 't': *out = '\t'; return true;
+          case '0': *out = 0; return true;
+          case '\\': *out = '\\'; return true;
+          default: return false;
+        }
+      }
+      return false;
+    }
+    if (token.size() > 2 && (token.substr(0, 2) == "0x" ||
+                             token.substr(0, 3) == "-0x")) {
+      const bool neg = token[0] == '-';
+      std::string_view hex = token.substr(neg ? 3 : 2);
+      uint64_t value = 0;
+      for (char c : hex) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return false;
+        if (value > (UINT64_MAX - static_cast<uint64_t>(digit)) / 16) {
+          return false;
+        }
+        value = value * 16 + static_cast<uint64_t>(digit);
+      }
+      *out = neg ? -static_cast<int64_t>(value) : static_cast<int64_t>(value);
+      return true;
+    }
+    return ParseInt64(token, out);
+  }
+
+  static std::optional<Reg> ParseReg(std::string_view token) {
+    const std::string lower = ToLower(token);
+    if (lower == "eax") return Reg::kEax;
+    if (lower == "ebx") return Reg::kEbx;
+    if (lower == "ecx") return Reg::kEcx;
+    if (lower == "edx") return Reg::kEdx;
+    if (lower == "esi") return Reg::kEsi;
+    if (lower == "edi") return Reg::kEdi;
+    if (lower == "ebp") return Reg::kEbp;
+    if (lower == "esp") return Reg::kEsp;
+    return std::nullopt;
+  }
+
+  struct MemOperand {
+    Reg base = Reg::kNone;
+    int64_t disp = 0;
+    std::string symbol;  // non-empty when the base is a data label
+  };
+
+  // Parses "[reg]", "[reg+disp]", "[reg-disp]", "[label]", "[label+disp]".
+  Result<MemOperand> ParseMem(std::string_view token, int line) {
+    if (token.size() < 3 || token.front() != '[' || token.back() != ']') {
+      return Error(line, "expected memory operand: " + std::string(token));
+    }
+    std::string_view inner =
+        StripWhitespace(token.substr(1, token.size() - 2));
+    MemOperand mem;
+    // Split at the first top-level + or - (after position 0).
+    size_t split = std::string_view::npos;
+    char sign = '+';
+    for (size_t i = 1; i < inner.size(); ++i) {
+      if (inner[i] == '+' || inner[i] == '-') {
+        split = i;
+        sign = inner[i];
+        break;
+      }
+    }
+    std::string_view base =
+        StripWhitespace(split == std::string_view::npos
+                            ? inner
+                            : inner.substr(0, split));
+    if (auto reg = ParseReg(base)) {
+      mem.base = *reg;
+    } else {
+      mem.symbol = std::string(base);
+    }
+    if (split != std::string_view::npos) {
+      std::string_view disp_text = StripWhitespace(inner.substr(split + 1));
+      int64_t disp = 0;
+      if (!ParseImmToken(disp_text, &disp)) {
+        return Error(line, "bad displacement: " + std::string(disp_text));
+      }
+      mem.disp = sign == '-' ? -disp : disp;
+    }
+    return mem;
+  }
+
+  void Emit(Op op, Reg r1, Reg r2, int64_t imm) {
+    program_.code.push_back({op, r1, r2, imm});
+  }
+
+  void EmitWithSymbol(Op op, Reg r1, Reg r2, const std::string& symbol,
+                      bool code_only, int64_t addend, int line) {
+    fixups_.push_back(
+        {program_.code.size(), symbol, code_only, addend, line});
+    program_.code.push_back({op, r1, r2, 0});
+  }
+
+  Status ProcessInstruction(std::string_view text, int line) {
+    // Tokenize: mnemonic, then comma-separated operands (memory operands
+    // may contain '+'/'-' but not commas).
+    auto space = text.find_first_of(" \t");
+    const std::string mnemonic =
+        ToLower(space == std::string_view::npos ? text
+                                                : text.substr(0, space));
+    std::vector<std::string> operands;
+    if (space != std::string_view::npos) {
+      for (auto& part : StrSplit(text.substr(space), ",")) {
+        operands.emplace_back(StripWhitespace(part));
+      }
+    }
+    auto want = [&](size_t n) -> Status {
+      if (operands.size() != n) {
+        return Error(line, StrFormat("%s expects %zu operand(s), got %zu",
+                                     mnemonic.c_str(), n, operands.size()));
+      }
+      return Status::Ok();
+    };
+
+    // --- zero-operand forms
+    if (mnemonic == "nop") { if (auto s = want(0); !s.ok()) return s; Emit(Op::kNop, Reg::kNone, Reg::kNone, 0); return Status::Ok(); }
+    if (mnemonic == "hlt") { if (auto s = want(0); !s.ok()) return s; Emit(Op::kHlt, Reg::kNone, Reg::kNone, 0); return Status::Ok(); }
+    if (mnemonic == "ret") { if (auto s = want(0); !s.ok()) return s; Emit(Op::kRet, Reg::kNone, Reg::kNone, 0); return Status::Ok(); }
+
+    // --- branches
+    static const std::map<std::string, Op> kBranches = {
+        {"jmp", Op::kJmp}, {"jz", Op::kJz}, {"jnz", Op::kJnz},
+        {"jg", Op::kJg},   {"jl", Op::kJl}, {"jge", Op::kJge},
+        {"jle", Op::kJle}, {"call", Op::kCall}};
+    if (auto it = kBranches.find(mnemonic); it != kBranches.end()) {
+      if (auto s = want(1); !s.ok()) return s;
+      int64_t imm = 0;
+      if (ParseImmToken(operands[0], &imm)) {
+        Emit(it->second, Reg::kNone, Reg::kNone, imm);
+      } else {
+        EmitWithSymbol(it->second, Reg::kNone, Reg::kNone, operands[0],
+                       /*code_only=*/true, 0, line);
+      }
+      return Status::Ok();
+    }
+
+    if (mnemonic == "sys") {
+      if (auto s = want(1); !s.ok()) return s;
+      int64_t imm = 0;
+      if (!ParseImmToken(operands[0], &imm)) {
+        if (!resolver_) {
+          return Error(line, "no API resolver for: " + operands[0]);
+        }
+        auto id = resolver_(operands[0]);
+        if (!id.has_value()) {
+          return Error(line, "unknown API: " + operands[0]);
+        }
+        imm = *id;
+      }
+      Emit(Op::kSys, Reg::kNone, Reg::kNone, imm);
+      return Status::Ok();
+    }
+
+    if (mnemonic == "push") {
+      if (auto s = want(1); !s.ok()) return s;
+      if (auto reg = ParseReg(operands[0])) {
+        Emit(Op::kPushR, *reg, Reg::kNone, 0);
+        return Status::Ok();
+      }
+      int64_t imm = 0;
+      if (ParseImmToken(operands[0], &imm)) {
+        Emit(Op::kPushI, Reg::kNone, Reg::kNone, imm);
+      } else {
+        EmitWithSymbol(Op::kPushI, Reg::kNone, Reg::kNone, operands[0],
+                       /*code_only=*/false, 0, line);
+      }
+      return Status::Ok();
+    }
+
+    if (mnemonic == "pop") {
+      if (auto s = want(1); !s.ok()) return s;
+      auto reg = ParseReg(operands[0]);
+      if (!reg) return Error(line, "pop needs a register");
+      Emit(Op::kPopR, *reg, Reg::kNone, 0);
+      return Status::Ok();
+    }
+
+    // --- unary register ops
+    static const std::map<std::string, Op> kUnary = {
+        {"not", Op::kNotR}, {"neg", Op::kNegR},
+        {"inc", Op::kIncR}, {"dec", Op::kDecR}};
+    if (auto it = kUnary.find(mnemonic); it != kUnary.end()) {
+      if (auto s = want(1); !s.ok()) return s;
+      auto reg = ParseReg(operands[0]);
+      if (!reg) return Error(line, mnemonic + " needs a register");
+      Emit(it->second, *reg, Reg::kNone, 0);
+      return Status::Ok();
+    }
+
+    // --- loads/stores/lea
+    if (mnemonic == "load" || mnemonic == "loadb" || mnemonic == "lea") {
+      if (auto s = want(2); !s.ok()) return s;
+      auto reg = ParseReg(operands[0]);
+      if (!reg) return Error(line, mnemonic + " destination must be register");
+      auto mem = ParseMem(operands[1], line);
+      if (!mem.ok()) return mem.status();
+      const Op op = mnemonic == "load" ? Op::kLoad
+                    : mnemonic == "loadb" ? Op::kLoadB
+                                          : Op::kLea;
+      if (mem->symbol.empty()) {
+        Emit(op, *reg, mem->base, mem->disp);
+      } else {
+        EmitWithSymbol(op, *reg, Reg::kNone, mem->symbol,
+                       /*code_only=*/false, mem->disp, line);
+      }
+      return Status::Ok();
+    }
+    if (mnemonic == "store" || mnemonic == "storeb") {
+      if (auto s = want(2); !s.ok()) return s;
+      auto mem = ParseMem(operands[0], line);
+      if (!mem.ok()) return mem.status();
+      auto reg = ParseReg(operands[1]);
+      if (!reg) return Error(line, mnemonic + " source must be register");
+      const Op op = mnemonic == "store" ? Op::kStore : Op::kStoreB;
+      if (mem->symbol.empty()) {
+        Emit(op, mem->base, *reg, mem->disp);
+      } else {
+        EmitWithSymbol(op, Reg::kNone, *reg, mem->symbol,
+                       /*code_only=*/false, mem->disp, line);
+      }
+      return Status::Ok();
+    }
+
+    // --- two-operand ALU / mov / cmp / test
+    struct BinOp {
+      Op rr;
+      Op ri;
+    };
+    static const std::map<std::string, BinOp> kBinary = {
+        {"mov", {Op::kMovRR, Op::kMovRI}},
+        {"add", {Op::kAddRR, Op::kAddRI}},
+        {"sub", {Op::kSubRR, Op::kSubRI}},
+        {"xor", {Op::kXorRR, Op::kXorRI}},
+        {"and", {Op::kAndRR, Op::kAndRI}},
+        {"or", {Op::kOrRR, Op::kOrRI}},
+        {"mul", {Op::kMulRR, Op::kMulRI}},
+        {"cmp", {Op::kCmpRR, Op::kCmpRI}},
+        {"test", {Op::kTestRR, Op::kTestRI}},
+        {"shl", {Op::kOpCount, Op::kShlRI}},
+        {"shr", {Op::kOpCount, Op::kShrRI}}};
+    if (auto it = kBinary.find(mnemonic); it != kBinary.end()) {
+      if (auto s = want(2); !s.ok()) return s;
+      auto dst = ParseReg(operands[0]);
+      if (!dst) return Error(line, mnemonic + " destination must be register");
+      if (auto src = ParseReg(operands[1])) {
+        if (it->second.rr == Op::kOpCount) {
+          return Error(line, mnemonic + " requires an immediate operand");
+        }
+        Emit(it->second.rr, *dst, *src, 0);
+        return Status::Ok();
+      }
+      int64_t imm = 0;
+      if (ParseImmToken(operands[1], &imm)) {
+        Emit(it->second.ri, *dst, Reg::kNone, imm);
+      } else {
+        EmitWithSymbol(it->second.ri, *dst, Reg::kNone, operands[1],
+                       /*code_only=*/false, 0, line);
+      }
+      return Status::Ok();
+    }
+
+    return Error(line, "unknown mnemonic: " + mnemonic);
+  }
+
+  Status ResolveFixups() {
+    for (const PendingFixup& fixup : fixups_) {
+      int64_t value = 0;
+      if (auto code = program_.CodeSymbol(fixup.symbol); code.ok()) {
+        value = code.value();
+      } else if (!fixup.code_only) {
+        auto data = program_.DataSymbol(fixup.symbol);
+        if (!data.ok()) {
+          return Status::InvalidArgument(
+              StrFormat("line %d: undefined symbol: %s", fixup.line,
+                        fixup.symbol.c_str()));
+        }
+        value = data.value();
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("line %d: undefined code label: %s", fixup.line,
+                      fixup.symbol.c_str()));
+      }
+      program_.code[fixup.inst_index].imm = value + fixup.addend;
+    }
+    return Status::Ok();
+  }
+
+  enum class Section { kText, kRdata, kData };
+
+  const ApiResolver& resolver_;
+  Program program_;
+  Section section_ = Section::kText;
+  std::string entry_label_;
+  uint32_t rdata_cursor_ = kRdataBase;
+  uint32_t data_cursor_ = kDataBase;
+  std::vector<PendingFixup> fixups_;
+};
+
+}  // namespace
+
+Result<Program> Assemble(std::string_view source,
+                         const ApiResolver& api_resolver) {
+  AssemblerImpl impl(api_resolver);
+  return impl.Run(source);
+}
+
+}  // namespace autovac::vm

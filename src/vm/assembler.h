@@ -1,0 +1,46 @@
+// Two-pass assembler for the sandbox ISA.
+//
+// Source grammar (one statement per line, ';' comments):
+//
+//   .name <identifier>          program name
+//   .entry <label>              entry point (default: first instruction)
+//   .rdata | .data | .text      section switch
+//
+// in .rdata / .data:
+//   string <label> "text"       NUL-terminated bytes ("\\", "\"", "\n",
+//                               "\0", "\xNN" escapes)
+//   buffer <label> <size>       zero-filled reservation
+//   word   <label> <v> [v...]   32-bit little-endian words
+//
+// in .text:
+//   label:
+//   mov r, r|imm       lea r, [mem]      load|loadb r, [mem]
+//   store|storeb [mem], r                push r|imm        pop r
+//   add|sub|xor|and|or|mul r, r|imm      shl|shr r, imm
+//   not|neg|inc|dec r                    cmp|test r, r|imm
+//   jmp|jz|jnz|jg|jl|jge|jle <label>     call <label>      ret
+//   sys <ApiName>|imm                    hlt               nop
+//
+// [mem] operands: [reg], [reg+disp], [reg-disp], [label], [label+disp].
+// Immediates: decimal, 0x-hex, 'c' char literals, or data labels (which
+// resolve to their address).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "support/status.h"
+#include "vm/program.h"
+
+namespace autovac::vm {
+
+// Resolves `sys <name>` mnemonics to API ids; supplied by the sandbox so
+// the VM stays independent of the kernel's API table.
+using ApiResolver =
+    std::function<std::optional<int64_t>(std::string_view name)>;
+
+[[nodiscard]] Result<Program> Assemble(std::string_view source,
+                                       const ApiResolver& api_resolver = {});
+
+}  // namespace autovac::vm

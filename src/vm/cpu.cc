@@ -1,0 +1,313 @@
+#include "vm/cpu.h"
+
+#include "support/strings.h"
+
+namespace autovac::vm {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kRunning: return "running";
+    case StopReason::kHalted: return "halted";
+    case StopReason::kExited: return "exited";
+    case StopReason::kFault: return "fault";
+    case StopReason::kBudgetExhausted: return "budget-exhausted";
+  }
+  return "?";
+}
+
+Cpu::Cpu(const Program& program, Memory& memory)
+    : program_(program), memory_(memory) {
+  set_reg(Reg::kEsp, kStackTop);
+  set_reg(Reg::kEbp, kStackTop);
+  pc_ = program.entry;
+}
+
+uint32_t Cpu::Arg(uint32_t i) const {
+  uint32_t value = 0;
+  const uint32_t addr = reg(Reg::kEsp) + 4 * i;
+  if (memory_.Read32(addr, &value) != MemFault::kNone) return 0;
+  return value;
+}
+
+StopReason Cpu::Run(uint64_t budget) {
+  while (stop_reason_ == StopReason::kRunning) {
+    if (cycles_used_ >= budget) {
+      stop_reason_ = StopReason::kBudgetExhausted;
+      break;
+    }
+    Step();
+  }
+  return stop_reason_;
+}
+
+StopReason Cpu::Fault(std::string message) {
+  fault_ = std::move(message);
+  stop_reason_ = StopReason::kFault;
+  return stop_reason_;
+}
+
+StopReason Cpu::Step() {
+  if (stop_reason_ != StopReason::kRunning) return stop_reason_;
+  if (pc_ >= program_.code.size()) {
+    return Fault(StrFormat("pc out of range: %u", pc_));
+  }
+  const Instruction inst = program_.code[pc_];
+  current_pc_ = pc_;
+  ++cycles_used_;
+
+  StepInfo step;
+  step.pc = pc_;
+  step.inst = inst;
+  if (inst.r1 != Reg::kNone) step.u1 = reg(inst.r1);
+  if (inst.r2 != Reg::kNone) step.u2 = reg(inst.r2);
+
+  const auto imm32 = static_cast<uint32_t>(inst.imm);
+  uint32_t next_pc = pc_ + 1;
+
+  auto base2 = [&]() -> uint32_t {
+    return (inst.r2 == Reg::kNone ? 0u : reg(inst.r2)) + imm32;
+  };
+  auto base1 = [&]() -> uint32_t {
+    return (inst.r1 == Reg::kNone ? 0u : reg(inst.r1)) + imm32;
+  };
+  auto push32 = [&](uint32_t value) -> bool {
+    const uint32_t esp = reg(Reg::kEsp) - 4;
+    if (esp < kStackBase) {
+      Fault("stack overflow");
+      return false;
+    }
+    if (memory_.Write32(esp, value) != MemFault::kNone) {
+      Fault(StrFormat("bad stack write at %#x", esp));
+      return false;
+    }
+    set_reg(Reg::kEsp, esp);
+    step.mem_addr = esp;
+    step.mem_size = 4;
+    return true;
+  };
+  auto pop32 = [&](uint32_t* value) -> bool {
+    const uint32_t esp = reg(Reg::kEsp);
+    if (memory_.Read32(esp, value) != MemFault::kNone) {
+      Fault(StrFormat("bad stack read at %#x", esp));
+      return false;
+    }
+    set_reg(Reg::kEsp, esp + 4);
+    step.mem_addr = esp;
+    step.mem_size = 4;
+    return true;
+  };
+  auto set_flags = [&](uint32_t value) {
+    zf_ = value == 0;
+    sf_ = (value >> 31) != 0;
+  };
+  auto alu = [&](uint32_t rhs) -> uint32_t {
+    const uint32_t lhs = step.u1;
+    switch (inst.op) {
+      case Op::kAddRR: case Op::kAddRI: return lhs + rhs;
+      case Op::kSubRR: case Op::kSubRI: return lhs - rhs;
+      case Op::kXorRR: case Op::kXorRI: return lhs ^ rhs;
+      case Op::kAndRR: case Op::kAndRI: return lhs & rhs;
+      case Op::kOrRR: case Op::kOrRI: return lhs | rhs;
+      case Op::kMulRR: case Op::kMulRI: return lhs * rhs;
+      case Op::kShlRI: return rhs >= 32 ? 0 : lhs << rhs;
+      case Op::kShrRI: return rhs >= 32 ? 0 : lhs >> rhs;
+      default: AUTOVAC_CHECK_MSG(false, "alu on non-alu op"); return 0;
+    }
+  };
+  auto branch_to = [&](bool taken) {
+    step.branch_taken = taken;
+    if (taken) next_pc = imm32;
+  };
+
+  switch (inst.op) {
+    case Op::kNop:
+      break;
+    case Op::kHlt:
+      stop_reason_ = StopReason::kHalted;
+      break;
+    case Op::kMovRI:
+      set_reg(inst.r1, imm32);
+      step.result = imm32;
+      break;
+    case Op::kMovRR:
+      set_reg(inst.r1, step.u2);
+      step.result = step.u2;
+      break;
+    case Op::kLea: {
+      const uint32_t value = base2();
+      set_reg(inst.r1, value);
+      step.result = value;
+      break;
+    }
+    case Op::kLoad: {
+      const uint32_t addr = base2();
+      uint32_t value = 0;
+      if (memory_.Read32(addr, &value) != MemFault::kNone) {
+        return Fault(StrFormat("bad load at %#x (pc=%u)", addr, pc_));
+      }
+      set_reg(inst.r1, value);
+      step.mem_addr = addr;
+      step.mem_size = 4;
+      step.result = value;
+      break;
+    }
+    case Op::kLoadB: {
+      const uint32_t addr = base2();
+      uint32_t value = 0;
+      if (memory_.Read8(addr, &value) != MemFault::kNone) {
+        return Fault(StrFormat("bad loadb at %#x (pc=%u)", addr, pc_));
+      }
+      set_reg(inst.r1, value);
+      step.mem_addr = addr;
+      step.mem_size = 1;
+      step.result = value;
+      break;
+    }
+    case Op::kStore: {
+      const uint32_t addr = base1();
+      if (memory_.Write32(addr, step.u2) != MemFault::kNone) {
+        return Fault(StrFormat("bad store at %#x (pc=%u)", addr, pc_));
+      }
+      step.mem_addr = addr;
+      step.mem_size = 4;
+      step.result = step.u2;
+      break;
+    }
+    case Op::kStoreB: {
+      const uint32_t addr = base1();
+      if (memory_.Write8(addr, step.u2 & 0xFF) != MemFault::kNone) {
+        return Fault(StrFormat("bad storeb at %#x (pc=%u)", addr, pc_));
+      }
+      step.mem_addr = addr;
+      step.mem_size = 1;
+      step.result = step.u2 & 0xFF;
+      break;
+    }
+    case Op::kPushR:
+      if (!push32(step.u1)) return stop_reason_;
+      step.result = step.u1;
+      break;
+    case Op::kPushI:
+      if (!push32(imm32)) return stop_reason_;
+      step.result = imm32;
+      break;
+    case Op::kPopR: {
+      uint32_t value = 0;
+      if (!pop32(&value)) return stop_reason_;
+      set_reg(inst.r1, value);
+      step.result = value;
+      break;
+    }
+    case Op::kAddRR: case Op::kSubRR: case Op::kXorRR: case Op::kAndRR:
+    case Op::kOrRR: case Op::kMulRR: {
+      const uint32_t value = alu(step.u2);
+      set_reg(inst.r1, value);
+      set_flags(value);
+      step.result = value;
+      break;
+    }
+    case Op::kAddRI: case Op::kSubRI: case Op::kXorRI: case Op::kAndRI:
+    case Op::kOrRI: case Op::kMulRI: case Op::kShlRI: case Op::kShrRI: {
+      const uint32_t value = alu(imm32);
+      set_reg(inst.r1, value);
+      set_flags(value);
+      step.result = value;
+      break;
+    }
+    case Op::kNotR: {
+      const uint32_t value = ~step.u1;
+      set_reg(inst.r1, value);
+      set_flags(value);
+      step.result = value;
+      break;
+    }
+    case Op::kNegR: {
+      const uint32_t value = 0u - step.u1;
+      set_reg(inst.r1, value);
+      set_flags(value);
+      step.result = value;
+      break;
+    }
+    case Op::kIncR: {
+      const uint32_t value = step.u1 + 1;
+      set_reg(inst.r1, value);
+      set_flags(value);
+      step.result = value;
+      break;
+    }
+    case Op::kDecR: {
+      const uint32_t value = step.u1 - 1;
+      set_reg(inst.r1, value);
+      set_flags(value);
+      step.result = value;
+      break;
+    }
+    case Op::kCmpRR:
+      set_flags(step.u1 - step.u2);
+      break;
+    case Op::kCmpRI:
+      set_flags(step.u1 - imm32);
+      break;
+    case Op::kTestRR:
+      set_flags(step.u1 & step.u2);
+      break;
+    case Op::kTestRI:
+      set_flags(step.u1 & imm32);
+      break;
+    case Op::kJmp:
+      branch_to(true);
+      break;
+    case Op::kJz:
+      branch_to(zf_);
+      break;
+    case Op::kJnz:
+      branch_to(!zf_);
+      break;
+    // Signed comparisons approximated via SF/ZF (no OF lane; operands in
+    // the sandbox stay far from overflow boundaries).
+    case Op::kJg:
+      branch_to(!zf_ && !sf_);
+      break;
+    case Op::kJl:
+      branch_to(sf_);
+      break;
+    case Op::kJge:
+      branch_to(!sf_);
+      break;
+    case Op::kJle:
+      branch_to(zf_ || sf_);
+      break;
+    case Op::kCall:
+      if (!push32(pc_ + 1)) return stop_reason_;
+      branch_to(true);
+      break;
+    case Op::kRet: {
+      uint32_t target = 0;
+      if (!pop32(&target)) return stop_reason_;
+      step.branch_taken = true;
+      next_pc = target;
+      break;
+    }
+    case Op::kSys:
+      // Expose the stack pointer at trap time so offline analyses can
+      // locate the call's argument slots.
+      step.u1 = reg(Reg::kEsp);
+      if (syscall_ != nullptr) {
+        syscall_->OnSyscall(*this, inst.imm);
+        step.result = reg(Reg::kEax);
+      }
+      break;
+    case Op::kOpCount:
+      return Fault("invalid opcode");
+  }
+
+  if (observer_ != nullptr) observer_->OnStep(*this, step);
+
+  if (exit_requested_ && stop_reason_ == StopReason::kRunning) {
+    stop_reason_ = StopReason::kExited;
+  }
+  if (stop_reason_ == StopReason::kRunning) pc_ = next_pc;
+  return stop_reason_;
+}
+
+}  // namespace autovac::vm

@@ -1,0 +1,129 @@
+// The sandbox CPU: fetch/decode/execute loop over a Program, reporting
+// every retired instruction to an observer (the instrumentation hook a
+// DBI framework would give us) and trapping `sys` to a syscall handler
+// (the kernel).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "support/status.h"
+#include "vm/isa.h"
+#include "vm/memory.h"
+#include "vm/program.h"
+
+namespace autovac::vm {
+
+// Why a run stopped.
+enum class StopReason {
+  kRunning = 0,
+  kHalted,           // hlt retired
+  kExited,           // kernel requested termination (ExitProcess etc.)
+  kFault,            // memory violation / bad pc / stack overflow
+  kBudgetExhausted,  // virtual-time budget spent (the paper's "1 minute")
+};
+
+[[nodiscard]] const char* StopReasonName(StopReason reason);
+
+// Everything observable about one retired instruction. Field semantics:
+//   u1/u2      — values of r1/r2 *before* execution
+//   mem_addr   — effective address when reads_mem/writes_mem
+//   mem_size   — 1 or 4
+//   result     — value written to the destination (reg or memory)
+struct StepInfo {
+  uint32_t pc = 0;
+  Instruction inst;
+  uint32_t u1 = 0;
+  uint32_t u2 = 0;
+  uint32_t mem_addr = 0;
+  uint32_t mem_size = 0;
+  uint32_t result = 0;
+  bool branch_taken = false;
+};
+
+class Cpu;
+
+// Kernel interface: receives `sys` traps. Implementations read arguments
+// from the stack via cpu.Arg(i) and set cpu.regs[eax] for the result.
+class SyscallHandler {
+ public:
+  virtual ~SyscallHandler() = default;
+  virtual void OnSyscall(Cpu& cpu, int64_t api_id) = 0;
+};
+
+// Instrumentation interface (taint engine, instruction tracer).
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+  virtual void OnStep(const Cpu& cpu, const StepInfo& step) = 0;
+};
+
+class Cpu {
+ public:
+  Cpu(const Program& program, Memory& memory);
+
+  // Runs until stop or until `budget` virtual cycles are consumed.
+  StopReason Run(uint64_t budget);
+
+  // Executes one instruction. Returns kRunning while more remain.
+  StopReason Step();
+
+  // --- register file -------------------------------------------------
+  [[nodiscard]] uint32_t reg(Reg r) const {
+    return regs_[static_cast<size_t>(r)];
+  }
+  void set_reg(Reg r, uint32_t value) { regs_[static_cast<size_t>(r)] = value; }
+
+  [[nodiscard]] uint32_t pc() const { return pc_; }
+  [[nodiscard]] bool zf() const { return zf_; }
+  [[nodiscard]] bool sf() const { return sf_; }
+
+  // --- kernel conveniences --------------------------------------------
+  // i-th syscall argument (32-bit, cdecl-like: arg0 at [esp]).
+  [[nodiscard]] uint32_t Arg(uint32_t i) const;
+  void SetResult(uint32_t value) { set_reg(Reg::kEax, value); }
+
+  // Kernel-initiated termination (ExitProcess / TerminateProcess(self)).
+  void RequestExit() { exit_requested_ = true; }
+
+  // Virtual clock: syscalls such as Sleep consume extra cycles.
+  void ConsumeCycles(uint64_t cycles) { cycles_used_ += cycles; }
+  [[nodiscard]] uint64_t cycles_used() const { return cycles_used_; }
+
+  // Return-address of the current call frame — the "caller-PC" the paper
+  // logs with every API call. Valid while handling a syscall: the pc of
+  // the `sys` instruction itself.
+  [[nodiscard]] uint32_t current_syscall_pc() const { return current_pc_; }
+
+  [[nodiscard]] Memory& memory() { return memory_; }
+  [[nodiscard]] const Memory& memory() const { return memory_; }
+  [[nodiscard]] const Program& program() const { return program_; }
+
+  void set_syscall_handler(SyscallHandler* handler) { syscall_ = handler; }
+  void set_observer(ExecutionObserver* observer) { observer_ = observer; }
+
+  [[nodiscard]] StopReason stop_reason() const { return stop_reason_; }
+  // Human-readable fault description when stop_reason() == kFault.
+  [[nodiscard]] const std::string& fault_message() const { return fault_; }
+
+ private:
+  StopReason Fault(std::string message);
+
+  const Program& program_;
+  Memory& memory_;
+  SyscallHandler* syscall_ = nullptr;
+  ExecutionObserver* observer_ = nullptr;
+
+  std::array<uint32_t, kNumRegs> regs_{};
+  uint32_t pc_ = 0;
+  uint32_t current_pc_ = 0;
+  bool zf_ = false;
+  bool sf_ = false;
+  bool exit_requested_ = false;
+  uint64_t cycles_used_ = 0;
+  StopReason stop_reason_ = StopReason::kRunning;
+  std::string fault_;
+};
+
+}  // namespace autovac::vm

@@ -1,0 +1,96 @@
+#include "vm/disassembler.h"
+
+#include <map>
+
+#include "support/strings.h"
+
+namespace autovac::vm {
+namespace {
+
+std::string Mem(Reg base, int64_t disp) {
+  if (base == Reg::kNone) return StrFormat("[%lld]", static_cast<long long>(disp));
+  if (disp == 0) return StrFormat("[%s]", std::string(RegName(base)).c_str());
+  return StrFormat("[%s%+lld]", std::string(RegName(base)).c_str(),
+                   static_cast<long long>(disp));
+}
+
+std::string R(Reg reg) { return std::string(RegName(reg)); }
+
+}  // namespace
+
+std::string DisassembleInstruction(const Instruction& inst,
+                                   const ApiNamer& namer) {
+  const std::string name(OpName(inst.op));
+  switch (inst.op) {
+    case Op::kNop:
+    case Op::kHlt:
+    case Op::kRet:
+      return name;
+    case Op::kMovRI:
+      return StrFormat("mov %s, %lld", R(inst.r1).c_str(),
+                       static_cast<long long>(inst.imm));
+    case Op::kMovRR:
+      return StrFormat("mov %s, %s", R(inst.r1).c_str(), R(inst.r2).c_str());
+    case Op::kLoad:
+    case Op::kLoadB:
+    case Op::kLea:
+      return StrFormat("%s %s, %s", name.c_str(), R(inst.r1).c_str(),
+                       Mem(inst.r2, inst.imm).c_str());
+    case Op::kStore:
+    case Op::kStoreB:
+      return StrFormat("%s %s, %s", name.c_str(),
+                       Mem(inst.r1, inst.imm).c_str(), R(inst.r2).c_str());
+    case Op::kPushR:
+      return StrFormat("push %s", R(inst.r1).c_str());
+    case Op::kPushI:
+      return StrFormat("push %lld", static_cast<long long>(inst.imm));
+    case Op::kPopR:
+      return StrFormat("pop %s", R(inst.r1).c_str());
+    case Op::kAddRR: case Op::kSubRR: case Op::kXorRR: case Op::kAndRR:
+    case Op::kOrRR: case Op::kMulRR: case Op::kCmpRR: case Op::kTestRR:
+      return StrFormat("%s %s, %s", name.c_str(), R(inst.r1).c_str(),
+                       R(inst.r2).c_str());
+    case Op::kAddRI: case Op::kSubRI: case Op::kXorRI: case Op::kAndRI:
+    case Op::kOrRI: case Op::kMulRI: case Op::kShlRI: case Op::kShrRI:
+    case Op::kCmpRI: case Op::kTestRI:
+      return StrFormat("%s %s, %lld", name.c_str(), R(inst.r1).c_str(),
+                       static_cast<long long>(inst.imm));
+    case Op::kNotR: case Op::kNegR: case Op::kIncR: case Op::kDecR:
+      return StrFormat("%s %s", name.c_str(), R(inst.r1).c_str());
+    case Op::kJmp: case Op::kJz: case Op::kJnz: case Op::kJg: case Op::kJl:
+    case Op::kJge: case Op::kJle: case Op::kCall:
+      return StrFormat("%s %lld", name.c_str(),
+                       static_cast<long long>(inst.imm));
+    case Op::kSys: {
+      if (namer) {
+        if (auto api = namer(inst.imm)) {
+          return StrFormat("sys %s", api->c_str());
+        }
+      }
+      return StrFormat("sys %lld", static_cast<long long>(inst.imm));
+    }
+    case Op::kOpCount:
+      break;
+  }
+  return "<bad>";
+}
+
+std::string DisassembleProgram(const Program& program, const ApiNamer& namer) {
+  // Invert the label table for annotation.
+  std::map<uint32_t, std::string> labels;
+  for (const auto& [label, pc] : program.code_symbols) labels[pc] = label;
+
+  std::string out;
+  if (!program.name.empty()) out += ".name " + program.name + "\n";
+  out += ".text\n";
+  for (uint32_t pc = 0; pc < program.code.size(); ++pc) {
+    if (auto it = labels.find(pc); it != labels.end()) {
+      out += it->second + ":\n";
+    }
+    out += StrFormat("  %4u: %s\n", pc,
+                     DisassembleInstruction(program.code[pc], namer).c_str());
+  }
+  return out;
+}
+
+}  // namespace autovac::vm

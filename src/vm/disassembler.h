@@ -1,0 +1,23 @@
+// Renders instructions and programs back to assembler syntax; used by the
+// slice extractor (human-auditable vaccine slices) and in diagnostics.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "vm/program.h"
+
+namespace autovac::vm {
+
+// Optional reverse API-name lookup for `sys` immediates.
+using ApiNamer = std::function<std::optional<std::string>(int64_t id)>;
+
+[[nodiscard]] std::string DisassembleInstruction(const Instruction& inst,
+                                                 const ApiNamer& namer = {});
+
+// Full listing with pc prefixes and label comments.
+[[nodiscard]] std::string DisassembleProgram(const Program& program,
+                                             const ApiNamer& namer = {});
+
+}  // namespace autovac::vm

@@ -1,0 +1,78 @@
+#include "vm/memory.h"
+
+#include <cstring>
+
+namespace autovac::vm {
+
+MemFault Memory::Read8(uint32_t addr, uint32_t* out) const {
+  if (!InBounds(addr, 1)) return MemFault::kOutOfBounds;
+  *out = bytes_[addr];
+  return MemFault::kNone;
+}
+
+MemFault Memory::Read32(uint32_t addr, uint32_t* out) const {
+  if (!InBounds(addr, 4)) return MemFault::kOutOfBounds;
+  uint32_t value = 0;
+  std::memcpy(&value, bytes_.data() + addr, 4);  // little-endian host
+  *out = value;
+  return MemFault::kNone;
+}
+
+MemFault Memory::Write8(uint32_t addr, uint32_t value) {
+  if (!InBounds(addr, 1)) return MemFault::kOutOfBounds;
+  if (IsReadOnly(addr)) return MemFault::kWriteToReadOnly;
+  bytes_[addr] = static_cast<uint8_t>(value);
+  return MemFault::kNone;
+}
+
+MemFault Memory::Write32(uint32_t addr, uint32_t value) {
+  if (!InBounds(addr, 4)) return MemFault::kOutOfBounds;
+  if (IsReadOnly(addr) || IsReadOnly(addr + 3)) {
+    return MemFault::kWriteToReadOnly;
+  }
+  std::memcpy(bytes_.data() + addr, &value, 4);
+  return MemFault::kNone;
+}
+
+void Memory::LoaderWrite(uint32_t addr, std::string_view bytes) {
+  AUTOVAC_CHECK_MSG(InBounds(addr, static_cast<uint32_t>(bytes.size())),
+                    "loader write out of bounds");
+  std::memcpy(bytes_.data() + addr, bytes.data(), bytes.size());
+}
+
+std::string Memory::ReadCString(uint32_t addr, size_t max_len) const {
+  std::string out;
+  for (size_t i = 0; i < max_len; ++i) {
+    uint32_t byte = 0;
+    if (Read8(addr + static_cast<uint32_t>(i), &byte) != MemFault::kNone) {
+      break;
+    }
+    if (byte == 0) break;
+    out.push_back(static_cast<char>(byte));
+  }
+  return out;
+}
+
+uint32_t Memory::WriteCString(uint32_t addr, std::string_view text,
+                              uint32_t capacity) {
+  size_t len = text.size();
+  if (capacity > 0 && len >= capacity) len = capacity - 1;
+  uint32_t written = 0;
+  for (size_t i = 0; i < len; ++i) {
+    if (Write8(addr + static_cast<uint32_t>(i),
+               static_cast<uint8_t>(text[i])) != MemFault::kNone) {
+      return written;
+    }
+    ++written;
+  }
+  if (Write8(addr + written, 0) == MemFault::kNone) ++written;
+  return written;
+}
+
+std::string_view Memory::RawView(uint32_t addr, uint32_t size) const {
+  AUTOVAC_CHECK_MSG(InBounds(addr, size), "RawView out of bounds");
+  return std::string_view(reinterpret_cast<const char*>(bytes_.data()) + addr,
+                          size);
+}
+
+}  // namespace autovac::vm

@@ -1,0 +1,78 @@
+// Flat 1 MiB address space with segment permissions.
+//
+// Layout (constants below):
+//   .rdata  — read-only constants (static identifier strings live here;
+//             the determinism analysis classifies reads from this segment
+//             as `static` sources, exactly as the paper does for x86
+//             .rdata)
+//   .data   — read/write globals and buffers
+//   heap    — bump-allocated by the kernel's VirtualAlloc
+//   stack   — grows down from kStackTop
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace autovac::vm {
+
+inline constexpr uint32_t kMemSize = 0x100000;  // 1 MiB
+inline constexpr uint32_t kRdataBase = 0x1000;
+inline constexpr uint32_t kRdataEnd = 0x10000;
+inline constexpr uint32_t kDataBase = 0x10000;
+inline constexpr uint32_t kDataEnd = 0x40000;
+inline constexpr uint32_t kHeapBase = 0x40000;
+inline constexpr uint32_t kHeapEnd = 0xE0000;
+inline constexpr uint32_t kStackBase = 0xE0000;  // lowest valid stack byte
+inline constexpr uint32_t kStackTop = 0xFFFF0;   // initial ESP
+
+// Result of a memory access attempt.
+enum class MemFault {
+  kNone = 0,
+  kOutOfBounds,
+  kWriteToReadOnly,
+};
+
+class Memory {
+ public:
+  Memory() : bytes_(kMemSize, 0) {}
+
+  // Direct byte accessors with bounds/permission checking. `enforce_ro`
+  // is dropped during program loading.
+  [[nodiscard]] MemFault Read8(uint32_t addr, uint32_t* out) const;
+  [[nodiscard]] MemFault Read32(uint32_t addr, uint32_t* out) const;
+  [[nodiscard]] MemFault Write8(uint32_t addr, uint32_t value);
+  [[nodiscard]] MemFault Write32(uint32_t addr, uint32_t value);
+
+  // Loader-only: writes that ignore read-only protection.
+  void LoaderWrite(uint32_t addr, std::string_view bytes);
+
+  // Reads a NUL-terminated string (capped at `max_len`); returns what was
+  // readable even if the terminator is missing.
+  [[nodiscard]] std::string ReadCString(uint32_t addr,
+                                        size_t max_len = 4096) const;
+
+  // Writes `text` plus a NUL terminator; truncates to fit `capacity` when
+  // capacity > 0. Returns bytes written including the NUL.
+  uint32_t WriteCString(uint32_t addr, std::string_view text,
+                        uint32_t capacity = 0);
+
+  // Raw span access for trace/digest purposes (no permission checks).
+  [[nodiscard]] std::string_view RawView(uint32_t addr, uint32_t size) const;
+
+  [[nodiscard]] static bool InBounds(uint32_t addr, uint32_t size) {
+    return addr < kMemSize && size <= kMemSize - addr;
+  }
+  [[nodiscard]] static bool IsReadOnly(uint32_t addr) {
+    return addr >= kRdataBase && addr < kRdataEnd;
+  }
+  [[nodiscard]] static bool IsRdata(uint32_t addr) { return IsReadOnly(addr); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace autovac::vm

@@ -1,0 +1,47 @@
+#include "vm/program.h"
+
+#include "support/digest.h"
+
+namespace autovac::vm {
+
+void Program::LoadInto(Memory& memory) const {
+  for (const DataBlob& blob : data) {
+    memory.LoaderWrite(blob.address, blob.bytes);
+  }
+}
+
+std::string Program::Digest() const {
+  std::string serialized;
+  serialized.reserve(code.size() * 8);
+  for (const Instruction& inst : code) {
+    serialized.push_back(static_cast<char>(inst.op));
+    serialized.push_back(static_cast<char>(inst.r1));
+    serialized.push_back(static_cast<char>(inst.r2));
+    for (int shift = 0; shift < 64; shift += 8) {
+      serialized.push_back(
+          static_cast<char>((static_cast<uint64_t>(inst.imm) >> shift) & 0xFF));
+    }
+  }
+  for (const DataBlob& blob : data) {
+    serialized += blob.bytes;
+  }
+  return HexDigest128(serialized);
+}
+
+Result<uint32_t> Program::CodeSymbol(const std::string& label) const {
+  auto it = code_symbols.find(label);
+  if (it == code_symbols.end()) {
+    return Status::NotFound("code symbol: " + label);
+  }
+  return it->second;
+}
+
+Result<uint32_t> Program::DataSymbol(const std::string& label) const {
+  auto it = data_symbols.find(label);
+  if (it == data_symbols.end()) {
+    return Status::NotFound("data symbol: " + label);
+  }
+  return it->second;
+}
+
+}  // namespace autovac::vm

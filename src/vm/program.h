@@ -1,0 +1,45 @@
+// A loadable program: code, initial data image, and symbol tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "vm/isa.h"
+#include "vm/memory.h"
+
+namespace autovac::vm {
+
+// One initialized data blob placed at load time.
+struct DataBlob {
+  uint32_t address = 0;
+  std::string bytes;
+};
+
+class Program {
+ public:
+  std::string name;
+  std::vector<Instruction> code;
+  std::vector<DataBlob> data;
+  uint32_t entry = 0;
+
+  // label -> instruction index
+  std::map<std::string, uint32_t> code_symbols;
+  // label -> data address
+  std::map<std::string, uint32_t> data_symbols;
+
+  // Copies the data image into `memory` (loader privileges, so .rdata can
+  // be initialized).
+  void LoadInto(Memory& memory) const;
+
+  // Stable fingerprint of code+data, the repo's stand-in for the sample
+  // MD5 of the paper's Table III.
+  [[nodiscard]] std::string Digest() const;
+
+  [[nodiscard]] Result<uint32_t> CodeSymbol(const std::string& label) const;
+  [[nodiscard]] Result<uint32_t> DataSymbol(const std::string& label) const;
+};
+
+}  // namespace autovac::vm

@@ -1,0 +1,120 @@
+// End-to-end immunization campaign (the paper's "Use Case of Vaccines"):
+// a fresh malware wave is analyzed centrally, the vaccines are
+// clinic-tested, serialized into a package, shipped to end hosts, and the
+// same wave re-attacks the protected fleet. Verifies the whole system in
+// one flow, across multiple corpus seeds.
+#include <gtest/gtest.h>
+
+#include "malware/benign.h"
+#include "malware/corpus.h"
+#include "vaccine/clinic.h"
+#include "vaccine/delivery.h"
+#include "vaccine/package.h"
+#include "vaccine/pipeline.h"
+
+namespace autovac {
+namespace {
+
+struct CampaignOutcome {
+  size_t samples = 0;
+  size_t vaccinable = 0;
+  size_t vaccines_shipped = 0;
+  size_t attacks_blocked = 0;   // vaccinated run self-exited
+  size_t attacks_weakened = 0;  // classifier saw lost behaviour
+  size_t attacks_total = 0;
+  size_t benign_broken = 0;
+};
+
+CampaignOutcome RunCampaign(uint64_t corpus_seed, size_t corpus_size) {
+  CampaignOutcome outcome;
+
+  // --- analysis side ---------------------------------------------------
+  auto benign = malware::BuildBenignCorpus();
+  AUTOVAC_CHECK(benign.ok());
+  analysis::ExclusivenessIndex index;
+  sandbox::RunOptions quiet;
+  quiet.enable_taint = false;
+  for (const vm::Program& app : benign.value()) {
+    os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+    index.IndexBenignTrace(app.name,
+                           sandbox::RunProgram(app, env, quiet).api_trace);
+  }
+
+  malware::CorpusOptions corpus_options;
+  corpus_options.seed = corpus_seed;
+  corpus_options.total = corpus_size;
+  auto corpus = malware::GenerateCorpus(corpus_options);
+  AUTOVAC_CHECK(corpus.ok());
+  outcome.samples = corpus->size();
+
+  vaccine::VaccinePipeline pipeline(&index);
+  std::vector<vaccine::Vaccine> all;
+  for (const malware::CorpusSample& sample : corpus.value()) {
+    auto report = pipeline.Analyze(sample.program);
+    if (!report.vaccines.empty()) ++outcome.vaccinable;
+    all.insert(all.end(), report.vaccines.begin(), report.vaccines.end());
+  }
+  auto clinic = vaccine::RunClinicTest(all, benign.value());
+
+  // --- distribution: serialize, ship, parse -----------------------------
+  auto shipped = vaccine::ParsePackage(
+      vaccine::SerializePackage(clinic.passed));
+  AUTOVAC_CHECK(shipped.ok());
+  outcome.vaccines_shipped = shipped->size();
+
+  // --- end-host side ------------------------------------------------------
+  vaccine::VaccineDaemon daemon;
+  for (const vaccine::Vaccine& v : shipped.value()) daemon.AddVaccine(v);
+  os::HostEnvironment protected_host = os::HostEnvironment::StandardMachine();
+  daemon.Install(protected_host);
+  const sandbox::ApiHook hook = daemon.Hook();
+
+  // Benign software keeps working on the protected host.
+  for (const vm::Program& app : benign.value()) {
+    if (!vaccine::BehavesIdentically(app,
+                                     os::HostEnvironment::StandardMachine(),
+                                     protected_host, hook,
+                                     sandbox::kOneMinuteBudget)) {
+      ++outcome.benign_broken;
+    }
+  }
+
+  // The wave re-attacks.
+  for (const malware::CorpusSample& sample : corpus.value()) {
+    os::HostEnvironment victim = os::HostEnvironment::StandardMachine();
+    auto normal = sandbox::RunProgram(sample.program, victim, quiet);
+    os::HostEnvironment machine = protected_host;
+    auto attack = sandbox::RunProgram(sample.program, machine, quiet, {hook});
+    ++outcome.attacks_total;
+    if (attack.stop_reason == vm::StopReason::kExited &&
+        normal.stop_reason != vm::StopReason::kExited) {
+      ++outcome.attacks_blocked;
+    } else if (analysis::ClassifyImmunization(normal.api_trace,
+                                              attack.api_trace)
+                   .type != analysis::ImmunizationType::kNone) {
+      ++outcome.attacks_weakened;
+    }
+  }
+  return outcome;
+}
+
+class Campaign : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Campaign, ProtectsTheFleetWithoutBreakingBenignSoftware) {
+  const CampaignOutcome outcome = RunCampaign(GetParam(), 80);
+
+  // Some of the wave must be vaccinable at all...
+  EXPECT_GT(outcome.vaccinable, 0u);
+  EXPECT_GT(outcome.vaccines_shipped, 0u);
+  // ...every vaccinable sample must be blocked or weakened on re-attack...
+  EXPECT_GE(outcome.attacks_blocked + outcome.attacks_weakened,
+            outcome.vaccinable);
+  // ...and no benign program may break.
+  EXPECT_EQ(outcome.benign_broken, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Campaign,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace autovac

@@ -1,0 +1,177 @@
+// Tests for the §VII future-work extension: control-dependence tracking
+// in the taint engine and the determinism analysis, which defeats the
+// branch-ladder laundering evasion (see limitations_test.cc for the
+// default-mode behaviour it fixes).
+#include <gtest/gtest.h>
+
+#include "analysis/determinism.h"
+#include "sandbox/sandbox.h"
+
+namespace autovac {
+namespace {
+
+// The laundering idiom: a resource-derived value copied via a branch.
+constexpr const char* kLaunderedPredicate = R"(
+.name launder
+.rdata
+  string name "laundry-mtx"
+.text
+  push name
+  push 0
+  sys OpenMutexA
+  add esp, 8
+  cmp eax, 0
+  jz absent
+  mov ebx, 1        ; ebx is control-dependent on the open result
+  jmp check
+absent:
+  mov ebx, 0
+check:
+  cmp ebx, 1        ; in data-flow-only mode this predicate is untainted
+  jz bail
+  hlt
+bail:
+  push 0
+  sys ExitProcess
+)";
+
+sandbox::RunResult RunWith(bool control_dependence) {
+  auto program = sandbox::AssembleForSandbox(kLaunderedPredicate);
+  AUTOVAC_CHECK(program.ok());
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  sandbox::RunOptions options;
+  options.record_instructions = true;
+  options.taint_options.track_control_dependence = control_dependence;
+  return sandbox::RunProgram(program.value(), env, options);
+}
+
+TEST(ControlDependence, DataFlowOnlyMissesLaunderedPredicate) {
+  auto run = RunWith(false);
+  // Only the direct `cmp eax, 0` is tainted; the laundered `cmp ebx, 1`
+  // is invisible to pure data-flow taint.
+  ASSERT_EQ(run.predicates.size(), 1u);
+}
+
+TEST(ControlDependence, ExtensionCatchesLaunderedPredicate) {
+  auto run = RunWith(true);
+  // Both predicates now carry the OpenMutexA label.
+  ASSERT_EQ(run.predicates.size(), 2u);
+  for (const auto& event : run.predicates) {
+    bool from_mutex = false;
+    for (uint32_t index : run.labels->Sources(event.labels)) {
+      from_mutex |= run.labels->Source(index).identifier == "laundry-mtx";
+    }
+    EXPECT_TRUE(from_mutex);
+  }
+}
+
+TEST(ControlDependence, FallthroughPathAlsoCovered) {
+  // When the branch is taken (mutex absent), the `mov ebx, 0` at the
+  // target is *outside* the forward region — but the region ends exactly
+  // at the join, so the fall-through write is the covered one. Verify
+  // that at least the executed laundering write carries taint on the
+  // non-taken path too, by pre-creating the mutex.
+  auto program = sandbox::AssembleForSandbox(kLaunderedPredicate);
+  AUTOVAC_CHECK(program.ok());
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  env.ns().InjectVaccineMutex("laundry-mtx");
+  sandbox::RunOptions options;
+  options.taint_options.track_control_dependence = true;
+  auto run = sandbox::RunProgram(program.value(), env, options);
+  EXPECT_GE(run.predicates.size(), 2u);
+}
+
+// The determinism analysis counterpart: a hostname-derived character
+// copied through a branch ladder reads `static` in the published system
+// and `algorithm-deterministic` with the extension.
+constexpr const char* kLaunderedIdentifier = R"(
+.name cd_ident
+.rdata
+  string fmt "cd-%c-mark"
+.data
+  buffer host 64
+  buffer name 64
+.text
+  push 64
+  push host
+  sys GetComputerNameA
+  add esp, 8
+  lea esi, [host]
+  loadb eax, [esi]
+  cmp eax, 'W'
+  jz is_w
+  mov ebx, 'X'
+  jmp emit
+is_w:
+  mov ebx, 'W'
+emit:
+  push ebx
+  push fmt
+  push name
+  sys wsprintfA
+  add esp, 12
+  push name
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  hlt
+)";
+
+TEST(ControlDependence, DeterminismClassificationFixed) {
+  auto program = sandbox::AssembleForSandbox(kLaunderedIdentifier);
+  AUTOVAC_CHECK(program.ok());
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  sandbox::RunOptions options;
+  options.record_instructions = true;
+  auto run = sandbox::RunProgram(program.value(), env, options);
+  auto calls = run.api_trace.FindCalls("CreateMutexA");
+  ASSERT_EQ(calls.size(), 1u);
+
+  // Published system: the laundered byte looks constant.
+  auto plain = analysis::AnalyzeIdentifier(run.instruction_trace,
+                                           run.api_trace, calls[0]->sequence);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->cls, analysis::IdentifierClass::kStatic);
+
+  // Extension: it is recognized as environment-derived.
+  analysis::DeterminismOptions extended;
+  extended.track_control_dependence = true;
+  auto fixed = analysis::AnalyzeIdentifier(run.instruction_trace,
+                                           run.api_trace, calls[0]->sequence,
+                                           extended);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(fixed->cls, analysis::IdentifierClass::kAlgorithmDeterministic);
+  // The laundered character reads 'E' in the origin map ("cd-W-mark").
+  EXPECT_EQ(fixed->origin_map[3], 'E');
+  EXPECT_EQ(fixed->origin_map.substr(0, 3), "SSS");
+}
+
+TEST(ControlDependence, NoFalsePositivesOnUntaintedBranches) {
+  // Branches on constants must not open regions.
+  constexpr const char* kClean = R"(
+.name clean
+.rdata
+  string name "plain-mtx"
+.text
+  mov ecx, 3
+  cmp ecx, 3
+  jz over
+  nop
+over:
+  push name
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  hlt
+)";
+  auto program = sandbox::AssembleForSandbox(kClean);
+  AUTOVAC_CHECK(program.ok());
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  sandbox::RunOptions options;
+  options.taint_options.track_control_dependence = true;
+  auto run = sandbox::RunProgram(program.value(), env, options);
+  EXPECT_TRUE(run.predicates.empty());
+}
+
+}  // namespace
+}  // namespace autovac

@@ -1,0 +1,255 @@
+// Tests that pin down the system's *known limitations* — the evasions the
+// paper's §VII discusses. These are intentional negative tests: they
+// document what AUTOVAC (by design) does and does not catch, so that a
+// behavioural change here is a deliberate decision, not an accident.
+#include <gtest/gtest.h>
+
+#include "sandbox/sandbox.h"
+#include "vaccine/delivery.h"
+#include "vaccine/pipeline.h"
+
+namespace autovac {
+namespace {
+
+// §VII "Evasions from Malware": an author can drop the resource-checking
+// logic entirely. The price — named in the paper — is re-infection: the
+// malware loses the ability to detect its own presence.
+TEST(Limitations, MalwareWithoutChecksHasNoVaccineButReinfects) {
+  constexpr const char* kNoChecks = R"(
+.name checkless
+.rdata
+  string marker "checkless-mtx"
+  string drop "C:\\Windows\\system32\\ncl.exe"
+.text
+  push marker
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  push 2
+  push drop
+  sys CreateFileA
+  add esp, 8
+  hlt
+)";
+  auto program = sandbox::AssembleForSandbox(kNoChecks);
+  ASSERT_TRUE(program.ok());
+
+  // No tainted predicate -> Phase-I filters the sample.
+  vaccine::VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+  EXPECT_FALSE(report.resource_sensitive);
+  EXPECT_TRUE(report.vaccines.empty());
+
+  // The trade-off: it happily re-infects the same machine.
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  sandbox::RunOptions options;
+  options.enable_taint = false;
+  auto first = sandbox::RunProgram(program.value(), env, options);
+  auto second = sandbox::RunProgram(program.value(), env, options);
+  EXPECT_EQ(first.stop_reason, vm::StopReason::kHalted);
+  EXPECT_EQ(second.stop_reason, vm::StopReason::kHalted);  // runs again
+}
+
+// §VII "Limitation on Dynamic Analysis" / control-dependence obfuscation
+// (the M.Sharif et al. citation): when the identifier bytes are copied via
+// control dependences instead of data flow, the backward data-flow slice
+// terminates at constants. The identifier *looks* static, the replayed
+// slice mints the analysis machine's name everywhere, and the vaccine
+// breaks on hosts with a different environment.
+TEST(Limitations, ControlDependenceLaundersDeterminism) {
+  // Copies the first hostname character through a branch ladder (only
+  // 'W' and 'X' handled — enough for the demonstration), then uses it in
+  // the marker name.
+  constexpr const char* kLaundered = R"(
+.name ctrl_dep
+.rdata
+  string fmt "cd-%c-mark"
+.data
+  buffer host 64
+  buffer name 64
+.text
+  push 64
+  push host
+  sys GetComputerNameA
+  add esp, 8
+  lea esi, [host]
+  loadb eax, [esi]
+  cmp eax, 'W'
+  jz is_w
+  mov ebx, 'X'
+  jmp emit
+is_w:
+  mov ebx, 'W'           ; control-dependent copy: no data flow from eax
+emit:
+  push ebx
+  push fmt
+  push name
+  sys wsprintfA
+  add esp, 12
+  push name
+  push 0
+  sys OpenMutexA
+  add esp, 8
+  cmp eax, 0
+  jnz bail
+  push name
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  hlt
+bail:
+  push 0
+  sys ExitProcess
+)";
+  auto program = sandbox::AssembleForSandbox(kLaundered);
+  ASSERT_TRUE(program.ok());
+
+  vaccine::VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+  ASSERT_FALSE(report.vaccines.empty());
+  const vaccine::Vaccine& v = report.vaccines.front();
+  EXPECT_EQ(v.identifier, "cd-W-mark");  // analysis host starts with 'W'
+  // The known mis-classification: the control-dependent byte looks
+  // constant to the data-flow analysis, so the identifier reads static.
+  EXPECT_EQ(v.identifier_kind, analysis::IdentifierClass::kStatic);
+  // Consequence: the static injection protects hosts whose name starts
+  // with 'W' (all our WIN-* machines) but would not track a hypothetical
+  // machine where the branch goes the other way. This is exactly the
+  // future-work case the paper reserves.
+}
+
+// §VII "Potential False Positive": without the exclusiveness analysis and
+// without a clinic test, a vaccine generated from a benign-shared
+// resource would break benign software; the pipeline's two filters are
+// load-bearing.
+TEST(Limitations, SharedResourceVaccineNeedsFilters) {
+  // The malware *requires* a benign system library; denying it would stop
+  // the malware — and also break every benign program that uses it.
+  constexpr const char* kSharedMarker = R"(
+.name shared_marker
+.rdata
+  string name "uxtheme.dll"
+  string drop "C:\\Windows\\system32\\shm.exe"
+.text
+  push name
+  sys LoadLibraryA
+  add esp, 4
+  cmp eax, 0
+  jz bail
+  push 2
+  push drop
+  sys CreateFileA
+  add esp, 8
+  hlt
+bail:
+  push 0
+  sys ExitProcess
+)";
+  auto program = sandbox::AssembleForSandbox(kSharedMarker);
+  ASSERT_TRUE(program.ok());
+
+  // With the index: filtered.
+  analysis::ExclusivenessIndex index;
+  vaccine::VaccinePipeline guarded(&index);
+  EXPECT_TRUE(guarded.Analyze(program.value()).vaccines.empty());
+
+  // Without it: a (dangerous) vaccine appears.
+  vaccine::PipelineOptions unguarded_options;
+  unguarded_options.run_exclusiveness = false;
+  vaccine::VaccinePipeline unguarded(nullptr, unguarded_options);
+  EXPECT_FALSE(unguarded.Analyze(program.value()).vaccines.empty());
+}
+
+// The multi-instance dilemma (§VII): even a malware variant that drops
+// its single-instance check still cannot distinguish "machine already
+// infected" from "machine vaccinated" — the paper's argument for why
+// marker vaccines stay useful under partial evasion. We verify the
+// daemon's interception is indistinguishable from a real infection from
+// the malware's point of view.
+TEST(Limitations, VaccinatedLooksExactlyLikeInfected) {
+  constexpr const char* kProbe = R"(
+.name prober
+.rdata
+  string marker "dilemma-mark"
+.text
+  push marker
+  push 0
+  sys OpenMutexA
+  add esp, 8
+  hlt
+)";
+  auto program = sandbox::AssembleForSandbox(kProbe);
+  ASSERT_TRUE(program.ok());
+  sandbox::RunOptions options;
+  options.enable_taint = false;
+
+  // Machine A: genuinely infected (marker created by the malware).
+  os::HostEnvironment infected = os::HostEnvironment::StandardMachine();
+  ASSERT_TRUE(infected.ns().CreateMutex("dilemma-mark", 1234).ok);
+  auto on_infected = sandbox::RunProgram(program.value(), infected, options);
+
+  // Machine B: vaccinated.
+  os::HostEnvironment vaccinated = os::HostEnvironment::StandardMachine();
+  vaccinated.ns().InjectVaccineMutex("dilemma-mark");
+  auto on_vaccinated =
+      sandbox::RunProgram(program.value(), vaccinated, options);
+
+  // Identical probe results: handle-or-not, same error codes.
+  const auto& a = on_infected.api_trace.FindCalls("OpenMutexA");
+  const auto& b = on_vaccinated.api_trace.FindCalls("OpenMutexA");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0]->succeeded, b[0]->succeeded);
+  EXPECT_EQ(a[0]->last_error, b[0]->last_error);
+}
+
+// Over-tainting (§VII cites Cavallaro et al.): our conservative rules can
+// taint more than strictly necessary — e.g. a length value from lstrlenA
+// carries the buffer's labels even when only the size is used. The impact
+// analysis absorbs this (candidates without behavioural impact are
+// filtered), which is the paper's stated mitigation.
+TEST(Limitations, OvertaintedCandidatesDieInImpactAnalysis) {
+  constexpr const char* kLengthOnly = R"(
+.name lengthuser
+.rdata
+  string path "C:\\Windows\\system.ini"
+.data
+  buffer buf 64
+.text
+  push 3
+  push path
+  sys CreateFileA
+  add esp, 8
+  mov ebx, eax
+  push 64
+  push buf
+  push ebx
+  sys ReadFile
+  add esp, 12
+  push buf
+  sys lstrlenA
+  add esp, 4
+  cmp eax, 1000        ; branches on the *length*, not the content
+  jg bail
+  hlt
+bail:
+  push 0
+  sys ExitProcess
+)";
+  auto program = sandbox::AssembleForSandbox(kLengthOnly);
+  ASSERT_TRUE(program.ok());
+  vaccine::VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+  // The file access is flagged in Phase-I (over-approximation)...
+  EXPECT_TRUE(report.resource_sensitive);
+  EXPECT_GT(report.targets_considered, 0u);
+  // ...but yields no vaccine: mutating it does not change behaviour
+  // enough to classify (and system.ini would be caught by exclusiveness
+  // anyway).
+  for (const auto& v : report.vaccines) {
+    EXPECT_NE(v.identifier, "C:\\Windows\\system.ini") << v.Summary();
+  }
+}
+
+}  // namespace
+}  // namespace autovac

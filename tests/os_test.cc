@@ -1,0 +1,319 @@
+// Unit tests for the OS substrate: object namespace semantics per
+// resource type, ACL deny masks, system ownership, the standard machine
+// image, and host profiles.
+#include <gtest/gtest.h>
+
+#include "os/errors.h"
+#include "os/host_environment.h"
+#include "os/object_namespace.h"
+
+namespace autovac::os {
+namespace {
+
+// ---- files -------------------------------------------------------------
+
+TEST(NsFiles, CreateOpenDelete) {
+  ObjectNamespace ns;
+  EXPECT_FALSE(ns.FileExists("C:\\x.exe"));
+  auto created = ns.CreateFile("C:\\x.exe", /*create_new=*/true);
+  EXPECT_TRUE(created.ok);
+  EXPECT_FALSE(created.already_existed);
+  EXPECT_TRUE(ns.FileExists("C:\\x.exe"));
+  EXPECT_TRUE(ns.OpenFile("C:\\x.exe").ok);
+  EXPECT_TRUE(ns.DeleteFile("C:\\x.exe").ok);
+  EXPECT_FALSE(ns.FileExists("C:\\x.exe"));
+}
+
+TEST(NsFiles, CreateNewFailsWhenPresent) {
+  ObjectNamespace ns;
+  ASSERT_TRUE(ns.CreateFile("C:\\x", true).ok);
+  auto again = ns.CreateFile("C:\\x", true);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.error, kErrorAlreadyExists);
+  // CREATE_ALWAYS semantics succeed with the already-exists signal.
+  auto always = ns.CreateFile("C:\\x", false);
+  EXPECT_TRUE(always.ok);
+  EXPECT_TRUE(always.already_existed);
+  EXPECT_EQ(always.error, kErrorAlreadyExists);
+}
+
+TEST(NsFiles, CaseInsensitiveNames) {
+  ObjectNamespace ns;
+  ASSERT_TRUE(ns.CreateFile("C:\\Windows\\System32\\A.EXE", true).ok);
+  EXPECT_TRUE(ns.FileExists("c:\\windows\\system32\\a.exe"));
+}
+
+TEST(NsFiles, ReadWriteContent) {
+  ObjectNamespace ns;
+  ASSERT_TRUE(ns.CreateFile("C:\\f", true).ok);
+  EXPECT_TRUE(ns.WriteFile("C:\\f", "payload").ok);
+  std::string content;
+  EXPECT_TRUE(ns.ReadFile("C:\\f", &content).ok);
+  EXPECT_EQ(content, "payload");
+  auto missing = ns.ReadFile("C:\\nope", &content);
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.error, kErrorFileNotFound);
+}
+
+TEST(NsFiles, DenyMaskBlocksOperations) {
+  ObjectNamespace ns;
+  ns.InjectVaccineFile("C:\\vaccine.exe",
+                       DenyBit(Operation::kCreate) |
+                           DenyBit(Operation::kWrite) |
+                           DenyBit(Operation::kDelete));
+  // Create over it is denied (vaccine's core trick for sdra64.exe).
+  auto create = ns.CreateFile("C:\\vaccine.exe", false);
+  EXPECT_FALSE(create.ok);
+  EXPECT_EQ(create.error, kErrorAccessDenied);
+  EXPECT_FALSE(ns.WriteFile("C:\\vaccine.exe", "x").ok);
+  EXPECT_FALSE(ns.DeleteFile("C:\\vaccine.exe").ok);
+  // But it is visible (presence marker) and readable.
+  EXPECT_TRUE(ns.FileExists("C:\\vaccine.exe"));
+  EXPECT_TRUE(ns.OpenFile("C:\\vaccine.exe").ok);
+}
+
+TEST(NsFiles, SystemOwnedBlocksWriteAndDelete) {
+  ObjectNamespace ns;
+  ASSERT_TRUE(ns.CreateFile("C:\\sys", true).ok);
+  ns.MutableFile("C:\\sys")->system_owned = true;
+  EXPECT_EQ(ns.WriteFile("C:\\sys", "x").error, kErrorAccessDenied);
+  EXPECT_EQ(ns.DeleteFile("C:\\sys").error, kErrorAccessDenied);
+}
+
+// ---- mutexes ------------------------------------------------------------
+
+TEST(NsMutex, CreateSignalsExistence) {
+  ObjectNamespace ns;
+  auto first = ns.CreateMutex("Global\\m", 100);
+  EXPECT_TRUE(first.ok);
+  EXPECT_FALSE(first.already_existed);
+  auto second = ns.CreateMutex("Global\\m", 200);
+  EXPECT_TRUE(second.ok);  // CreateMutex succeeds even when present
+  EXPECT_TRUE(second.already_existed);
+  EXPECT_EQ(second.error, kErrorAlreadyExists);
+}
+
+TEST(NsMutex, OpenRequiresExistence) {
+  ObjectNamespace ns;
+  auto open = ns.OpenMutex("absent");
+  EXPECT_FALSE(open.ok);
+  EXPECT_EQ(open.error, kErrorFileNotFound);  // Table I: NULL + 0x02
+  ASSERT_TRUE(ns.CreateMutex("present", 1).ok);
+  EXPECT_TRUE(ns.OpenMutex("present").ok);
+}
+
+TEST(NsMutex, ReleaseRemovesUnlessVaccine) {
+  ObjectNamespace ns;
+  ASSERT_TRUE(ns.CreateMutex("m", 1).ok);
+  EXPECT_TRUE(ns.ReleaseMutex("m").ok);
+  EXPECT_FALSE(ns.MutexExists("m"));
+
+  ns.InjectVaccineMutex("vax");
+  auto release = ns.ReleaseMutex("vax");
+  EXPECT_FALSE(release.ok);
+  EXPECT_EQ(release.error, kErrorAccessDenied);
+  EXPECT_TRUE(ns.MutexExists("vax"));
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(NsRegistry, KeyLifecycle) {
+  ObjectNamespace ns;
+  EXPECT_FALSE(ns.OpenKey("HKCU\\Software\\X").ok);
+  EXPECT_TRUE(ns.CreateKey("HKCU\\Software\\X").ok);
+  EXPECT_TRUE(ns.OpenKey("HKCU\\Software\\X").ok);
+  EXPECT_TRUE(ns.CreateKey("HKCU\\Software\\X").already_existed);
+  EXPECT_TRUE(ns.DeleteKey("HKCU\\Software\\X").ok);
+  EXPECT_FALSE(ns.KeyExists("HKCU\\Software\\X"));
+}
+
+TEST(NsRegistry, Values) {
+  ObjectNamespace ns;
+  ASSERT_TRUE(ns.CreateKey("HKLM\\K").ok);
+  EXPECT_TRUE(ns.SetValue("HKLM\\K", "Run", "evil.exe").ok);
+  std::string data;
+  EXPECT_TRUE(ns.QueryValue("HKLM\\K", "run", &data).ok);  // case-insensitive
+  EXPECT_EQ(data, "evil.exe");
+  EXPECT_FALSE(ns.QueryValue("HKLM\\K", "Missing", &data).ok);
+  EXPECT_FALSE(ns.SetValue("HKLM\\Absent", "v", "d").ok);
+}
+
+TEST(NsRegistry, VaccineKeyDeniesWrites) {
+  ObjectNamespace ns;
+  ns.InjectVaccineKey("HKCU\\Software\\Marker",
+                      DenyBit(Operation::kWrite) |
+                          DenyBit(Operation::kDelete));
+  EXPECT_TRUE(ns.OpenKey("HKCU\\Software\\Marker").ok);  // marker visible
+  EXPECT_EQ(ns.SetValue("HKCU\\Software\\Marker", "v", "d").error,
+            kErrorAccessDenied);
+  EXPECT_EQ(ns.DeleteKey("HKCU\\Software\\Marker").error, kErrorAccessDenied);
+}
+
+// ---- processes -----------------------------------------------------------
+
+TEST(NsProcess, SpawnFindInjectKill) {
+  ObjectNamespace ns;
+  const uint32_t pid = ns.SpawnProcess("evil.exe", false);
+  EXPECT_GE(pid, 1000u);
+  ASSERT_NE(ns.FindProcessByName("EVIL.EXE"), nullptr);
+  ASSERT_NE(ns.FindProcessByPid(pid), nullptr);
+  EXPECT_TRUE(ns.InjectPayload(pid, "hook").ok);
+  EXPECT_EQ(ns.FindProcessByPid(pid)->injected_payloads.size(), 1u);
+  EXPECT_TRUE(ns.KillProcess(pid).ok);
+  EXPECT_EQ(ns.FindProcessByPid(pid), nullptr);
+}
+
+TEST(NsProcess, SystemProcessesCannotBeKilled) {
+  ObjectNamespace ns;
+  const uint32_t pid = ns.SpawnProcess("winlogon.exe", /*system_owned=*/true);
+  EXPECT_EQ(ns.KillProcess(pid).error, kErrorAccessDenied);
+}
+
+TEST(NsProcess, PidsAreUnique) {
+  ObjectNamespace ns;
+  const uint32_t a = ns.SpawnProcess("a.exe", false);
+  const uint32_t b = ns.SpawnProcess("b.exe", false);
+  EXPECT_NE(a, b);
+}
+
+// ---- services --------------------------------------------------------------
+
+TEST(NsService, Lifecycle) {
+  ObjectNamespace ns;
+  EXPECT_EQ(ns.OpenService("svc").error, kErrorServiceDoesNotExist);
+  EXPECT_TRUE(ns.CreateService("svc", "C:\\bin.exe").ok);
+  EXPECT_TRUE(ns.OpenService("svc").ok);
+  EXPECT_EQ(ns.CreateService("svc", "C:\\other.exe").error,
+            kErrorServiceExists);
+  EXPECT_TRUE(ns.StartService("svc").ok);
+  EXPECT_TRUE(ns.DeleteService("svc").ok);
+  EXPECT_FALSE(ns.ServiceExists("svc"));
+}
+
+TEST(NsService, VaccineServiceBlocksReuse) {
+  ObjectNamespace ns;
+  ns.InjectVaccineService("amsint32");
+  auto create = ns.CreateService("amsint32", "C:\\driver.sys");
+  EXPECT_FALSE(create.ok);
+  EXPECT_EQ(create.error, kErrorAccessDenied);
+  EXPECT_EQ(ns.StartService("amsint32").error, kErrorAccessDenied);
+  EXPECT_EQ(ns.DeleteService("amsint32").error, kErrorAccessDenied);
+}
+
+// ---- windows -----------------------------------------------------------------
+
+TEST(NsWindow, CreateAndFind) {
+  ObjectNamespace ns;
+  EXPECT_FALSE(ns.FindWindow("AdWnd", "").ok);
+  EXPECT_TRUE(ns.CreateWindow("AdWnd", "Offers", 1).ok);
+  EXPECT_TRUE(ns.FindWindow("AdWnd", "").ok);
+  EXPECT_TRUE(ns.FindWindow("", "Offers").ok);
+  EXPECT_TRUE(ns.FindWindow("adwnd", "offers").ok);
+  EXPECT_FALSE(ns.FindWindow("AdWnd", "Wrong").ok);
+}
+
+TEST(NsWindow, ReservedClassSimulatesPresenceAndDeniesCreation) {
+  ObjectNamespace ns;
+  ns.ReserveWindowClass("MalwareWnd");
+  // The vaccine both reports the window as present...
+  EXPECT_TRUE(ns.FindWindow("MalwareWnd", "").ok);
+  // ...and refuses its creation.
+  auto create = ns.CreateWindow("MalwareWnd", "t", 1);
+  EXPECT_FALSE(create.ok);
+  EXPECT_EQ(create.error, kErrorAccessDenied);
+}
+
+// ---- libraries -----------------------------------------------------------------
+
+TEST(NsLibrary, PreinstalledAndDropped) {
+  ObjectNamespace ns;
+  EXPECT_EQ(ns.LoadLibrary("ghost.dll").error, kErrorModNotFound);
+  ns.PreinstallLibrary("uxtheme.dll");
+  EXPECT_TRUE(ns.LoadLibrary("UXTHEME.DLL").ok);
+  // A dropped file becomes loadable by its path.
+  ASSERT_TRUE(ns.CreateFile("C:\\evil.dll", true).ok);
+  EXPECT_TRUE(ns.LoadLibrary("C:\\evil.dll").ok);
+}
+
+TEST(NsLibrary, BlockedLibraryFailsEvenIfPresent) {
+  ObjectNamespace ns;
+  ns.PreinstallLibrary("component.dll");
+  ns.BlockLibrary("component.dll");
+  auto load = ns.LoadLibrary("component.dll");
+  EXPECT_FALSE(load.ok);
+  EXPECT_EQ(load.error, kErrorAccessDenied);
+}
+
+// ---- standard machine -------------------------------------------------------------
+
+TEST(StandardMachine, HasExpectedInventory) {
+  ObjectNamespace ns;
+  PopulateStandardMachine(ns);
+  EXPECT_NE(ns.FindProcessByName("explorer.exe"), nullptr);
+  EXPECT_NE(ns.FindProcessByName("svchost.exe"), nullptr);
+  EXPECT_TRUE(ns.LibraryAvailable("kernel32.dll"));
+  EXPECT_TRUE(ns.LibraryAvailable("uxtheme.dll"));
+  EXPECT_TRUE(ns.KeyExists(
+      "HKLM\\Software\\Microsoft\\Windows\\CurrentVersion\\Run"));
+  std::string shell;
+  EXPECT_TRUE(ns.QueryValue(
+                    "HKLM\\Software\\Microsoft\\Windows NT\\CurrentVersion\\Winlogon",
+                    "Shell", &shell)
+                  .ok);
+  EXPECT_EQ(shell, "explorer.exe");
+  EXPECT_TRUE(ns.FileExists("C:\\Windows\\explorer.exe"));
+  // System binaries resist tampering.
+  EXPECT_EQ(ns.WriteFile("C:\\Windows\\explorer.exe", "patched").error,
+            kErrorAccessDenied);
+}
+
+TEST(StandardMachine, EnumerationHelpers) {
+  ObjectNamespace ns;
+  PopulateStandardMachine(ns);
+  EXPECT_FALSE(ns.FileNames().empty());
+  EXPECT_FALSE(ns.KeyPaths().empty());
+}
+
+// ---- host profiles -------------------------------------------------------------
+
+TEST(HostProfile, AnalysisMachineIsDeterministic) {
+  const HostProfile a = HostProfile::AnalysisMachine();
+  const HostProfile b = HostProfile::AnalysisMachine();
+  EXPECT_EQ(a.computer_name, b.computer_name);
+  EXPECT_EQ(a.volume_serial, b.volume_serial);
+}
+
+TEST(HostProfile, RandomizedDiffers) {
+  Rng rng(77);
+  const HostProfile a = HostProfile::Randomized(rng);
+  const HostProfile b = HostProfile::Randomized(rng);
+  EXPECT_NE(a.computer_name, b.computer_name);
+  EXPECT_EQ(a.computer_name.substr(0, 4), "WIN-");
+}
+
+TEST(HostEnvironment, CopySnapshotsState) {
+  HostEnvironment env = HostEnvironment::StandardMachine();
+  HostEnvironment copy = env;
+  ASSERT_TRUE(copy.ns().CreateMutex("only-in-copy", 1).ok);
+  EXPECT_FALSE(env.ns().MutexExists("only-in-copy"));
+  EXPECT_TRUE(copy.ns().MutexExists("only-in-copy"));
+}
+
+TEST(VirtualClock, Advances) {
+  VirtualClock clock(1000);
+  EXPECT_EQ(clock.NowMillis(), 1000u);
+  clock.AdvanceMillis(500);
+  EXPECT_EQ(clock.NowMillis(), 1500u);
+}
+
+TEST(Resources, NamesAndSymbols) {
+  EXPECT_EQ(ResourceTypeName(ResourceType::kMutex), "Mutex");
+  EXPECT_EQ(ResourceTypeName(ResourceType::kWindow), "Windows");
+  EXPECT_EQ(OperationSymbol(Operation::kCreate), 'C');
+  EXPECT_EQ(OperationSymbol(Operation::kOpen), 'E');
+  EXPECT_EQ(OperationSymbol(Operation::kWrite), 'W');
+  EXPECT_EQ(OperationName(Operation::kOpen), "Read/Open");
+}
+
+}  // namespace
+}  // namespace autovac::os

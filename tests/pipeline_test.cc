@@ -1,0 +1,143 @@
+// End-to-end pipeline tests on the high-profile family models: Phase-I
+// candidate selection, Phase-II vaccine generation (exclusiveness /
+// impact / determinism), Phase-III deployment, and protection checks.
+#include <gtest/gtest.h>
+
+#include "malware/benign.h"
+#include "malware/families.h"
+#include "vaccine/bdr.h"
+#include "vaccine/delivery.h"
+#include "vaccine/pipeline.h"
+
+namespace autovac {
+namespace {
+
+using malware::VariantOptions;
+
+// Builds the exclusiveness index from the benign corpus, as the real
+// deployment would.
+const analysis::ExclusivenessIndex& SharedIndex() {
+  static const analysis::ExclusivenessIndex* index = [] {
+    auto* idx = new analysis::ExclusivenessIndex();
+    auto corpus = malware::BuildBenignCorpus();
+    AUTOVAC_CHECK(corpus.ok());
+    for (const vm::Program& program : corpus.value()) {
+      os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+      sandbox::RunOptions options;
+      options.enable_taint = false;
+      auto run = sandbox::RunProgram(program, env, options);
+      idx->IndexBenignTrace(program.name, run.api_trace);
+    }
+    return idx;
+  }();
+  return *index;
+}
+
+vaccine::SampleReport AnalyzeFamily(
+    Result<vm::Program> (*builder)(const VariantOptions&)) {
+  auto program = builder(VariantOptions{});
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  vaccine::VaccinePipeline pipeline(&SharedIndex());
+  return pipeline.Analyze(program.value());
+}
+
+TEST(PipelineFamilies, ZeusYieldsFileAndMutexVaccines) {
+  auto report = AnalyzeFamily(malware::BuildZeus);
+  EXPECT_TRUE(report.resource_sensitive);
+  ASSERT_FALSE(report.vaccines.empty());
+
+  bool has_sdra64 = false;
+  bool has_avira = false;
+  for (const auto& vaccine : report.vaccines) {
+    SCOPED_TRACE(vaccine.Summary());
+    if (vaccine.identifier == "C:\\Windows\\system32\\sdra64.exe") {
+      has_sdra64 = true;
+      EXPECT_EQ(vaccine.resource_type, os::ResourceType::kFile);
+      EXPECT_EQ(vaccine.identifier_kind, analysis::IdentifierClass::kStatic);
+      EXPECT_FALSE(vaccine.simulate_presence);  // denied creation
+    }
+    if (vaccine.identifier == "_AVIRA_2109") {
+      has_avira = true;
+      EXPECT_EQ(vaccine.resource_type, os::ResourceType::kMutex);
+      // Table VI: stops process hijacking.
+      EXPECT_EQ(vaccine.immunization,
+                analysis::ImmunizationType::kTypeIVProcessInjection);
+      EXPECT_TRUE(vaccine.simulate_presence);
+    }
+  }
+  EXPECT_TRUE(has_sdra64);
+  EXPECT_TRUE(has_avira);
+}
+
+TEST(PipelineFamilies, ConfickerYieldsAlgorithmDeterministicMutex) {
+  auto report = AnalyzeFamily(malware::BuildConficker);
+  ASSERT_FALSE(report.vaccines.empty());
+
+  const vaccine::Vaccine* derived = nullptr;
+  for (const auto& v : report.vaccines) {
+    if (v.identifier_kind ==
+        analysis::IdentifierClass::kAlgorithmDeterministic) {
+      derived = &v;
+    }
+  }
+  ASSERT_NE(derived, nullptr);
+  EXPECT_EQ(derived->resource_type, os::ResourceType::kMutex);
+  EXPECT_EQ(derived->immunization, analysis::ImmunizationType::kFull);
+  EXPECT_EQ(derived->delivery, vaccine::DeliveryMethod::kDaemon);
+  ASSERT_TRUE(derived->slice.has_value());
+
+  // The slice replays per host: on the analysis machine it must
+  // regenerate the observed identifier.
+  os::HostEnvironment analysis_machine = os::HostEnvironment::StandardMachine();
+  const std::string replayed =
+      vaccine::VaccineDaemon::ReplaySlice(*derived->slice, analysis_machine);
+  EXPECT_EQ(replayed, derived->identifier);
+
+  // On a different machine it computes a *different* (host-specific) name.
+  Rng rng(99);
+  os::HostEnvironment other = os::HostEnvironment::RandomizedMachine(rng);
+  const std::string other_name =
+      vaccine::VaccineDaemon::ReplaySlice(*derived->slice, other);
+  EXPECT_FALSE(other_name.empty());
+  EXPECT_NE(other_name, replayed);
+  EXPECT_EQ(other_name.substr(0, 7), "Global\\");
+}
+
+TEST(PipelineFamilies, VaccinesProtectFreshMachine) {
+  for (const auto& family : malware::HighProfileFamilies()) {
+    SCOPED_TRACE(family.name);
+    auto program = family.build(VariantOptions{});
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+    vaccine::VaccinePipeline pipeline(&SharedIndex());
+    auto report = pipeline.Analyze(program.value());
+    ASSERT_FALSE(report.vaccines.empty()) << family.name;
+
+    auto bdr = vaccine::MeasureBdr(program.value(), report.vaccines);
+    EXPECT_GT(bdr.bdr, 0.2) << family.name;
+  }
+}
+
+TEST(PipelineFamilies, QakbotTempFileFilteredAsNonDeterministic) {
+  auto report = AnalyzeFamily(malware::BuildQakbot);
+  EXPECT_GT(report.filtered_non_deterministic, 0u);
+  for (const auto& v : report.vaccines) {
+    EXPECT_EQ(v.identifier.find("tmp"), std::string::npos)
+        << "random temp name survived: " << v.identifier;
+  }
+}
+
+TEST(PipelineFamilies, PoisonIvyMutexIsFullImmunization) {
+  auto report = AnalyzeFamily(malware::BuildPoisonIvy);
+  const vaccine::Vaccine* mutex_vaccine = nullptr;
+  for (const auto& v : report.vaccines) {
+    if (v.identifier == ")!VoqA.I4") mutex_vaccine = &v;
+  }
+  ASSERT_NE(mutex_vaccine, nullptr);
+  EXPECT_EQ(mutex_vaccine->immunization, analysis::ImmunizationType::kFull);
+  EXPECT_EQ(mutex_vaccine->identifier_kind,
+            analysis::IdentifierClass::kStatic);
+}
+
+}  // namespace
+}  // namespace autovac

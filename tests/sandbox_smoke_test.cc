@@ -1,0 +1,159 @@
+// End-to-end smoke tests: assemble a small malware-like program, run it
+// in the sandbox, and check traces, namespace effects, taint and hooks.
+#include <gtest/gtest.h>
+
+#include "sandbox/sandbox.h"
+
+namespace autovac {
+namespace {
+
+using sandbox::AssembleForSandbox;
+using sandbox::RunOptions;
+using sandbox::RunProgram;
+
+// Conficker-style infection marker: create a mutex, bail if it existed.
+constexpr const char* kMarkerSample = R"(
+.name marker_sample
+.rdata
+  string mtx "Global\\test-marker"
+.data
+  buffer payload 32
+.text
+main:
+  push mtx          ; lpName
+  push 1            ; bInitialOwner
+  sys CreateMutexA
+  add esp, 8
+  sys GetLastError
+  cmp eax, 183      ; ERROR_ALREADY_EXISTS
+  jz infected
+  ; fresh infection: drop a file
+  push 2            ; CREATE_ALWAYS
+  push fname
+  sys CreateFileA
+  add esp, 8
+  hlt
+infected:
+  push 0
+  sys ExitProcess
+.rdata
+  string fname "C:\\Windows\\system32\\evil.exe"
+)";
+
+TEST(SandboxSmoke, FreshMachineGetsInfected) {
+  auto program = AssembleForSandbox(kMarkerSample);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  auto result = RunProgram(program.value(), env);
+
+  EXPECT_EQ(result.stop_reason, vm::StopReason::kHalted);
+  EXPECT_TRUE(env.ns().FileExists("C:\\Windows\\system32\\evil.exe"));
+  EXPECT_TRUE(env.ns().MutexExists("Global\\test-marker"));
+  // GetLastError's value is tainted by the CreateMutexA source, so the
+  // cmp is a tainted predicate.
+  EXPECT_TRUE(result.AnyTaintedPredicate());
+  // The CreateMutexA record is flagged as reaching a predicate.
+  auto calls = result.api_trace.FindCalls("CreateMutexA");
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_TRUE(calls[0]->taint_reached_predicate);
+  EXPECT_EQ(calls[0]->resource_identifier, "Global\\test-marker");
+}
+
+TEST(SandboxSmoke, VaccinatedMachineStopsInfection) {
+  auto program = AssembleForSandbox(kMarkerSample);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  env.ns().InjectVaccineMutex("Global\\test-marker");
+  auto result = RunProgram(program.value(), env);
+
+  EXPECT_EQ(result.stop_reason, vm::StopReason::kExited);
+  EXPECT_FALSE(env.ns().FileExists("C:\\Windows\\system32\\evil.exe"));
+  EXPECT_TRUE(result.api_trace.ContainsApi("ExitProcess"));
+}
+
+TEST(SandboxSmoke, MutationHookForcesOutcome) {
+  auto program = AssembleForSandbox(kMarkerSample);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  // Force CreateMutexA to report ERROR_ALREADY_EXISTS, as the Phase-II
+  // impact analysis would.
+  std::vector<sandbox::ApiHook> hooks;
+  hooks.push_back([](const sandbox::ApiObservation& obs)
+                      -> std::optional<sandbox::ForcedOutcome> {
+    if (obs.spec->id != sandbox::ApiId::kCreateMutexA) return std::nullopt;
+    sandbox::ForcedOutcome outcome;
+    outcome.success = true;
+    outcome.last_error = 183;
+    return outcome;
+  });
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  auto result = RunProgram(program.value(), env, RunOptions{}, hooks);
+  EXPECT_EQ(result.stop_reason, vm::StopReason::kExited);
+  EXPECT_FALSE(env.ns().FileExists("C:\\Windows\\system32\\evil.exe"));
+}
+
+// Identifier derived from the computer name via wsprintfA; checks byte-
+// level dataflow recording (flows to .rdata and the env buffer).
+constexpr const char* kDerivedNameSample = R"(
+.name derived_sample
+.rdata
+  string fmt "Global\\%s-99"
+.data
+  buffer hostname 64
+  buffer mutexname 128
+.text
+main:
+  push 64
+  push hostname
+  sys GetComputerNameA
+  add esp, 8
+  push hostname
+  push fmt
+  push mutexname
+  sys wsprintfA
+  add esp, 12
+  push mutexname
+  push 0
+  sys OpenMutexA
+  add esp, 8
+  cmp eax, 0
+  jnz found
+  hlt
+found:
+  push 0
+  sys ExitProcess
+)";
+
+TEST(SandboxSmoke, DerivedIdentifierResolvedInTrace) {
+  auto program = AssembleForSandbox(kDerivedNameSample);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.record_instructions = true;
+  auto result = RunProgram(program.value(), env, options);
+
+  EXPECT_EQ(result.stop_reason, vm::StopReason::kHalted);
+  auto calls = result.api_trace.FindCalls("OpenMutexA");
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0]->resource_identifier, "Global\\WIN-DESKTOP7-99");
+  EXPECT_TRUE(calls[0]->taint_reached_predicate);
+
+  // wsprintfA recorded flows: literal fragments from the format string
+  // plus the %s copy from the hostname buffer.
+  auto wsprintf_calls = result.api_trace.FindCalls("wsprintfA");
+  ASSERT_EQ(wsprintf_calls.size(), 1u);
+  EXPECT_GE(wsprintf_calls[0]->flows.size(), 2u);
+  // GetComputerNameA recorded an environment-origin define.
+  auto name_calls = result.api_trace.FindCalls("GetComputerNameA");
+  ASSERT_EQ(name_calls.size(), 1u);
+  ASSERT_EQ(name_calls[0]->defines.size(), 1u);
+  EXPECT_EQ(name_calls[0]->defines[0].origin, trace::DataOrigin::kEnvironment);
+  EXPECT_FALSE(result.instruction_trace.records.empty());
+}
+
+}  // namespace
+}  // namespace autovac

@@ -1,0 +1,222 @@
+// Round-trip tests for the trace and vaccine-package serializers,
+// including the property that a parsed instruction trace feeds the
+// determinism analysis identically to the live one, and that a parsed
+// vaccine slice still replays.
+#include <gtest/gtest.h>
+
+#include "analysis/determinism.h"
+#include "malware/families.h"
+#include "sandbox/sandbox.h"
+#include "trace/serialize.h"
+#include "vaccine/delivery.h"
+#include "vaccine/package.h"
+#include "vaccine/pipeline.h"
+
+namespace autovac {
+namespace {
+
+// ---- field encoding ------------------------------------------------------
+
+TEST(FieldEncoding, RoundTripsArbitraryBytes) {
+  const std::string nasty("a b%\\\n\x01\x7F\xFF mutex", 16);
+  auto decoded = trace::DecodeField(trace::EncodeField(nasty));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), nasty);
+}
+
+TEST(FieldEncoding, EmptyField) {
+  EXPECT_EQ(trace::EncodeField(""), "%00");
+  auto decoded = trace::DecodeField("%00");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), "");
+}
+
+TEST(FieldEncoding, RejectsMalformedEscapes) {
+  EXPECT_FALSE(trace::DecodeField("abc%G1").ok());
+  EXPECT_FALSE(trace::DecodeField("abc%2").ok());
+}
+
+// ---- trace round trips ------------------------------------------------------
+
+sandbox::RunResult RunZeus() {
+  auto program = malware::BuildZeus({});
+  AUTOVAC_CHECK(program.ok());
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  sandbox::RunOptions options;
+  options.record_instructions = true;
+  return sandbox::RunProgram(program.value(), env, options);
+}
+
+TEST(ApiTraceSerialize, ExactRoundTrip) {
+  auto run = RunZeus();
+  const std::string text = trace::SerializeApiTrace(run.api_trace);
+  auto parsed = trace::ParseApiTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  ASSERT_EQ(parsed->calls.size(), run.api_trace.calls.size());
+  EXPECT_EQ(parsed->stop_reason, run.api_trace.stop_reason);
+  EXPECT_EQ(parsed->cycles_used, run.api_trace.cycles_used);
+  for (size_t i = 0; i < parsed->calls.size(); ++i) {
+    const auto& a = run.api_trace.calls[i];
+    const auto& b = parsed->calls[i];
+    EXPECT_EQ(a.api_name, b.api_name) << i;
+    EXPECT_EQ(a.caller_pc, b.caller_pc) << i;
+    EXPECT_EQ(a.call_stack, b.call_stack) << i;
+    EXPECT_EQ(a.params, b.params) << i;
+    EXPECT_EQ(a.succeeded, b.succeeded) << i;
+    EXPECT_EQ(a.result, b.result) << i;
+    EXPECT_EQ(a.last_error, b.last_error) << i;
+    EXPECT_EQ(a.resource_identifier, b.resource_identifier) << i;
+    EXPECT_EQ(a.identifier_addr, b.identifier_addr) << i;
+    EXPECT_EQ(a.taint_reached_predicate, b.taint_reached_predicate) << i;
+    EXPECT_EQ(a.flows.size(), b.flows.size()) << i;
+    EXPECT_EQ(a.defines.size(), b.defines.size()) << i;
+    EXPECT_EQ(a.eax_sources.size(), b.eax_sources.size()) << i;
+    EXPECT_EQ(a.stack_args_used, b.stack_args_used) << i;
+  }
+}
+
+TEST(ApiTraceSerialize, RejectsGarbage) {
+  EXPECT_FALSE(trace::ParseApiTrace("").ok());
+  EXPECT_FALSE(trace::ParseApiTrace("BOGUS v1 0 0 0\n").ok());
+  EXPECT_FALSE(trace::ParseApiTrace("APITRACE v1 1 0 0\nC broken\n").ok());
+  EXPECT_FALSE(
+      trace::ParseApiTrace("APITRACE v1 0 0 0\nP orphan\n").ok());
+}
+
+TEST(InstructionTraceSerialize, ExactRoundTrip) {
+  auto run = RunZeus();
+  const std::string text =
+      trace::SerializeInstructionTrace(run.instruction_trace);
+  auto parsed = trace::ParseInstructionTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->records.size(), run.instruction_trace.records.size());
+  for (size_t i = 0; i < parsed->records.size(); ++i) {
+    const auto& a = run.instruction_trace.records[i];
+    const auto& b = parsed->records[i];
+    EXPECT_EQ(a.step.inst, b.step.inst) << i;
+    EXPECT_EQ(a.step.pc, b.step.pc) << i;
+    EXPECT_EQ(a.step.u1, b.step.u1) << i;
+    EXPECT_EQ(a.step.mem_addr, b.step.mem_addr) << i;
+    EXPECT_EQ(a.api_sequence, b.api_sequence) << i;
+  }
+}
+
+// Offline property (the paper's workflow): determinism analysis over the
+// PARSED traces produces the same classification as over the live ones.
+TEST(OfflineAnalysis, DeterminismFromSerializedTraces) {
+  auto program = malware::BuildConficker({});
+  AUTOVAC_CHECK(program.ok());
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  sandbox::RunOptions options;
+  options.record_instructions = true;
+  auto live = sandbox::RunProgram(program.value(), env, options);
+
+  auto api = trace::ParseApiTrace(trace::SerializeApiTrace(live.api_trace));
+  auto inst = trace::ParseInstructionTrace(
+      trace::SerializeInstructionTrace(live.instruction_trace));
+  ASSERT_TRUE(api.ok());
+  ASSERT_TRUE(inst.ok());
+
+  // Find the derived-mutex anchor in both views and compare reports.
+  uint32_t anchor = UINT32_MAX;
+  for (const auto& call : live.api_trace.calls) {
+    if (call.api_name == "OpenMutexA" && call.identifier_addr != 0) {
+      anchor = call.sequence;
+      break;
+    }
+  }
+  ASSERT_NE(anchor, UINT32_MAX);
+  auto live_report = analysis::AnalyzeIdentifier(live.instruction_trace,
+                                                 live.api_trace, anchor);
+  auto offline_report =
+      analysis::AnalyzeIdentifier(inst.value(), api.value(), anchor);
+  ASSERT_TRUE(live_report.ok());
+  ASSERT_TRUE(offline_report.ok());
+  EXPECT_EQ(live_report->cls, offline_report->cls);
+  EXPECT_EQ(live_report->identifier, offline_report->identifier);
+  EXPECT_EQ(live_report->origin_map, offline_report->origin_map);
+  EXPECT_EQ(live_report->slice_records, offline_report->slice_records);
+}
+
+// ---- vaccine packages ----------------------------------------------------------
+
+TEST(VaccinePackage, RoundTripIncludingSlice) {
+  auto program = malware::BuildConficker({});
+  AUTOVAC_CHECK(program.ok());
+  vaccine::VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+  ASSERT_FALSE(report.vaccines.empty());
+
+  const std::string package = vaccine::SerializePackage(report.vaccines);
+  auto parsed = vaccine::ParsePackage(package);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), report.vaccines.size());
+
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    const vaccine::Vaccine& a = report.vaccines[i];
+    const vaccine::Vaccine& b = (*parsed)[i];
+    EXPECT_EQ(a.identifier, b.identifier);
+    EXPECT_EQ(a.resource_type, b.resource_type);
+    EXPECT_EQ(a.simulate_presence, b.simulate_presence);
+    EXPECT_EQ(a.identifier_kind, b.identifier_kind);
+    EXPECT_EQ(a.immunization, b.immunization);
+    EXPECT_EQ(a.delivery, b.delivery);
+    EXPECT_EQ(a.pattern.text(), b.pattern.text());
+    EXPECT_EQ(a.OperationSymbols(), b.OperationSymbols());
+    EXPECT_EQ(a.slice.has_value(), b.slice.has_value());
+  }
+}
+
+TEST(VaccinePackage, ParsedSliceStillReplays) {
+  auto program = malware::BuildConficker({});
+  AUTOVAC_CHECK(program.ok());
+  vaccine::VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+
+  auto parsed =
+      vaccine::ParsePackage(vaccine::SerializePackage(report.vaccines));
+  ASSERT_TRUE(parsed.ok());
+
+  const vaccine::Vaccine* derived = nullptr;
+  for (const auto& v : *parsed) {
+    if (v.slice.has_value()) derived = &v;
+  }
+  ASSERT_NE(derived, nullptr);
+
+  // The shipped slice computes the right marker on a new machine.
+  Rng rng(31);
+  os::HostEnvironment host = os::HostEnvironment::RandomizedMachine(rng);
+  const std::string replayed =
+      vaccine::VaccineDaemon::ReplaySlice(*derived->slice, host);
+  EXPECT_EQ(replayed.substr(0, 7), "Global\\");
+  EXPECT_NE(replayed, derived->identifier);  // host-specific
+
+  // And installing the parsed package protects the machine.
+  vaccine::VaccineDaemon daemon;
+  for (const auto& v : *parsed) daemon.AddVaccine(v);
+  daemon.Install(host);
+  sandbox::RunOptions options;
+  options.enable_taint = false;
+  auto attack = sandbox::RunProgram(program.value(), host, options,
+                                    {daemon.Hook()});
+  EXPECT_EQ(attack.stop_reason, vm::StopReason::kExited);
+}
+
+TEST(VaccinePackage, RejectsGarbage) {
+  EXPECT_FALSE(vaccine::ParsePackage("").ok());
+  EXPECT_FALSE(vaccine::ParsePackage("NOTAPKG v1 0\n").ok());
+  EXPECT_FALSE(
+      vaccine::ParsePackage("VACCINEPKG v1 1\nI 1 2 3 4\n").ok());
+  EXPECT_FALSE(
+      vaccine::ParsePackage("VACCINEPKG v1 1\nV short\n").ok());
+}
+
+TEST(VaccinePackage, EmptyPackage) {
+  auto parsed = vaccine::ParsePackage(vaccine::SerializePackage({}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace autovac

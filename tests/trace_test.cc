@@ -1,0 +1,72 @@
+// Unit tests for the trace module's query and formatting helpers.
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace autovac::trace {
+namespace {
+
+ApiTrace SampleTrace() {
+  ApiTrace trace;
+  for (int i = 0; i < 3; ++i) {
+    ApiCallRecord call;
+    call.api_name = i == 1 ? "OpenMutexA" : "send";
+    call.sequence = static_cast<uint32_t>(i);
+    call.caller_pc = static_cast<uint32_t>(10 * i);
+    call.succeeded = i != 2;
+    if (i == 1) {
+      call.is_resource_api = true;
+      call.resource_type = os::ResourceType::kMutex;
+      call.operation = os::Operation::kOpen;
+      call.resource_identifier = "marker";
+      call.params = {"0x0", "\"marker\""};
+      call.last_error = 2;
+    }
+    trace.calls.push_back(std::move(call));
+  }
+  return trace;
+}
+
+TEST(ApiTrace, FindCallsFiltersByName) {
+  ApiTrace trace = SampleTrace();
+  EXPECT_EQ(trace.FindCalls("send").size(), 2u);
+  EXPECT_EQ(trace.FindCalls("OpenMutexA").size(), 1u);
+  EXPECT_TRUE(trace.FindCalls("nothing").empty());
+}
+
+TEST(ApiTrace, ContainsApi) {
+  ApiTrace trace = SampleTrace();
+  EXPECT_TRUE(trace.ContainsApi("OpenMutexA"));
+  EXPECT_FALSE(trace.ContainsApi("ExitProcess"));
+}
+
+TEST(ApiTrace, CountsMatchSize) {
+  ApiTrace trace = SampleTrace();
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.NativeCallCount(), 3u);
+}
+
+TEST(FormatApiCall, IncludesContextAndResource) {
+  ApiTrace trace = SampleTrace();
+  const std::string line = FormatApiCall(trace.calls[1]);
+  EXPECT_NE(line.find("OpenMutexA"), std::string::npos);
+  EXPECT_NE(line.find("pc=10"), std::string::npos);
+  EXPECT_NE(line.find("\"marker\""), std::string::npos);
+  EXPECT_NE(line.find("Mutex"), std::string::npos);
+  EXPECT_NE(line.find("ok"), std::string::npos);
+}
+
+TEST(FormatApiCall, MarksFailures) {
+  ApiTrace trace = SampleTrace();
+  const std::string line = FormatApiCall(trace.calls[2]);
+  EXPECT_NE(line.find("FAIL"), std::string::npos);
+}
+
+TEST(FormatApiCall, PlainCallHasNoResourceSuffix) {
+  ApiTrace trace = SampleTrace();
+  const std::string line = FormatApiCall(trace.calls[0]);
+  EXPECT_EQ(line.find('['), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autovac::trace

@@ -1,0 +1,526 @@
+// Unit tests for the vaccine layer: taxonomy, delivery (direct injection
+// per resource type + daemon hooks + slice replay), the clinic test, BDR
+// measurement, and pipeline filters.
+#include <gtest/gtest.h>
+
+#include "malware/asm_writer.h"
+#include "malware/behaviors.h"
+#include "vaccine/bdr.h"
+#include "vaccine/clinic.h"
+#include "vaccine/delivery.h"
+#include "vaccine/pipeline.h"
+#include "vaccine/report.h"
+
+namespace autovac::vaccine {
+namespace {
+
+Vaccine MakeVaccine(os::ResourceType type, const std::string& identifier,
+                    bool presence,
+                    analysis::IdentifierClass kind =
+                        analysis::IdentifierClass::kStatic) {
+  Vaccine v;
+  v.malware_name = "test";
+  v.resource_type = type;
+  v.identifier = identifier;
+  v.simulate_presence = presence;
+  v.identifier_kind = kind;
+  v.immunization = analysis::ImmunizationType::kFull;
+  v.delivery = kind == analysis::IdentifierClass::kStatic
+                   ? DeliveryMethod::kDirectInjection
+                   : DeliveryMethod::kDaemon;
+  if (kind == analysis::IdentifierClass::kPartialStatic) {
+    auto pattern = Pattern::Compile(identifier);
+    if (pattern.ok()) v.pattern = std::move(pattern).value();
+  }
+  return v;
+}
+
+// ---- direct injection per resource -------------------------------------
+
+TEST(Delivery, MutexPresence) {
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  InjectVaccine(env, MakeVaccine(os::ResourceType::kMutex, "vax-m", true),
+                "vax-m");
+  EXPECT_TRUE(env.ns().MutexExists("vax-m"));
+  // The marker resists removal.
+  EXPECT_FALSE(env.ns().ReleaseMutex("vax-m").ok);
+}
+
+TEST(Delivery, FilePresenceIsVisibleButImmutable) {
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  InjectVaccine(env,
+                MakeVaccine(os::ResourceType::kFile, "C:\\marker.exe", true),
+                "C:\\marker.exe");
+  EXPECT_TRUE(env.ns().FileExists("C:\\marker.exe"));
+  EXPECT_TRUE(env.ns().OpenFile("C:\\marker.exe").ok);      // visible
+  EXPECT_FALSE(env.ns().CreateFile("C:\\marker.exe", false).ok);  // locked
+  EXPECT_FALSE(env.ns().WriteFile("C:\\marker.exe", "x").ok);
+  EXPECT_FALSE(env.ns().DeleteFile("C:\\marker.exe").ok);
+}
+
+TEST(Delivery, FileDenialBlocksEverything) {
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  InjectVaccine(env,
+                MakeVaccine(os::ResourceType::kFile, "C:\\blocked", false),
+                "C:\\blocked");
+  EXPECT_FALSE(env.ns().OpenFile("C:\\blocked").ok);
+  EXPECT_FALSE(env.ns().ReadFile("C:\\blocked", nullptr).ok);
+  EXPECT_FALSE(env.ns().CreateFile("C:\\blocked", false).ok);
+}
+
+TEST(Delivery, RegistryWindowLibraryServiceProcess) {
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  InjectVaccine(env,
+                MakeVaccine(os::ResourceType::kRegistry, "HKCU\\Marker", true),
+                "HKCU\\Marker");
+  EXPECT_TRUE(env.ns().KeyExists("HKCU\\Marker"));
+
+  InjectVaccine(env, MakeVaccine(os::ResourceType::kWindow, "EvilWnd", true),
+                "EvilWnd");
+  EXPECT_TRUE(env.ns().FindWindow("EvilWnd", "").ok);
+  EXPECT_FALSE(env.ns().CreateWindow("EvilWnd", "t", 1).ok);
+
+  InjectVaccine(env,
+                MakeVaccine(os::ResourceType::kLibrary, "comp.dll", false),
+                "comp.dll");
+  EXPECT_FALSE(env.ns().LoadLibrary("comp.dll").ok);
+
+  InjectVaccine(env,
+                MakeVaccine(os::ResourceType::kService, "evilsvc", true),
+                "evilsvc");
+  EXPECT_FALSE(env.ns().CreateService("evilsvc", "C:\\x").ok);
+
+  InjectVaccine(env,
+                MakeVaccine(os::ResourceType::kProcess, "evil.exe", true),
+                "evil.exe");
+  EXPECT_NE(env.ns().FindProcessByName("evil.exe"), nullptr);
+}
+
+// ---- daemon --------------------------------------------------------------
+
+TEST(Daemon, InstallPartitionsByKind) {
+  VaccineDaemon daemon;
+  daemon.AddVaccine(MakeVaccine(os::ResourceType::kMutex, "m1", true));
+  daemon.AddVaccine(MakeVaccine(os::ResourceType::kMutex, "pre-*-post", true,
+                                analysis::IdentifierClass::kPartialStatic));
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  auto report = daemon.Install(env);
+  EXPECT_EQ(report.direct_injected, 1u);
+  EXPECT_EQ(report.daemon_patterns, 1u);
+  EXPECT_TRUE(env.ns().MutexExists("m1"));
+  // Pattern vaccines never materialize directly.
+  EXPECT_FALSE(env.ns().MutexExists("pre-*-post"));
+}
+
+TEST(Daemon, PatternHookForcesPresence) {
+  VaccineDaemon daemon;
+  daemon.AddVaccine(MakeVaccine(os::ResourceType::kMutex, "gen-*-sfx", true,
+                                analysis::IdentifierClass::kPartialStatic));
+  auto hook = daemon.Hook();
+  const sandbox::ApiSpec& spec =
+      sandbox::GetApiSpec(sandbox::ApiId::kOpenMutexA);
+  sandbox::ApiObservation hit{sandbox::ApiId::kOpenMutexA, &spec, 1, 0,
+                              "gen-abc123-sfx"};
+  auto outcome = hook(hit);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+
+  sandbox::ApiObservation miss{sandbox::ApiId::kOpenMutexA, &spec, 1, 0,
+                               "other-name"};
+  EXPECT_FALSE(hook(miss).has_value());
+
+  // Type mismatch: a file API with a matching name is left alone.
+  const sandbox::ApiSpec& file_spec =
+      sandbox::GetApiSpec(sandbox::ApiId::kCreateFileA);
+  sandbox::ApiObservation wrong_type{sandbox::ApiId::kCreateFileA, &file_spec,
+                                     1, 0, "gen-abc123-sfx"};
+  EXPECT_FALSE(hook(wrong_type).has_value());
+}
+
+TEST(Daemon, PatternHookForcesDenial) {
+  VaccineDaemon daemon;
+  daemon.AddVaccine(MakeVaccine(os::ResourceType::kFile, "C:\\\\x\\\\*.cfg",
+                                false,
+                                analysis::IdentifierClass::kPartialStatic));
+  auto hook = daemon.Hook();
+  const sandbox::ApiSpec& spec =
+      sandbox::GetApiSpec(sandbox::ApiId::kCreateFileA);
+  sandbox::ApiObservation hit{sandbox::ApiId::kCreateFileA, &spec, 1, 0,
+                              "C:\\x\\evil.cfg"};
+  auto outcome = hook(hit);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->success);
+  EXPECT_EQ(outcome->last_error, os::kErrorAccessDenied);
+}
+
+TEST(Daemon, CreateUnderPresencePatternSignalsAlreadyExists) {
+  VaccineDaemon daemon;
+  daemon.AddVaccine(MakeVaccine(os::ResourceType::kMutex, "mk-*", true,
+                                analysis::IdentifierClass::kPartialStatic));
+  auto hook = daemon.Hook();
+  const sandbox::ApiSpec& spec =
+      sandbox::GetApiSpec(sandbox::ApiId::kCreateMutexA);
+  sandbox::ApiObservation hit{sandbox::ApiId::kCreateMutexA, &spec, 1, 0,
+                              "mk-777"};
+  auto outcome = hook(hit);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  EXPECT_EQ(outcome->last_error, os::kErrorAlreadyExists);
+}
+
+// ---- BDR ---------------------------------------------------------------------
+
+TEST(Bdr, FullVaccineYieldsHighRatio) {
+  // Marker-exit sample: vaccinated run exits immediately.
+  malware::AsmWriter w("bdrtest");
+  malware::EmitMutexMarkerStatic(w, "bdr-marker", "bail");
+  malware::EmitNetworkBeaconLoop(w, "cc.example.net", 500);
+  malware::EmitEpilogue(w, "bail");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+
+  auto bdr = MeasureBdr(program.value(),
+                        {MakeVaccine(os::ResourceType::kMutex, "bdr-marker",
+                                     true)});
+  EXPECT_GT(bdr.native_calls_normal, 100u);
+  EXPECT_LT(bdr.native_calls_vaccinated, 10u);
+  EXPECT_GT(bdr.bdr, 0.9);
+  EXPECT_TRUE(bdr.malware_terminated_early);
+}
+
+TEST(Bdr, NoVaccinesMeansZero) {
+  malware::AsmWriter w("bdrzero");
+  malware::EmitNetworkBeaconLoop(w, "cc.example.net", 500);
+  malware::EmitEpilogue(w, "bail");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+  auto bdr = MeasureBdr(program.value(), {});
+  EXPECT_LT(bdr.bdr, 0.05);
+}
+
+// ---- clinic --------------------------------------------------------------------
+
+TEST(Clinic, HarmlessVaccinePasses) {
+  malware::AsmWriter w("benignish");
+  const std::string label = w.AddString("BenignAppMutex");
+  w.Text("push %s", label.c_str());
+  w.Text("push 1");
+  w.Text("sys CreateMutexA");
+  w.Text("add esp, 8");
+  w.Text("hlt");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+
+  auto result = RunClinicTest(
+      {MakeVaccine(os::ResourceType::kMutex, "unrelated-vax", true)},
+      {program.value()});
+  EXPECT_EQ(result.passed.size(), 1u);
+  EXPECT_TRUE(result.discarded.empty());
+}
+
+TEST(Clinic, CollidingVaccineDiscarded) {
+  // A benign program creates "SharedAppMutex" and checks for duplicates;
+  // a presence vaccine on the same name breaks it.
+  malware::AsmWriter w("benign_app");
+  malware::EmitMutexMarkerStatic(w, "SharedAppMutex", "already");
+  w.Text("hlt");
+  w.Label("already");
+  w.Text("push 0");
+  w.Text("sys ExitProcess");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+
+  auto result = RunClinicTest(
+      {MakeVaccine(os::ResourceType::kMutex, "SharedAppMutex", true)},
+      {program.value()});
+  EXPECT_TRUE(result.passed.empty());
+  ASSERT_EQ(result.discarded.size(), 1u);
+  EXPECT_EQ(result.discard_reasons[0], "benign_app");
+}
+
+TEST(Clinic, BadVaccineDoesNotMaskGoodOne) {
+  malware::AsmWriter w("benign_app2");
+  malware::EmitMutexMarkerStatic(w, "AppLock", "already");
+  w.Text("hlt");
+  w.Label("already");
+  w.Text("push 0");
+  w.Text("sys ExitProcess");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+
+  auto result = RunClinicTest(
+      {MakeVaccine(os::ResourceType::kMutex, "AppLock", true),
+       MakeVaccine(os::ResourceType::kMutex, "malware-only", true)},
+      {program.value()});
+  EXPECT_EQ(result.passed.size(), 1u);
+  EXPECT_EQ(result.passed[0].identifier, "malware-only");
+  EXPECT_EQ(result.discarded.size(), 1u);
+}
+
+// ---- vaccine formatting ------------------------------------------------------------
+
+TEST(Vaccine, SummaryAndSymbols) {
+  Vaccine v = MakeVaccine(os::ResourceType::kMutex, "m", true);
+  v.observed_operations = {'C', 'E'};
+  EXPECT_EQ(v.OperationSymbols(), "CE");
+  const std::string summary = v.Summary();
+  EXPECT_NE(summary.find("inject"), std::string::npos);
+  EXPECT_NE(summary.find("Mutex"), std::string::npos);
+  EXPECT_NE(summary.find("static"), std::string::npos);
+}
+
+TEST(Vaccine, DeliveryNames) {
+  EXPECT_EQ(DeliveryMethodName(DeliveryMethod::kDirectInjection), "Direct");
+  EXPECT_EQ(DeliveryMethodName(DeliveryMethod::kDaemon), "Daemon");
+}
+
+// ---- pipeline filters ------------------------------------------------------------
+
+TEST(Pipeline, NonSensitiveSampleFilteredInPhase1) {
+  // A sample with no resource-dependent branches at all.
+  malware::AsmWriter w("boring");
+  const std::string name = w.AddString("just-a-mutex");
+  w.Text("push %s", name.c_str());
+  w.Text("push 1");
+  w.Text("sys CreateMutexA");
+  w.Text("add esp, 8");
+  w.Text("mov eax, 1");
+  w.Text("hlt");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+
+  VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+  EXPECT_FALSE(report.resource_sensitive);
+  EXPECT_TRUE(report.vaccines.empty());
+  EXPECT_EQ(report.targets_considered, 0u);
+}
+
+TEST(Pipeline, ExclusivenessFilterCounts) {
+  malware::AsmWriter w("whitelisted");
+  malware::EmitAvLibraryCheck(w, "uxtheme.dll", "bail");
+  malware::EmitEpilogue(w, "bail");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+
+  analysis::ExclusivenessIndex index;
+  VaccinePipeline pipeline(&index);
+  auto report = pipeline.Analyze(program.value());
+  EXPECT_TRUE(report.resource_sensitive);
+  EXPECT_GT(report.filtered_not_exclusive, 0u);
+  EXPECT_TRUE(report.vaccines.empty());
+
+  // Ablation: with the filter off, the same check produces a (false
+  // positive) vaccine candidate that only the clinic would catch.
+  PipelineOptions no_filter;
+  no_filter.run_exclusiveness = false;
+  VaccinePipeline ablated(&index, no_filter);
+  auto ablated_report = ablated.Analyze(program.value());
+  EXPECT_EQ(ablated_report.filtered_not_exclusive, 0u);
+}
+
+TEST(Pipeline, ImpactFilterCountsNoImpactChecks) {
+  // A check that gates nothing has no behavioural impact.
+  malware::AsmWriter w("impactless");
+  const std::string name = w.AddString("lonely-check");
+  const std::string skip = w.NewLabel("s");
+  w.Text("push %s", name.c_str());
+  w.Text("push 0");
+  w.Text("sys OpenMutexA");
+  w.Text("add esp, 8");
+  w.Text("cmp eax, 0");
+  w.Text("jz %s", skip.c_str());
+  w.Text("nop");
+  w.Label(skip);
+  w.Text("hlt");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+
+  VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+  EXPECT_GT(report.filtered_no_impact, 0u);
+  EXPECT_TRUE(report.vaccines.empty());
+}
+
+TEST(Pipeline, DedupsVaccinesAcrossCallSites) {
+  // The same marker probed at two different sites yields one vaccine.
+  malware::AsmWriter w("twosites");
+  const std::string name = w.AddString("dup-marker");
+  for (int site = 0; site < 2; ++site) {
+    w.Text("push %s", name.c_str());
+    w.Text("push 0");
+    w.Text("sys OpenMutexA");
+    w.Text("add esp, 8");
+    w.Text("cmp eax, 0");
+    w.Text("jnz bail");
+  }
+  w.Text("push %s", name.c_str());
+  w.Text("push 1");
+  w.Text("sys CreateMutexA");
+  w.Text("add esp, 8");
+  malware::EmitNetworkBeaconLoop(w, "x.example.net", 500);
+  malware::EmitEpilogue(w, "bail");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+
+  VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+  size_t dup_count = 0;
+  for (const Vaccine& v : report.vaccines) {
+    dup_count += v.identifier == "dup-marker";
+  }
+  EXPECT_EQ(dup_count, 1u);
+}
+
+TEST(Report, RendersFunnelAndVaccines) {
+  malware::AsmWriter w("reportable");
+  malware::EmitMutexMarkerStatic(w, "rep-marker", "bail");
+  malware::EmitNetworkBeaconLoop(w, "cc.example.net", 500);
+  malware::EmitEpilogue(w, "bail");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+  VaccinePipeline pipeline(nullptr);
+  auto sample_report = pipeline.Analyze(program.value());
+  ASSERT_FALSE(sample_report.vaccines.empty());
+
+  const std::string markdown = RenderSampleReport(sample_report);
+  EXPECT_NE(markdown.find("# AUTOVAC analysis: reportable"),
+            std::string::npos);
+  EXPECT_NE(markdown.find("Phase I"), std::string::npos);
+  EXPECT_NE(markdown.find("rep-marker"), std::string::npos);
+  EXPECT_NE(markdown.find("infection marker"), std::string::npos);
+  EXPECT_NE(markdown.find("direct injection"), std::string::npos);
+}
+
+TEST(Report, NonSensitiveSampleExplainsFiltering) {
+  malware::AsmWriter w("dull");
+  w.Text("mov eax, 1");
+  w.Text("hlt");
+  auto program = w.Assemble();
+  ASSERT_TRUE(program.ok());
+  VaccinePipeline pipeline(nullptr);
+  const std::string markdown =
+      RenderSampleReport(pipeline.Analyze(program.value()));
+  EXPECT_NE(markdown.find("No program branch depends"), std::string::npos);
+}
+
+TEST(Report, SliceListingIncluded) {
+  auto program = sandbox::AssembleForSandbox(R"(
+.name slicereport
+.rdata
+  string fmt "sr-%s-x"
+.data
+  buffer host 64
+  buffer name 128
+.text
+  push 64
+  push host
+  sys GetComputerNameA
+  add esp, 8
+  push host
+  push fmt
+  push name
+  sys wsprintfA
+  add esp, 12
+  push name
+  push 0
+  sys OpenMutexA
+  add esp, 8
+  cmp eax, 0
+  jnz bail
+  push name
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  hlt
+bail:
+  push 0
+  sys ExitProcess
+)");
+  ASSERT_TRUE(program.ok());
+  VaccinePipeline pipeline(nullptr);
+  const std::string markdown =
+      RenderSampleReport(pipeline.Analyze(program.value()));
+  EXPECT_NE(markdown.find("identifier-generation slice"), std::string::npos);
+  EXPECT_NE(markdown.find("GetComputerNameA"), std::string::npos);
+  EXPECT_NE(markdown.find("```asm"), std::string::npos);
+}
+
+TEST(Daemon, RefreshRegeneratesSliceVaccinesOnHostChange) {
+  // Analyze Conficker to obtain an algorithm-deterministic vaccine.
+  auto program = sandbox::AssembleForSandbox(R"(
+.name refresher
+.rdata
+  string fmt "Global\\%s-55"
+.data
+  buffer host 64
+  buffer hex 32
+  buffer name 128
+.text
+  push 64
+  push host
+  sys GetComputerNameA
+  add esp, 8
+  push host
+  sys lstrlenA
+  add esp, 4
+  mov ecx, eax
+  push ecx
+  push host
+  push 0
+  sys RtlComputeCrc32
+  add esp, 12
+  push 16
+  push hex
+  push eax
+  sys _itoa
+  add esp, 12
+  push hex
+  push fmt
+  push name
+  sys wsprintfA
+  add esp, 12
+  push name
+  push 0
+  sys OpenMutexA
+  add esp, 8
+  cmp eax, 0
+  jnz bail
+  push name
+  push 1
+  sys CreateMutexA
+  add esp, 8
+  hlt
+bail:
+  push 0
+  sys ExitProcess
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  VaccinePipeline pipeline(nullptr);
+  auto report = pipeline.Analyze(program.value());
+  VaccineDaemon daemon;
+  for (auto& v : report.vaccines) daemon.AddVaccine(v);
+
+  os::HostEnvironment host = os::HostEnvironment::StandardMachine();
+  auto injected = daemon.Install(host);
+  ASSERT_GE(injected.slices_replayed, 1u);
+
+  // Same host: nothing to do.
+  EXPECT_EQ(daemon.RefreshIfHostChanged(host), 0u);
+
+  // The machine is renamed: the old marker no longer matches what the
+  // malware will derive; the daemon re-generates.
+  host.mutable_profile().computer_name = "WIN-RENAMED01";
+  EXPECT_GE(daemon.RefreshIfHostChanged(host), 1u);
+  EXPECT_EQ(daemon.RefreshIfHostChanged(host), 0u);  // idempotent
+
+  // The freshly minted marker protects the renamed machine.
+  sandbox::RunOptions options;
+  options.enable_taint = false;
+  auto attack = sandbox::RunProgram(program.value(), host, options,
+                                    {daemon.Hook()});
+  EXPECT_EQ(attack.stop_reason, vm::StopReason::kExited);
+}
+
+}  // namespace
+}  // namespace autovac::vaccine

@@ -1,0 +1,249 @@
+// autovac — command-line front end for the AUTOVAC pipeline.
+//
+//   autovac analyze <sample.asm> [--no-exclusiveness] [--package <out.pkg>]
+//                                 [--report <out.md>]
+//       Run Phase I+II on an assembly sample; print the vaccines and
+//       optionally write a deployable package.
+//   autovac test <sample.asm> <package.pkg>
+//       Deploy a package on a fresh machine and re-run the sample against
+//       it (normal vs vaccinated comparison + BDR).
+//   autovac trace <sample.asm> [--out <trace.txt>]
+//       Run the sample once and dump the serialized API trace.
+//   autovac disasm <sample.asm>
+//       Assemble and print the program listing.
+//
+// Samples are written in the sandbox assembly dialect (see
+// src/vm/assembler.h); everything runs inside the simulator — no real
+// binaries are executed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "malware/benign.h"
+#include "sandbox/sandbox.h"
+#include "trace/serialize.h"
+#include "vaccine/bdr.h"
+#include "vaccine/delivery.h"
+#include "vaccine/package.h"
+#include "vaccine/report.h"
+#include "vaccine/pipeline.h"
+#include "vm/disassembler.h"
+
+using namespace autovac;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: autovac <analyze|test|trace|disasm> <sample.asm> "
+               "[options]\n"
+               "  analyze <sample.asm> [--no-exclusiveness] [--package out]\n"
+               "          [--report out.md]\n"
+               "  test    <sample.asm> <package.pkg>\n"
+               "  trace   <sample.asm> [--out trace.txt]\n"
+               "  disasm  <sample.asm>\n");
+  return 2;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << text;
+  return Status::Ok();
+}
+
+Result<vm::Program> LoadSample(const std::string& path) {
+  auto source = ReadFileToString(path);
+  if (!source.ok()) return source.status();
+  return sandbox::AssembleForSandbox(source.value());
+}
+
+analysis::ExclusivenessIndex TrainIndex() {
+  analysis::ExclusivenessIndex index;
+  auto benign = malware::BuildBenignCorpus();
+  AUTOVAC_CHECK(benign.ok());
+  for (const vm::Program& app : benign.value()) {
+    os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+    sandbox::RunOptions options;
+    options.enable_taint = false;
+    index.IndexBenignTrace(app.name,
+                           sandbox::RunProgram(app, env, options).api_trace);
+  }
+  return index;
+}
+
+int CmdAnalyze(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string sample_path = argv[0];
+  bool use_exclusiveness = true;
+  std::string package_path;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-exclusiveness") == 0) {
+      use_exclusiveness = false;
+    } else if (std::strcmp(argv[i], "--package") == 0 && i + 1 < argc) {
+      package_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+
+  auto program = LoadSample(sample_path);
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sample '%s': %zu instructions, digest %s\n",
+              program->name.c_str(), program->code.size(),
+              program->Digest().c_str());
+
+  analysis::ExclusivenessIndex index;
+  if (use_exclusiveness) {
+    index = TrainIndex();
+    std::printf("exclusiveness index: %zu identifiers from the benign "
+                "corpus\n", index.size());
+  }
+  vaccine::PipelineOptions options;
+  options.run_exclusiveness = use_exclusiveness;
+  vaccine::VaccinePipeline pipeline(use_exclusiveness ? &index : nullptr,
+                                    options);
+  auto report = pipeline.Analyze(program.value());
+  if (!report_path.empty()) {
+    const Status written =
+        WriteStringToFile(report_path, vaccine::RenderSampleReport(report));
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+
+  std::printf("\nPhase-I : %zu resource-API occurrences, %zu tainted; "
+              "resource-sensitive: %s\n",
+              report.resource_api_occurrences, report.tainted_occurrences,
+              report.resource_sensitive ? "yes" : "no");
+  std::printf("Phase-II: %zu targets; filtered %zu non-exclusive, %zu "
+              "no-impact, %zu non-deterministic\n\n",
+              report.targets_considered, report.filtered_not_exclusive,
+              report.filtered_no_impact, report.filtered_non_deterministic);
+  if (report.vaccines.empty()) {
+    std::printf("no vaccines extracted.\n");
+    return 0;
+  }
+  for (const vaccine::Vaccine& v : report.vaccines) {
+    std::printf("vaccine: %s\n", v.Summary().c_str());
+  }
+
+  if (!package_path.empty()) {
+    const Status written = WriteStringToFile(
+        package_path, vaccine::SerializePackage(report.vaccines));
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\npackage written to %s (%zu vaccines)\n",
+                package_path.c_str(), report.vaccines.size());
+  }
+  return 0;
+}
+
+int CmdTest(int argc, char** argv) {
+  if (argc != 2) return Usage();
+  auto program = LoadSample(argv[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto package_text = ReadFileToString(argv[1]);
+  if (!package_text.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 package_text.status().ToString().c_str());
+    return 1;
+  }
+  auto vaccines = vaccine::ParsePackage(package_text.value());
+  if (!vaccines.ok()) {
+    std::fprintf(stderr, "error: %s\n", vaccines.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("package: %zu vaccines\n", vaccines->size());
+
+  auto bdr = vaccine::MeasureBdr(program.value(), vaccines.value());
+  std::printf("normal machine:     %zu native calls\n",
+              bdr.native_calls_normal);
+  std::printf("vaccinated machine: %zu native calls%s\n",
+              bdr.native_calls_vaccinated,
+              bdr.malware_terminated_early ? " (malware self-terminated)"
+                                           : "");
+  std::printf("BDR = %.2f\n", bdr.bdr);
+  // Success when the package demonstrably affected the sample.
+  return (bdr.bdr > 0.0 || bdr.malware_terminated_early) ? 0 : 1;
+}
+
+int CmdTrace(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto program = LoadSample(argv[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  auto run = sandbox::RunProgram(program.value(), env, {});
+  const std::string serialized = trace::SerializeApiTrace(run.api_trace);
+  if (out_path.empty()) {
+    std::fputs(serialized.c_str(), stdout);
+  } else {
+    const Status written = WriteStringToFile(out_path, serialized);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace with %zu calls written to %s\n",
+                run.api_trace.calls.size(), out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdDisasm(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  auto program = LoadSample(argv[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(
+      vm::DisassembleProgram(program.value(), sandbox::SandboxApiNamer())
+          .c_str(),
+      stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command == "analyze") return CmdAnalyze(argc - 2, argv + 2);
+  if (command == "test") return CmdTest(argc - 2, argv + 2);
+  if (command == "trace") return CmdTrace(argc - 2, argv + 2);
+  if (command == "disasm") return CmdDisasm(argc - 2, argv + 2);
+  return Usage();
+}
