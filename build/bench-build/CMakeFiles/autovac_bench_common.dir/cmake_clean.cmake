@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac_bench_common.dir/common.cc.o"
+  "CMakeFiles/autovac_bench_common.dir/common.cc.o.d"
+  "libautovac_bench_common.a"
+  "libautovac_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

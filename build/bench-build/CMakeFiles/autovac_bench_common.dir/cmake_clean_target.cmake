@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautovac_bench_common.a"
+)

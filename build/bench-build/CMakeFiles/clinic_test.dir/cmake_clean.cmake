@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/clinic_test"
+  "../bench/clinic_test.pdb"
+  "CMakeFiles/clinic_test.dir/clinic_test.cc.o"
+  "CMakeFiles/clinic_test.dir/clinic_test.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

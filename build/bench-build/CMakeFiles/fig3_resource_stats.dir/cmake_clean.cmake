@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_resource_stats"
+  "../bench/fig3_resource_stats.pdb"
+  "CMakeFiles/fig3_resource_stats.dir/fig3_resource_stats.cc.o"
+  "CMakeFiles/fig3_resource_stats.dir/fig3_resource_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_resource_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

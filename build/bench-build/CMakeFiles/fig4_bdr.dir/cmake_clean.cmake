@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_bdr"
+  "../bench/fig4_bdr.pdb"
+  "CMakeFiles/fig4_bdr.dir/fig4_bdr.cc.o"
+  "CMakeFiles/fig4_bdr.dir/fig4_bdr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

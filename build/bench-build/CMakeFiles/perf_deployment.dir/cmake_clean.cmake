@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_deployment"
+  "../bench/perf_deployment.pdb"
+  "CMakeFiles/perf_deployment.dir/perf_deployment.cc.o"
+  "CMakeFiles/perf_deployment.dir/perf_deployment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_generation"
+  "../bench/perf_generation.pdb"
+  "CMakeFiles/perf_generation.dir/perf_generation.cc.o"
+  "CMakeFiles/perf_generation.dir/perf_generation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

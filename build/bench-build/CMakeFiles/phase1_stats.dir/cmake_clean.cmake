@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/phase1_stats"
+  "../bench/phase1_stats.pdb"
+  "CMakeFiles/phase1_stats.dir/phase1_stats.cc.o"
+  "CMakeFiles/phase1_stats.dir/phase1_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase1_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_corpus"
+  "../bench/table2_corpus.pdb"
+  "CMakeFiles/table2_corpus.dir/table2_corpus.cc.o"
+  "CMakeFiles/table2_corpus.dir/table2_corpus.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

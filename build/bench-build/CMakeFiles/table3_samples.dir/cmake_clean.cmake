@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_samples"
+  "../bench/table3_samples.pdb"
+  "CMakeFiles/table3_samples.dir/table3_samples.cc.o"
+  "CMakeFiles/table3_samples.dir/table3_samples.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_vaccine_gen"
+  "../bench/table4_vaccine_gen.pdb"
+  "CMakeFiles/table4_vaccine_gen.dir/table4_vaccine_gen.cc.o"
+  "CMakeFiles/table4_vaccine_gen.dir/table4_vaccine_gen.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_vaccine_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

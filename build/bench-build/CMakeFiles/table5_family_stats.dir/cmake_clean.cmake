@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_family_stats"
+  "../bench/table5_family_stats.pdb"
+  "CMakeFiles/table5_family_stats.dir/table5_family_stats.cc.o"
+  "CMakeFiles/table5_family_stats.dir/table5_family_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_family_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

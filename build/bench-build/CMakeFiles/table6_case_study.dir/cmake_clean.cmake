@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_case_study"
+  "../bench/table6_case_study.pdb"
+  "CMakeFiles/table6_case_study.dir/table6_case_study.cc.o"
+  "CMakeFiles/table6_case_study.dir/table6_case_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_variants"
+  "../bench/table7_variants.pdb"
+  "CMakeFiles/table7_variants.dir/table7_variants.cc.o"
+  "CMakeFiles/table7_variants.dir/table7_variants.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conficker_immunization.dir/conficker_immunization.cpp.o"
+  "CMakeFiles/conficker_immunization.dir/conficker_immunization.cpp.o.d"
+  "conficker_immunization"
+  "conficker_immunization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conficker_immunization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

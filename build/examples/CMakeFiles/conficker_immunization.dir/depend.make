@@ -1,0 +1,2 @@
+# Empty dependencies file for conficker_immunization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_triage.dir/corpus_triage.cpp.o"
+  "CMakeFiles/corpus_triage.dir/corpus_triage.cpp.o.d"
+  "corpus_triage"
+  "corpus_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

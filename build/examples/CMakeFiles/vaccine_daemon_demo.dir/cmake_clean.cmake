@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaccine_daemon_demo.dir/vaccine_daemon_demo.cpp.o"
+  "CMakeFiles/vaccine_daemon_demo.dir/vaccine_daemon_demo.cpp.o.d"
+  "vaccine_daemon_demo"
+  "vaccine_daemon_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaccine_daemon_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

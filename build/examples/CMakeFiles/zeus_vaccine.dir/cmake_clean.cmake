@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeus_vaccine.dir/zeus_vaccine.cpp.o"
+  "CMakeFiles/zeus_vaccine.dir/zeus_vaccine.cpp.o.d"
+  "zeus_vaccine"
+  "zeus_vaccine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeus_vaccine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alignment.cc" "src/analysis/CMakeFiles/autovac_analysis.dir/alignment.cc.o" "gcc" "src/analysis/CMakeFiles/autovac_analysis.dir/alignment.cc.o.d"
+  "/root/repo/src/analysis/determinism.cc" "src/analysis/CMakeFiles/autovac_analysis.dir/determinism.cc.o" "gcc" "src/analysis/CMakeFiles/autovac_analysis.dir/determinism.cc.o.d"
+  "/root/repo/src/analysis/exclusiveness.cc" "src/analysis/CMakeFiles/autovac_analysis.dir/exclusiveness.cc.o" "gcc" "src/analysis/CMakeFiles/autovac_analysis.dir/exclusiveness.cc.o.d"
+  "/root/repo/src/analysis/immunization.cc" "src/analysis/CMakeFiles/autovac_analysis.dir/immunization.cc.o" "gcc" "src/analysis/CMakeFiles/autovac_analysis.dir/immunization.cc.o.d"
+  "/root/repo/src/analysis/impact.cc" "src/analysis/CMakeFiles/autovac_analysis.dir/impact.cc.o" "gcc" "src/analysis/CMakeFiles/autovac_analysis.dir/impact.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/autovac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/autovac_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/autovac_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/autovac_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/autovac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/autovac_sandbox.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac_analysis.dir/alignment.cc.o"
+  "CMakeFiles/autovac_analysis.dir/alignment.cc.o.d"
+  "CMakeFiles/autovac_analysis.dir/determinism.cc.o"
+  "CMakeFiles/autovac_analysis.dir/determinism.cc.o.d"
+  "CMakeFiles/autovac_analysis.dir/exclusiveness.cc.o"
+  "CMakeFiles/autovac_analysis.dir/exclusiveness.cc.o.d"
+  "CMakeFiles/autovac_analysis.dir/immunization.cc.o"
+  "CMakeFiles/autovac_analysis.dir/immunization.cc.o.d"
+  "CMakeFiles/autovac_analysis.dir/impact.cc.o"
+  "CMakeFiles/autovac_analysis.dir/impact.cc.o.d"
+  "libautovac_analysis.a"
+  "libautovac_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

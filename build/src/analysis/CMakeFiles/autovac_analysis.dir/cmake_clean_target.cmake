@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautovac_analysis.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/host.cc" "src/os/CMakeFiles/autovac_os.dir/host.cc.o" "gcc" "src/os/CMakeFiles/autovac_os.dir/host.cc.o.d"
+  "/root/repo/src/os/object_namespace.cc" "src/os/CMakeFiles/autovac_os.dir/object_namespace.cc.o" "gcc" "src/os/CMakeFiles/autovac_os.dir/object_namespace.cc.o.d"
+  "/root/repo/src/os/resources.cc" "src/os/CMakeFiles/autovac_os.dir/resources.cc.o" "gcc" "src/os/CMakeFiles/autovac_os.dir/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/autovac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac_os.dir/host.cc.o"
+  "CMakeFiles/autovac_os.dir/host.cc.o.d"
+  "CMakeFiles/autovac_os.dir/object_namespace.cc.o"
+  "CMakeFiles/autovac_os.dir/object_namespace.cc.o.d"
+  "CMakeFiles/autovac_os.dir/resources.cc.o"
+  "CMakeFiles/autovac_os.dir/resources.cc.o.d"
+  "libautovac_os.a"
+  "libautovac_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

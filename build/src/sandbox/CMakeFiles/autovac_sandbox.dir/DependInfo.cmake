@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sandbox/api_ids.cc" "src/sandbox/CMakeFiles/autovac_sandbox.dir/api_ids.cc.o" "gcc" "src/sandbox/CMakeFiles/autovac_sandbox.dir/api_ids.cc.o.d"
+  "/root/repo/src/sandbox/kernel.cc" "src/sandbox/CMakeFiles/autovac_sandbox.dir/kernel.cc.o" "gcc" "src/sandbox/CMakeFiles/autovac_sandbox.dir/kernel.cc.o.d"
+  "/root/repo/src/sandbox/kernel_apis.cc" "src/sandbox/CMakeFiles/autovac_sandbox.dir/kernel_apis.cc.o" "gcc" "src/sandbox/CMakeFiles/autovac_sandbox.dir/kernel_apis.cc.o.d"
+  "/root/repo/src/sandbox/sandbox.cc" "src/sandbox/CMakeFiles/autovac_sandbox.dir/sandbox.cc.o" "gcc" "src/sandbox/CMakeFiles/autovac_sandbox.dir/sandbox.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/autovac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/autovac_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/autovac_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/autovac_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/autovac_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

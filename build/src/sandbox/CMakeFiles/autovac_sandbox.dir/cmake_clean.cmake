@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac_sandbox.dir/api_ids.cc.o"
+  "CMakeFiles/autovac_sandbox.dir/api_ids.cc.o.d"
+  "CMakeFiles/autovac_sandbox.dir/kernel.cc.o"
+  "CMakeFiles/autovac_sandbox.dir/kernel.cc.o.d"
+  "CMakeFiles/autovac_sandbox.dir/kernel_apis.cc.o"
+  "CMakeFiles/autovac_sandbox.dir/kernel_apis.cc.o.d"
+  "CMakeFiles/autovac_sandbox.dir/sandbox.cc.o"
+  "CMakeFiles/autovac_sandbox.dir/sandbox.cc.o.d"
+  "libautovac_sandbox.a"
+  "libautovac_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

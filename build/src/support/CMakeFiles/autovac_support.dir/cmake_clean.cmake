@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac_support.dir/digest.cc.o"
+  "CMakeFiles/autovac_support.dir/digest.cc.o.d"
+  "CMakeFiles/autovac_support.dir/logging.cc.o"
+  "CMakeFiles/autovac_support.dir/logging.cc.o.d"
+  "CMakeFiles/autovac_support.dir/pattern.cc.o"
+  "CMakeFiles/autovac_support.dir/pattern.cc.o.d"
+  "CMakeFiles/autovac_support.dir/rng.cc.o"
+  "CMakeFiles/autovac_support.dir/rng.cc.o.d"
+  "CMakeFiles/autovac_support.dir/status.cc.o"
+  "CMakeFiles/autovac_support.dir/status.cc.o.d"
+  "CMakeFiles/autovac_support.dir/strings.cc.o"
+  "CMakeFiles/autovac_support.dir/strings.cc.o.d"
+  "CMakeFiles/autovac_support.dir/table.cc.o"
+  "CMakeFiles/autovac_support.dir/table.cc.o.d"
+  "libautovac_support.a"
+  "libautovac_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac_taint.dir/engine.cc.o"
+  "CMakeFiles/autovac_taint.dir/engine.cc.o.d"
+  "CMakeFiles/autovac_taint.dir/labels.cc.o"
+  "CMakeFiles/autovac_taint.dir/labels.cc.o.d"
+  "CMakeFiles/autovac_taint.dir/taint_map.cc.o"
+  "CMakeFiles/autovac_taint.dir/taint_map.cc.o.d"
+  "libautovac_taint.a"
+  "libautovac_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for autovac_taint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac_trace.dir/serialize.cc.o"
+  "CMakeFiles/autovac_trace.dir/serialize.cc.o.d"
+  "CMakeFiles/autovac_trace.dir/trace.cc.o"
+  "CMakeFiles/autovac_trace.dir/trace.cc.o.d"
+  "libautovac_trace.a"
+  "libautovac_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

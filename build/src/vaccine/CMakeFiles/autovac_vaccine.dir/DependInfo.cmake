@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vaccine/bdr.cc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/bdr.cc.o" "gcc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/bdr.cc.o.d"
+  "/root/repo/src/vaccine/clinic.cc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/clinic.cc.o" "gcc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/clinic.cc.o.d"
+  "/root/repo/src/vaccine/delivery.cc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/delivery.cc.o" "gcc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/delivery.cc.o.d"
+  "/root/repo/src/vaccine/package.cc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/package.cc.o" "gcc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/package.cc.o.d"
+  "/root/repo/src/vaccine/pipeline.cc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/pipeline.cc.o" "gcc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/pipeline.cc.o.d"
+  "/root/repo/src/vaccine/report.cc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/report.cc.o" "gcc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/report.cc.o.d"
+  "/root/repo/src/vaccine/vaccine.cc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/vaccine.cc.o" "gcc" "src/vaccine/CMakeFiles/autovac_vaccine.dir/vaccine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/autovac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/autovac_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/autovac_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/autovac_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/autovac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/autovac_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/autovac_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac_vaccine.dir/bdr.cc.o"
+  "CMakeFiles/autovac_vaccine.dir/bdr.cc.o.d"
+  "CMakeFiles/autovac_vaccine.dir/clinic.cc.o"
+  "CMakeFiles/autovac_vaccine.dir/clinic.cc.o.d"
+  "CMakeFiles/autovac_vaccine.dir/delivery.cc.o"
+  "CMakeFiles/autovac_vaccine.dir/delivery.cc.o.d"
+  "CMakeFiles/autovac_vaccine.dir/package.cc.o"
+  "CMakeFiles/autovac_vaccine.dir/package.cc.o.d"
+  "CMakeFiles/autovac_vaccine.dir/pipeline.cc.o"
+  "CMakeFiles/autovac_vaccine.dir/pipeline.cc.o.d"
+  "CMakeFiles/autovac_vaccine.dir/report.cc.o"
+  "CMakeFiles/autovac_vaccine.dir/report.cc.o.d"
+  "CMakeFiles/autovac_vaccine.dir/vaccine.cc.o"
+  "CMakeFiles/autovac_vaccine.dir/vaccine.cc.o.d"
+  "libautovac_vaccine.a"
+  "libautovac_vaccine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac_vaccine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

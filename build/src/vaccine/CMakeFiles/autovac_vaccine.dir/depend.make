@@ -1,0 +1,2 @@
+# Empty dependencies file for autovac_vaccine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/assembler.cc" "src/vm/CMakeFiles/autovac_vm.dir/assembler.cc.o" "gcc" "src/vm/CMakeFiles/autovac_vm.dir/assembler.cc.o.d"
+  "/root/repo/src/vm/cpu.cc" "src/vm/CMakeFiles/autovac_vm.dir/cpu.cc.o" "gcc" "src/vm/CMakeFiles/autovac_vm.dir/cpu.cc.o.d"
+  "/root/repo/src/vm/disassembler.cc" "src/vm/CMakeFiles/autovac_vm.dir/disassembler.cc.o" "gcc" "src/vm/CMakeFiles/autovac_vm.dir/disassembler.cc.o.d"
+  "/root/repo/src/vm/isa.cc" "src/vm/CMakeFiles/autovac_vm.dir/isa.cc.o" "gcc" "src/vm/CMakeFiles/autovac_vm.dir/isa.cc.o.d"
+  "/root/repo/src/vm/memory.cc" "src/vm/CMakeFiles/autovac_vm.dir/memory.cc.o" "gcc" "src/vm/CMakeFiles/autovac_vm.dir/memory.cc.o.d"
+  "/root/repo/src/vm/program.cc" "src/vm/CMakeFiles/autovac_vm.dir/program.cc.o" "gcc" "src/vm/CMakeFiles/autovac_vm.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/autovac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

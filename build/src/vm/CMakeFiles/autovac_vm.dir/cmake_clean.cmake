@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac_vm.dir/assembler.cc.o"
+  "CMakeFiles/autovac_vm.dir/assembler.cc.o.d"
+  "CMakeFiles/autovac_vm.dir/cpu.cc.o"
+  "CMakeFiles/autovac_vm.dir/cpu.cc.o.d"
+  "CMakeFiles/autovac_vm.dir/disassembler.cc.o"
+  "CMakeFiles/autovac_vm.dir/disassembler.cc.o.d"
+  "CMakeFiles/autovac_vm.dir/isa.cc.o"
+  "CMakeFiles/autovac_vm.dir/isa.cc.o.d"
+  "CMakeFiles/autovac_vm.dir/memory.cc.o"
+  "CMakeFiles/autovac_vm.dir/memory.cc.o.d"
+  "CMakeFiles/autovac_vm.dir/program.cc.o"
+  "CMakeFiles/autovac_vm.dir/program.cc.o.d"
+  "libautovac_vm.a"
+  "libautovac_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

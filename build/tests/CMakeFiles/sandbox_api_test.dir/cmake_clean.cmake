@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_api_test.dir/sandbox_api_test.cc.o"
+  "CMakeFiles/sandbox_api_test.dir/sandbox_api_test.cc.o.d"
+  "sandbox_api_test"
+  "sandbox_api_test.pdb"
+  "sandbox_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_smoke_test.dir/sandbox_smoke_test.cc.o"
+  "CMakeFiles/sandbox_smoke_test.dir/sandbox_smoke_test.cc.o.d"
+  "sandbox_smoke_test"
+  "sandbox_smoke_test.pdb"
+  "sandbox_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/serialize_test.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/serialize_test.dir/serialize_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/autovac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/autovac_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/autovac_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/autovac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/autovac_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/autovac_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/autovac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vaccine/CMakeFiles/autovac_vaccine.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/autovac_malware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaccine_test.dir/vaccine_test.cc.o"
+  "CMakeFiles/vaccine_test.dir/vaccine_test.cc.o.d"
+  "vaccine_test"
+  "vaccine_test.pdb"
+  "vaccine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaccine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

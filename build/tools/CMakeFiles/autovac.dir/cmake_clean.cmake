@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autovac.dir/autovac_cli.cpp.o"
+  "CMakeFiles/autovac.dir/autovac_cli.cpp.o.d"
+  "autovac"
+  "autovac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autovac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
