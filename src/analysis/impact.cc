@@ -96,12 +96,16 @@ ImpactResult RunImpactAnalysis(const vm::Program& sample,
   sandbox::RunOptions run_options;
   run_options.cycle_budget = options.cycle_budget;
   run_options.enable_taint = false;  // second round: behaviour only
+  run_options.limits = options.limits;
+  run_options.fault_plan = options.fault_plan;
 
   auto run = sandbox::RunProgram(sample, env, run_options,
                                  {MakeMutationHook(target)});
   result.effect =
       ClassifyImmunization(natural, run.api_trace, options.classifier);
   result.mutated_trace = std::move(run.api_trace);
+  result.stop_reason = run.stop_reason;
+  result.faults_injected = run.faults_injected;
   return result;
 }
 

@@ -59,11 +59,19 @@ struct ImpactResult {
   MutationTarget target;
   ImmunizationEffect effect;
   trace::ApiTrace mutated_trace;
+  // How the mutated run ended — abnormal stops drive the pipeline's
+  // retry-with-reduced-budget policy.
+  vm::StopReason stop_reason = vm::StopReason::kRunning;
+  size_t faults_injected = 0;
 };
 
 struct ImpactOptions {
   uint64_t cycle_budget = sandbox::kOneMinuteBudget;
   ClassifierOptions classifier;
+  // Execution-envelope caps for the mutated re-run; 0 = unlimited.
+  sandbox::RunLimits limits;
+  // Optional deterministic fault schedule for the mutated re-run.
+  const sandbox::FaultPlan* fault_plan = nullptr;
 };
 
 // Runs the mutated execution for one target against a fresh copy of the

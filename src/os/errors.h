@@ -9,11 +9,16 @@ namespace autovac::os {
 
 inline constexpr uint32_t kErrorSuccess = 0;
 inline constexpr uint32_t kErrorFileNotFound = 2;       // 0x02 (Table I)
+inline constexpr uint32_t kErrorTooManyOpenFiles = 4;   // handle-table full
 inline constexpr uint32_t kErrorAccessDenied = 5;
 inline constexpr uint32_t kErrorInvalidHandle = 6;
+inline constexpr uint32_t kErrorNotEnoughMemory = 8;
 inline constexpr uint32_t kErrorReadFault = 30;         // 0x1E (Table I)
 inline constexpr uint32_t kErrorSharingViolation = 32;
+inline constexpr uint32_t kErrorDiskFull = 112;         // disk-full writes
 inline constexpr uint32_t kErrorAlreadyExists = 183;
+inline constexpr uint32_t kErrorNoMoreItems = 259;
+inline constexpr uint32_t kErrorNoSystemResources = 1450;  // object quota
 inline constexpr uint32_t kErrorServiceExists = 1073;
 inline constexpr uint32_t kErrorServiceDoesNotExist = 1060;
 inline constexpr uint32_t kErrorModNotFound = 126;

@@ -393,6 +393,14 @@ void ObjectNamespace::InjectVaccineService(std::string_view name) {
   services_[Canonical(name)] = std::move(service);
 }
 
+// --- resource accounting --------------------------------------------------------
+
+size_t ObjectNamespace::TotalFileBytes() const {
+  size_t total = 0;
+  for (const auto& [key, file] : files_) total += file.content.size();
+  return total;
+}
+
 // --- enumeration ---------------------------------------------------------------
 
 std::vector<std::string> ObjectNamespace::FileNames() const {

@@ -113,6 +113,16 @@ class ObjectNamespace {
   void InjectVaccineKey(std::string_view path, uint32_t deny_mask);
   void InjectVaccineService(std::string_view name);
 
+  // --- resource accounting (fault-injection quotas) -------------------
+  // Total named objects (files, mutexes, registry keys, services,
+  // windows); the namespace-quota check of the fault layer.
+  [[nodiscard]] size_t ObjectCount() const {
+    return files_.size() + mutexes_.size() + registry_.size() +
+           services_.size() + windows_.size();
+  }
+  // Sum of all file content sizes (disk-full simulation).
+  [[nodiscard]] size_t TotalFileBytes() const;
+
   // Enumeration for reports/diffing.
   [[nodiscard]] std::vector<std::string> FileNames() const;
   [[nodiscard]] std::vector<std::string> MutexNames() const;

@@ -1,0 +1,147 @@
+#include "sandbox/faults.h"
+
+#include "os/errors.h"
+#include "support/strings.h"
+
+namespace autovac::sandbox {
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kFailCall: return "fail";
+    case FaultAction::kDropHooks: return "drop-hooks";
+    case FaultAction::kDelayCall: return "delay";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::Randomized(uint64_t seed, double fault_rate) {
+  FaultPlan plan(seed);
+  Rng rng(HashSeed("fault-plan") ^ seed);
+
+  // Error codes a hostile environment plausibly surfaces.
+  const std::vector<uint32_t> errors = {
+      os::kErrorAccessDenied,      os::kErrorFileNotFound,
+      os::kErrorNotEnoughMemory,   os::kErrorNoSystemResources,
+      os::kErrorTooManyOpenFiles,  os::kErrorDiskFull,
+      os::kErrorSharingViolation,
+  };
+
+  // Blanket flakiness: every API may fail with probability fault_rate.
+  FaultRule blanket;
+  blanket.probability = fault_rate;
+  blanket.error = rng.Pick(errors);
+  plan.AddRule(blanket);
+
+  // A few deterministic one-shot failures at exact occurrences, the kind
+  // of fault a campaign must be able to replay precisely.
+  const size_t one_shots = 1 + rng.NextBelow(3);
+  for (size_t i = 0; i < one_shots; ++i) {
+    FaultRule rule;
+    rule.api = static_cast<ApiId>(rng.NextBelow(kNumApis));
+    rule.occurrence = static_cast<int32_t>(rng.NextBelow(8));
+    rule.error = rng.Pick(errors);
+    plan.AddRule(rule);
+  }
+
+  if (rng.NextBool(0.5)) {
+    FaultRule drop;
+    drop.action = FaultAction::kDropHooks;
+    drop.probability = fault_rate / 2;
+    plan.AddRule(drop);
+  }
+  if (rng.NextBool(0.5)) {
+    FaultRule delay;
+    delay.action = FaultAction::kDelayCall;
+    delay.probability = fault_rate;
+    delay.delay_cycles = 100 + rng.NextBelow(5000);
+    plan.AddRule(delay);
+  }
+
+  ResourceQuotas quotas;
+  if (rng.NextBool(0.3)) {
+    quotas.max_handles = static_cast<uint32_t>(4 + rng.NextBelow(60));
+  }
+  if (rng.NextBool(0.3)) {
+    quotas.max_objects = static_cast<uint32_t>(50 + rng.NextBelow(150));
+  }
+  if (rng.NextBool(0.3)) {
+    quotas.max_file_bytes = 64 + rng.NextBelow(4096);
+  }
+  plan.set_quotas(quotas);
+  return plan;
+}
+
+std::string FaultPlan::Summary() const {
+  std::string out = StrFormat("fault-plan seed=%llu rules=%zu",
+                              static_cast<unsigned long long>(seed_),
+                              rules_.size());
+  for (const FaultRule& rule : rules_) {
+    out += StrFormat(
+        " [%s %s %s err=%u]", FaultActionName(rule.action),
+        rule.api == ApiId::kApiCount ? "*"
+                                     : std::string(ApiName(rule.api)).c_str(),
+        rule.occurrence >= 0 ? StrFormat("occ=%d", rule.occurrence).c_str()
+                             : StrFormat("p=%.3f", rule.probability).c_str(),
+        rule.error);
+  }
+  if (!quotas_.Unlimited()) {
+    out += StrFormat(" quotas[handles=%u objects=%u file_bytes=%llu]",
+                     quotas_.max_handles, quotas_.max_objects,
+                     static_cast<unsigned long long>(quotas_.max_file_bytes));
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      rng_(HashSeed("fault-injector") ^ plan.seed()),
+      calls_seen_(kNumApis + 1, 0),
+      rule_fired_(plan.rules().size(), false) {}
+
+FaultInjector::Decision FaultInjector::OnApiCall(ApiId id) {
+  Decision decision;
+  const uint32_t seen_api = calls_seen_[static_cast<size_t>(id)]++;
+  const uint32_t seen_any = calls_seen_[kNumApis]++;
+
+  const std::vector<FaultRule>& rules = plan_.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& rule = rules[i];
+    if (rule.api != ApiId::kApiCount && rule.api != id) continue;
+
+    bool fires = false;
+    if (rule.occurrence >= 0) {
+      const uint32_t seen =
+          rule.api == ApiId::kApiCount ? seen_any : seen_api;
+      if (!rule_fired_[i] &&
+          seen == static_cast<uint32_t>(rule.occurrence)) {
+        fires = true;
+        rule_fired_[i] = true;
+      }
+    } else if (rule.probability > 0.0) {
+      // One draw per matching rule per call keeps the stream aligned
+      // across runs regardless of which rules fire.
+      fires = rng_.NextBool(rule.probability);
+    }
+    if (!fires) continue;
+
+    ++faults_injected_;
+    switch (rule.action) {
+      case FaultAction::kFailCall:
+        if (!decision.fail) {
+          decision.fail = true;
+          decision.error =
+              rule.error == 0 ? os::kErrorAccessDenied : rule.error;
+        }
+        break;
+      case FaultAction::kDropHooks:
+        decision.drop_hooks = true;
+        break;
+      case FaultAction::kDelayCall:
+        decision.delay_cycles += rule.delay_cycles;
+        break;
+    }
+  }
+  return decision;
+}
+
+}  // namespace autovac::sandbox

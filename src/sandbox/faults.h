@@ -1,0 +1,122 @@
+// Deterministic fault injection for the sandbox kernel.
+//
+// Real-world profiling campaigns (§VI) run thousands of hostile samples
+// whose environments fail in every way an OS can fail: API errors,
+// handle-table exhaustion, namespace quotas, full disks, dropped or
+// delayed instrumentation callbacks. A FaultPlan describes such an
+// environment as data — seedable and bit-for-bit reproducible — and a
+// FaultInjector replays it against one run. When no plan is installed the
+// kernel pays a single null-pointer test per API call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sandbox/api_ids.h"
+#include "support/rng.h"
+
+namespace autovac::sandbox {
+
+// What a triggered rule does to the matched API call.
+enum class FaultAction : uint8_t {
+  kFailCall = 0,  // force failure with `error` before the real semantics
+  kDropHooks,     // suppress interposition hooks for this call
+  kDelayCall,     // consume extra virtual cycles (slow I/O, contention)
+};
+
+[[nodiscard]] const char* FaultActionName(FaultAction action);
+
+// One injection rule. Matches calls by API id (kApiCount = any API) and
+// triggers either on an exact occurrence index or with a probability.
+struct FaultRule {
+  ApiId api = ApiId::kApiCount;  // kApiCount matches every API
+  // Fires exactly once, on the `occurrence`-th matching call (0-based);
+  // negative = trigger by probability instead.
+  int32_t occurrence = -1;
+  double probability = 0.0;  // per-call trigger chance when occurrence < 0
+  FaultAction action = FaultAction::kFailCall;
+  uint32_t error = 0;           // last-error code for kFailCall
+  uint64_t delay_cycles = 0;    // virtual cycles for kDelayCall
+};
+
+// Simulated resource-exhaustion ceilings; 0 means unlimited. Quotas are
+// checked against live kernel/namespace state before each call, so they
+// model "the machine ran out", not "this call fails once".
+struct ResourceQuotas {
+  uint32_t max_handles = 0;     // open handles (handle-table full)
+  uint32_t max_objects = 0;     // named objects in the namespace
+  uint64_t max_file_bytes = 0;  // total stored file bytes (disk full)
+
+  [[nodiscard]] bool Unlimited() const {
+    return max_handles == 0 && max_objects == 0 && max_file_bytes == 0;
+  }
+};
+
+// A reproducible fault schedule: rules plus quotas plus the seed that
+// drives every probabilistic draw. Immutable once built — per-run state
+// lives in the FaultInjector, so one plan can serve a whole campaign.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(uint64_t seed) : seed_(seed) {}
+
+  void AddRule(FaultRule rule) { rules_.push_back(rule); }
+  void set_quotas(ResourceQuotas quotas) { quotas_ = quotas; }
+
+  [[nodiscard]] uint64_t seed() const { return seed_; }
+  [[nodiscard]] const std::vector<FaultRule>& rules() const { return rules_; }
+  [[nodiscard]] const ResourceQuotas& quotas() const { return quotas_; }
+  [[nodiscard]] bool empty() const {
+    return rules_.empty() && quotas_.Unlimited();
+  }
+
+  // Chaos-campaign generator: a randomized but fully seed-determined mix
+  // of probabilistic failures, occurrence-indexed failures, dropped
+  // hooks, delays, and (sometimes) tight resource quotas. `fault_rate` is
+  // the approximate per-call probability of the blanket failure rule.
+  [[nodiscard]] static FaultPlan Randomized(uint64_t seed, double fault_rate);
+
+  // One-line description for logs and CLI banners.
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  uint64_t seed_ = 0;
+  std::vector<FaultRule> rules_;
+  ResourceQuotas quotas_;
+};
+
+// Per-run dispatcher: owns the occurrence counters and the probability
+// stream, so two runs under the same plan inject identical faults.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  // Combined verdict for one API call, evaluated before its semantics.
+  struct Decision {
+    bool fail = false;          // force the call to fail...
+    uint32_t error = 0;         // ...with this last-error code
+    bool drop_hooks = false;    // skip interposition hooks
+    uint64_t delay_cycles = 0;  // extra virtual time to charge
+  };
+
+  // Advances the injector's state (counters + probability stream) and
+  // returns what to do with this call.
+  [[nodiscard]] Decision OnApiCall(ApiId id);
+
+  [[nodiscard]] const ResourceQuotas& quotas() const {
+    return plan_.quotas();
+  }
+  [[nodiscard]] size_t faults_injected() const { return faults_injected_; }
+  void CountQuotaDenial() { ++faults_injected_; }
+
+ private:
+  const FaultPlan& plan_;
+  Rng rng_;
+  // Calls seen so far per API id, plus one slot for the any-API wildcard.
+  std::vector<uint32_t> calls_seen_;
+  std::vector<bool> rule_fired_;  // occurrence rules fire at most once
+  size_t faults_injected_ = 0;
+};
+
+}  // namespace autovac::sandbox

@@ -5,6 +5,20 @@
 namespace autovac::sandbox {
 namespace {
 
+// APIs whose semantics append bytes to stored files — the disk-full
+// quota gate.
+bool IsDiskWrite(ApiId id) {
+  switch (id) {
+    case ApiId::kWriteFile:
+    case ApiId::kCopyFileA:
+    case ApiId::kMoveFileA:
+    case ApiId::kURLDownloadToFileA:
+      return true;
+    default:
+      return false;
+  }
+}
+
 HandleKind KindForResource(os::ResourceType type) {
   switch (type) {
     case os::ResourceType::kFile: return HandleKind::kFile;
@@ -138,20 +152,59 @@ void Kernel::OnSyscall(vm::Cpu& cpu, int64_t api_id) {
   // Every API costs a little virtual time.
   cpu.ConsumeCycles(spec.is_network ? 20 * kCyclesPerMilli : 50);
 
+  // --- fault injection (chaos campaigns, resource exhaustion) ----------
+  // Zero-cost when no injector is installed: one pointer test.
+  FaultInjector::Decision fault;
+  if (injector_ != nullptr) {
+    fault = injector_->OnApiCall(id);
+    if (fault.delay_cycles != 0) cpu.ConsumeCycles(fault.delay_cycles);
+    if (!fault.fail) {
+      // Quotas model the machine running out, checked against live state.
+      const ResourceQuotas& quotas = injector_->quotas();
+      if (quotas.max_handles != 0 && spec.returns_handle &&
+          handles_.size() >= quotas.max_handles) {
+        fault.fail = true;
+        fault.error = os::kErrorTooManyOpenFiles;
+        injector_->CountQuotaDenial();
+      } else if (quotas.max_objects != 0 && spec.is_resource_api &&
+                 spec.operation == os::Operation::kCreate &&
+                 env_.ns().ObjectCount() >= quotas.max_objects) {
+        fault.fail = true;
+        fault.error = os::kErrorNoSystemResources;
+        injector_->CountQuotaDenial();
+      } else if (quotas.max_file_bytes != 0 && IsDiskWrite(id) &&
+                 env_.ns().TotalFileBytes() >= quotas.max_file_bytes) {
+        fault.fail = true;
+        fault.error = os::kErrorDiskFull;
+        injector_->CountQuotaDenial();
+      }
+    }
+  }
+
   // --- interposition (mutation hooks / vaccine daemon) -----------------
   ApiObservation observation{id, &spec, record.caller_pc, record.sequence,
                              record.resource_identifier};
   std::optional<ForcedOutcome> forced;
-  for (const ApiHook& hook : hooks_) {
-    forced = hook(observation);
-    if (forced.has_value()) break;
+  if (!fault.drop_hooks) {
+    for (const ApiHook& hook : hooks_) {
+      forced = hook(observation);
+      if (forced.has_value()) break;
+    }
   }
 
   pending_taint_outputs_.clear();
   pending_eax_sources_.clear();
   pending_eax_label_ = taint::kEmptySet;
 
-  if (forced.has_value()) {
+  if (fault.fail) {
+    // An injected environment failure outranks any interposition: the
+    // machine failed before the daemon could matter.
+    last_error_ = fault.error;
+    cpu.SetResult(SynthesizeResult(spec, /*success=*/false, last_error_,
+                                   record.resource_identifier));
+    record.succeeded = false;
+    record.fault_injected = true;
+  } else if (forced.has_value()) {
     // Note: a forced success may still carry an error code — the
     // CreateMutexA infection marker is "success + ERROR_ALREADY_EXISTS".
     last_error_ = forced->last_error;
@@ -210,6 +263,9 @@ void Kernel::OnSyscall(vm::Cpu& cpu, int64_t api_id) {
   }
 
   trace_.calls.push_back(std::move(record));
+  if (max_api_records_ != 0 && trace_.calls.size() >= max_api_records_) {
+    cpu.RequestStop(vm::StopReason::kTraceLimit);
+  }
 }
 
 }  // namespace autovac::sandbox

@@ -12,6 +12,7 @@
 
 #include "os/host_environment.h"
 #include "sandbox/api_ids.h"
+#include "sandbox/faults.h"
 #include "sandbox/handle_table.h"
 #include "sandbox/hooks.h"
 #include "taint/engine.h"
@@ -35,6 +36,14 @@ class Kernel : public vm::SyscallHandler {
   void OnSyscall(vm::Cpu& cpu, int64_t api_id) override;
 
   void AddHook(ApiHook hook) { hooks_.push_back(std::move(hook)); }
+
+  // Installs a per-run fault injector (may be null — the default — in
+  // which case the dispatch path pays one pointer test per call).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  // Stops the run with StopReason::kTraceLimit once the API trace holds
+  // this many records; 0 = unlimited.
+  void set_max_api_records(size_t cap) { max_api_records_ = cap; }
 
   [[nodiscard]] trace::ApiTrace& trace() { return trace_; }
   [[nodiscard]] const trace::ApiTrace& trace() const { return trace_; }
@@ -63,6 +72,8 @@ class Kernel : public vm::SyscallHandler {
   trace::ApiTrace trace_;
   HandleTable handles_;
   std::vector<ApiHook> hooks_;
+  FaultInjector* injector_ = nullptr;
+  size_t max_api_records_ = 0;
   std::vector<uint32_t> shadow_stack_;
   uint32_t last_error_ = 0;
   uint32_t self_pid_ = 0;

@@ -373,7 +373,7 @@ void Kernel::Execute(ApiId id, const ApiSpec& spec, vm::Cpu& cpu,
         }
       }
       if (index >= children.size()) {
-        fail(259, 259);  // ERROR_NO_MORE_ITEMS
+        fail(os::kErrorNoMoreItems, os::kErrorNoMoreItems);
         break;
       }
       const uint32_t written = write_out(buffer, children[index], capacity,
@@ -934,7 +934,7 @@ void Kernel::Execute(ApiId id, const ApiSpec& spec, vm::Cpu& cpu,
     case ApiId::kVirtualAlloc: {
       const uint32_t size = (arg(0) + 15u) & ~15u;
       if (heap_cursor_ + size >= vm::kHeapEnd) {
-        fail(0, 8);  // ERROR_NOT_ENOUGH_MEMORY
+        fail(0, os::kErrorNotEnoughMemory);
         break;
       }
       const uint32_t address = heap_cursor_;

@@ -10,8 +10,16 @@ namespace {
 class Instrumentation : public vm::ExecutionObserver {
  public:
   Instrumentation(Kernel& kernel, taint::TaintEngine* taint,
-                  trace::InstructionTrace* inst_trace)
-      : kernel_(kernel), taint_(taint), inst_trace_(inst_trace) {}
+                  trace::InstructionTrace* inst_trace,
+                  size_t max_inst_records)
+      : kernel_(kernel),
+        taint_(taint),
+        inst_trace_(inst_trace),
+        max_inst_records_(max_inst_records) {}
+
+  // The observer interface sees a const Cpu; truncating the run on a
+  // trace cap needs the mutable one, attached after construction.
+  void set_cpu(vm::Cpu* cpu) { cpu_ = cpu; }
 
   void OnStep(const vm::Cpu& cpu, const vm::StepInfo& step) override {
     (void)cpu;
@@ -30,6 +38,11 @@ class Instrumentation : public vm::ExecutionObserver {
             sequence < 0 ? UINT32_MAX : static_cast<uint32_t>(sequence);
       }
       inst_trace_->records.push_back(record);
+      if (max_inst_records_ != 0 &&
+          inst_trace_->records.size() >= max_inst_records_ &&
+          cpu_ != nullptr) {
+        cpu_->RequestStop(vm::StopReason::kTraceLimit);
+      }
     }
   }
 
@@ -37,6 +50,8 @@ class Instrumentation : public vm::ExecutionObserver {
   Kernel& kernel_;
   taint::TaintEngine* taint_;
   trace::InstructionTrace* inst_trace_;
+  size_t max_inst_records_ = 0;
+  vm::Cpu* cpu_ = nullptr;
 };
 
 }  // namespace
@@ -58,17 +73,30 @@ RunResult RunProgram(const vm::Program& program, os::HostEnvironment& env,
   Kernel kernel(env, taint_engine.get(), image_name);
   for (const ApiHook& hook : hooks) kernel.AddHook(hook);
 
+  // Per-run fault-injection state over the shared, immutable plan.
+  std::unique_ptr<FaultInjector> injector;
+  if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
+    injector = std::make_unique<FaultInjector>(*options.fault_plan);
+    kernel.set_fault_injector(injector.get());
+  }
+  kernel.set_max_api_records(options.limits.max_api_records);
+
   vm::Memory memory;
   program.LoadInto(memory);
   vm::Cpu cpu(program, memory);
   cpu.set_syscall_handler(&kernel);
+  cpu.set_call_depth_limit(options.limits.max_call_depth);
+  cpu.set_api_call_limit(options.limits.max_api_calls);
 
   Instrumentation instrumentation(
       kernel, taint_engine.get(),
-      options.record_instructions ? &result.instruction_trace : nullptr);
+      options.record_instructions ? &result.instruction_trace : nullptr,
+      options.limits.max_instruction_records);
+  instrumentation.set_cpu(&cpu);
   cpu.set_observer(&instrumentation);
 
   result.stop_reason = cpu.Run(options.cycle_budget);
+  if (injector != nullptr) result.faults_injected = injector->faults_injected();
   if (options.capture_cstring_addr != 0) {
     result.captured_output = memory.ReadCString(options.capture_cstring_addr);
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "os/host_environment.h"
+#include "sandbox/faults.h"
 #include "sandbox/hooks.h"
 #include "sandbox/kernel.h"
 #include "taint/engine.h"
@@ -17,6 +18,16 @@
 #include "vm/program.h"
 
 namespace autovac::sandbox {
+
+// Execution-envelope caps beyond the cycle budget; 0 = unlimited. A
+// tripped cap stops the run with the matching StopReason (kCallDepthLimit,
+// kApiCallLimit, kTraceLimit) instead of faulting or growing unboundedly.
+struct RunLimits {
+  uint32_t max_call_depth = 0;
+  uint64_t max_api_calls = 0;
+  size_t max_instruction_records = 0;
+  size_t max_api_records = 0;
+};
 
 struct RunOptions {
   // The paper profiles each sample for 1 minute (§VI-B).
@@ -29,6 +40,12 @@ struct RunOptions {
   // When non-zero, read a C string at this address after the run (used by
   // the vaccine daemon to capture a replayed slice's output identifier).
   uint32_t capture_cstring_addr = 0;
+  // Hard caps on call depth, API calls and trace growth.
+  RunLimits limits;
+  // Deterministic fault schedule for this run; null (the default) injects
+  // nothing and costs one pointer test per API call. The plan is shared,
+  // immutable state — per-run counters live inside RunProgram.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 struct RunResult {
@@ -42,6 +59,8 @@ struct RunResult {
   std::shared_ptr<taint::LabelStore> labels;
   // Contents of capture_cstring_addr after the run.
   std::string captured_output;
+  // Faults the injection layer delivered (0 when no plan was installed).
+  size_t faults_injected = 0;
 
   [[nodiscard]] bool AnyTaintedPredicate() const { return !predicates.empty(); }
 };

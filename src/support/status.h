@@ -147,7 +147,37 @@ class Result {
 namespace internal {
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
                               const std::string& message);
+
+// Normalizes Status / Result<T> to Status for AUTOVAC_RETURN_IF_ERROR.
+inline Status ToStatus(Status status) { return status; }
+template <typename T>
+Status ToStatus(const Result<T>& result) {
+  return result.status();
+}
 }  // namespace internal
+
+// Propagates a non-OK Status (or the status of a Result<T>) out of the
+// enclosing function, which may itself return Status or any Result<U>.
+#define AUTOVAC_RETURN_IF_ERROR(expr)                                     \
+  do {                                                                    \
+    if (auto _autovac_st = (expr); !_autovac_st.ok()) {                   \
+      return ::autovac::internal::ToStatus(std::move(_autovac_st));       \
+    }                                                                     \
+  } while (0)
+
+// Evaluates a Result<T> expression; on success assigns the value to
+// `lhs` (which may declare a new variable), on error returns the status.
+#define AUTOVAC_ASSIGN_OR_RETURN(lhs, expr)                               \
+  AUTOVAC_ASSIGN_OR_RETURN_IMPL_(                                         \
+      AUTOVAC_MACRO_CONCAT_(_autovac_result_, __LINE__), lhs, expr)
+
+#define AUTOVAC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)                    \
+  auto tmp = (expr);                                                      \
+  if (!tmp.ok()) return tmp.status();                                     \
+  lhs = std::move(tmp).value()
+
+#define AUTOVAC_MACRO_CONCAT_INNER_(a, b) a##b
+#define AUTOVAC_MACRO_CONCAT_(a, b) AUTOVAC_MACRO_CONCAT_INNER_(a, b)
 
 // Programmer-error assertion, active in all build types.
 #define AUTOVAC_CHECK(expr)                                              \

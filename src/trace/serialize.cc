@@ -68,7 +68,7 @@ std::string SerializeApiTrace(const ApiTrace& trace) {
                                   trace.cycles_used));
   for (const ApiCallRecord& call : trace.calls) {
     out += StrFormat(
-        "C %u %s %u %d %u %u %d %d %d %u %s %u %u %d %u\n", call.sequence,
+        "C %u %s %u %d %u %u %d %d %d %u %s %u %u %d %u %d\n", call.sequence,
         EncodeField(call.api_name).c_str(), call.caller_pc,
         call.succeeded ? 1 : 0, call.result, call.last_error,
         call.is_resource_api ? 1 : 0,
@@ -77,7 +77,7 @@ std::string SerializeApiTrace(const ApiTrace& trace) {
         static_cast<unsigned>(call.stack_args_used),
         EncodeField(call.resource_identifier).c_str(), call.identifier_addr,
         call.identifier_len, call.taint_reached_predicate ? 1 : 0,
-        call.was_forced ? 1 : 0);
+        call.was_forced ? 1 : 0, call.fault_injected ? 1 : 0);
     if (!call.call_stack.empty()) {
       out += "S";
       for (uint32_t pc : call.call_stack) out += StrFormat(" %u", pc);
@@ -133,7 +133,8 @@ Result<ApiTrace> ParseApiTrace(std::string_view text) {
     }
 
     if (tokens[0] == "C") {
-      if (tokens.size() != 16) {
+      // 16 tokens = legacy records without the fault-injected flag.
+      if (tokens.size() != 16 && tokens.size() != 17) {
         return Status::InvalidArgument("bad C record: " + std::string(line));
       }
       ApiCallRecord call;
@@ -145,6 +146,13 @@ Result<ApiTrace> ParseApiTrace(std::string_view text) {
         if (!ParseU32(tokens[indices[i]], &fields[i])) {
           return Status::InvalidArgument("bad C field");
         }
+      }
+      if (tokens.size() == 17) {
+        uint32_t faulted = 0;
+        if (!ParseU32(tokens[16], &faulted)) {
+          return Status::InvalidArgument("bad C field");
+        }
+        call.fault_injected = faulted != 0;
       }
       auto name = DecodeField(tokens[2]);
       auto identifier = DecodeField(tokens[11]);
@@ -184,9 +192,8 @@ Result<ApiTrace> ParseApiTrace(std::string_view text) {
         current->call_stack.push_back(pc);
       }
     } else if (tokens[0] == "P" && tokens.size() == 2) {
-      auto param = DecodeField(tokens[1]);
-      if (!param.ok()) return param.status();
-      current->params.push_back(param.value());
+      AUTOVAC_ASSIGN_OR_RETURN(std::string param, DecodeField(tokens[1]));
+      current->params.push_back(std::move(param));
     } else if (tokens[0] == "F" && tokens.size() == 5) {
       DataFlow flow;
       if (!ParseU32(tokens[1], &flow.dst) ||

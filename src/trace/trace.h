@@ -83,6 +83,12 @@ struct ApiCallRecord {
 
   // True when a hook (mutation or vaccine daemon) overrode the result.
   bool was_forced = false;
+
+  // True when the fault-injection layer failed the call (chaos campaigns,
+  // simulated resource exhaustion) — distinct from was_forced so the
+  // differential analyses can tell vaccines from injected environment
+  // failures.
+  bool fault_injected = false;
 };
 
 // A full API trace for one run.

@@ -133,9 +133,8 @@ Result<std::vector<Vaccine>> ParsePackage(std::string_view text) {
       v.immunization = static_cast<analysis::ImmunizationType>(fields[4]);
       v.delivery = static_cast<DeliveryMethod>(fields[5]);
       v.identifier = identifier.value();
-      auto pattern = Pattern::Compile(pattern_text.value());
-      if (!pattern.ok()) return pattern.status();
-      v.pattern = std::move(pattern).value();
+      AUTOVAC_ASSIGN_OR_RETURN(v.pattern,
+                               Pattern::Compile(pattern_text.value()));
       v.behavior_decreasing_ratio = std::atof(tokens[11].c_str());
       for (char c : opsyms.value()) v.observed_operations.insert(c);
       vaccines.push_back(std::move(v));
@@ -189,9 +188,7 @@ Result<std::vector<Vaccine>> ParsePackage(std::string_view text) {
       if (!ParseU32(tokens[1], &blob.address)) {
         return Status::InvalidArgument("bad B address");
       }
-      auto bytes = UnhexBytes(tokens[2]);
-      if (!bytes.ok()) return bytes.status();
-      blob.bytes = std::move(bytes).value();
+      AUTOVAC_ASSIGN_OR_RETURN(blob.bytes, UnhexBytes(tokens[2]));
       current.slice->program.data.push_back(std::move(blob));
       --pending_data;
     } else {

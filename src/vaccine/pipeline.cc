@@ -1,11 +1,49 @@
 #include "vaccine/pipeline.h"
 
+#include <algorithm>
 #include <set>
 
 #include "sandbox/sandbox.h"
 #include "support/logging.h"
 
 namespace autovac::vaccine {
+namespace {
+
+// An abnormal end to a sandbox run: the machine faulted or tripped an
+// execution-envelope cap, so the trace may be truncated mid-behaviour.
+bool AbnormalStop(vm::StopReason reason) {
+  switch (reason) {
+    case vm::StopReason::kFault:
+    case vm::StopReason::kCallDepthLimit:
+    case vm::StopReason::kApiCallLimit:
+    case vm::StopReason::kTraceLimit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Degradation ladder: a target whose impact is proven but whose
+// determinism analysis crashed still yields a vaccine — demoted to the
+// daemon with a literal match on the concrete identifier, no slice.
+Vaccine DemotedVaccine(const vm::Program& sample, const SampleReport& report,
+                       const analysis::MutationTarget& target,
+                       const analysis::ImpactResult& impact) {
+  Vaccine vaccine;
+  vaccine.malware_name = sample.name;
+  vaccine.malware_digest = report.sample_digest;
+  vaccine.resource_type = target.resource_type;
+  vaccine.operation = target.operation;
+  vaccine.identifier = target.identifier;
+  vaccine.simulate_presence = target.SimulatesPresence();
+  vaccine.identifier_kind = analysis::IdentifierClass::kStatic;
+  vaccine.immunization = impact.effect.type;
+  vaccine.pattern = Pattern::Literal(target.identifier);
+  vaccine.delivery = DeliveryMethod::kDaemon;
+  return vaccine;
+}
+
+}  // namespace
 
 VaccinePipeline::VaccinePipeline(const analysis::ExclusivenessIndex* index,
                                  PipelineOptions options)
@@ -15,34 +53,90 @@ os::HostEnvironment VaccinePipeline::BaselineMachine() const {
   return os::HostEnvironment::StandardMachine(options_.machine_seed);
 }
 
-SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
-  SampleReport report;
-  report.sample_name = sample.name;
-  report.sample_digest = sample.Digest();
+analysis::ImpactResult VaccinePipeline::RunImpactWithRetry(
+    const vm::Program& sample, const os::HostEnvironment& baseline,
+    const trace::ApiTrace& natural, const analysis::MutationTarget& target,
+    SampleReport& report) const {
+  analysis::ImpactOptions impact_options = options_.impact;
+  impact_options.limits = options_.limits;
+  impact_options.fault_plan = options_.fault_plan;
 
-  // ---- Phase-I: candidate selection ---------------------------------
-  os::HostEnvironment phase1_env = BaselineMachine();
-  sandbox::RunOptions phase1_options;
-  phase1_options.cycle_budget = options_.phase1_budget;
-  phase1_options.enable_taint = true;
-  phase1_options.record_instructions = true;  // for determinism analysis
-  auto phase1 = sandbox::RunProgram(sample, phase1_env, phase1_options);
+  analysis::ImpactResult impact = analysis::RunImpactAnalysis(
+      sample, baseline, natural, target, impact_options);
+  report.faults_injected += impact.faults_injected;
 
-  report.phase1_stop = phase1.stop_reason;
+  size_t retries = 0;
+  while (AbnormalStop(impact.stop_reason) &&
+         retries < options_.max_impact_retries) {
+    ++retries;
+    ++report.impact_retries;
+    // A shorter leash: the retry must finish inside half the budget, so
+    // a run that keeps tripping its envelope converges to "no impact"
+    // instead of burning the whole campaign's time.
+    impact_options.cycle_budget =
+        std::max<uint64_t>(impact_options.cycle_budget / 2, 1);
+    impact = analysis::RunImpactAnalysis(sample, baseline, natural, target,
+                                         impact_options);
+    report.faults_injected += impact.faults_injected;
+  }
+  return impact;
+}
+
+Result<Vaccine> VaccinePipeline::BuildVaccine(
+    const vm::Program& sample, const sandbox::RunResult& phase1,
+    const analysis::MutationTarget& target,
+    const analysis::ImpactResult& impact, SampleReport& report) const {
+  // Anchor at a call that carries the identifier string in memory
+  // (handle-based occurrences defer to the opener).
+  uint32_t anchor = target.anchor_sequence;
+  if (phase1.api_trace.calls[anchor].identifier_addr == 0) {
+    for (const trace::ApiCallRecord& call : phase1.api_trace.calls) {
+      if (call.resource_identifier == target.identifier &&
+          call.identifier_addr != 0) {
+        anchor = call.sequence;
+        break;
+      }
+    }
+  }
+  AUTOVAC_ASSIGN_OR_RETURN(
+      const analysis::DeterminismReport determinism,
+      analysis::AnalyzeIdentifier(phase1.instruction_trace, phase1.api_trace,
+                                  anchor, options_.determinism));
+  if (determinism.cls == analysis::IdentifierClass::kNonDeterministic) {
+    // "we delete all the entirely random identifiers" (§IV-C).
+    return Status::OutOfRange("entirely random identifier");
+  }
+
+  Vaccine vaccine;
+  vaccine.malware_name = sample.name;
+  vaccine.malware_digest = report.sample_digest;
+  vaccine.resource_type = target.resource_type;
+  vaccine.operation = target.operation;
+  vaccine.identifier = target.identifier;
+  vaccine.simulate_presence = target.SimulatesPresence();
+  vaccine.identifier_kind = determinism.cls;
+  vaccine.immunization = impact.effect.type;
+  vaccine.pattern = determinism.pattern;
+  vaccine.delivery = determinism.cls == analysis::IdentifierClass::kStatic
+                         ? DeliveryMethod::kDirectInjection
+                         : DeliveryMethod::kDaemon;
+  if (determinism.cls == analysis::IdentifierClass::kAlgorithmDeterministic) {
+    auto slice = analysis::ExtractSlice(sample, phase1.instruction_trace,
+                                        phase1.api_trace, determinism, anchor);
+    if (slice.ok()) vaccine.slice = std::move(slice).value();
+  }
   for (const trace::ApiCallRecord& call : phase1.api_trace.calls) {
-    if (!call.is_resource_api) continue;
-    ++report.resource_api_occurrences;
-    if (call.taint_reached_predicate) ++report.tainted_occurrences;
+    if (call.is_resource_api &&
+        call.resource_identifier == target.identifier) {
+      vaccine.observed_operations.insert(os::OperationSymbol(call.operation));
+    }
   }
-  report.resource_sensitive = phase1.AnyTaintedPredicate();
-  if (!report.resource_sensitive) {
-    // "if we find no program branches depend on any system resource, we
-    // filter this malware" (§II-B).
-    report.natural_trace = std::move(phase1.api_trace);
-    return report;
-  }
+  return vaccine;
+}
 
-  // ---- Phase-II -------------------------------------------------------
+void VaccinePipeline::AnalyzePhase2(const vm::Program& sample,
+                                    const sandbox::RunResult& phase1,
+                                    SampleReport& report) const {
   std::vector<analysis::MutationTarget> targets =
       analysis::CollectMutationTargets(phase1.api_trace);
   report.targets_considered = targets.size();
@@ -74,74 +168,113 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
     }
     ++impact_runs;
 
-    // Step-II: impact.
-    analysis::ImpactResult impact = analysis::RunImpactAnalysis(
-        sample, baseline, phase1.api_trace, target, options_.impact);
+    // Step-II: impact. A crash here leaves the effect unknown, so the
+    // target is dropped — the rest of the sample keeps analyzing.
+    analysis::ImpactResult impact;
+    try {
+      impact = RunImpactWithRetry(sample, baseline, phase1.api_trace, target,
+                                  report);
+    } catch (const std::exception& e) {
+      ++report.targets_faulted;
+      LogInfo("sample %s: impact analysis crashed for %s: %s",
+              sample.name.c_str(), target.identifier.c_str(), e.what());
+      continue;
+    }
     if (impact.effect.type == analysis::ImmunizationType::kNone) {
       ++report.filtered_no_impact;
       continue;
     }
 
-    // Step-III: determinism. Anchor at a call that carries the identifier
-    // string in memory (handle-based occurrences defer to the opener).
-    uint32_t anchor = target.anchor_sequence;
-    if (phase1.api_trace.calls[anchor].identifier_addr == 0) {
-      for (const trace::ApiCallRecord& call : phase1.api_trace.calls) {
-        if (call.resource_identifier == target.identifier &&
-            call.identifier_addr != 0) {
-          anchor = call.sequence;
-          break;
-        }
+    // Step-III: determinism + assembly. The target is already proven
+    // impactful, so a crash demotes the vaccine instead of dropping it.
+    try {
+      auto vaccine = BuildVaccine(sample, phase1, target, impact, report);
+      if (!vaccine.ok()) {
+        ++report.filtered_non_deterministic;
+        continue;
       }
-    }
-    auto determinism = analysis::AnalyzeIdentifier(
-        phase1.instruction_trace, phase1.api_trace, anchor,
-        options_.determinism);
-    if (!determinism.ok()) {
-      ++report.filtered_non_deterministic;
-      continue;
-    }
-    if (determinism->cls == analysis::IdentifierClass::kNonDeterministic) {
-      // "we delete all the entirely random identifiers" (§IV-C).
-      ++report.filtered_non_deterministic;
-      continue;
-    }
-
-    // ---- assemble the vaccine ----------------------------------------
-    Vaccine vaccine;
-    vaccine.malware_name = sample.name;
-    vaccine.malware_digest = report.sample_digest;
-    vaccine.resource_type = target.resource_type;
-    vaccine.operation = target.operation;
-    vaccine.identifier = target.identifier;
-    vaccine.simulate_presence = target.SimulatesPresence();
-    vaccine.identifier_kind = determinism->cls;
-    vaccine.immunization = impact.effect.type;
-    vaccine.pattern = determinism->pattern;
-    vaccine.delivery =
-        determinism->cls == analysis::IdentifierClass::kStatic
-            ? DeliveryMethod::kDirectInjection
-            : DeliveryMethod::kDaemon;
-    if (determinism->cls ==
-        analysis::IdentifierClass::kAlgorithmDeterministic) {
-      auto slice = analysis::ExtractSlice(sample, phase1.instruction_trace,
-                                          phase1.api_trace, *determinism,
-                                          anchor);
-      if (slice.ok()) vaccine.slice = std::move(slice).value();
-    }
-    for (const trace::ApiCallRecord& call : phase1.api_trace.calls) {
-      if (call.is_resource_api &&
-          call.resource_identifier == target.identifier) {
-        vaccine.observed_operations.insert(
-            os::OperationSymbol(call.operation));
-      }
+      report.vaccines.push_back(std::move(vaccine).value());
+    } catch (const std::exception& e) {
+      ++report.targets_faulted;
+      ++report.vaccines_demoted;
+      LogInfo("sample %s: determinism analysis crashed for %s, demoting: %s",
+              sample.name.c_str(), target.identifier.c_str(), e.what());
+      report.vaccines.push_back(DemotedVaccine(sample, report, target,
+                                               impact));
     }
     vaccine_keys.insert({target.resource_type, target.identifier});
-    report.vaccines.push_back(std::move(vaccine));
   }
+}
+
+SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
+  SampleReport report;
+  report.sample_name = sample.name;
+  report.sample_digest = sample.Digest();
+
+  // ---- Phase-I: candidate selection ---------------------------------
+  sandbox::RunResult phase1;
+  try {
+    os::HostEnvironment phase1_env = BaselineMachine();
+    sandbox::RunOptions phase1_options;
+    phase1_options.cycle_budget = options_.phase1_budget;
+    phase1_options.enable_taint = true;
+    phase1_options.record_instructions = true;  // for determinism analysis
+    phase1_options.limits = options_.limits;
+    phase1_options.fault_plan = options_.fault_plan;
+    phase1 = sandbox::RunProgram(sample, phase1_env, phase1_options);
+  } catch (const std::exception& e) {
+    report.phase1_status =
+        Status::Internal(std::string("phase-1 crash: ") + e.what());
+    return report;
+  }
+  report.faults_injected += phase1.faults_injected;
+
+  report.phase1_stop = phase1.stop_reason;
+  for (const trace::ApiCallRecord& call : phase1.api_trace.calls) {
+    if (!call.is_resource_api) continue;
+    ++report.resource_api_occurrences;
+    if (call.taint_reached_predicate) ++report.tainted_occurrences;
+  }
+  report.resource_sensitive = phase1.AnyTaintedPredicate();
+  if (report.resource_sensitive) {
+    // ---- Phase-II ---------------------------------------------------
+    try {
+      AnalyzePhase2(sample, phase1, report);
+    } catch (const std::exception& e) {
+      report.phase2_status =
+          Status::Internal(std::string("phase-2 crash: ") + e.what());
+    }
+  }
+  // else: "if we find no program branches depend on any system resource,
+  // we filter this malware" (§II-B).
 
   report.natural_trace = std::move(phase1.api_trace);
   return report;
+}
+
+CampaignReport AnalyzeCampaign(const VaccinePipeline& pipeline,
+                               const std::vector<vm::Program>& samples) {
+  CampaignReport campaign;
+  campaign.reports.reserve(samples.size());
+  for (const vm::Program& sample : samples) {
+    SampleReport report;
+    try {
+      report = pipeline.Analyze(sample);
+    } catch (const std::exception& e) {
+      // Last-resort isolation: Analyze's own catch blocks should make
+      // this unreachable, but a hostile sample must never kill the wave.
+      report.sample_name = sample.name;
+      report.phase1_status =
+          Status::Internal(std::string("analysis crash: ") + e.what());
+      ++campaign.samples_failed;
+    }
+    if (!report.Clean()) ++campaign.samples_degraded;
+    campaign.total_vaccines += report.vaccines.size();
+    campaign.total_demoted += report.vaccines_demoted;
+    campaign.total_faults_injected += report.faults_injected;
+    campaign.reports.push_back(std::move(report));
+  }
+  return campaign;
 }
 
 }  // namespace autovac::vaccine

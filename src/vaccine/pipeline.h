@@ -13,6 +13,7 @@
 #include "analysis/exclusiveness.h"
 #include "analysis/impact.h"
 #include "os/host_environment.h"
+#include "support/status.h"
 #include "vaccine/vaccine.h"
 #include "vm/program.h"
 
@@ -29,6 +30,14 @@ struct PipelineOptions {
   size_t max_targets = 24;
   // Entropy seed for the analysis machine.
   uint64_t machine_seed = 7;
+  // Execution-envelope caps applied to every sandbox run the pipeline
+  // makes (phase-1 and mutation re-runs); 0 = unlimited.
+  sandbox::RunLimits limits;
+  // Optional deterministic fault schedule, applied to every sandbox run.
+  const sandbox::FaultPlan* fault_plan = nullptr;
+  // Retries (with halved cycle budget each time) for a mutation re-run
+  // that stops abnormally — a fault or a tripped envelope cap.
+  size_t max_impact_retries = 1;
 };
 
 // Per-sample outcome of Phase-I and Phase-II.
@@ -42,16 +51,43 @@ struct SampleReport {
   bool resource_sensitive = false; // flagged "possibly has a vaccine"
   vm::StopReason phase1_stop = vm::StopReason::kRunning;
 
+  // Error taxonomy: each phase reports its own health. A non-OK status
+  // means the phase crashed (was isolated), not that it filtered the
+  // sample — the report stays well-formed either way.
+  Status phase1_status = Status::Ok();
+  Status phase2_status = Status::Ok();
+
   // Phase-II counters.
   size_t targets_considered = 0;
   size_t filtered_not_exclusive = 0;
   size_t filtered_no_impact = 0;
   size_t filtered_non_deterministic = 0;
 
+  // Resilience counters.
+  size_t impact_retries = 0;    // abnormal-stop re-runs (halved budget)
+  size_t targets_faulted = 0;   // targets dropped by an isolated crash
+  size_t vaccines_demoted = 0;  // determinism crash ⇒ daemon fallback
+  size_t faults_injected = 0;   // across every sandbox run of this sample
+
   std::vector<Vaccine> vaccines;
 
   // Retained for corpus-level statistics benches.
   trace::ApiTrace natural_trace;
+
+  // True when both phases ran to completion without an isolated crash.
+  [[nodiscard]] bool Clean() const {
+    return phase1_status.ok() && phase2_status.ok() && targets_faulted == 0;
+  }
+};
+
+// Aggregate outcome of analyzing a whole wave of samples.
+struct CampaignReport {
+  std::vector<SampleReport> reports;
+  size_t samples_failed = 0;   // Analyze itself threw (last-resort catch)
+  size_t samples_degraded = 0; // report returned, but not Clean()
+  size_t total_vaccines = 0;
+  size_t total_demoted = 0;
+  size_t total_faults_injected = 0;
 };
 
 class VaccinePipeline {
@@ -69,8 +105,34 @@ class VaccinePipeline {
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
 
  private:
+  // Phase-II body; exceptions escape to Analyze's isolation layer.
+  void AnalyzePhase2(const vm::Program& sample,
+                     const sandbox::RunResult& phase1,
+                     SampleReport& report) const;
+
+  // One mutation re-run, retried with a halved cycle budget while the run
+  // stops abnormally (fault or tripped envelope cap).
+  [[nodiscard]] analysis::ImpactResult RunImpactWithRetry(
+      const vm::Program& sample, const os::HostEnvironment& baseline,
+      const trace::ApiTrace& natural, const analysis::MutationTarget& target,
+      SampleReport& report) const;
+
+  // Determinism analysis + vaccine assembly for one proven-impactful
+  // target. Filter outcomes come back as non-OK statuses; exceptions
+  // escape to the caller, which demotes instead of dropping.
+  [[nodiscard]] Result<Vaccine> BuildVaccine(
+      const vm::Program& sample, const sandbox::RunResult& phase1,
+      const analysis::MutationTarget& target,
+      const analysis::ImpactResult& impact, SampleReport& report) const;
+
   const analysis::ExclusivenessIndex* index_;
   PipelineOptions options_;
 };
+
+// Crash-isolated campaign runner: analyzes every sample, converting even
+// an escaped Analyze exception into a well-formed (failed) SampleReport
+// so one hostile sample cannot abort the wave.
+[[nodiscard]] CampaignReport AnalyzeCampaign(
+    const VaccinePipeline& pipeline, const std::vector<vm::Program>& samples);
 
 }  // namespace autovac::vaccine

@@ -138,9 +138,7 @@ class AssemblerImpl {
 
     std::string bytes;
     if (kind == "string") {
-      auto parsed = ParseStringLiteral(value, line);
-      if (!parsed.ok()) return parsed.status();
-      bytes = std::move(parsed).value();
+      AUTOVAC_ASSIGN_OR_RETURN(bytes, ParseStringLiteral(value, line));
       bytes.push_back('\0');
     } else if (kind == "buffer") {
       uint64_t size = 0;
@@ -425,31 +423,29 @@ class AssemblerImpl {
       if (auto s = want(2); !s.ok()) return s;
       auto reg = ParseReg(operands[0]);
       if (!reg) return Error(line, mnemonic + " destination must be register");
-      auto mem = ParseMem(operands[1], line);
-      if (!mem.ok()) return mem.status();
+      AUTOVAC_ASSIGN_OR_RETURN(const auto mem, ParseMem(operands[1], line));
       const Op op = mnemonic == "load" ? Op::kLoad
                     : mnemonic == "loadb" ? Op::kLoadB
                                           : Op::kLea;
-      if (mem->symbol.empty()) {
-        Emit(op, *reg, mem->base, mem->disp);
+      if (mem.symbol.empty()) {
+        Emit(op, *reg, mem.base, mem.disp);
       } else {
-        EmitWithSymbol(op, *reg, Reg::kNone, mem->symbol,
-                       /*code_only=*/false, mem->disp, line);
+        EmitWithSymbol(op, *reg, Reg::kNone, mem.symbol,
+                       /*code_only=*/false, mem.disp, line);
       }
       return Status::Ok();
     }
     if (mnemonic == "store" || mnemonic == "storeb") {
       if (auto s = want(2); !s.ok()) return s;
-      auto mem = ParseMem(operands[0], line);
-      if (!mem.ok()) return mem.status();
+      AUTOVAC_ASSIGN_OR_RETURN(const auto mem, ParseMem(operands[0], line));
       auto reg = ParseReg(operands[1]);
       if (!reg) return Error(line, mnemonic + " source must be register");
       const Op op = mnemonic == "store" ? Op::kStore : Op::kStoreB;
-      if (mem->symbol.empty()) {
-        Emit(op, mem->base, *reg, mem->disp);
+      if (mem.symbol.empty()) {
+        Emit(op, mem.base, *reg, mem.disp);
       } else {
-        EmitWithSymbol(op, Reg::kNone, *reg, mem->symbol,
-                       /*code_only=*/false, mem->disp, line);
+        EmitWithSymbol(op, Reg::kNone, *reg, mem.symbol,
+                       /*code_only=*/false, mem.disp, line);
       }
       return Status::Ok();
     }

@@ -11,6 +11,9 @@ const char* StopReasonName(StopReason reason) {
     case StopReason::kExited: return "exited";
     case StopReason::kFault: return "fault";
     case StopReason::kBudgetExhausted: return "budget-exhausted";
+    case StopReason::kCallDepthLimit: return "call-depth-limit";
+    case StopReason::kApiCallLimit: return "api-call-limit";
+    case StopReason::kTraceLimit: return "trace-limit";
   }
   return "?";
 }
@@ -280,18 +283,28 @@ StopReason Cpu::Step() {
     case Op::kCall:
       if (!push32(pc_ + 1)) return stop_reason_;
       branch_to(true);
+      ++call_depth_;
+      if (call_depth_limit_ != 0 && call_depth_ > call_depth_limit_) {
+        pending_stop_ = StopReason::kCallDepthLimit;
+      }
       break;
     case Op::kRet: {
       uint32_t target = 0;
       if (!pop32(&target)) return stop_reason_;
       step.branch_taken = true;
       next_pc = target;
+      if (call_depth_ > 0) --call_depth_;
       break;
     }
     case Op::kSys:
       // Expose the stack pointer at trap time so offline analyses can
       // locate the call's argument slots.
       step.u1 = reg(Reg::kEsp);
+      ++api_calls_;
+      if (api_call_limit_ != 0 && api_calls_ > api_call_limit_) {
+        pending_stop_ = StopReason::kApiCallLimit;
+        break;  // over budget: the trap is not delivered
+      }
       if (syscall_ != nullptr) {
         syscall_->OnSyscall(*this, inst.imm);
         step.result = reg(Reg::kEax);
@@ -305,6 +318,10 @@ StopReason Cpu::Step() {
 
   if (exit_requested_ && stop_reason_ == StopReason::kRunning) {
     stop_reason_ = StopReason::kExited;
+  }
+  if (pending_stop_ != StopReason::kRunning &&
+      stop_reason_ == StopReason::kRunning) {
+    stop_reason_ = pending_stop_;
   }
   if (stop_reason_ == StopReason::kRunning) pc_ = next_pc;
   return stop_reason_;

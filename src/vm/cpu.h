@@ -22,6 +22,9 @@ enum class StopReason {
   kExited,           // kernel requested termination (ExitProcess etc.)
   kFault,            // memory violation / bad pc / stack overflow
   kBudgetExhausted,  // virtual-time budget spent (the paper's "1 minute")
+  kCallDepthLimit,   // call stack grew past the configured depth cap
+  kApiCallLimit,     // more syscalls than the configured API-call cap
+  kTraceLimit,       // instruction/API trace reached its size cap
 };
 
 [[nodiscard]] const char* StopReasonName(StopReason reason);
@@ -87,6 +90,20 @@ class Cpu {
   // Kernel-initiated termination (ExitProcess / TerminateProcess(self)).
   void RequestExit() { exit_requested_ = true; }
 
+  // Deferred stop with an explicit reason, honoured after the current
+  // instruction (and its observer callbacks) retire. Used by the sandbox
+  // to truncate runs whose traces hit their size caps.
+  void RequestStop(StopReason reason) { pending_stop_ = reason; }
+
+  // --- execution envelope ----------------------------------------------
+  // Hard caps beyond the cycle budget; 0 means unlimited. Exceeding a cap
+  // stops the run with the matching StopReason instead of growing state
+  // unboundedly.
+  void set_call_depth_limit(uint32_t limit) { call_depth_limit_ = limit; }
+  void set_api_call_limit(uint64_t limit) { api_call_limit_ = limit; }
+  [[nodiscard]] uint32_t call_depth() const { return call_depth_; }
+  [[nodiscard]] uint64_t api_calls() const { return api_calls_; }
+
   // Virtual clock: syscalls such as Sleep consume extra cycles.
   void ConsumeCycles(uint64_t cycles) { cycles_used_ += cycles; }
   [[nodiscard]] uint64_t cycles_used() const { return cycles_used_; }
@@ -121,6 +138,11 @@ class Cpu {
   bool zf_ = false;
   bool sf_ = false;
   bool exit_requested_ = false;
+  StopReason pending_stop_ = StopReason::kRunning;
+  uint32_t call_depth_ = 0;
+  uint32_t call_depth_limit_ = 0;
+  uint64_t api_calls_ = 0;
+  uint64_t api_call_limit_ = 0;
   uint64_t cycles_used_ = 0;
   StopReason stop_reason_ = StopReason::kRunning;
   std::string fault_;

@@ -1,0 +1,489 @@
+// Chaos harness for the fault-injection layer: the malware corpus is
+// analyzed under many seeded FaultPlans — injected API failures, dropped
+// hooks, delays, resource quotas, tight execution envelopes — and every
+// run must come back as a well-formed SampleReport, never a crash.
+// Plus targeted coverage of each fault path: quota exhaustion, occurrence
+// rules, hook drops, envelope limits, and serialization round-trips.
+#include <gtest/gtest.h>
+
+#include "malware/corpus.h"
+#include "os/errors.h"
+#include "sandbox/faults.h"
+#include "sandbox/sandbox.h"
+#include "trace/serialize.h"
+#include "vaccine/pipeline.h"
+
+namespace autovac {
+namespace {
+
+using sandbox::AssembleForSandbox;
+using sandbox::FaultAction;
+using sandbox::FaultPlan;
+using sandbox::FaultRule;
+using sandbox::ResourceQuotas;
+using sandbox::RunOptions;
+using sandbox::RunProgram;
+
+// ---------------------------------------------------------------------
+// Chaos campaign
+// ---------------------------------------------------------------------
+
+// A pipeline configuration with a tight execution envelope, so hostile
+// (sample, plan) pairs stay cheap enough to run by the hundred.
+vaccine::PipelineOptions ChaosPipelineOptions() {
+  vaccine::PipelineOptions options;
+  options.phase1_budget = 300'000;
+  options.impact.cycle_budget = 300'000;
+  options.max_targets = 4;
+  options.limits.max_call_depth = 64;
+  options.limits.max_api_calls = 500;
+  options.limits.max_instruction_records = 50'000;
+  options.limits.max_api_records = 400;
+  return options;
+}
+
+// Structural invariants every report must satisfy, faults or not.
+void CheckWellFormed(const vaccine::SampleReport& report) {
+  EXPECT_FALSE(report.sample_name.empty());
+  EXPECT_LE(report.tainted_occurrences, report.resource_api_occurrences);
+  // Demotions are a subset of isolated crashes.
+  EXPECT_LE(report.vaccines_demoted, report.targets_faulted);
+  // Each target lands in at most one disposition bucket.
+  EXPECT_LE(report.filtered_not_exclusive + report.filtered_no_impact +
+                report.filtered_non_deterministic + report.targets_faulted,
+            report.targets_considered);
+  if (!report.phase1_status.ok()) {
+    EXPECT_FALSE(report.phase1_status.message().empty());
+    // A phase-1 crash produces an empty but well-formed report.
+    EXPECT_TRUE(report.vaccines.empty());
+  }
+  if (!report.phase2_status.ok()) {
+    EXPECT_FALSE(report.phase2_status.message().empty());
+  }
+}
+
+TEST(Chaos, CorpusSurvivesHundredFaultPlans) {
+  malware::CorpusOptions corpus_options;
+  corpus_options.seed = 20260806;
+  corpus_options.total = 10;
+  auto corpus = malware::GenerateCorpus(corpus_options);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  size_t plans_run = 0;
+  size_t faulty_plans = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const FaultPlan plan = FaultPlan::Randomized(seed * 7919, /*fault_rate=*/
+                                                 0.05 * static_cast<double>(
+                                                     seed % 4 + 1));
+    vaccine::PipelineOptions options = ChaosPipelineOptions();
+    options.fault_plan = &plan;
+    vaccine::VaccinePipeline pipeline(nullptr, options);
+    for (const malware::CorpusSample& sample : corpus.value()) {
+      SCOPED_TRACE(testing::Message() << "seed=" << seed << " sample="
+                                      << sample.program.name);
+      const vaccine::SampleReport report = pipeline.Analyze(sample.program);
+      CheckWellFormed(report);
+      if (report.faults_injected > 0) ++faulty_plans;
+      ++plans_run;
+    }
+  }
+  EXPECT_GE(plans_run, 100u);
+  // The campaign would be vacuous if the plans never actually fired.
+  EXPECT_GT(faulty_plans, 0u);
+}
+
+TEST(Chaos, AnalysisIsDeterministicUnderAPlan) {
+  malware::CorpusOptions corpus_options;
+  corpus_options.seed = 99;
+  corpus_options.total = 4;
+  auto corpus = malware::GenerateCorpus(corpus_options);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  const FaultPlan plan = FaultPlan::Randomized(0xC0FFEE, 0.15);
+  vaccine::PipelineOptions options = ChaosPipelineOptions();
+  options.fault_plan = &plan;
+  vaccine::VaccinePipeline pipeline(nullptr, options);
+
+  for (const malware::CorpusSample& sample : corpus.value()) {
+    const auto first = pipeline.Analyze(sample.program);
+    const auto second = pipeline.Analyze(sample.program);
+    EXPECT_EQ(first.faults_injected, second.faults_injected);
+    EXPECT_EQ(first.vaccines.size(), second.vaccines.size());
+    EXPECT_EQ(trace::SerializeApiTrace(first.natural_trace),
+              trace::SerializeApiTrace(second.natural_trace));
+  }
+}
+
+TEST(Chaos, CampaignRunnerIsolatesEverySample) {
+  malware::CorpusOptions corpus_options;
+  corpus_options.seed = 7;
+  corpus_options.total = 6;
+  auto corpus = malware::GenerateCorpus(corpus_options);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  std::vector<vm::Program> wave;
+  for (const malware::CorpusSample& sample : corpus.value()) {
+    wave.push_back(sample.program);
+  }
+
+  const FaultPlan plan = FaultPlan::Randomized(424242, 0.2);
+  vaccine::PipelineOptions options = ChaosPipelineOptions();
+  options.fault_plan = &plan;
+  vaccine::VaccinePipeline pipeline(nullptr, options);
+
+  const vaccine::CampaignReport campaign =
+      vaccine::AnalyzeCampaign(pipeline, wave);
+  ASSERT_EQ(campaign.reports.size(), wave.size());
+  EXPECT_EQ(campaign.samples_failed, 0u);
+  size_t vaccines = 0;
+  size_t faults = 0;
+  for (const vaccine::SampleReport& report : campaign.reports) {
+    CheckWellFormed(report);
+    vaccines += report.vaccines.size();
+    faults += report.faults_injected;
+  }
+  EXPECT_EQ(campaign.total_vaccines, vaccines);
+  EXPECT_EQ(campaign.total_faults_injected, faults);
+}
+
+// ---------------------------------------------------------------------
+// Fault paths, one by one
+// ---------------------------------------------------------------------
+
+constexpr const char* kThreeOpens = R"(
+.name three_opens
+.rdata
+  string p1 "C:\\a.bin"
+  string p2 "C:\\b.bin"
+  string p3 "C:\\c.bin"
+.text
+main:
+  push 2            ; CREATE_ALWAYS
+  push p1
+  sys CreateFileA
+  add esp, 8
+  push 2
+  push p2
+  sys CreateFileA
+  add esp, 8
+  push 2
+  push p3
+  sys CreateFileA
+  add esp, 8
+  hlt
+)";
+
+TEST(FaultPaths, HandleTableExhaustion) {
+  auto program = AssembleForSandbox(kThreeOpens);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  FaultPlan plan(1);
+  ResourceQuotas quotas;
+  quotas.max_handles = 2;
+  plan.set_quotas(quotas);
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.fault_plan = &plan;
+  auto run = RunProgram(program.value(), env, options);
+
+  ASSERT_EQ(run.api_trace.calls.size(), 3u);
+  EXPECT_TRUE(run.api_trace.calls[0].succeeded);
+  EXPECT_TRUE(run.api_trace.calls[1].succeeded);
+  const auto& third = run.api_trace.calls[2];
+  EXPECT_FALSE(third.succeeded);
+  EXPECT_TRUE(third.fault_injected);
+  EXPECT_EQ(third.last_error, os::kErrorTooManyOpenFiles);
+  EXPECT_EQ(run.faults_injected, 1u);
+}
+
+constexpr const char* kWriteTwice = R"(
+.name write_twice
+.rdata
+  string path "C:\\out.bin"
+  string payload "hello"
+.text
+main:
+  push 2            ; CREATE_ALWAYS
+  push path
+  sys CreateFileA
+  add esp, 8
+  mov ebx, eax
+  push 5
+  push payload
+  push ebx
+  sys WriteFile
+  add esp, 12
+  push 5
+  push payload
+  push ebx
+  sys WriteFile
+  add esp, 12
+  hlt
+)";
+
+TEST(FaultPaths, DiskFullQuota) {
+  auto program = AssembleForSandbox(kWriteTwice);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  FaultPlan plan(1);
+  ResourceQuotas quotas;
+  quotas.max_file_bytes = 4;  // the first 5-byte write crosses the line
+  plan.set_quotas(quotas);
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.fault_plan = &plan;
+  auto run = RunProgram(program.value(), env, options);
+
+  ASSERT_EQ(run.api_trace.calls.size(), 3u);
+  EXPECT_TRUE(run.api_trace.calls[1].succeeded);   // disk not yet full
+  const auto& second_write = run.api_trace.calls[2];
+  EXPECT_FALSE(second_write.succeeded);
+  EXPECT_TRUE(second_write.fault_injected);
+  EXPECT_EQ(second_write.last_error, os::kErrorDiskFull);
+}
+
+TEST(FaultPaths, OccurrenceRuleFailsExactlyOneCall) {
+  auto program = AssembleForSandbox(kThreeOpens);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.api = sandbox::ApiId::kCreateFileA;
+  rule.occurrence = 1;  // the second CreateFileA only
+  rule.action = FaultAction::kFailCall;
+  rule.error = os::kErrorAccessDenied;
+  plan.AddRule(rule);
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.fault_plan = &plan;
+  auto run = RunProgram(program.value(), env, options);
+
+  ASSERT_EQ(run.api_trace.calls.size(), 3u);
+  EXPECT_TRUE(run.api_trace.calls[0].succeeded);
+  EXPECT_FALSE(run.api_trace.calls[1].succeeded);
+  EXPECT_TRUE(run.api_trace.calls[1].fault_injected);
+  EXPECT_EQ(run.api_trace.calls[1].last_error, os::kErrorAccessDenied);
+  EXPECT_TRUE(run.api_trace.calls[2].succeeded);
+  EXPECT_EQ(run.faults_injected, 1u);
+}
+
+TEST(FaultPaths, DropHooksSuppressesInterposition) {
+  auto program = AssembleForSandbox(kThreeOpens);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  const sandbox::ApiHook deny_everything =
+      [](const sandbox::ApiObservation&) -> std::optional<sandbox::ForcedOutcome> {
+    sandbox::ForcedOutcome outcome;
+    outcome.success = false;
+    outcome.last_error = os::kErrorAccessDenied;
+    return outcome;
+  };
+
+  // Baseline: the hook forces every call down.
+  {
+    os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+    auto run = RunProgram(program.value(), env, {}, {deny_everything});
+    for (const auto& call : run.api_trace.calls) {
+      EXPECT_TRUE(call.was_forced);
+      EXPECT_FALSE(call.succeeded);
+    }
+  }
+
+  // Under a drop-hooks plan the same hook never fires.
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.occurrence = -1;
+  rule.probability = 1.0;
+  rule.action = FaultAction::kDropHooks;
+  plan.AddRule(rule);
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.fault_plan = &plan;
+  auto run = RunProgram(program.value(), env, options, {deny_everything});
+  for (const auto& call : run.api_trace.calls) {
+    EXPECT_FALSE(call.was_forced);
+    EXPECT_TRUE(call.succeeded);
+  }
+}
+
+TEST(FaultPaths, DelayRuleConsumesVirtualTime) {
+  auto program = AssembleForSandbox(kThreeOpens);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  uint64_t baseline_cycles = 0;
+  {
+    os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+    baseline_cycles = RunProgram(program.value(), env).cycles_used;
+  }
+
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.occurrence = -1;
+  rule.probability = 1.0;
+  rule.action = FaultAction::kDelayCall;
+  rule.delay_cycles = 10'000;
+  plan.AddRule(rule);
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.fault_plan = &plan;
+  auto run = RunProgram(program.value(), env, options);
+  EXPECT_GE(run.cycles_used, baseline_cycles + 3 * 10'000);
+}
+
+// ---------------------------------------------------------------------
+// Execution envelope
+// ---------------------------------------------------------------------
+
+TEST(Envelope, CallDepthLimitStopsRecursion) {
+  auto program = AssembleForSandbox(R"(
+.text
+main:
+  call main
+  hlt
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.limits.max_call_depth = 16;
+  auto run = RunProgram(program.value(), env, options);
+  EXPECT_EQ(run.stop_reason, vm::StopReason::kCallDepthLimit);
+}
+
+constexpr const char* kSyscallLoop = R"(
+.text
+main:
+  sys GetTickCount
+  jmp main
+)";
+
+TEST(Envelope, ApiCallLimitStopsSyscallLoop) {
+  auto program = AssembleForSandbox(kSyscallLoop);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.limits.max_api_calls = 10;
+  auto run = RunProgram(program.value(), env, options);
+  EXPECT_EQ(run.stop_reason, vm::StopReason::kApiCallLimit);
+  // The over-limit call is not delivered to the kernel.
+  EXPECT_EQ(run.api_trace.calls.size(), 10u);
+}
+
+TEST(Envelope, ApiRecordCapTruncatesTrace) {
+  auto program = AssembleForSandbox(kSyscallLoop);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.limits.max_api_records = 5;
+  auto run = RunProgram(program.value(), env, options);
+  EXPECT_EQ(run.stop_reason, vm::StopReason::kTraceLimit);
+  EXPECT_EQ(run.api_trace.calls.size(), 5u);
+}
+
+TEST(Envelope, InstructionRecordCapTruncatesTrace) {
+  auto program = AssembleForSandbox(kSyscallLoop);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.record_instructions = true;
+  options.limits.max_instruction_records = 100;
+  auto run = RunProgram(program.value(), env, options);
+  EXPECT_EQ(run.stop_reason, vm::StopReason::kTraceLimit);
+  EXPECT_EQ(run.instruction_trace.records.size(), 100u);
+}
+
+TEST(Envelope, FaultMessageReachesRunResult) {
+  auto program = AssembleForSandbox(R"(
+.rdata
+  string msg "AB"
+.text
+main:
+  lea ecx, [msg]
+  mov eax, 1
+  store [ecx], eax
+  hlt
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  auto run = RunProgram(program.value(), env);
+  EXPECT_EQ(run.stop_reason, vm::StopReason::kFault);
+  EXPECT_NE(run.fault_message.find("bad store"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+TEST(Serialization, NewStopReasonsRoundTrip) {
+  for (const vm::StopReason reason :
+       {vm::StopReason::kCallDepthLimit, vm::StopReason::kApiCallLimit,
+        vm::StopReason::kTraceLimit}) {
+    trace::ApiTrace trace;
+    trace.stop_reason = reason;
+    trace.cycles_used = 12345;
+    auto parsed = trace::ParseApiTrace(trace::SerializeApiTrace(trace));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->stop_reason, reason);
+    // The name table covers the new reasons too.
+    EXPECT_STRNE(vm::StopReasonName(reason), "unknown");
+  }
+}
+
+TEST(Serialization, FaultInjectedFlagRoundTrips) {
+  auto program = AssembleForSandbox(kThreeOpens);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.api = sandbox::ApiId::kCreateFileA;
+  rule.occurrence = 0;
+  rule.error = os::kErrorAccessDenied;
+  plan.AddRule(rule);
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  RunOptions options;
+  options.fault_plan = &plan;
+  auto run = RunProgram(program.value(), env, options);
+
+  const std::string text = trace::SerializeApiTrace(run.api_trace);
+  auto parsed = trace::ParseApiTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->calls.size(), run.api_trace.calls.size());
+  for (size_t i = 0; i < parsed->calls.size(); ++i) {
+    EXPECT_EQ(parsed->calls[i].fault_injected,
+              run.api_trace.calls[i].fault_injected) << i;
+  }
+  EXPECT_TRUE(parsed->calls[0].fault_injected);
+
+  // Legacy 16-token C records (written before the flag existed) still
+  // parse, defaulting the flag to false.
+  std::string legacy;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    if (line.rfind("C ", 0) == 0) {
+      line = line.substr(0, line.find_last_of(' '));
+    }
+    legacy += line + "\n";
+    pos = eol + 1;
+  }
+  auto legacy_parsed = trace::ParseApiTrace(legacy);
+  ASSERT_TRUE(legacy_parsed.ok()) << legacy_parsed.status().ToString();
+  ASSERT_EQ(legacy_parsed->calls.size(), run.api_trace.calls.size());
+  for (const auto& call : legacy_parsed->calls) {
+    EXPECT_FALSE(call.fault_injected);
+  }
+}
+
+}  // namespace
+}  // namespace autovac

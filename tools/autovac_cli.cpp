@@ -1,9 +1,13 @@
 // autovac — command-line front end for the AUTOVAC pipeline.
 //
 //   autovac analyze <sample.asm> [--no-exclusiveness] [--package <out.pkg>]
-//                                 [--report <out.md>]
+//                                 [--report <out.md>] [--fault-seed <n>]
+//                                 [--fault-rate <p>] [--max-api-calls <n>]
+//                                 [--max-call-depth <n>]
 //       Run Phase I+II on an assembly sample; print the vaccines and
-//       optionally write a deployable package.
+//       optionally write a deployable package. --fault-seed runs the
+//       whole analysis under a deterministic randomized fault schedule
+//       (resilience testing); the limit flags cap the execution envelope.
 //   autovac test <sample.asm> <package.pkg>
 //       Deploy a package on a fresh machine and re-run the sample against
 //       it (normal vs vaccinated comparison + BDR).
@@ -16,6 +20,7 @@
 // src/vm/assembler.h); everything runs inside the simulator — no real
 // binaries are executed.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -39,7 +44,8 @@ int Usage() {
                "usage: autovac <analyze|test|trace|disasm> <sample.asm> "
                "[options]\n"
                "  analyze <sample.asm> [--no-exclusiveness] [--package out]\n"
-               "          [--report out.md]\n"
+               "          [--report out.md] [--fault-seed n] [--fault-rate p]\n"
+               "          [--max-api-calls n] [--max-call-depth n]\n"
                "  test    <sample.asm> <package.pkg>\n"
                "  trace   <sample.asm> [--out trace.txt]\n"
                "  disasm  <sample.asm>\n");
@@ -87,6 +93,10 @@ int CmdAnalyze(int argc, char** argv) {
   bool use_exclusiveness = true;
   std::string package_path;
   std::string report_path;
+  bool inject_faults = false;
+  uint64_t fault_seed = 0;
+  double fault_rate = 0.02;
+  sandbox::RunLimits limits;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-exclusiveness") == 0) {
       use_exclusiveness = false;
@@ -94,6 +104,16 @@ int CmdAnalyze(int argc, char** argv) {
       package_path = argv[++i];
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      inject_faults = true;
+      fault_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
+      fault_rate = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--max-api-calls") == 0 && i + 1 < argc) {
+      limits.max_api_calls = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--max-call-depth") == 0 && i + 1 < argc) {
+      limits.max_call_depth =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 0));
     } else {
       return Usage();
     }
@@ -116,6 +136,13 @@ int CmdAnalyze(int argc, char** argv) {
   }
   vaccine::PipelineOptions options;
   options.run_exclusiveness = use_exclusiveness;
+  options.limits = limits;
+  sandbox::FaultPlan fault_plan(fault_seed);
+  if (inject_faults) {
+    fault_plan = sandbox::FaultPlan::Randomized(fault_seed, fault_rate);
+    options.fault_plan = &fault_plan;
+    std::printf("fault injection: %s\n", fault_plan.Summary().c_str());
+  }
   vaccine::VaccinePipeline pipeline(use_exclusiveness ? &index : nullptr,
                                     options);
   auto report = pipeline.Analyze(program.value());
@@ -134,9 +161,24 @@ int CmdAnalyze(int argc, char** argv) {
               report.resource_api_occurrences, report.tainted_occurrences,
               report.resource_sensitive ? "yes" : "no");
   std::printf("Phase-II: %zu targets; filtered %zu non-exclusive, %zu "
-              "no-impact, %zu non-deterministic\n\n",
+              "no-impact, %zu non-deterministic\n",
               report.targets_considered, report.filtered_not_exclusive,
               report.filtered_no_impact, report.filtered_non_deterministic);
+  if (!report.Clean() || report.faults_injected > 0) {
+    std::printf("resilience: %zu faults injected, %zu retries, %zu targets "
+                "faulted, %zu vaccines demoted\n",
+                report.faults_injected, report.impact_retries,
+                report.targets_faulted, report.vaccines_demoted);
+    if (!report.phase1_status.ok()) {
+      std::printf("phase-1 status: %s\n",
+                  report.phase1_status.ToString().c_str());
+    }
+    if (!report.phase2_status.ok()) {
+      std::printf("phase-2 status: %s\n",
+                  report.phase2_status.ToString().c_str());
+    }
+  }
+  std::printf("\n");
   if (report.vaccines.empty()) {
     std::printf("no vaccines extracted.\n");
     return 0;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Chaos harness driver: builds the tree with ASan+UBSan and runs the
+# fault-injection test suite (plus, optionally, the whole suite) under the
+# sanitizers. Any injected-fault path that corrupts memory or trips UB
+# fails loudly here rather than silently in a campaign.
+#
+# usage: tools/run_chaos.sh [--all] [build-dir]
+#   --all      run every test binary, not just chaos_test
+#   build-dir  sanitizer build directory (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_all=0
+build_dir=build-asan
+for arg in "$@"; do
+  case "$arg" in
+    --all) run_all=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+cmake -B "$build_dir" -S . -DAUTOVAC_SANITIZE=ON
+cmake --build "$build_dir" -j"$(nproc)"
+
+export ASAN_OPTIONS=detect_leaks=0:abort_on_error=1
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+
+if [[ "$run_all" == 1 ]]; then
+  (cd "$build_dir" && ctest --output-on-failure -j"$(nproc)")
+else
+  "$build_dir/tests/chaos_test"
+fi
+echo "chaos run clean."
