@@ -8,8 +8,10 @@
 #include "analysis/alignment.h"
 #include "malware/families.h"
 #include "sandbox/sandbox.h"
+#include "support/metrics.h"
 #include "support/pattern.h"
 #include "support/strings.h"
+#include "support/tracing.h"
 #include "taint/engine.h"
 
 using namespace autovac;
@@ -166,6 +168,47 @@ void BM_FaultDispatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(calls));
 }
 BENCHMARK(BM_FaultDispatch)->Arg(0)->Arg(1)->ArgName("plan");
+
+// --- telemetry hot paths -------------------------------------------------
+// The instrumentation budget: incrementing through a cached Counter* is
+// one relaxed atomic add — cheap enough to sit on the kernel's dispatch
+// path without registering in BM_FaultDispatch.
+void BM_MetricsCounterHot(benchmark::State& state) {
+  Counter* counter = GlobalMetrics().GetCounter("bench.hot_counter");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterHot);
+
+// Span discipline mirrors BM_FaultDispatch: arg 0 measures the disabled
+// tracer, whose BeginSpan must cost exactly one branch (EndSpan on
+// kNoSpan is a second), so leaving ScopedSpans compiled into the
+// pipeline is free; arg 1 measures a real open/close pair.
+void BM_SpanOpenClose(benchmark::State& state) {
+  Tracer tracer;
+  uint64_t ticks = 0;
+  tracer.set_tick_clock([&ticks] { return ticks++; });
+  tracer.set_enabled(state.range(0) != 0);
+  size_t spans = 0;
+  for (auto _ : state) {
+    {
+      ScopedSpan span(tracer, "bench");
+    }
+    if (tracer.spans().size() >= 1u << 16) {
+      // Bound memory on the enabled path without timing the purge.
+      state.PauseTiming();
+      tracer.Clear();
+      state.ResumeTiming();
+    }
+    ++spans;
+  }
+  benchmark::DoNotOptimize(spans);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanOpenClose)->Arg(0)->Arg(1)->ArgName("enabled");
 
 }  // namespace
 

@@ -6,9 +6,13 @@
 // the same.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "analysis/determinism.h"
 #include "bench/common.h"
+#include "support/metrics.h"
+#include "support/tracing.h"
 
 using namespace autovac;
 
@@ -21,6 +25,48 @@ double MillisSince(Clock::time_point start) {
       .count();
 }
 
+// Machine-readable sibling of the printed report: per-phase span counts,
+// instruction ticks (deterministic) and wall times (informational), plus
+// the full metrics snapshot. Path override: AUTOVAC_BENCH_OUT.
+void WriteBenchJson(size_t samples, const std::vector<PhaseTotal>& phases) {
+  const char* env_path = std::getenv("AUTOVAC_BENCH_OUT");
+  const std::string path =
+      env_path != nullptr ? env_path : "BENCH_pipeline.json";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\"bench\":\"pipeline\",\"samples\":" << samples
+      << ",\"phases\":[";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseTotal& phase = phases[i];
+    if (i > 0) out << ",";
+    out << "{\"phase\":\"" << JsonEscape(phase.name)
+        << "\",\"spans\":" << phase.spans
+        << ",\"instructions\":" << phase.ticks << ",\"wall_ms\":"
+        << StrFormat("%.3f",
+                     static_cast<double>(phase.wall_ns) / 1e6)
+        << "}";
+  }
+  out << "],\"metrics\":[";
+  const std::string jsonl = ExportMetricsJsonl(GlobalMetrics().Snapshot());
+  bool first = true;
+  size_t pos = 0;
+  while (pos < jsonl.size()) {
+    size_t eol = jsonl.find('\n', pos);
+    if (eol == std::string::npos) eol = jsonl.size();
+    if (eol > pos) {
+      if (!first) out << ",";
+      first = false;
+      out << jsonl.substr(pos, eol - pos);
+    }
+    pos = eol + 1;
+  }
+  out << "]}\n";
+  std::printf("bench telemetry written to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -31,6 +77,10 @@ int main() {
   options.total = total;
   auto corpus = malware::GenerateCorpus(options);
   AUTOVAC_CHECK(corpus.ok());
+
+  GlobalMetrics().Reset();
+  GlobalTracer().Clear();
+  GlobalTracer().set_enabled(true);
 
   vaccine::VaccinePipeline pipeline(&index);
 
@@ -101,5 +151,18 @@ int main() {
   std::printf("impact analysis: one mutated re-run + trace alignment per "
               "candidate\n  (paper: 2-3 minutes per case, ~24 h for 500 "
               "cases)\n");
+
+  const std::vector<PhaseTotal> phases = GlobalTracer().PhaseTotals();
+  if (!phases.empty()) {
+    std::printf("\nanalysis cost by phase:\n");
+    for (const PhaseTotal& phase : phases) {
+      std::printf("  %-14s %6llu spans  %12llu instructions  %10.2f ms\n",
+                  phase.name.c_str(),
+                  static_cast<unsigned long long>(phase.spans),
+                  static_cast<unsigned long long>(phase.ticks),
+                  static_cast<double>(phase.wall_ns) / 1e6);
+    }
+  }
+  WriteBenchJson(corpus->size(), phases);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "sandbox/api_ids.h"
 #include "support/strings.h"
+#include "support/tracing.h"
 
 namespace autovac::analysis {
 
@@ -108,8 +109,11 @@ bool IsNetworkCall(const trace::ApiCallRecord& call) {
 ImmunizationEffect ClassifyImmunization(const trace::ApiTrace& natural,
                                         const trace::ApiTrace& mutated,
                                         const ClassifierOptions& options) {
-  const Alignment alignment =
-      AlignTraces(natural, mutated, options.alignment);
+  Alignment alignment;
+  {
+    ScopedSpan span(GlobalTracer(), "alignment");
+    alignment = AlignTraces(natural, mutated, options.alignment);
+  }
 
   ImmunizationEffect effect;
 

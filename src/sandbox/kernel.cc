@@ -1,9 +1,38 @@
 #include "sandbox/kernel.h"
 
+#include "support/metrics.h"
 #include "support/strings.h"
 
 namespace autovac::sandbox {
 namespace {
+
+// Cached registry handles for the dispatch path: one per-API counter plus
+// totals and quota high-water gauges, resolved once per process.
+struct KernelMetrics {
+  Counter* api_calls;
+  std::array<Counter*, kNumApis> per_api;
+  Counter* faults_injected;
+  Counter* hooks_dropped;
+  Gauge* handles_high_water;
+};
+
+KernelMetrics& GetKernelMetrics() {
+  static KernelMetrics* metrics = [] {
+    auto* m = new KernelMetrics();
+    MetricsRegistry& registry = GlobalMetrics();
+    m->api_calls = registry.GetCounter("sandbox.api_calls");
+    for (size_t i = 0; i < kNumApis; ++i) {
+      m->per_api[i] = registry.GetCounter(
+          std::string("sandbox.api.") +
+          std::string(ApiName(static_cast<ApiId>(i))));
+    }
+    m->faults_injected = registry.GetCounter("sandbox.faults_injected");
+    m->hooks_dropped = registry.GetCounter("sandbox.hooks_dropped");
+    m->handles_high_water = registry.GetGauge("sandbox.handles_high_water");
+    return m;
+  }();
+  return *metrics;
+}
 
 // APIs whose semantics append bytes to stored files — the disk-full
 // quota gate.
@@ -124,6 +153,10 @@ void Kernel::OnSyscall(vm::Cpu& cpu, int64_t api_id) {
   const auto id = static_cast<ApiId>(api_id);
   const ApiSpec& spec = GetApiSpec(id);
 
+  KernelMetrics& metrics = GetKernelMetrics();
+  metrics.api_calls->Increment();
+  metrics.per_api[static_cast<size_t>(id)]->Increment();
+
   trace::ApiCallRecord record;
   record.api_name = spec.name;
   record.caller_pc = cpu.current_syscall_pc();
@@ -190,6 +223,8 @@ void Kernel::OnSyscall(vm::Cpu& cpu, int64_t api_id) {
       forced = hook(observation);
       if (forced.has_value()) break;
     }
+  } else if (!hooks_.empty()) {
+    metrics.hooks_dropped->Increment();
   }
 
   pending_taint_outputs_.clear();
@@ -199,6 +234,7 @@ void Kernel::OnSyscall(vm::Cpu& cpu, int64_t api_id) {
   if (fault.fail) {
     // An injected environment failure outranks any interposition: the
     // machine failed before the daemon could matter.
+    metrics.faults_injected->Increment();
     last_error_ = fault.error;
     cpu.SetResult(SynthesizeResult(spec, /*success=*/false, last_error_,
                                    record.resource_identifier));
@@ -261,6 +297,9 @@ void Kernel::OnSyscall(vm::Cpu& cpu, int64_t api_id) {
     }
     if (eax_label != taint::kEmptySet) taint_->TaintReturnValue(eax_label);
   }
+
+  metrics.handles_high_water->UpdateMax(
+      static_cast<int64_t>(handles_.size()));
 
   trace_.calls.push_back(std::move(record));
   if (max_api_records_ != 0 && trace_.calls.size() >= max_api_records_) {

@@ -1,9 +1,45 @@
 #include "sandbox/sandbox.h"
 
+#include "support/metrics.h"
 #include "vm/disassembler.h"
 
 namespace autovac::sandbox {
 namespace {
+
+// Per-run telemetry published once at the end of RunProgram: taint-layer
+// totals, cycle distribution, and quota high-water marks that are cheap
+// to read once but not per call.
+struct RunMetrics {
+  Counter* taint_propagation_ops;
+  Counter* taint_labels_allocated;
+  Counter* taint_label_sets;
+  Counter* taint_tainted_predicates;
+  Histogram* run_cycles;
+  Gauge* objects_high_water;
+  Gauge* file_bytes_high_water;
+};
+
+RunMetrics& GetRunMetrics() {
+  static RunMetrics* metrics = [] {
+    auto* m = new RunMetrics();
+    MetricsRegistry& registry = GlobalMetrics();
+    m->taint_propagation_ops =
+        registry.GetCounter("taint.propagation_ops");
+    m->taint_labels_allocated =
+        registry.GetCounter("taint.labels_allocated");
+    m->taint_label_sets = registry.GetCounter("taint.label_sets");
+    m->taint_tainted_predicates =
+        registry.GetCounter("taint.tainted_predicates");
+    m->run_cycles = registry.GetHistogram(
+        "sandbox.run_cycles",
+        {1'000, 10'000, 100'000, 1'000'000, kOneMinuteBudget});
+    m->objects_high_water = registry.GetGauge("sandbox.objects_high_water");
+    m->file_bytes_high_water =
+        registry.GetGauge("sandbox.file_bytes_high_water");
+    return m;
+  }();
+  return *metrics;
+}
 
 // Forwards retired instructions to the taint engine, the kernel's shadow
 // call stack, and (optionally) the instruction trace.
@@ -106,7 +142,20 @@ RunResult RunProgram(const vm::Program& program, os::HostEnvironment& env,
   result.api_trace.stop_reason = result.stop_reason;
   result.api_trace.cycles_used = result.cycles_used;
 
+  RunMetrics& metrics = GetRunMetrics();
+  metrics.run_cycles->Record(result.cycles_used);
+  metrics.objects_high_water->UpdateMax(
+      static_cast<int64_t>(env.ns().ObjectCount()));
+  metrics.file_bytes_high_water->UpdateMax(
+      static_cast<int64_t>(env.ns().TotalFileBytes()));
+
   if (taint_engine != nullptr) {
+    metrics.taint_propagation_ops->Increment(taint_engine->propagation_ops());
+    metrics.taint_labels_allocated->Increment(result.labels->num_sources());
+    // num_sets() counts the always-present empty set; report real sets.
+    metrics.taint_label_sets->Increment(result.labels->num_sets() - 1);
+    metrics.taint_tainted_predicates->Increment(
+        taint_engine->predicates().size());
     result.predicates = taint_engine->predicates();
     // Attribute predicates back to the API calls whose taint reached them
     // (Phase-I output: "the list of the system-resource-sensitive APIs ...

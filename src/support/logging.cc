@@ -7,6 +7,7 @@ namespace autovac {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<LogSink*> g_sink{nullptr};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -14,6 +15,7 @@ const char* LevelTag(LogLevel level) {
     case LogLevel::kInfo: return "I";
     case LogLevel::kWarning: return "W";
     case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "O";  // unreachable: nothing logs at kOff
   }
   return "?";
 }
@@ -23,8 +25,14 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+LogSink* SetLogSink(LogSink* sink) { return g_sink.exchange(sink); }
+
 void LogMessage(LogLevel level, const std::string& message) {
-  if (level < g_level.load()) return;
+  if (level < g_level.load() || level >= LogLevel::kOff) return;
+  if (LogSink* sink = g_sink.load(); sink != nullptr) {
+    sink->Write(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
 }
 

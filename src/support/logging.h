@@ -1,5 +1,7 @@
 // Minimal leveled logger. Defaults to WARNING so library code stays quiet
-// in tests and benches; examples raise the level for narration.
+// in tests and benches; examples raise the level for narration, benches
+// can silence it entirely with kOff. Output routes through a pluggable
+// sink so tests can capture log lines.
 #pragma once
 
 #include <string>
@@ -8,11 +10,31 @@
 
 namespace autovac {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+// kOff is strictly above every real level: setting it as the process
+// minimum suppresses all logging, and no message can be logged at it.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
 
 // Process-wide minimum level.
 void SetLogLevel(LogLevel level);
 [[nodiscard]] LogLevel GetLogLevel();
+
+// Destination for formatted log messages. Implementations must be
+// callable for the lifetime of their installation.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const std::string& message) = 0;
+};
+
+// Installs `sink` (nullptr restores the default stderr sink) and returns
+// the previously installed sink, nullptr if it was the default.
+LogSink* SetLogSink(LogSink* sink);
 
 void LogMessage(LogLevel level, const std::string& message);
 

@@ -1,0 +1,202 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace autovac {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  AUTOVAC_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                        std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                            bounds_.end(),
+                    "histogram bounds must be strictly increasing");
+}
+
+void Histogram::Record(uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = names_.Find(name);
+  if (id != StringInterner::kInvalidId) {
+    AUTOVAC_CHECK_MSG(entries_[id].kind == MetricKind::kCounter,
+                      "metric registered with a different kind");
+    return &counters_[entries_[id].index];
+  }
+  names_.Intern(name);
+  counters_.emplace_back();
+  entries_.push_back({MetricKind::kCounter, counters_.size() - 1});
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = names_.Find(name);
+  if (id != StringInterner::kInvalidId) {
+    AUTOVAC_CHECK_MSG(entries_[id].kind == MetricKind::kGauge,
+                      "metric registered with a different kind");
+    return &gauges_[entries_[id].index];
+  }
+  names_.Intern(name);
+  gauges_.emplace_back();
+  entries_.push_back({MetricKind::kGauge, gauges_.size() - 1});
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = names_.Find(name);
+  if (id != StringInterner::kInvalidId) {
+    AUTOVAC_CHECK_MSG(entries_[id].kind == MetricKind::kHistogram,
+                      "metric registered with a different kind");
+    return &histograms_[entries_[id].index];
+  }
+  names_.Intern(name);
+  histograms_.emplace_back(std::move(bounds));
+  entries_.push_back({MetricKind::kHistogram, histograms_.size() - 1});
+  return &histograms_.back();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& counter : counters_) counter.Reset();
+  for (Gauge& gauge : gauges_) gauge.Reset();
+  for (Histogram& histogram : histograms_) histogram.Reset();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples.reserve(entries_.size());
+    for (uint32_t id = 0; id < entries_.size(); ++id) {
+      const Entry& entry = entries_[id];
+      MetricSample sample;
+      sample.name = names_.Lookup(id);
+      sample.kind = entry.kind;
+      switch (entry.kind) {
+        case MetricKind::kCounter:
+          sample.value =
+              static_cast<int64_t>(counters_[entry.index].value());
+          break;
+        case MetricKind::kGauge:
+          sample.value = gauges_[entry.index].value();
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& histogram = histograms_[entry.index];
+          sample.value = static_cast<int64_t>(histogram.count());
+          sample.sum = histogram.sum();
+          sample.bounds = histogram.bounds();
+          sample.buckets = histogram.bucket_counts();
+          break;
+        }
+      }
+      samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string DumpMetrics(const std::vector<MetricSample>& samples) {
+  TextTable table({"metric", "kind", "value", "detail"});
+  for (const MetricSample& sample : samples) {
+    std::string detail;
+    if (sample.kind == MetricKind::kHistogram) {
+      detail = StrFormat("sum=%llu",
+                         static_cast<unsigned long long>(sample.sum));
+      for (size_t i = 0; i < sample.buckets.size(); ++i) {
+        const std::string edge =
+            i < sample.bounds.size()
+                ? StrFormat("le%llu", static_cast<unsigned long long>(
+                                          sample.bounds[i]))
+                : std::string("+inf");
+        detail += StrFormat(" %s:%llu", edge.c_str(),
+                            static_cast<unsigned long long>(sample.buckets[i]));
+      }
+    }
+    table.AddRow({sample.name, MetricKindName(sample.kind),
+                  StrFormat("%lld", static_cast<long long>(sample.value)),
+                  detail});
+  }
+  return table.Render();
+}
+
+std::string ExportMetricsJsonl(const std::vector<MetricSample>& samples) {
+  std::string out;
+  for (const MetricSample& sample : samples) {
+    out += StrFormat("{\"name\":\"%s\",\"kind\":\"%s\"",
+                     JsonEscape(sample.name).c_str(),
+                     MetricKindName(sample.kind));
+    if (sample.kind == MetricKind::kHistogram) {
+      out += StrFormat(",\"count\":%lld,\"sum\":%llu,\"buckets\":[",
+                       static_cast<long long>(sample.value),
+                       static_cast<unsigned long long>(sample.sum));
+      for (size_t i = 0; i < sample.buckets.size(); ++i) {
+        if (i > 0) out += ",";
+        if (i < sample.bounds.size()) {
+          out += StrFormat("{\"le\":%llu,\"count\":%llu}",
+                           static_cast<unsigned long long>(sample.bounds[i]),
+                           static_cast<unsigned long long>(sample.buckets[i]));
+        } else {
+          out += StrFormat("{\"le\":\"+inf\",\"count\":%llu}",
+                           static_cast<unsigned long long>(sample.buckets[i]));
+        }
+      }
+      out += "]";
+    } else {
+      out += StrFormat(",\"value\":%lld",
+                       static_cast<long long>(sample.value));
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace autovac

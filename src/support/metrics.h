@@ -1,0 +1,148 @@
+// Process-wide metrics registry: counters, gauges (high-water marks) and
+// fixed-bucket histograms, addressed by interned names. Registration
+// (name lookup) takes a mutex; the hot path — incrementing through a
+// cached handle — is a single relaxed atomic op, so instrumented code can
+// hold a `Counter*` forever and never contend.
+//
+// Every exported value is deterministic under a fixed seed: snapshots are
+// sorted by name and contain only integer fields, so two identically
+// seeded pipeline runs produce byte-identical JSONL dumps (the chaos
+// harness asserts this). Wall-clock time never enters the registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/interner.h"
+
+namespace autovac {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written or maximum-observed value (high-water marks use
+// UpdateMax). Lock-free: UpdateMax is a CAS loop that only writes when
+// the candidate is larger.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void UpdateMax(int64_t candidate) {
+    int64_t seen = value_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !value_.compare_exchange_weak(seen, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. `bounds` are inclusive upper edges ("le"): a
+// recorded value lands in the first bucket whose bound >= value; values
+// above the last bound land in the implicit +inf bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Record(uint64_t value);
+
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<uint64_t>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the +inf bucket.
+  [[nodiscard]] std::vector<uint64_t> bucket_counts() const;
+  void Reset();
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+enum class MetricKind { kCounter = 0, kGauge, kHistogram };
+
+[[nodiscard]] const char* MetricKindName(MetricKind kind);
+
+// One metric's state at snapshot time. Integer-only by design.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t value = 0;                 // counter/gauge value; histogram count
+  uint64_t sum = 0;                  // histogram only
+  std::vector<uint64_t> bounds;      // histogram only
+  std::vector<uint64_t> buckets;     // histogram only (last = +inf)
+};
+
+class MetricsRegistry {
+ public:
+  // Returns a stable handle, creating the metric on first use. Asking
+  // for an existing name with a different kind is a programmer error.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  // `bounds` must be strictly increasing; ignored when `name` already
+  // exists (the first registration wins).
+  Histogram* GetHistogram(std::string_view name, std::vector<uint64_t> bounds);
+
+  // Zeroes every value; registrations (names, handles, bounds) survive.
+  void Reset();
+
+  // All metrics sorted by name — the canonical deterministic order.
+  [[nodiscard]] std::vector<MetricSample> Snapshot() const;
+
+  [[nodiscard]] size_t size() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    size_t index;  // into the deque for that kind
+  };
+
+  mutable std::mutex mu_;
+  StringInterner names_;
+  std::vector<Entry> entries_;  // indexed by interned name id
+  // Deques: stable element addresses across growth, so handles never move.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+// The process-wide registry all instrumentation writes to.
+[[nodiscard]] MetricsRegistry& GlobalMetrics();
+
+// Human-readable table (support/table) of a snapshot.
+[[nodiscard]] std::string DumpMetrics(const std::vector<MetricSample>& samples);
+
+// One JSON object per line, e.g.
+//   {"name":"vm.instructions_retired","kind":"counter","value":1234}
+// Deterministic: callers pass Snapshot() output, already name-sorted.
+[[nodiscard]] std::string ExportMetricsJsonl(
+    const std::vector<MetricSample>& samples);
+
+}  // namespace autovac

@@ -38,6 +38,10 @@ namespace autovac {
 // Escapes non-printable bytes as \xNN for log/report output.
 [[nodiscard]] std::string CEscape(std::string_view text);
 
+// Escapes a string for embedding inside a JSON string literal (quotes,
+// backslashes, control characters).
+[[nodiscard]] std::string JsonEscape(std::string_view text);
+
 // Parses a non-negative integer; returns false on any malformed input.
 [[nodiscard]] bool ParseUint64(std::string_view text, uint64_t* out);
 [[nodiscard]] bool ParseInt64(std::string_view text, int64_t* out);

@@ -8,6 +8,7 @@ void TaintEngine::OnStep(const vm::StepInfo& step) {
   using vm::Op;
   const vm::Instruction& inst = step.inst;
   LabelStore& store = map_.store();
+  ++propagation_ops_;
 
   // Control-dependence extension (§VII future work): a conditional branch
   // on tainted flags opens a region in which writes inherit the

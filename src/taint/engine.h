@@ -61,6 +61,11 @@ class TaintEngine {
     return !predicates_.empty();
   }
 
+  // Instructions this engine propagated taint for — a plain member
+  // counter on the hot path, published to the metrics registry in bulk
+  // by the sandbox once the run ends.
+  [[nodiscard]] uint64_t propagation_ops() const { return propagation_ops_; }
+
   [[nodiscard]] TaintMap& map() { return map_; }
   [[nodiscard]] const TaintMap& map() const { return map_; }
 
@@ -76,6 +81,7 @@ class TaintEngine {
   TaintMap map_;
   TaintEngineOptions options_;
   std::vector<PredicateEvent> predicates_;
+  uint64_t propagation_ops_ = 0;
   LabelSetId control_label_ = kEmptySet;
   uint32_t control_region_start_ = 0;
   uint32_t control_region_end_ = 0;

@@ -1,5 +1,6 @@
 #include "vaccine/clinic.h"
 
+#include "support/tracing.h"
 #include "vaccine/delivery.h"
 
 namespace autovac::vaccine {
@@ -38,6 +39,7 @@ ClinicResult RunClinicTest(const std::vector<Vaccine>& candidates,
                            const std::vector<vm::Program>& benign_corpus,
                            const ClinicOptions& options) {
   ClinicResult result;
+  ScopedSpan span(GlobalTracer(), "clinic");
   const os::HostEnvironment clean =
       os::HostEnvironment::StandardMachine(options.machine_seed);
 

@@ -1,13 +1,41 @@
 #include "vaccine/pipeline.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "sandbox/sandbox.h"
 #include "support/logging.h"
+#include "support/metrics.h"
 
 namespace autovac::vaccine {
 namespace {
+
+// Pipeline-level health counters; phase *costs* come from tracer spans.
+struct PipelineMetrics {
+  Counter* samples_analyzed;
+  Counter* mutation_runs;
+  Counter* impact_retries;
+  Counter* targets_faulted;
+  Counter* vaccines_demoted;
+  Counter* vaccines_extracted;
+};
+
+PipelineMetrics& GetPipelineMetrics() {
+  static PipelineMetrics* metrics = [] {
+    auto* m = new PipelineMetrics();
+    MetricsRegistry& registry = GlobalMetrics();
+    m->samples_analyzed = registry.GetCounter("pipeline.samples_analyzed");
+    m->mutation_runs = registry.GetCounter("pipeline.mutation_runs");
+    m->impact_retries = registry.GetCounter("pipeline.impact_retries");
+    m->targets_faulted = registry.GetCounter("pipeline.targets_faulted");
+    m->vaccines_demoted = registry.GetCounter("pipeline.vaccines_demoted");
+    m->vaccines_extracted =
+        registry.GetCounter("pipeline.vaccines_extracted");
+    return m;
+  }();
+  return *metrics;
+}
 
 // An abnormal end to a sandbox run: the machine faulted or tripped an
 // execution-envelope cap, so the trace may be truncated mid-behaviour.
@@ -61,6 +89,8 @@ analysis::ImpactResult VaccinePipeline::RunImpactWithRetry(
   impact_options.limits = options_.limits;
   impact_options.fault_plan = options_.fault_plan;
 
+  PipelineMetrics& metrics = GetPipelineMetrics();
+  metrics.mutation_runs->Increment();
   analysis::ImpactResult impact = analysis::RunImpactAnalysis(
       sample, baseline, natural, target, impact_options);
   report.faults_injected += impact.faults_injected;
@@ -70,6 +100,8 @@ analysis::ImpactResult VaccinePipeline::RunImpactWithRetry(
          retries < options_.max_impact_retries) {
     ++retries;
     ++report.impact_retries;
+    metrics.impact_retries->Increment();
+    metrics.mutation_runs->Increment();
     // A shorter leash: the retry must finish inside half the budget, so
     // a run that keeps tripping its envelope converges to "no impact"
     // instead of burning the whole campaign's time.
@@ -142,6 +174,7 @@ void VaccinePipeline::AnalyzePhase2(const vm::Program& sample,
   report.targets_considered = targets.size();
 
   const os::HostEnvironment baseline = BaselineMachine();
+  Tracer& tracer = GlobalTracer();
   std::set<std::pair<os::ResourceType, std::string>> vaccine_keys;
   size_t impact_runs = 0;
   for (const analysis::MutationTarget& target : targets) {
@@ -151,14 +184,17 @@ void VaccinePipeline::AnalyzePhase2(const vm::Program& sample,
       continue;
     }
     // Step-I: exclusiveness (cheap — runs before the impact-run cap).
-    if (options_.run_exclusiveness && index_ != nullptr &&
-        !index_->IsExclusive(target.identifier)) {
-      ++report.filtered_not_exclusive;
-      continue;
-    }
-    if (target.identifier.empty()) {
-      ++report.filtered_not_exclusive;
-      continue;
+    {
+      ScopedSpan span(tracer, "exclusiveness");
+      if (options_.run_exclusiveness && index_ != nullptr &&
+          !index_->IsExclusive(target.identifier)) {
+        ++report.filtered_not_exclusive;
+        continue;
+      }
+      if (target.identifier.empty()) {
+        ++report.filtered_not_exclusive;
+        continue;
+      }
     }
     // Each surviving target costs a full mutated re-run; cap them.
     if (impact_runs >= options_.max_targets) {
@@ -172,10 +208,12 @@ void VaccinePipeline::AnalyzePhase2(const vm::Program& sample,
     // target is dropped — the rest of the sample keeps analyzing.
     analysis::ImpactResult impact;
     try {
+      ScopedSpan span(tracer, "mutation");
       impact = RunImpactWithRetry(sample, baseline, phase1.api_trace, target,
                                   report);
     } catch (const std::exception& e) {
       ++report.targets_faulted;
+      GetPipelineMetrics().targets_faulted->Increment();
       LogInfo("sample %s: impact analysis crashed for %s: %s",
               sample.name.c_str(), target.identifier.c_str(), e.what());
       continue;
@@ -188,19 +226,24 @@ void VaccinePipeline::AnalyzePhase2(const vm::Program& sample,
     // Step-III: determinism + assembly. The target is already proven
     // impactful, so a crash demotes the vaccine instead of dropping it.
     try {
+      ScopedSpan span(tracer, "determinism");
       auto vaccine = BuildVaccine(sample, phase1, target, impact, report);
       if (!vaccine.ok()) {
         ++report.filtered_non_deterministic;
         continue;
       }
       report.vaccines.push_back(std::move(vaccine).value());
+      GetPipelineMetrics().vaccines_extracted->Increment();
     } catch (const std::exception& e) {
       ++report.targets_faulted;
       ++report.vaccines_demoted;
+      GetPipelineMetrics().targets_faulted->Increment();
+      GetPipelineMetrics().vaccines_demoted->Increment();
       LogInfo("sample %s: determinism analysis crashed for %s, demoting: %s",
               sample.name.c_str(), target.identifier.c_str(), e.what());
       report.vaccines.push_back(DemotedVaccine(sample, report, target,
                                                impact));
+      GetPipelineMetrics().vaccines_extracted->Increment();
     }
     vaccine_keys.insert({target.resource_type, target.identifier});
   }
@@ -211,9 +254,15 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
   report.sample_name = sample.name;
   report.sample_digest = sample.Digest();
 
+  GetPipelineMetrics().samples_analyzed->Increment();
+  Tracer& tracer = GlobalTracer();
+  // Spans opened from here on belong to this sample's phase-cost rollup.
+  const size_t first_span = tracer.spans().size();
+
   // ---- Phase-I: candidate selection ---------------------------------
   sandbox::RunResult phase1;
   try {
+    ScopedSpan span(tracer, "phase1");
     os::HostEnvironment phase1_env = BaselineMachine();
     sandbox::RunOptions phase1_options;
     phase1_options.cycle_budget = options_.phase1_budget;
@@ -225,6 +274,7 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
   } catch (const std::exception& e) {
     report.phase1_status =
         Status::Internal(std::string("phase-1 crash: ") + e.what());
+    report.phase_costs = tracer.PhaseTotals(first_span);
     return report;
   }
   report.faults_injected += phase1.faults_injected;
@@ -239,6 +289,7 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
   if (report.resource_sensitive) {
     // ---- Phase-II ---------------------------------------------------
     try {
+      ScopedSpan span(tracer, "phase2");
       AnalyzePhase2(sample, phase1, report);
     } catch (const std::exception& e) {
       report.phase2_status =
@@ -249,6 +300,7 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
   // we filter this malware" (§II-B).
 
   report.natural_trace = std::move(phase1.api_trace);
+  report.phase_costs = tracer.PhaseTotals(first_span);
   return report;
 }
 
@@ -273,6 +325,22 @@ CampaignReport AnalyzeCampaign(const VaccinePipeline& pipeline,
     campaign.total_demoted += report.vaccines_demoted;
     campaign.total_faults_injected += report.faults_injected;
     campaign.reports.push_back(std::move(report));
+  }
+  // Roll the per-sample phase costs up into campaign totals, keyed and
+  // ordered by phase name so the dashboard stays deterministic.
+  std::map<std::string, PhaseTotal> totals;
+  for (const SampleReport& report : campaign.reports) {
+    for (const PhaseTotal& cost : report.phase_costs) {
+      PhaseTotal& total = totals[cost.name];
+      total.name = cost.name;
+      total.spans += cost.spans;
+      total.ticks += cost.ticks;
+      total.wall_ns += cost.wall_ns;
+    }
+  }
+  campaign.phase_costs.reserve(totals.size());
+  for (auto& [name, total] : totals) {
+    campaign.phase_costs.push_back(std::move(total));
   }
   return campaign;
 }

@@ -14,6 +14,7 @@
 #include "analysis/impact.h"
 #include "os/host_environment.h"
 #include "support/status.h"
+#include "support/tracing.h"
 #include "vaccine/vaccine.h"
 #include "vm/program.h"
 
@@ -71,6 +72,12 @@ struct SampleReport {
 
   std::vector<Vaccine> vaccines;
 
+  // Per-phase analysis cost (the paper's Table IV axis), aggregated from
+  // the spans this sample's analysis opened on the global tracer. Empty
+  // when tracing is disabled. Ticks are VM instructions — deterministic
+  // under fixed seeds; wall_ns is informational only.
+  std::vector<PhaseTotal> phase_costs;
+
   // Retained for corpus-level statistics benches.
   trace::ApiTrace natural_trace;
 
@@ -88,6 +95,8 @@ struct CampaignReport {
   size_t total_vaccines = 0;
   size_t total_demoted = 0;
   size_t total_faults_injected = 0;
+  // Phase costs summed over every sample (empty when tracing is off).
+  std::vector<PhaseTotal> phase_costs;
 };
 
 class VaccinePipeline {

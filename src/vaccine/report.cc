@@ -53,6 +53,19 @@ std::string RenderSampleReport(const SampleReport& report) {
     return out;
   }
 
+  // Telemetry section: only the deterministic fields (span counts and
+  // instruction ticks). Wall times live in the Chrome trace export so the
+  // report stays byte-identical across same-seed runs.
+  if (!report.phase_costs.empty()) {
+    out += "## Analysis cost by phase\n\n";
+    out += "| phase | spans | VM instructions |\n|---|---|---|\n";
+    for (const PhaseTotal& cost : report.phase_costs) {
+      out += StrFormat("| %s | %zu | %llu |\n", cost.name.c_str(), cost.spans,
+                       static_cast<unsigned long long>(cost.ticks));
+    }
+    out += "\n";
+  }
+
   out += "## Phase II — filter funnel\n\n";
   out += StrFormat(
       "| stage | count |\n|---|---|\n"

@@ -1,8 +1,89 @@
 #include "vm/cpu.h"
 
+#include "support/metrics.h"
 #include "support/strings.h"
 
 namespace autovac::vm {
+namespace {
+
+// Cached registry handles: resolved once per process, then every flush is
+// a handful of relaxed atomic adds.
+struct VmMetrics {
+  Counter* instructions;
+  std::array<Counter*, kNumOpClasses> dispatch;
+  std::array<Counter*, kNumStopReasons> stops;
+  Counter* runs;
+};
+
+VmMetrics& GetVmMetrics() {
+  static VmMetrics* metrics = [] {
+    auto* m = new VmMetrics();
+    MetricsRegistry& registry = GlobalMetrics();
+    m->instructions = registry.GetCounter("vm.instructions_retired");
+    for (size_t i = 0; i < kNumOpClasses; ++i) {
+      m->dispatch[i] = registry.GetCounter(
+          std::string("vm.dispatch.") +
+          OpClassName(static_cast<OpClass>(i)));
+    }
+    for (size_t i = 0; i < kNumStopReasons; ++i) {
+      m->stops[i] = registry.GetCounter(
+          std::string("vm.stop.") +
+          StopReasonName(static_cast<StopReason>(i)));
+    }
+    m->runs = registry.GetCounter("vm.runs");
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace
+
+const char* OpClassName(OpClass cls) {
+  switch (cls) {
+    case OpClass::kControl: return "control";
+    case OpClass::kMove: return "move";
+    case OpClass::kMemory: return "memory";
+    case OpClass::kStack: return "stack";
+    case OpClass::kAlu: return "alu";
+    case OpClass::kCompare: return "compare";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kCallRet: return "call";
+    case OpClass::kSys: return "sys";
+    case OpClass::kClassCount: break;
+  }
+  return "?";
+}
+
+OpClass ClassifyOp(Op op) {
+  switch (op) {
+    case Op::kNop: case Op::kHlt:
+      return OpClass::kControl;
+    case Op::kMovRI: case Op::kMovRR: case Op::kLea:
+      return OpClass::kMove;
+    case Op::kLoad: case Op::kStore: case Op::kLoadB: case Op::kStoreB:
+      return OpClass::kMemory;
+    case Op::kPushR: case Op::kPushI: case Op::kPopR:
+      return OpClass::kStack;
+    case Op::kAddRR: case Op::kAddRI: case Op::kSubRR: case Op::kSubRI:
+    case Op::kXorRR: case Op::kXorRI: case Op::kAndRR: case Op::kAndRI:
+    case Op::kOrRR: case Op::kOrRI: case Op::kMulRR: case Op::kMulRI:
+    case Op::kShlRI: case Op::kShrRI: case Op::kNotR: case Op::kNegR:
+    case Op::kIncR: case Op::kDecR:
+      return OpClass::kAlu;
+    case Op::kCmpRR: case Op::kCmpRI: case Op::kTestRR: case Op::kTestRI:
+      return OpClass::kCompare;
+    case Op::kJmp: case Op::kJz: case Op::kJnz: case Op::kJg: case Op::kJl:
+    case Op::kJge: case Op::kJle:
+      return OpClass::kBranch;
+    case Op::kCall: case Op::kRet:
+      return OpClass::kCallRet;
+    case Op::kSys:
+      return OpClass::kSys;
+    case Op::kOpCount:
+      break;
+  }
+  return OpClass::kControl;
+}
 
 const char* StopReasonName(StopReason reason) {
   switch (reason) {
@@ -40,7 +121,24 @@ StopReason Cpu::Run(uint64_t budget) {
     }
     Step();
   }
+  FlushMetrics();
+  GetVmMetrics().runs->Increment();
+  GetVmMetrics().stops[static_cast<size_t>(stop_reason_)]->Increment();
   return stop_reason_;
+}
+
+void Cpu::FlushMetrics() {
+  VmMetrics& metrics = GetVmMetrics();
+  if (instructions_retired_ != 0) {
+    metrics.instructions->Increment(instructions_retired_);
+    instructions_retired_ = 0;
+  }
+  for (size_t i = 0; i < kNumOpClasses; ++i) {
+    if (dispatch_counts_[i] != 0) {
+      metrics.dispatch[i]->Increment(dispatch_counts_[i]);
+      dispatch_counts_[i] = 0;
+    }
+  }
 }
 
 StopReason Cpu::Fault(std::string message) {
@@ -57,6 +155,8 @@ StopReason Cpu::Step() {
   const Instruction inst = program_.code[pc_];
   current_pc_ = pc_;
   ++cycles_used_;
+  ++instructions_retired_;
+  ++dispatch_counts_[static_cast<size_t>(ClassifyOp(inst.op))];
 
   StepInfo step;
   step.pc = pc_;

@@ -29,6 +29,31 @@ enum class StopReason {
 
 [[nodiscard]] const char* StopReasonName(StopReason reason);
 
+inline constexpr size_t kNumStopReasons =
+    static_cast<size_t>(StopReason::kTraceLimit) + 1;
+
+// Coarse opcode classes for the dispatch-mix telemetry: each retired
+// instruction bumps one per-class counter (a plain array increment on
+// the interpreter hot path; the registry sees one bulk add per run).
+enum class OpClass : uint8_t {
+  kControl = 0,  // nop/hlt
+  kMove,         // mov/lea
+  kMemory,       // load/store (word and byte)
+  kStack,        // push/pop
+  kAlu,          // arithmetic, logic, shifts, inc/dec
+  kCompare,      // cmp/test
+  kBranch,       // jmp + conditionals
+  kCallRet,      // call/ret
+  kSys,          // kernel traps
+  kClassCount,
+};
+
+inline constexpr size_t kNumOpClasses =
+    static_cast<size_t>(OpClass::kClassCount);
+
+[[nodiscard]] const char* OpClassName(OpClass cls);
+[[nodiscard]] OpClass ClassifyOp(Op op);
+
 // Everything observable about one retired instruction. Field semantics:
 //   u1/u2      — values of r1/r2 *before* execution
 //   mem_addr   — effective address when reads_mem/writes_mem
@@ -108,6 +133,18 @@ class Cpu {
   void ConsumeCycles(uint64_t cycles) { cycles_used_ += cycles; }
   [[nodiscard]] uint64_t cycles_used() const { return cycles_used_; }
 
+  // --- telemetry -------------------------------------------------------
+  [[nodiscard]] uint64_t instructions_retired() const {
+    return instructions_retired_;
+  }
+  [[nodiscard]] uint64_t dispatch_count(OpClass cls) const {
+    return dispatch_counts_[static_cast<size_t>(cls)];
+  }
+  // Publishes the per-run counters accumulated since the last flush into
+  // the global metrics registry. Run() calls this on every exit; call it
+  // manually only when stepping the CPU by hand.
+  void FlushMetrics();
+
   // Return-address of the current call frame — the "caller-PC" the paper
   // logs with every API call. Valid while handling a syscall: the pc of
   // the `sys` instruction itself.
@@ -144,6 +181,8 @@ class Cpu {
   uint64_t api_calls_ = 0;
   uint64_t api_call_limit_ = 0;
   uint64_t cycles_used_ = 0;
+  uint64_t instructions_retired_ = 0;
+  std::array<uint64_t, kNumOpClasses> dispatch_counts_{};
   StopReason stop_reason_ = StopReason::kRunning;
   std::string fault_;
 };

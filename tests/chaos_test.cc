@@ -6,10 +6,15 @@
 // rules, hook drops, envelope limits, and serialization round-trips.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "malware/corpus.h"
 #include "os/errors.h"
 #include "sandbox/faults.h"
 #include "sandbox/sandbox.h"
+#include "support/metrics.h"
+#include "support/tracing.h"
 #include "trace/serialize.h"
 #include "vaccine/pipeline.h"
 
@@ -112,6 +117,77 @@ TEST(Chaos, AnalysisIsDeterministicUnderAPlan) {
     EXPECT_EQ(trace::SerializeApiTrace(first.natural_trace),
               trace::SerializeApiTrace(second.natural_trace));
   }
+}
+
+// The telemetry layer must not break replay determinism: two identically
+// seeded runs produce byte-identical metric snapshots and span trees.
+TEST(Chaos, TelemetryIsDeterministicUnderAPlan) {
+  malware::CorpusOptions corpus_options;
+  corpus_options.seed = 31337;
+  corpus_options.total = 3;
+  auto corpus = malware::GenerateCorpus(corpus_options);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  const FaultPlan plan = FaultPlan::Randomized(0xDECAF, 0.1);
+  vaccine::PipelineOptions options = ChaosPipelineOptions();
+  options.fault_plan = &plan;
+  vaccine::VaccinePipeline pipeline(nullptr, options);
+
+  Tracer& tracer = GlobalTracer();
+  const bool was_enabled = tracer.enabled();
+  ChromeTraceOptions trace_options;
+  trace_options.include_wall = false;  // only deterministic fields
+
+  auto run_once = [&] {
+    GlobalMetrics().Reset();
+    tracer.Clear();
+    tracer.set_enabled(true);
+    for (const malware::CorpusSample& sample : corpus.value()) {
+      const vaccine::SampleReport report = pipeline.Analyze(sample.program);
+      CheckWellFormed(report);
+    }
+    return std::pair<std::string, std::string>(
+        ExportMetricsJsonl(GlobalMetrics().Snapshot()),
+        ExportChromeTrace(tracer, trace_options));
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+  tracer.set_enabled(was_enabled);
+
+  EXPECT_FALSE(first.first.empty());
+  EXPECT_FALSE(first.second.empty());
+  EXPECT_EQ(first.first, second.first) << "metric snapshots diverged";
+  EXPECT_EQ(first.second, second.second) << "span trees diverged";
+  // The traces actually cover the pipeline's phases.
+  EXPECT_NE(first.second.find("\"name\":\"phase1\""), std::string::npos);
+  EXPECT_NE(first.first.find("vm.instructions_retired"), std::string::npos);
+}
+
+TEST(Chaos, PhaseCostsAreDeterministicPerSample) {
+  malware::CorpusOptions corpus_options;
+  corpus_options.seed = 4242;
+  corpus_options.total = 2;
+  auto corpus = malware::GenerateCorpus(corpus_options);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  vaccine::VaccinePipeline pipeline(nullptr, ChaosPipelineOptions());
+  Tracer& tracer = GlobalTracer();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+
+  for (const malware::CorpusSample& sample : corpus.value()) {
+    const auto first = pipeline.Analyze(sample.program);
+    const auto second = pipeline.Analyze(sample.program);
+    ASSERT_EQ(first.phase_costs.size(), second.phase_costs.size());
+    for (size_t i = 0; i < first.phase_costs.size(); ++i) {
+      EXPECT_EQ(first.phase_costs[i].name, second.phase_costs[i].name);
+      EXPECT_EQ(first.phase_costs[i].spans, second.phase_costs[i].spans);
+      EXPECT_EQ(first.phase_costs[i].ticks, second.phase_costs[i].ticks);
+      // wall_ns is deliberately NOT compared: it is informational.
+    }
+  }
+  tracer.set_enabled(was_enabled);
 }
 
 TEST(Chaos, CampaignRunnerIsolatesEverySample) {

@@ -1,0 +1,358 @@
+// Telemetry layer: metrics-registry semantics (handle stability, kind
+// checks, histogram bucket edges, reset, concurrent increments) and the
+// deterministic span tracer (nesting, disabled fast path, phase rollups,
+// Chrome trace export).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+
+#include "support/metrics.h"
+#include "support/tracing.h"
+
+namespace autovac {
+namespace {
+
+// ---------------------------------------------------------------------
+// Registry semantics
+// ---------------------------------------------------------------------
+
+TEST(Metrics, CounterRoundTrip) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(Metrics, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("test.shared");
+  Counter* second = registry.GetCounter("test.shared");
+  EXPECT_EQ(first, second);
+  first->Increment();
+  EXPECT_EQ(second->value(), 1u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Metrics, HandlesStayStableAcrossGrowth) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("growth.0");
+  first->Increment(7);
+  // Force plenty of growth after taking the handle.
+  for (int i = 1; i < 200; ++i) {
+    registry.GetCounter("growth." + std::to_string(i));
+  }
+  EXPECT_EQ(first, registry.GetCounter("growth.0"));
+  EXPECT_EQ(first->value(), 7u);
+}
+
+TEST(Metrics, GaugeSetAndUpdateMax) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  gauge->Set(10);
+  gauge->UpdateMax(5);   // smaller: ignored
+  EXPECT_EQ(gauge->value(), 10);
+  gauge->UpdateMax(25);  // larger: taken
+  EXPECT_EQ(gauge->value(), 25);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusive) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.hist", {10, 100});
+  histogram->Record(10);   // le 10 → bucket 0
+  histogram->Record(11);   // le 100 → bucket 1
+  histogram->Record(100);  // le 100 → bucket 1
+  histogram->Record(101);  // overflow → +inf bucket
+  const std::vector<uint64_t> buckets = histogram->bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(histogram->count(), 4u);
+  EXPECT_EQ(histogram->sum(), 10u + 11 + 100 + 101);
+}
+
+TEST(Metrics, HistogramFirstRegistrationWinsOnBounds) {
+  MetricsRegistry registry;
+  Histogram* first = registry.GetHistogram("test.bounds", {1, 2, 3});
+  Histogram* second = registry.GetHistogram("test.bounds", {99});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->bounds().size(), 3u);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("reset.counter");
+  Gauge* gauge = registry.GetGauge("reset.gauge");
+  Histogram* histogram = registry.GetHistogram("reset.hist", {5});
+  counter->Increment(3);
+  gauge->Set(9);
+  histogram->Record(4);
+  registry.Reset();
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(), 0u);
+  EXPECT_EQ(histogram->sum(), 0u);
+  for (uint64_t bucket : histogram->bucket_counts()) {
+    EXPECT_EQ(bucket, 0u);
+  }
+  // Handles remain valid after Reset.
+  EXPECT_EQ(counter, registry.GetCounter("reset.counter"));
+}
+
+TEST(Metrics, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz.last");
+  registry.GetGauge("aa.first");
+  registry.GetCounter("mm.middle");
+  const std::vector<MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "aa.first");
+  EXPECT_EQ(snapshot[1].name, "mm.middle");
+  EXPECT_EQ(snapshot[2].name, "zz.last");
+}
+
+TEST(Metrics, ConcurrentIncrementsAllLand) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("concurrent.counter");
+  Histogram* histogram =
+      registry.GetHistogram("concurrent.hist", {1'000'000});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Record(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram->count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram->bucket_counts()[0],
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        registry.GetCounter("race." + std::to_string(i))->Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(registry.GetCounter("race." + std::to_string(i))->value(),
+              static_cast<uint64_t>(kThreads));
+  }
+}
+
+TEST(Metrics, JsonlExportShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("json.counter")->Increment(12);
+  registry.GetGauge("json.gauge")->Set(-3);
+  registry.GetHistogram("json.hist", {10})->Record(7);
+  const std::string jsonl = ExportMetricsJsonl(registry.Snapshot());
+  // One line per metric, each a JSON object.
+  EXPECT_NE(jsonl.find("{\"name\":\"json.counter\",\"kind\":\"counter\","
+                       "\"value\":12}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("{\"name\":\"json.gauge\",\"kind\":\"gauge\","
+                       "\"value\":-3}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"le\":\"+inf\""), std::string::npos);
+  size_t lines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(Metrics, DumpRendersEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("dump.counter")->Increment(5);
+  registry.GetHistogram("dump.hist", {10})->Record(3);
+  const std::string table = DumpMetrics(registry.Snapshot());
+  EXPECT_NE(table.find("dump.counter"), std::string::npos);
+  EXPECT_NE(table.find("dump.hist"), std::string::npos);
+  EXPECT_NE(table.find("5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+// A tracer driven by a manual clock, so tick math is exact.
+struct ManualClock {
+  uint64_t now = 0;
+  Tracer tracer;
+  ManualClock() {
+    tracer.set_tick_clock([this] { return now; });
+    tracer.set_enabled(true);
+  }
+};
+
+TEST(Tracing, DisabledTracerReturnsNoSpan) {
+  Tracer tracer;  // disabled by default
+  const uint64_t id = tracer.BeginSpan("never");
+  EXPECT_EQ(id, kNoSpan);
+  tracer.EndSpan(id);  // no-op, must not crash
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Tracing, NestingRecordsParentAndDepth) {
+  ManualClock clock;
+  Tracer& tracer = clock.tracer;
+  const uint64_t outer = tracer.BeginSpan("outer");
+  clock.now = 10;
+  const uint64_t inner = tracer.BeginSpan("inner");
+  clock.now = 25;
+  tracer.EndSpan(inner);
+  clock.now = 40;
+  tracer.EndSpan(outer);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const SpanRecord& outer_span = tracer.spans()[0];
+  const SpanRecord& inner_span = tracer.spans()[1];
+  EXPECT_EQ(tracer.SpanName(outer_span), "outer");
+  EXPECT_EQ(tracer.SpanName(inner_span), "inner");
+  EXPECT_EQ(outer_span.parent, kNoParent);
+  EXPECT_EQ(outer_span.depth, 0u);
+  EXPECT_EQ(inner_span.parent, 0u);
+  EXPECT_EQ(inner_span.depth, 1u);
+  EXPECT_EQ(outer_span.ticks(), 40u);
+  EXPECT_EQ(inner_span.ticks(), 15u);
+  EXPECT_TRUE(outer_span.closed);
+  EXPECT_TRUE(inner_span.closed);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracing, ScopedSpanClosesDuringUnwinding) {
+  ManualClock clock;
+  Tracer& tracer = clock.tracer;
+  try {
+    ScopedSpan outer(tracer, "outer");
+    ScopedSpan inner(tracer, "inner");
+    throw std::runtime_error("boom");
+  } catch (const std::exception&) {
+  }
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_TRUE(tracer.spans()[0].closed);
+  EXPECT_TRUE(tracer.spans()[1].closed);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracing, PhaseTotalsAggregateByName) {
+  ManualClock clock;
+  Tracer& tracer = clock.tracer;
+  for (int i = 0; i < 3; ++i) {
+    const uint64_t span = tracer.BeginSpan("mutation");
+    clock.now += 5;
+    tracer.EndSpan(span);
+  }
+  const uint64_t span = tracer.BeginSpan("alignment");
+  clock.now += 2;
+  tracer.EndSpan(span);
+
+  const std::vector<PhaseTotal> totals = tracer.PhaseTotals();
+  ASSERT_EQ(totals.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(totals[0].name, "alignment");
+  EXPECT_EQ(totals[0].spans, 1u);
+  EXPECT_EQ(totals[0].ticks, 2u);
+  EXPECT_EQ(totals[1].name, "mutation");
+  EXPECT_EQ(totals[1].spans, 3u);
+  EXPECT_EQ(totals[1].ticks, 15u);
+}
+
+TEST(Tracing, PhaseTotalsRespectFirstSpan) {
+  ManualClock clock;
+  Tracer& tracer = clock.tracer;
+  uint64_t span = tracer.BeginSpan("old");
+  clock.now = 5;
+  tracer.EndSpan(span);
+  const size_t first_span = tracer.spans().size();
+  span = tracer.BeginSpan("new");
+  clock.now = 9;
+  tracer.EndSpan(span);
+
+  const std::vector<PhaseTotal> totals = tracer.PhaseTotals(first_span);
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_EQ(totals[0].name, "new");
+  EXPECT_EQ(totals[0].ticks, 4u);
+}
+
+TEST(Tracing, ClearDropsSpansKeepsEnabled) {
+  ManualClock clock;
+  Tracer& tracer = clock.tracer;
+  tracer.EndSpan(tracer.BeginSpan("x"));
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_TRUE(tracer.enabled());
+  // Interned names survive; a new span still works.
+  tracer.EndSpan(tracer.BeginSpan("x"));
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
+TEST(Tracing, ChromeTraceExportIsValidAndDeterministic) {
+  ManualClock clock;
+  Tracer& tracer = clock.tracer;
+  const uint64_t outer = tracer.BeginSpan("phase1");
+  clock.now = 100;
+  const uint64_t inner = tracer.BeginSpan("mutation");
+  clock.now = 150;
+  tracer.EndSpan(inner);
+  clock.now = 200;
+  tracer.EndSpan(outer);
+
+  ChromeTraceOptions options;
+  options.include_wall = false;
+  const std::string json = ExportChromeTrace(tracer, options);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"phase1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mutation\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50"), std::string::npos);
+  // Wall fields must be absent when include_wall is off.
+  EXPECT_EQ(json.find("wall_us"), std::string::npos);
+  // Identical span history → identical export.
+  EXPECT_EQ(json, ExportChromeTrace(tracer, options));
+}
+
+TEST(Tracing, GlobalTracerUsesInstructionClockByDefault) {
+  Tracer& tracer = GlobalTracer();
+  const bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  Counter* instructions = GlobalMetrics().GetCounter(
+      "vm.instructions_retired");
+  const size_t first_span = tracer.spans().size();
+
+  const uint64_t span = tracer.BeginSpan("clock_probe");
+  instructions->Increment(1234);
+  tracer.EndSpan(span);
+
+  ASSERT_EQ(tracer.spans().size(), first_span + 1);
+  EXPECT_EQ(tracer.spans()[first_span].ticks(), 1234u);
+  tracer.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace autovac

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "support/digest.h"
 #include "support/interner.h"
+#include "support/logging.h"
 #include "support/pattern.h"
 #include "support/rng.h"
 #include "support/status.h"
@@ -398,6 +401,69 @@ TEST(TextTable, PadsShortRows) {
   table.AddRow({"only"});
   const std::string out = table.Render();
   EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+// ---- JSON escaping -----------------------------------------------------
+
+TEST(Strings, JsonEscape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("C:\\path"), "C:\\\\path");
+  EXPECT_EQ(JsonEscape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+// ---- Logging sink ------------------------------------------------------
+
+class CapturingSink : public LogSink {
+ public:
+  void Write(LogLevel level, const std::string& message) override {
+    lines.push_back({level, message});
+  }
+  std::vector<std::pair<LogLevel, std::string>> lines;
+};
+
+TEST(Logging, SinkCapturesAtOrAboveLevel) {
+  CapturingSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  LogDebug("dropped %d", 1);
+  LogInfo("kept %d", 2);
+  LogError("kept %d", 3);
+
+  SetLogLevel(old_level);
+  SetLogSink(previous);
+
+  ASSERT_EQ(sink.lines.size(), 2u);
+  EXPECT_EQ(sink.lines[0].first, LogLevel::kInfo);
+  EXPECT_EQ(sink.lines[0].second, "kept 2");
+  EXPECT_EQ(sink.lines[1].first, LogLevel::kError);
+  EXPECT_EQ(sink.lines[1].second, "kept 3");
+}
+
+TEST(Logging, OffSilencesEverything) {
+  CapturingSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+
+  LogError("never seen");
+  // Nothing can be logged *at* kOff either.
+  LogMessage(LogLevel::kOff, "also never seen");
+
+  SetLogLevel(old_level);
+  SetLogSink(previous);
+  EXPECT_TRUE(sink.lines.empty());
+}
+
+TEST(Logging, SetLogSinkReturnsPrevious) {
+  CapturingSink first;
+  CapturingSink second;
+  LogSink* original = SetLogSink(&first);
+  EXPECT_EQ(SetLogSink(&second), &first);
+  EXPECT_EQ(SetLogSink(original), &second);
 }
 
 }  // namespace

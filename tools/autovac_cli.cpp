@@ -1,13 +1,23 @@
 // autovac — command-line front end for the AUTOVAC pipeline.
 //
-//   autovac analyze <sample.asm> [--no-exclusiveness] [--package <out.pkg>]
-//                                 [--report <out.md>] [--fault-seed <n>]
-//                                 [--fault-rate <p>] [--max-api-calls <n>]
-//                                 [--max-call-depth <n>]
-//       Run Phase I+II on an assembly sample; print the vaccines and
-//       optionally write a deployable package. --fault-seed runs the
-//       whole analysis under a deterministic randomized fault schedule
-//       (resilience testing); the limit flags cap the execution envelope.
+//   autovac analyze <sample.asm> [--no-exclusiveness] [--no-clinic]
+//                                 [--package <out.pkg>] [--report <out.md>]
+//                                 [--fault-seed <n>] [--fault-rate <p>]
+//                                 [--max-api-calls <n>] [--max-call-depth <n>]
+//                                 [--metrics-out <m.jsonl>]
+//                                 [--trace-out <t.json>]
+//       Run Phase I+II on an assembly sample, clinic-test the extracted
+//       vaccines against the benign corpus, and print the survivors.
+//       --fault-seed runs the whole analysis under a deterministic
+//       randomized fault schedule (resilience testing); the limit flags
+//       cap the execution envelope. --metrics-out dumps the process
+//       metrics registry as JSONL; --trace-out writes a Chrome
+//       trace_event file (load via chrome://tracing or Perfetto) whose
+//       timestamps are VM instruction counts, so same-seed runs produce
+//       identical span trees.
+//   autovac campaign <sample.asm>... [analyze options]
+//       Analyze a wave of samples with crash isolation and print the
+//       per-sample dashboard plus campaign phase-cost totals.
 //   autovac test <sample.asm> <package.pkg>
 //       Deploy a package on a fresh machine and re-run the sample against
 //       it (normal vs vaccinated comparison + BDR).
@@ -27,8 +37,12 @@
 
 #include "malware/benign.h"
 #include "sandbox/sandbox.h"
+#include "support/metrics.h"
+#include "support/table.h"
+#include "support/tracing.h"
 #include "trace/serialize.h"
 #include "vaccine/bdr.h"
+#include "vaccine/clinic.h"
 #include "vaccine/delivery.h"
 #include "vaccine/package.h"
 #include "vaccine/report.h"
@@ -40,16 +54,45 @@ using namespace autovac;
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: autovac <analyze|test|trace|disasm> <sample.asm> "
-               "[options]\n"
-               "  analyze <sample.asm> [--no-exclusiveness] [--package out]\n"
-               "          [--report out.md] [--fault-seed n] [--fault-rate p]\n"
-               "          [--max-api-calls n] [--max-call-depth n]\n"
-               "  test    <sample.asm> <package.pkg>\n"
-               "  trace   <sample.asm> [--out trace.txt]\n"
-               "  disasm  <sample.asm>\n");
+  std::fprintf(
+      stderr,
+      "usage: autovac <analyze|campaign|test|trace|disasm> <sample.asm> "
+      "[options]\n"
+      "  analyze  <sample.asm> [options]\n"
+      "  campaign <sample.asm>... [options]\n"
+      "  test     <sample.asm> <package.pkg>\n"
+      "  trace    <sample.asm> [--out trace.txt]\n"
+      "  disasm   <sample.asm>\n"
+      "analyze/campaign options:\n"
+      "  --no-exclusiveness   skip the benign-corpus exclusiveness filter\n"
+      "  --no-clinic          skip the malware-clinic safety test\n"
+      "  --package <out.pkg>  write clinic-passed vaccines as a package\n"
+      "  --report <out.md>    write the full markdown report\n"
+      "  --fault-seed <n>     inject deterministic faults from seed n\n"
+      "  --fault-rate <p>     fault probability per API call (default "
+      "0.02)\n"
+      "  --max-api-calls <n>  cap API calls per sandbox run\n"
+      "  --max-call-depth <n> cap the shadow call-stack depth\n"
+      "  --metrics-out <f>    dump the metrics registry as JSONL\n"
+      "  --trace-out <f>      write a Chrome trace_event JSON file\n");
   return 2;
+}
+
+// Strict flag handling: anything starting with "--" that no command
+// recognizes is an error naming the flag, not a silent usage dump.
+int UnknownOption(const char* flag) {
+  std::fprintf(stderr, "error: unknown option '%s'\n", flag);
+  return Usage();
+}
+
+// Returns the flag's value or null (after printing an error) when the
+// value is missing. Advances *i past the value.
+const char* OptionValue(int argc, char** argv, int* i) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "error: option '%s' requires a value\n", argv[*i]);
+    return nullptr;
+  }
+  return argv[++*i];
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
@@ -87,39 +130,139 @@ analysis::ExclusivenessIndex TrainIndex() {
   return index;
 }
 
-int CmdAnalyze(int argc, char** argv) {
-  if (argc < 1) return Usage();
-  const std::string sample_path = argv[0];
+// Options shared by `analyze` and `campaign`.
+struct AnalyzeFlags {
   bool use_exclusiveness = true;
+  bool run_clinic = true;
   std::string package_path;
   std::string report_path;
   bool inject_faults = false;
   uint64_t fault_seed = 0;
   double fault_rate = 0.02;
   sandbox::RunLimits limits;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--no-exclusiveness") == 0) {
-      use_exclusiveness = false;
-    } else if (std::strcmp(argv[i], "--package") == 0 && i + 1 < argc) {
-      package_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
-      report_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
-      inject_faults = true;
-      fault_seed = std::strtoull(argv[++i], nullptr, 0);
-    } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
-      fault_rate = std::strtod(argv[++i], nullptr);
-    } else if (std::strcmp(argv[i], "--max-api-calls") == 0 && i + 1 < argc) {
-      limits.max_api_calls = std::strtoull(argv[++i], nullptr, 0);
-    } else if (std::strcmp(argv[i], "--max-call-depth") == 0 && i + 1 < argc) {
-      limits.max_call_depth =
-          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+  std::string metrics_path;
+  std::string trace_path;
+  // Positional (non-flag) arguments, in order.
+  std::vector<std::string> samples;
+};
+
+// Parses analyze/campaign arguments; returns false after printing an
+// error for an unknown flag or a missing value.
+bool ParseAnalyzeFlags(int argc, char** argv, AnalyzeFlags* flags) {
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      flags->samples.push_back(arg);
+      continue;
+    }
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--no-exclusiveness") == 0) {
+      flags->use_exclusiveness = false;
+    } else if (std::strcmp(arg, "--no-clinic") == 0) {
+      flags->run_clinic = false;
+    } else if (std::strcmp(arg, "--package") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->package_path = value;
+    } else if (std::strcmp(arg, "--report") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->report_path = value;
+    } else if (std::strcmp(arg, "--fault-seed") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->inject_faults = true;
+      flags->fault_seed = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--fault-rate") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->fault_rate = std::strtod(value, nullptr);
+    } else if (std::strcmp(arg, "--max-api-calls") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->limits.max_api_calls = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--max-call-depth") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->limits.max_call_depth =
+          static_cast<uint32_t>(std::strtoul(value, nullptr, 0));
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->metrics_path = value;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->trace_path = value;
     } else {
-      return Usage();
+      UnknownOption(arg);
+      return false;
     }
   }
+  return true;
+}
 
-  auto program = LoadSample(sample_path);
+// Writes --metrics-out / --trace-out if requested. Returns 0 or 1.
+int ExportTelemetry(const AnalyzeFlags& flags) {
+  if (!flags.metrics_path.empty()) {
+    const std::string jsonl = ExportMetricsJsonl(GlobalMetrics().Snapshot());
+    const Status written = WriteStringToFile(flags.metrics_path, jsonl);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s (%zu series)\n",
+                flags.metrics_path.c_str(), GlobalMetrics().size());
+  }
+  if (!flags.trace_path.empty()) {
+    const std::string trace = ExportChromeTrace(GlobalTracer(), {});
+    const Status written = WriteStringToFile(flags.trace_path, trace);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu spans)\n", flags.trace_path.c_str(),
+                GlobalTracer().spans().size());
+  }
+  return 0;
+}
+
+void PrintPhaseCosts(const std::vector<PhaseTotal>& costs) {
+  if (costs.empty()) return;
+  // Deterministic fields only (no wall times): stdout must stay
+  // byte-identical across same-seed runs.
+  TextTable table({"phase", "spans", "instructions"});
+  for (const PhaseTotal& cost : costs) {
+    table.AddRow({cost.name, std::to_string(cost.spans),
+                  std::to_string(cost.ticks)});
+  }
+  std::printf("\nanalysis cost by phase (VM instructions):\n%s",
+              table.Render().c_str());
+}
+
+// Clinic-tests `vaccines` in place (removing the discarded ones) and
+// prints the outcome. The paper's §IV-D gate: a vaccine that changes any
+// benign program's behaviour never ships.
+void ApplyClinic(std::vector<vaccine::Vaccine>& vaccines) {
+  if (vaccines.empty()) return;
+  auto benign = malware::BuildBenignCorpus();
+  AUTOVAC_CHECK(benign.ok());
+  vaccine::ClinicResult clinic =
+      vaccine::RunClinicTest(vaccines, benign.value());
+  std::printf("clinic: %zu vaccines tested against %zu benign programs — "
+              "%zu passed, %zu discarded\n",
+              vaccines.size(), benign->size(), clinic.passed.size(),
+              clinic.discarded.size());
+  for (size_t i = 0; i < clinic.discarded.size(); ++i) {
+    std::printf("clinic: discarded %s (deviates %s)\n",
+                clinic.discarded[i].Summary().c_str(),
+                clinic.discard_reasons[i].c_str());
+  }
+  vaccines = std::move(clinic.passed);
+}
+
+int CmdAnalyze(int argc, char** argv) {
+  AnalyzeFlags flags;
+  if (!ParseAnalyzeFlags(argc, argv, &flags)) return 2;
+  if (flags.samples.size() != 1) {
+    std::fprintf(stderr, "error: analyze takes exactly one sample\n");
+    return Usage();
+  }
+  GlobalTracer().set_enabled(true);
+
+  auto program = LoadSample(flags.samples[0]);
   if (!program.ok()) {
     std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
     return 1;
@@ -129,31 +272,35 @@ int CmdAnalyze(int argc, char** argv) {
               program->Digest().c_str());
 
   analysis::ExclusivenessIndex index;
-  if (use_exclusiveness) {
+  if (flags.use_exclusiveness) {
     index = TrainIndex();
     std::printf("exclusiveness index: %zu identifiers from the benign "
                 "corpus\n", index.size());
   }
   vaccine::PipelineOptions options;
-  options.run_exclusiveness = use_exclusiveness;
-  options.limits = limits;
-  sandbox::FaultPlan fault_plan(fault_seed);
-  if (inject_faults) {
-    fault_plan = sandbox::FaultPlan::Randomized(fault_seed, fault_rate);
+  options.run_exclusiveness = flags.use_exclusiveness;
+  options.limits = flags.limits;
+  sandbox::FaultPlan fault_plan(flags.fault_seed);
+  if (flags.inject_faults) {
+    fault_plan = sandbox::FaultPlan::Randomized(flags.fault_seed,
+                                                flags.fault_rate);
     options.fault_plan = &fault_plan;
     std::printf("fault injection: %s\n", fault_plan.Summary().c_str());
   }
-  vaccine::VaccinePipeline pipeline(use_exclusiveness ? &index : nullptr,
-                                    options);
+  vaccine::VaccinePipeline pipeline(
+      flags.use_exclusiveness ? &index : nullptr, options);
   auto report = pipeline.Analyze(program.value());
-  if (!report_path.empty()) {
-    const Status written =
-        WriteStringToFile(report_path, vaccine::RenderSampleReport(report));
+  if (flags.run_clinic) ApplyClinic(report.vaccines);
+  // Clinic spans opened after Analyze; fold them into the rollup.
+  report.phase_costs = GlobalTracer().PhaseTotals(0);
+  if (!flags.report_path.empty()) {
+    const Status written = WriteStringToFile(
+        flags.report_path, vaccine::RenderSampleReport(report));
     if (!written.ok()) {
       std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
       return 1;
     }
-    std::printf("report written to %s\n", report_path.c_str());
+    std::printf("report written to %s\n", flags.report_path.c_str());
   }
 
   std::printf("\nPhase-I : %zu resource-API occurrences, %zu tainted; "
@@ -178,26 +325,102 @@ int CmdAnalyze(int argc, char** argv) {
                   report.phase2_status.ToString().c_str());
     }
   }
+  PrintPhaseCosts(report.phase_costs);
   std::printf("\n");
   if (report.vaccines.empty()) {
     std::printf("no vaccines extracted.\n");
-    return 0;
+    return ExportTelemetry(flags);
   }
   for (const vaccine::Vaccine& v : report.vaccines) {
     std::printf("vaccine: %s\n", v.Summary().c_str());
   }
 
-  if (!package_path.empty()) {
+  if (!flags.package_path.empty()) {
     const Status written = WriteStringToFile(
-        package_path, vaccine::SerializePackage(report.vaccines));
+        flags.package_path, vaccine::SerializePackage(report.vaccines));
     if (!written.ok()) {
       std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
       return 1;
     }
     std::printf("\npackage written to %s (%zu vaccines)\n",
-                package_path.c_str(), report.vaccines.size());
+                flags.package_path.c_str(), report.vaccines.size());
   }
-  return 0;
+  return ExportTelemetry(flags);
+}
+
+int CmdCampaign(int argc, char** argv) {
+  AnalyzeFlags flags;
+  if (!ParseAnalyzeFlags(argc, argv, &flags)) return 2;
+  if (flags.samples.empty()) {
+    std::fprintf(stderr, "error: campaign needs at least one sample\n");
+    return Usage();
+  }
+  GlobalTracer().set_enabled(true);
+
+  std::vector<vm::Program> programs;
+  programs.reserve(flags.samples.size());
+  for (const std::string& path : flags.samples) {
+    auto program = LoadSample(path);
+    if (!program.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   program.status().ToString().c_str());
+      return 1;
+    }
+    programs.push_back(std::move(program).value());
+  }
+
+  analysis::ExclusivenessIndex index;
+  if (flags.use_exclusiveness) index = TrainIndex();
+  vaccine::PipelineOptions options;
+  options.run_exclusiveness = flags.use_exclusiveness;
+  options.limits = flags.limits;
+  sandbox::FaultPlan fault_plan(flags.fault_seed);
+  if (flags.inject_faults) {
+    fault_plan = sandbox::FaultPlan::Randomized(flags.fault_seed,
+                                                flags.fault_rate);
+    options.fault_plan = &fault_plan;
+    std::printf("fault injection: %s\n", fault_plan.Summary().c_str());
+  }
+  vaccine::VaccinePipeline pipeline(
+      flags.use_exclusiveness ? &index : nullptr, options);
+  vaccine::CampaignReport campaign = AnalyzeCampaign(pipeline, programs);
+
+  TextTable table({"sample", "sensitive", "targets", "vaccines", "demoted",
+                   "faults", "clean"});
+  std::vector<vaccine::Vaccine> all_vaccines;
+  for (const vaccine::SampleReport& report : campaign.reports) {
+    table.AddRow({report.sample_name,
+                  report.resource_sensitive ? "yes" : "no",
+                  std::to_string(report.targets_considered),
+                  std::to_string(report.vaccines.size()),
+                  std::to_string(report.vaccines_demoted),
+                  std::to_string(report.faults_injected),
+                  report.Clean() ? "yes" : "no"});
+    all_vaccines.insert(all_vaccines.end(), report.vaccines.begin(),
+                        report.vaccines.end());
+  }
+  std::printf("campaign dashboard (%zu samples):\n%s",
+              campaign.reports.size(), table.Render().c_str());
+  std::printf("totals: %zu vaccines, %zu demoted, %zu faults injected, "
+              "%zu samples degraded, %zu failed\n",
+              campaign.total_vaccines, campaign.total_demoted,
+              campaign.total_faults_injected, campaign.samples_degraded,
+              campaign.samples_failed);
+
+  if (flags.run_clinic) ApplyClinic(all_vaccines);
+  PrintPhaseCosts(GlobalTracer().PhaseTotals(0));
+
+  if (!flags.package_path.empty()) {
+    const Status written = WriteStringToFile(
+        flags.package_path, vaccine::SerializePackage(all_vaccines));
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("package written to %s (%zu vaccines)\n",
+                flags.package_path.c_str(), all_vaccines.size());
+  }
+  return ExportTelemetry(flags);
 }
 
 int CmdTest(int argc, char** argv) {
@@ -241,9 +464,14 @@ int CmdTrace(int argc, char** argv) {
   }
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
+    if (std::strcmp(argv[i], "--out") == 0) {
+      const char* value = OptionValue(argc, argv, &i);
+      if (value == nullptr) return 2;
+      out_path = value;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      return UnknownOption(argv[i]);
     } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", argv[i]);
       return Usage();
     }
   }
@@ -284,8 +512,10 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string command = argv[1];
   if (command == "analyze") return CmdAnalyze(argc - 2, argv + 2);
+  if (command == "campaign") return CmdCampaign(argc - 2, argv + 2);
   if (command == "test") return CmdTest(argc - 2, argv + 2);
   if (command == "trace") return CmdTrace(argc - 2, argv + 2);
   if (command == "disasm") return CmdDisasm(argc - 2, argv + 2);
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return Usage();
 }
