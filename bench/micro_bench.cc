@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/alignment.h"
+#include "campaign/journal.h"
 #include "malware/families.h"
 #include "sandbox/sandbox.h"
 #include "support/metrics.h"
@@ -13,6 +14,7 @@
 #include "support/strings.h"
 #include "support/tracing.h"
 #include "taint/engine.h"
+#include "vaccine/json.h"
 
 using namespace autovac;
 
@@ -209,6 +211,43 @@ void BM_SpanOpenClose(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpanOpenClose)->Arg(0)->Arg(1)->ArgName("enabled");
+
+// Write-ahead journal append: one serialized SampleReport per completed
+// sample, fsync'd before the campaign moves on. Arg 1 is the real
+// durable path (fsync per record — the price of losing at most one
+// sample to a crash); arg 0 isolates the serialize+write cost.
+void BM_JournalAppend(benchmark::State& state) {
+  const std::string path = "micro_bench_journal_scratch.jsonl";
+  vaccine::SampleReport report;
+  report.sample_name = "bench-sample";
+  report.sample_digest = "0123456789abcdef0123456789abcdef";
+  report.resource_api_occurrences = 12;
+  report.tainted_occurrences = 5;
+  report.resource_sensitive = true;
+  report.targets_considered = 4;
+  report.phase_costs.push_back({"phase1", 1, 150'000, 0});
+  report.phase_costs.push_back({"phase2", 1, 420'000, 0});
+
+  campaign::JournalHeader header;
+  header.config_digest = "feedfacefeedfacefeedfacefeedface";
+  header.sample_names.push_back(report.sample_name);
+  header.sample_digests.push_back(report.sample_digest);
+  auto journal = campaign::CampaignJournal::Create(path, header);
+  AUTOVAC_CHECK(journal.ok());
+  journal->set_sync(state.range(0) != 0);
+
+  size_t appended = 0;
+  for (auto _ : state) {
+    AUTOVAC_CHECK(journal->Append(0, report).ok());
+    ++appended;
+  }
+  benchmark::DoNotOptimize(appended);
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(
+      state.iterations() * vaccine::SampleReportToJson(report).size()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_JournalAppend)->Arg(0)->Arg(1)->ArgName("fsync");
 
 }  // namespace
 

@@ -1,0 +1,118 @@
+// Durable campaign supervisor.
+//
+// Wraps the crash-isolated in-process campaign runner with three
+// production concerns the paper's long evaluation campaigns (§VI) need
+// and C++ exception isolation cannot give:
+//
+//  1. Durability — a write-ahead journal (journal.h) records every
+//     completed SampleReport; an interrupted campaign resumes by
+//     replaying the journal and re-analyzing only the missing samples,
+//     producing a CampaignReport byte-identical (CampaignReportToJson)
+//     to an uninterrupted run under the same seed.
+//  2. OS-level crash isolation — with workers enabled, each sample
+//     attempt runs in a forked child (worker.h); SIGSEGV, abort or an
+//     OOM kill becomes a failed SampleReport carrying the signal, never
+//     a dead campaign.
+//  3. Deadline + quarantine policy — a per-sample wall-clock watchdog
+//     SIGKILLs hung workers (stalling is a deliberate anti-analysis
+//     tactic; see Afianian et al. in PAPERS.md), crashed samples are
+//     retried with a deterministically backed-off cycle budget, and a
+//     sample that keeps killing workers lands on the poison list as
+//     kQuarantined instead of being retried forever.
+//
+// The default configuration (jobs=1, no journal, no deadline) runs the
+// exact in-process path of AnalyzeCampaign, preserving the existing
+// determinism guarantees byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.h"
+#include "support/status.h"
+#include "vaccine/pipeline.h"
+#include "vm/program.h"
+
+namespace autovac::campaign {
+
+struct CampaignOptions {
+  // Maximum concurrently running worker processes. jobs > 1 implies
+  // worker isolation.
+  size_t jobs = 1;
+
+  // Wall-clock watchdog per sample attempt; 0 disables. A worker past
+  // its deadline is SIGKILLed and the sample recorded as
+  // kDeadlineExceeded (after retries/quarantine policy). Implies worker
+  // isolation.
+  uint64_t sample_deadline_ms = 0;
+
+  // Write-ahead journal path; empty disables journaling.
+  std::string journal_path;
+
+  // Resume from an existing journal (requires journal_path). The journal
+  // header must match this campaign's config digest.
+  bool resume = false;
+
+  // Extra caller-side configuration folded into the config digest (the
+  // CLI passes its fault-injection flags here).
+  std::string config_extra;
+
+  // Retries after a worker death, each with cycle budgets halved
+  // (worker.h BackoffOptions).
+  size_t max_worker_retries = 1;
+
+  // Poison list: a sample whose workers die this many times (crash or
+  // deadline kill) is quarantined instead of retried.
+  size_t quarantine_after_kills = 2;
+
+  // Stop cleanly after this many samples completed in this run (0 = run
+  // to the end). Simulates an operator interrupt deterministically; the
+  // journal keeps everything completed so far, and the run reports
+  // interrupted=true.
+  size_t stop_after = 0;
+
+  // Force forked workers even for jobs=1 with no deadline (tests).
+  bool force_worker_isolation = false;
+
+  // Test hook executed inside the forked worker before analysis, with
+  // (sample index, attempt). Lets the chaos harness detonate SIGSEGV /
+  // abort / hangs inside a real child. Setting it implies worker
+  // isolation.
+  std::function<void(size_t, size_t)> worker_test_hook;
+
+  [[nodiscard]] bool WorkerMode() const {
+    return jobs > 1 || sample_deadline_ms > 0 || force_worker_isolation ||
+           worker_test_hook != nullptr;
+  }
+};
+
+// Durability counters for one supervisor run. Deliberately outside
+// CampaignReport: retries and resume splits are run-level noise, and the
+// byte-identity guarantee covers the campaign artifact only.
+struct CampaignRunStats {
+  size_t samples_loaded = 0;    // replayed from the journal
+  size_t samples_analyzed = 0;  // completed fresh in this run
+  size_t workers_crashed = 0;   // child died by signal / bad exit
+  size_t deadline_kills = 0;    // watchdog SIGKILLs
+  size_t worker_retries = 0;    // re-attempts after a worker death
+  size_t samples_quarantined = 0;
+  bool interrupted = false;     // stop_after fired before the corpus ended
+};
+
+struct CampaignRun {
+  vaccine::CampaignReport report;
+  CampaignRunStats stats;
+};
+
+// Runs the campaign under the configured durability policy. Returns a
+// non-OK status only for configuration/journal errors (unreadable or
+// mismatched journal, fork/pipe failure); per-sample failures of any
+// kind are recorded in the report, never escalated.
+[[nodiscard]] Result<CampaignRun> RunDurableCampaign(
+    const vaccine::VaccinePipeline& pipeline,
+    const std::vector<vm::Program>& samples,
+    const CampaignOptions& options = {});
+
+}  // namespace autovac::campaign

@@ -1,0 +1,52 @@
+// Worker side of the process-level campaign isolation.
+//
+// The supervisor forks one disposable worker per sample attempt (the
+// pokiSEC model: every detonation gets its own supervised, throwaway
+// executor). The worker analyzes the sample and ships the SampleReport
+// back over a pipe as a single length-prefixed JSON frame, then _exit()s
+// without running parent-inherited atexit/stdio teardown. A worker that
+// dies by SIGSEGV/abort/OOM-kill simply never completes its frame; the
+// supervisor turns that into a failed SampleReport instead of a dead
+// campaign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+#include "vaccine/pipeline.h"
+#include "vm/program.h"
+
+namespace autovac::campaign {
+
+// Frame layout: magic ("AVWF"), payload length, payload bytes.
+inline constexpr uint32_t kFrameMagic = 0x46575641;  // "AVWF" little-endian
+inline constexpr uint32_t kMaxFramePayload = 256u << 20;
+inline constexpr size_t kFrameHeaderSize = 8;
+
+// Blocking write of one complete frame (worker side).
+[[nodiscard]] Status WriteFrame(int fd, std::string_view payload);
+
+// Attempts to decode one complete frame from `buffer` (everything the
+// supervisor has read off the pipe so far). Returns the payload, a
+// NotFound status when the buffer is an incomplete prefix of a valid
+// frame (caller keeps reading), or InvalidArgument when the bytes can
+// never become a valid frame.
+[[nodiscard]] Result<std::string> DecodeFrame(std::string_view buffer);
+
+// Derives the pipeline for retry `attempt` (0 = first try): each retry
+// halves the phase-1 and impact cycle budgets — deterministic exponential
+// backoff, so a sample that keeps flattening workers converges to a
+// cheap, survivable run instead of burning the campaign's wall clock.
+[[nodiscard]] vaccine::PipelineOptions BackoffOptions(
+    const vaccine::PipelineOptions& options, size_t attempt);
+
+// Worker body: analyze `sample` (with attempt-scaled budgets), write the
+// report frame to `fd`, and _exit(0). Never returns. Runs in the forked
+// child, so it must not touch parent-owned resources beyond the pipe.
+[[noreturn]] void RunWorkerChild(const vaccine::VaccinePipeline& pipeline,
+                                 const vm::Program& sample, size_t attempt,
+                                 int fd);
+
+}  // namespace autovac::campaign

@@ -24,6 +24,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
 };
 
 [[nodiscard]] constexpr const char* StatusCodeName(StatusCode code) {
@@ -37,6 +38,7 @@ enum class StatusCode {
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -72,6 +74,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,45 @@
+// JSON (de)serialization for analysis outcomes: Status, Vaccine,
+// SampleReport and CampaignReport.
+//
+// This is the wire format of the durable-campaign layer — the write-ahead
+// journal stores one SampleReport per line, and forked campaign workers
+// ship their report to the supervisor through it — so the round trip must
+// be *exact* for every deterministic field: a report that crossed a
+// process boundary or a journal replay must serialize byte-identically to
+// the in-memory original. Two deliberate exceptions, both documented in
+// src/support/tracing.h: wall-clock span times (informational only) are
+// not serialized and parse back as zero, and the natural API trace is
+// embedded as its canonical line-format text (trace/serialize.h), whose
+// own round trip is exact.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/json.h"
+#include "support/status.h"
+#include "vaccine/pipeline.h"
+
+namespace autovac::vaccine {
+
+[[nodiscard]] std::string StatusToJson(const Status& status);
+// Parses `json` into `*out`; the return value reports parse success
+// (Result<Status> would be ambiguous — the payload is itself a Status).
+[[nodiscard]] Status StatusFromJson(const JsonValue& json, Status* out);
+
+[[nodiscard]] std::string VaccineToJson(const Vaccine& vaccine);
+[[nodiscard]] Result<Vaccine> VaccineFromJson(const JsonValue& json);
+
+[[nodiscard]] std::string SampleReportToJson(const SampleReport& report);
+[[nodiscard]] Result<SampleReport> SampleReportFromJson(
+    const JsonValue& json);
+[[nodiscard]] Result<SampleReport> ParseSampleReportJson(
+    std::string_view text);
+
+// The campaign export (`autovac campaign --campaign-out`): aggregates
+// plus every per-sample report. Deterministic under a fixed seed, whether
+// the reports were produced in-process, by forked workers, or replayed
+// from a journal — the byte-identity the resume tests assert.
+[[nodiscard]] std::string CampaignReportToJson(const CampaignReport& report);
+
+}  // namespace autovac::vaccine

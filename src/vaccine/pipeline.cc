@@ -304,30 +304,50 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
   return report;
 }
 
-CampaignReport AnalyzeCampaign(const VaccinePipeline& pipeline,
-                               const std::vector<vm::Program>& samples) {
-  CampaignReport campaign;
-  campaign.reports.reserve(samples.size());
-  for (const vm::Program& sample : samples) {
+std::string_view SampleDispositionName(SampleDisposition disposition) {
+  switch (disposition) {
+    case SampleDisposition::kAnalyzed: return "analyzed";
+    case SampleDisposition::kIsolatedCrash: return "isolated-crash";
+    case SampleDisposition::kWorkerCrashed: return "worker-crashed";
+    case SampleDisposition::kDeadlineExceeded: return "deadline-exceeded";
+    case SampleDisposition::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+SampleReport AnalyzeIsolated(const VaccinePipeline& pipeline,
+                             const vm::Program& sample) {
+  try {
+    return pipeline.Analyze(sample);
+  } catch (const std::exception& e) {
+    // Last-resort isolation: Analyze's own catch blocks should make
+    // this unreachable, but a hostile sample must never kill the wave.
     SampleReport report;
-    try {
-      report = pipeline.Analyze(sample);
-    } catch (const std::exception& e) {
-      // Last-resort isolation: Analyze's own catch blocks should make
-      // this unreachable, but a hostile sample must never kill the wave.
-      report.sample_name = sample.name;
-      report.phase1_status =
-          Status::Internal(std::string("analysis crash: ") + e.what());
+    report.sample_name = sample.name;
+    report.disposition = SampleDisposition::kIsolatedCrash;
+    report.phase1_status =
+        Status::Internal(std::string("analysis crash: ") + e.what());
+    return report;
+  }
+}
+
+CampaignReport BuildCampaignReport(std::vector<SampleReport> reports) {
+  CampaignReport campaign;
+  for (const SampleReport& report : reports) {
+    if (report.disposition != SampleDisposition::kAnalyzed) {
       ++campaign.samples_failed;
     }
     if (!report.Clean()) ++campaign.samples_degraded;
     campaign.total_vaccines += report.vaccines.size();
     campaign.total_demoted += report.vaccines_demoted;
     campaign.total_faults_injected += report.faults_injected;
-    campaign.reports.push_back(std::move(report));
   }
+  campaign.reports = std::move(reports);
   // Roll the per-sample phase costs up into campaign totals, keyed and
-  // ordered by phase name so the dashboard stays deterministic.
+  // ordered by phase name so the dashboard stays deterministic. The
+  // per-report rollups are the only source: worker-produced reports carry
+  // their costs across the process boundary, where the supervisor's own
+  // tracer saw nothing.
   std::map<std::string, PhaseTotal> totals;
   for (const SampleReport& report : campaign.reports) {
     for (const PhaseTotal& cost : report.phase_costs) {
@@ -343,6 +363,16 @@ CampaignReport AnalyzeCampaign(const VaccinePipeline& pipeline,
     campaign.phase_costs.push_back(std::move(total));
   }
   return campaign;
+}
+
+CampaignReport AnalyzeCampaign(const VaccinePipeline& pipeline,
+                               const std::vector<vm::Program>& samples) {
+  std::vector<SampleReport> reports;
+  reports.reserve(samples.size());
+  for (const vm::Program& sample : samples) {
+    reports.push_back(AnalyzeIsolated(pipeline, sample));
+  }
+  return BuildCampaignReport(std::move(reports));
 }
 
 }  // namespace autovac::vaccine

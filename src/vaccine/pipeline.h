@@ -41,10 +41,26 @@ struct PipelineOptions {
   size_t max_impact_retries = 1;
 };
 
+// How a sample's analysis ultimately ended, across every isolation layer
+// (in-process exception catch, forked worker, deadline watchdog, poison
+// list). Anything but kAnalyzed counts as a failed sample in campaign
+// aggregates.
+enum class SampleDisposition : uint8_t {
+  kAnalyzed = 0,       // Analyze returned (its own statuses may be non-OK)
+  kIsolatedCrash,      // Analyze threw; caught by the campaign runner
+  kWorkerCrashed,      // worker process died (signal / bad exit)
+  kDeadlineExceeded,   // worker SIGKILLed by the wall-clock watchdog
+  kQuarantined,        // poison-listed after repeatedly killing workers
+};
+
+[[nodiscard]] std::string_view SampleDispositionName(
+    SampleDisposition disposition);
+
 // Per-sample outcome of Phase-I and Phase-II.
 struct SampleReport {
   std::string sample_name;
   std::string sample_digest;
+  SampleDisposition disposition = SampleDisposition::kAnalyzed;
 
   // Phase-I statistics.
   size_t resource_api_occurrences = 0;
@@ -113,6 +129,14 @@ class VaccinePipeline {
 
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
 
+  // The exclusiveness index this pipeline filters against (may be null).
+  // The campaign supervisor uses it to derive retry pipelines with a
+  // backed-off cycle budget.
+  [[nodiscard]] const analysis::ExclusivenessIndex* exclusiveness_index()
+      const {
+    return index_;
+  }
+
  private:
   // Phase-II body; exceptions escape to Analyze's isolation layer.
   void AnalyzePhase2(const vm::Program& sample,
@@ -137,6 +161,21 @@ class VaccinePipeline {
   const analysis::ExclusivenessIndex* index_;
   PipelineOptions options_;
 };
+
+// Runs Analyze with last-resort exception isolation: an escaped throw
+// becomes a well-formed failed report (disposition kIsolatedCrash)
+// instead of aborting the caller. The per-sample unit both the in-process
+// campaign runner and the forked campaign workers execute.
+[[nodiscard]] SampleReport AnalyzeIsolated(const VaccinePipeline& pipeline,
+                                           const vm::Program& sample);
+
+// Deterministically folds per-sample reports into a CampaignReport:
+// failure/degradation counts from each report's disposition and statuses,
+// phase costs summed from each report's own phase_costs rollup (never
+// re-queried from the global tracer, which is empty for reports produced
+// in separate worker processes).
+[[nodiscard]] CampaignReport BuildCampaignReport(
+    std::vector<SampleReport> reports);
 
 // Crash-isolated campaign runner: analyzes every sample, converting even
 // an escaped Analyze exception into a well-formed (failed) SampleReport

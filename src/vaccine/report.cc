@@ -34,7 +34,10 @@ std::string DeliveryPlan(const Vaccine& v) {
 
 std::string RenderSampleReport(const SampleReport& report) {
   std::string out;
-  out += StrFormat("# AUTOVAC analysis: %s\n\n", report.sample_name.c_str());
+  // Sample names and identifiers come from hostile input; escape
+  // non-printable bytes so a malicious name cannot corrupt the report.
+  out += StrFormat("# AUTOVAC analysis: %s\n\n",
+                   CEscape(report.sample_name).c_str());
   out += StrFormat("sample digest: `%s`\n\n", report.sample_digest.c_str());
 
   out += "## Phase I — candidate selection\n\n";
@@ -86,7 +89,7 @@ std::string RenderSampleReport(const SampleReport& report) {
     out += StrFormat("### %zu. %s `%s`\n\n", index++,
                      std::string(os::ResourceTypeName(v.resource_type))
                          .c_str(),
-                     v.identifier.c_str());
+                     CEscape(v.identifier).c_str());
     out += StrFormat(
         "| property | value |\n|---|---|\n"
         "| behaviour | %s |\n"

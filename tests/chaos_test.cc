@@ -6,9 +6,13 @@
 // rules, hook drops, envelope limits, and serialization round-trips.
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <time.h>
+
 #include <string>
 #include <utility>
 
+#include "campaign/supervisor.h"
 #include "malware/corpus.h"
 #include "os/errors.h"
 #include "sandbox/faults.h"
@@ -16,6 +20,7 @@
 #include "support/metrics.h"
 #include "support/tracing.h"
 #include "trace/serialize.h"
+#include "vaccine/json.h"
 #include "vaccine/pipeline.h"
 
 namespace autovac {
@@ -219,6 +224,119 @@ TEST(Chaos, CampaignRunnerIsolatesEverySample) {
   }
   EXPECT_EQ(campaign.total_vaccines, vaccines);
   EXPECT_EQ(campaign.total_faults_injected, faults);
+}
+
+// ---------------------------------------------------------------------
+// Worker-level chaos: the child process dies mid-sample
+// ---------------------------------------------------------------------
+
+std::vector<vm::Program> ChaosWave(uint64_t seed, size_t total) {
+  malware::CorpusOptions corpus_options;
+  corpus_options.seed = seed;
+  corpus_options.total = total;
+  auto corpus = malware::GenerateCorpus(corpus_options);
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  std::vector<vm::Program> wave;
+  for (const malware::CorpusSample& sample : corpus.value()) {
+    wave.push_back(sample.program);
+  }
+  return wave;
+}
+
+// A detonating child must surface as a failed row for that sample while
+// every other sample completes normally — the worker boundary is the
+// real crash-isolation line, beyond what try/catch can do in-process.
+// Note on sanitizers: ASan intercepts SIGSEGV/SIGABRT and may turn them
+// into a nonzero exit instead of a signal death, so these tests assert
+// the disposition and a non-OK status, never an exact signal message.
+void ExpectOnlySampleZeroDies(const campaign::CampaignOptions& options,
+                              size_t total) {
+  const std::vector<vm::Program> wave = ChaosWave(99, total);
+  vaccine::PipelineOptions pipeline_options = ChaosPipelineOptions();
+  vaccine::VaccinePipeline pipeline(nullptr, pipeline_options);
+  auto run = campaign::RunDurableCampaign(pipeline, wave, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->report.reports.size(), wave.size());
+  EXPECT_EQ(run->report.samples_failed, 1u);
+  const vaccine::SampleReport& dead = run->report.reports[0];
+  EXPECT_NE(dead.disposition, vaccine::SampleDisposition::kAnalyzed);
+  EXPECT_FALSE(dead.phase1_status.ok());
+  EXPECT_TRUE(dead.vaccines.empty());
+  CheckWellFormed(dead);
+  for (size_t i = 1; i < run->report.reports.size(); ++i) {
+    EXPECT_EQ(run->report.reports[i].disposition,
+              vaccine::SampleDisposition::kAnalyzed) << i;
+    CheckWellFormed(run->report.reports[i]);
+  }
+}
+
+TEST(WorkerChaos, SegfaultingChildBecomesFailedRow) {
+  campaign::CampaignOptions options;
+  options.max_worker_retries = 0;  // no retry: the death itself is final
+  options.quarantine_after_kills = 99;
+  options.worker_test_hook = [](size_t index, size_t) {
+    if (index == 0) raise(SIGSEGV);
+  };
+  ExpectOnlySampleZeroDies(options, 4);
+}
+
+TEST(WorkerChaos, AbortingChildBecomesFailedRow) {
+  campaign::CampaignOptions options;
+  options.max_worker_retries = 0;
+  options.quarantine_after_kills = 99;
+  options.worker_test_hook = [](size_t index, size_t) {
+    if (index == 0) abort();
+  };
+  ExpectOnlySampleZeroDies(options, 4);
+}
+
+TEST(WorkerChaos, HangingChildIsKilledAtTheDeadline) {
+  campaign::CampaignOptions options;
+  options.sample_deadline_ms = 300;
+  options.max_worker_retries = 0;
+  options.quarantine_after_kills = 99;
+  options.worker_test_hook = [](size_t index, size_t) {
+    while (index == 0) {  // stall forever; the watchdog must fire
+      struct timespec nap = {0, 50'000'000};
+      nanosleep(&nap, nullptr);
+    }
+  };
+  const std::vector<vm::Program> wave = ChaosWave(99, 3);
+  vaccine::VaccinePipeline pipeline(nullptr, ChaosPipelineOptions());
+  auto run = campaign::RunDurableCampaign(pipeline, wave, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->stats.deadline_kills, 1u);
+  ASSERT_EQ(run->report.reports.size(), wave.size());
+  const vaccine::SampleReport& hung = run->report.reports[0];
+  EXPECT_EQ(hung.disposition,
+            vaccine::SampleDisposition::kDeadlineExceeded);
+  EXPECT_EQ(hung.phase1_status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(run->report.reports[1].disposition,
+            vaccine::SampleDisposition::kAnalyzed);
+}
+
+TEST(WorkerChaos, CrashesUnderFaultPlanStayIsolated) {
+  // Worker isolation composed with API fault injection: forked workers
+  // under a hostile plan must produce the same bytes as the in-process
+  // runner under the same plan.
+  const std::vector<vm::Program> wave = ChaosWave(7, 5);
+  const FaultPlan plan = FaultPlan::Randomized(424242, 0.2);
+  vaccine::PipelineOptions options = ChaosPipelineOptions();
+  options.fault_plan = &plan;
+  vaccine::VaccinePipeline pipeline(nullptr, options);
+
+  auto in_process = campaign::RunDurableCampaign(pipeline, wave);
+  ASSERT_TRUE(in_process.ok());
+  campaign::CampaignOptions forked;
+  forked.jobs = 2;
+  auto workers = campaign::RunDurableCampaign(pipeline, wave, forked);
+  ASSERT_TRUE(workers.ok());
+  ASSERT_EQ(workers->report.reports.size(), wave.size());
+  for (size_t i = 0; i < wave.size(); ++i) {
+    CheckWellFormed(workers->report.reports[i]);
+  }
+  EXPECT_EQ(vaccine::CampaignReportToJson(workers->report),
+            vaccine::CampaignReportToJson(in_process->report));
 }
 
 // ---------------------------------------------------------------------

@@ -16,8 +16,18 @@
 //       timestamps are VM instruction counts, so same-seed runs produce
 //       identical span trees.
 //   autovac campaign <sample.asm>... [analyze options]
+//                    [--jobs <n>] [--journal <f>] [--resume]
+//                    [--sample-deadline-ms <n>] [--stop-after <n>]
+//                    [--campaign-out <f>]
 //       Analyze a wave of samples with crash isolation and print the
-//       per-sample dashboard plus campaign phase-cost totals.
+//       per-sample dashboard plus campaign phase-cost totals. --journal
+//       makes the campaign durable: every completed sample is fsync'd to
+//       a write-ahead journal and --resume re-runs only the missing
+//       ones, producing the same report bytes as an uninterrupted run.
+//       --jobs > 1 or --sample-deadline-ms > 0 shards samples across
+//       forked worker processes so a crashing or hanging sample becomes
+//       a failed row, never a dead campaign. Exit code 3 means the run
+//       stopped early (--stop-after) with the journal intact.
 //   autovac test <sample.asm> <package.pkg>
 //       Deploy a package on a fresh machine and re-run the sample against
 //       it (normal vs vaccinated comparison + BDR).
@@ -33,17 +43,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 
+#include "campaign/supervisor.h"
 #include "malware/benign.h"
 #include "sandbox/sandbox.h"
 #include "support/metrics.h"
+#include "support/strings.h"
 #include "support/table.h"
 #include "support/tracing.h"
 #include "trace/serialize.h"
 #include "vaccine/bdr.h"
 #include "vaccine/clinic.h"
 #include "vaccine/delivery.h"
+#include "vaccine/json.h"
 #include "vaccine/package.h"
 #include "vaccine/report.h"
 #include "vaccine/pipeline.h"
@@ -74,7 +88,17 @@ int Usage() {
       "  --max-api-calls <n>  cap API calls per sandbox run\n"
       "  --max-call-depth <n> cap the shadow call-stack depth\n"
       "  --metrics-out <f>    dump the metrics registry as JSONL\n"
-      "  --trace-out <f>      write a Chrome trace_event JSON file\n");
+      "  --trace-out <f>      write a Chrome trace_event JSON file\n"
+      "campaign durability options:\n"
+      "  --jobs <n>           analyze up to n samples in parallel worker\n"
+      "                       processes (crash-isolated; default 1)\n"
+      "  --journal <f>        write-ahead journal: fsync one record per\n"
+      "                       completed sample\n"
+      "  --resume             skip samples already completed in --journal\n"
+      "  --sample-deadline-ms <n>  SIGKILL a worker stuck on one sample\n"
+      "                       longer than n ms (implies worker mode)\n"
+      "  --stop-after <n>     stop cleanly after n samples (exit code 3)\n"
+      "  --campaign-out <f>   write the campaign report as JSON\n");
   return 2;
 }
 
@@ -142,13 +166,22 @@ struct AnalyzeFlags {
   sandbox::RunLimits limits;
   std::string metrics_path;
   std::string trace_path;
+  // Campaign durability flags (rejected by `analyze`).
+  size_t jobs = 1;
+  uint64_t sample_deadline_ms = 0;
+  std::string journal_path;
+  bool resume = false;
+  size_t stop_after = 0;
+  std::string campaign_out;
   // Positional (non-flag) arguments, in order.
   std::vector<std::string> samples;
 };
 
 // Parses analyze/campaign arguments; returns false after printing an
-// error for an unknown flag or a missing value.
-bool ParseAnalyzeFlags(int argc, char** argv, AnalyzeFlags* flags) {
+// error for an unknown flag or a missing value. The durability flags are
+// only recognized with `campaign` true.
+bool ParseAnalyzeFlags(int argc, char** argv, AnalyzeFlags* flags,
+                       bool campaign = false) {
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--", 2) != 0) {
@@ -186,6 +219,27 @@ bool ParseAnalyzeFlags(int argc, char** argv, AnalyzeFlags* flags) {
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
       flags->trace_path = value;
+    } else if (campaign && std::strcmp(arg, "--jobs") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->jobs = std::strtoull(value, nullptr, 0);
+      if (flags->jobs == 0) {
+        std::fprintf(stderr, "error: --jobs requires at least 1\n");
+        return false;
+      }
+    } else if (campaign && std::strcmp(arg, "--journal") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->journal_path = value;
+    } else if (campaign && std::strcmp(arg, "--resume") == 0) {
+      flags->resume = true;
+    } else if (campaign && std::strcmp(arg, "--sample-deadline-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->sample_deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (campaign && std::strcmp(arg, "--stop-after") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->stop_after = std::strtoull(value, nullptr, 0);
+    } else if (campaign && std::strcmp(arg, "--campaign-out") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      flags->campaign_out = value;
     } else {
       UnknownOption(arg);
       return false;
@@ -348,9 +402,30 @@ int CmdAnalyze(int argc, char** argv) {
   return ExportTelemetry(flags);
 }
 
+// Merges phase totals from several sources into one name-sorted rollup
+// (the same ordering PhaseTotals produces), so the campaign dashboard
+// can combine per-sample costs with the supervisor's own clinic spans.
+std::vector<PhaseTotal> MergePhaseTotals(
+    std::initializer_list<const std::vector<PhaseTotal>*> sources) {
+  std::map<std::string, PhaseTotal> merged;
+  for (const std::vector<PhaseTotal>* source : sources) {
+    for (const PhaseTotal& cost : *source) {
+      PhaseTotal& total = merged[cost.name];
+      total.name = cost.name;
+      total.spans += cost.spans;
+      total.ticks += cost.ticks;
+      total.wall_ns += cost.wall_ns;
+    }
+  }
+  std::vector<PhaseTotal> out;
+  out.reserve(merged.size());
+  for (auto& [name, total] : merged) out.push_back(std::move(total));
+  return out;
+}
+
 int CmdCampaign(int argc, char** argv) {
   AnalyzeFlags flags;
-  if (!ParseAnalyzeFlags(argc, argv, &flags)) return 2;
+  if (!ParseAnalyzeFlags(argc, argv, &flags, /*campaign=*/true)) return 2;
   if (flags.samples.empty()) {
     std::fprintf(stderr, "error: campaign needs at least one sample\n");
     return Usage();
@@ -383,7 +458,46 @@ int CmdCampaign(int argc, char** argv) {
   }
   vaccine::VaccinePipeline pipeline(
       flags.use_exclusiveness ? &index : nullptr, options);
-  vaccine::CampaignReport campaign = AnalyzeCampaign(pipeline, programs);
+
+  campaign::CampaignOptions durability;
+  durability.jobs = flags.jobs;
+  durability.sample_deadline_ms = flags.sample_deadline_ms;
+  durability.journal_path = flags.journal_path;
+  durability.resume = flags.resume;
+  durability.stop_after = flags.stop_after;
+  if (flags.inject_faults) {
+    // The fault schedule changes analysis output but lives outside
+    // PipelineOptions; fold it into the journal's config digest so a
+    // resume with different fault flags is refused.
+    durability.config_extra = StrFormat("fault_seed=%llu fault_rate=%.17g",
+                                        static_cast<unsigned long long>(
+                                            flags.fault_seed),
+                                        flags.fault_rate);
+  }
+  auto outcome = campaign::RunDurableCampaign(pipeline, programs, durability);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  vaccine::CampaignReport& campaign = outcome.value().report;
+  const campaign::CampaignRunStats& stats = outcome.value().stats;
+  // Durability narration goes to stderr: stdout is the dashboard, which
+  // must stay byte-comparable between fresh and resumed runs.
+  if (!flags.journal_path.empty() || durability.WorkerMode()) {
+    std::fprintf(stderr,
+                 "campaign: %zu samples replayed from journal, %zu analyzed "
+                 "(%zu worker crashes, %zu deadline kills, %zu retries, "
+                 "%zu quarantined)\n",
+                 stats.samples_loaded, stats.samples_analyzed,
+                 stats.workers_crashed, stats.deadline_kills,
+                 stats.worker_retries, stats.samples_quarantined);
+  }
+  if (stats.interrupted) {
+    std::fprintf(stderr,
+                 "campaign: interrupted after %zu samples; resume with "
+                 "--resume --journal %s\n",
+                 stats.samples_analyzed, flags.journal_path.c_str());
+  }
 
   TextTable table({"sample", "sensitive", "targets", "vaccines", "demoted",
                    "faults", "clean"});
@@ -407,8 +521,14 @@ int CmdCampaign(int argc, char** argv) {
               campaign.total_faults_injected, campaign.samples_degraded,
               campaign.samples_failed);
 
+  // Phase costs come from the per-report rollups (the supervisor's own
+  // tracer sees nothing when samples ran in forked workers or were
+  // replayed from a journal), plus whatever the clinic adds in-process.
+  const size_t pre_clinic = GlobalTracer().spans().size();
   if (flags.run_clinic) ApplyClinic(all_vaccines);
-  PrintPhaseCosts(GlobalTracer().PhaseTotals(0));
+  const std::vector<PhaseTotal> clinic_costs =
+      GlobalTracer().PhaseTotals(pre_clinic);
+  PrintPhaseCosts(MergePhaseTotals({&campaign.phase_costs, &clinic_costs}));
 
   if (!flags.package_path.empty()) {
     const Status written = WriteStringToFile(
@@ -420,7 +540,19 @@ int CmdCampaign(int argc, char** argv) {
     std::printf("package written to %s (%zu vaccines)\n",
                 flags.package_path.c_str(), all_vaccines.size());
   }
-  return ExportTelemetry(flags);
+  if (!flags.campaign_out.empty()) {
+    const Status written = WriteStringToFile(
+        flags.campaign_out, vaccine::CampaignReportToJson(campaign) + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("campaign report written to %s (%zu samples)\n",
+                flags.campaign_out.c_str(), campaign.reports.size());
+  }
+  const int telemetry = ExportTelemetry(flags);
+  if (telemetry != 0) return telemetry;
+  return stats.interrupted ? 3 : 0;
 }
 
 int CmdTest(int argc, char** argv) {
