@@ -8,11 +8,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "analysis/determinism.h"
 #include "bench/common.h"
+#include "sandbox/sandbox.h"
 #include "support/metrics.h"
 #include "support/tracing.h"
+#include "vaccine/json.h"
 
 using namespace autovac;
 
@@ -25,10 +28,100 @@ double MillisSince(Clock::time_point start) {
       .count();
 }
 
+// Legacy full-re-run vs snapshot-replay impact analysis, measured over
+// crafted multi-target samples whose compute prefix dominates — the shape
+// Phase-II re-runs pay for repeatedly and snapshots amortize.
+struct FastPathResult {
+  double legacy_ms = 0;
+  double fast_ms = 0;
+  double speedup = 0;
+  uint64_t mutation_runs = 0;
+};
+
+vm::Program MultiTargetSample(const std::string& name, size_t num_targets,
+                              size_t warmup_iterations) {
+  std::ostringstream src;
+  src << ".name " << name << "\n.rdata\n";
+  src << "  string mtx \"" << name << "-marker\"\n";
+  src << "  string drop \"C:\\\\Windows\\\\system32\\\\" << name
+      << ".sys\"\n";
+  for (size_t i = 0; i < num_targets; ++i) {
+    src << "  string f" << i << " \"C:\\\\missing\\\\" << name << "-" << i
+        << "\"\n";
+  }
+  src << ".text\n  mov ecx, " << warmup_iterations << "\nwarmup:\n"
+      << "  add ebx, ecx\n  dec ecx\n  cmp ecx, 0\n  jnz warmup\n"
+      << "  push mtx\n  push 1\n  sys CreateMutexA\n  add esp, 8\n"
+      << "  sys GetLastError\n  cmp eax, 183\n  jz done\n"
+      << "  push 2\n  push drop\n  sys CreateFileA\n  add esp, 8\n";
+  for (size_t i = 0; i < num_targets; ++i) {
+    src << "  push 3\n  push f" << i << "\n  sys CreateFileA\n"
+        << "  add esp, 8\n";
+  }
+  src << "done:\n  push 0\n  sys ExitProcess\n";
+  auto program = sandbox::AssembleForSandbox(src.str());
+  AUTOVAC_CHECK(program.ok());
+  return std::move(program).value();
+}
+
+FastPathResult BenchFastPath() {
+  // Phase-cost ticks legitimately differ between the two paths (the fast
+  // path executes fewer VM instructions), so the byte-comparison below
+  // requires the tracer off — the library default.
+  GlobalTracer().set_enabled(false);
+  std::vector<vm::Program> samples;
+  for (int i = 0; i < 4; ++i) {
+    samples.push_back(MultiTargetSample("fastpath" + std::to_string(i),
+                                        /*num_targets=*/48,
+                                        /*warmup_iterations=*/100000));
+  }
+
+  FastPathResult result;
+  Counter* runs = GlobalMetrics().GetCounter("pipeline.mutation_runs");
+
+  // Both pipelines get the same raised caps so they mutate all 49
+  // targets; only the replay strategy differs.
+  vaccine::PipelineOptions legacy_options;
+  legacy_options.snapshot_replay = false;
+  legacy_options.max_targets = 64;
+  vaccine::VaccinePipeline legacy(/*index=*/nullptr, legacy_options);
+
+  // Untimed warm-up pass: fault in pages and allocator arenas so both
+  // timed passes run steady-state.
+  (void)legacy.Analyze(samples.front());
+
+  const uint64_t runs_before = runs->value();
+  const auto legacy_start = Clock::now();
+  std::vector<std::string> legacy_reports;
+  for (const vm::Program& sample : samples) {
+    legacy_reports.push_back(
+        vaccine::SampleReportToJson(legacy.Analyze(sample)));
+  }
+  result.legacy_ms = MillisSince(legacy_start);
+  result.mutation_runs = runs->value() - runs_before;
+
+  vaccine::PipelineOptions fast_options;  // snapshot replay on by default
+  fast_options.max_targets = 64;
+  fast_options.snapshot_cap = 128;
+  vaccine::VaccinePipeline fast(/*index=*/nullptr, fast_options);
+  const auto fast_start = Clock::now();
+  std::vector<std::string> fast_reports;
+  for (const vm::Program& sample : samples) {
+    fast_reports.push_back(vaccine::SampleReportToJson(fast.Analyze(sample)));
+  }
+  result.fast_ms = MillisSince(fast_start);
+  AUTOVAC_CHECK_MSG(fast_reports == legacy_reports,
+                    "fast path diverged from legacy reports");
+  result.speedup =
+      result.fast_ms > 0 ? result.legacy_ms / result.fast_ms : 0;
+  return result;
+}
+
 // Machine-readable sibling of the printed report: per-phase span counts,
 // instruction ticks (deterministic) and wall times (informational), plus
 // the full metrics snapshot. Path override: AUTOVAC_BENCH_OUT.
-void WriteBenchJson(size_t samples, const std::vector<PhaseTotal>& phases) {
+void WriteBenchJson(size_t samples, const std::vector<PhaseTotal>& phases,
+                    const FastPathResult& fastpath) {
   const char* env_path = std::getenv("AUTOVAC_BENCH_OUT");
   const std::string path =
       env_path != nullptr ? env_path : "BENCH_pipeline.json";
@@ -49,7 +142,12 @@ void WriteBenchJson(size_t samples, const std::vector<PhaseTotal>& phases) {
                      static_cast<double>(phase.wall_ns) / 1e6)
         << "}";
   }
-  out << "],\"metrics\":[";
+  out << "],\"fastpath\":{\"legacy_ms\":"
+      << StrFormat("%.3f", fastpath.legacy_ms)
+      << ",\"fast_ms\":" << StrFormat("%.3f", fastpath.fast_ms)
+      << ",\"speedup\":" << StrFormat("%.2f", fastpath.speedup)
+      << ",\"mutation_runs\":" << fastpath.mutation_runs << "}";
+  out << ",\"metrics\":[";
   const std::string jsonl = ExportMetricsJsonl(GlobalMetrics().Snapshot());
   bool first = true;
   size_t pos = 0;
@@ -163,6 +261,16 @@ int main() {
                   static_cast<double>(phase.wall_ns) / 1e6);
     }
   }
-  WriteBenchJson(corpus->size(), phases);
+
+  const FastPathResult fastpath = BenchFastPath();
+  std::printf("\n== snapshot-replay fast path (multi-target samples) ==\n");
+  std::printf("legacy full re-runs:          %.2f ms (%llu mutation runs)\n",
+              fastpath.legacy_ms,
+              static_cast<unsigned long long>(fastpath.mutation_runs));
+  std::printf("snapshot replay:              %.2f ms\n", fastpath.fast_ms);
+  std::printf("speedup:                      %.2fx (reports byte-identical)"
+              "\n", fastpath.speedup);
+
+  WriteBenchJson(corpus->size(), phases, fastpath);
   return 0;
 }

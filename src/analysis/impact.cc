@@ -109,4 +109,54 @@ ImpactResult RunImpactAnalysis(const vm::Program& sample,
   return result;
 }
 
+std::optional<ImpactResult> TryResumeImpactAnalysis(
+    const vm::Program& sample, const sandbox::MachineSnapshot& snapshot,
+    const trace::ApiTrace& natural, const MutationTarget& target,
+    const ImpactOptions& options) {
+  // Equivalence precondition 1: same cycle budget as the capture run.
+  if (options.cycle_budget != snapshot.capture_budget) return std::nullopt;
+
+  // Equivalence precondition 2: same fault schedule as the capture run.
+  // The legacy re-run would build a fresh injector over options.fault_plan
+  // and replay the prefix through it; the snapshot's cursor is equivalent
+  // only when it advanced over that very plan.
+  const bool want_faults =
+      options.fault_plan != nullptr && !options.fault_plan->empty();
+  if (want_faults != (snapshot.injector != nullptr)) return std::nullopt;
+  if (want_faults && options.fault_plan != &snapshot.injector->plan()) {
+    return std::nullopt;
+  }
+
+  sandbox::ResumeOptions resume_options;
+  resume_options.cycle_budget = options.cycle_budget;
+  resume_options.enable_taint = false;  // second round: behaviour only
+  resume_options.limits = options.limits;
+
+  auto run = sandbox::ResumeProgram(sample, snapshot, resume_options,
+                                    {MakeMutationHook(target)});
+
+  // Defensive check: the first call executed past the snapshot prefix
+  // must be the captured triple. (A shorter trace is legitimate — an
+  // envelope cap that fires before the call records anything fires
+  // identically in the full re-run.)
+  const size_t prefix = snapshot.kernel.trace.calls.size();
+  if (run.api_trace.calls.size() > prefix) {
+    const trace::ApiCallRecord& first = run.api_trace.calls[prefix];
+    if (first.api_name != snapshot.api_name ||
+        first.caller_pc != snapshot.caller_pc ||
+        first.resource_identifier != snapshot.identifier) {
+      return std::nullopt;
+    }
+  }
+
+  ImpactResult result;
+  result.target = target;
+  result.effect =
+      ClassifyImmunization(natural, run.api_trace, options.classifier);
+  result.mutated_trace = std::move(run.api_trace);
+  result.stop_reason = run.stop_reason;
+  result.faults_injected = run.faults_injected;
+  return result;
+}
+
 }  // namespace autovac::analysis

@@ -8,9 +8,12 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "analysis/immunization.h"
 #include "os/host_environment.h"
 #include "sandbox/sandbox.h"
+#include "sandbox/snapshot.h"
 #include "vm/program.h"
 
 namespace autovac::analysis {
@@ -78,6 +81,24 @@ struct ImpactOptions {
 // baseline environment and classifies the immunization effect.
 [[nodiscard]] ImpactResult RunImpactAnalysis(
     const vm::Program& sample, const os::HostEnvironment& baseline_env,
+    const trace::ApiTrace& natural, const MutationTarget& target,
+    const ImpactOptions& options = {});
+
+// Snapshot fast path: runs the mutated execution by restoring the machine
+// snapshot captured at the target's call site and resuming from there,
+// skipping the (mutation-free, hence identical) prefix. Returns nullopt —
+// caller falls back to RunImpactAnalysis — when the resume cannot be
+// proven equivalent to the full re-run:
+//   - the requested cycle budget differs from the capture run's (a full
+//     re-run under a smaller budget could stop inside the skipped prefix);
+//   - the fault schedule differs from the capture run's (the snapshot
+//     carries the capture run's injection cursor);
+//   - defensively, if the resumed run's first new call is not the target
+//     triple the snapshot claims to sit at.
+// When it returns a result, that result is byte-identical to what
+// RunImpactAnalysis would have produced.
+[[nodiscard]] std::optional<ImpactResult> TryResumeImpactAnalysis(
+    const vm::Program& sample, const sandbox::MachineSnapshot& snapshot,
     const trace::ApiTrace& natural, const MutationTarget& target,
     const ImpactOptions& options = {});
 

@@ -104,6 +104,7 @@ class FaultInjector {
   // returns what to do with this call.
   [[nodiscard]] Decision OnApiCall(ApiId id);
 
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const ResourceQuotas& quotas() const {
     return plan_.quotas();
   }

@@ -74,6 +74,34 @@ Kernel::Kernel(os::HostEnvironment& env, taint::TaintEngine* taint_engine,
   rand_state_ = static_cast<uint32_t>(env_.entropy().NextU64() | 1);
 }
 
+Kernel::Kernel(os::HostEnvironment& env, taint::TaintEngine* taint_engine,
+               const KernelSnapshot& snapshot)
+    : env_(env),
+      taint_(taint_engine),
+      trace_(snapshot.trace),
+      handles_(snapshot.handles),
+      shadow_stack_(snapshot.shadow_stack),
+      last_error_(snapshot.last_error),
+      self_pid_(snapshot.self_pid),
+      heap_cursor_(snapshot.heap_cursor),
+      rand_state_(snapshot.rand_state),
+      command_line_addr_(snapshot.command_line_addr),
+      loaded_modules_(snapshot.loaded_modules) {}
+
+KernelSnapshot Kernel::Snapshot() const {
+  KernelSnapshot snap;
+  snap.trace = trace_;
+  snap.handles = handles_;
+  snap.shadow_stack = shadow_stack_;
+  snap.last_error = last_error_;
+  snap.self_pid = self_pid_;
+  snap.heap_cursor = heap_cursor_;
+  snap.rand_state = rand_state_;
+  snap.command_line_addr = command_line_addr_;
+  snap.loaded_modules = loaded_modules_;
+  return snap;
+}
+
 std::string Kernel::ResolveIdentifier(const ApiSpec& spec, vm::Cpu& cpu) {
   if (spec.id == ApiId::kOpenProcess) {
     const uint32_t pid = cpu.Arg(1);
@@ -181,6 +209,10 @@ void Kernel::OnSyscall(vm::Cpu& cpu, int64_t api_id) {
       record.params.push_back(StrFormat("%#x", cpu.Arg(i)));
     }
   }
+
+  // Machine-snapshot capture point: the record's pre-execution fields are
+  // final, but nothing about this call has touched machine state yet.
+  if (probe_ && spec.is_resource_api) probe_(record, cpu);
 
   // Every API costs a little virtual time.
   cpu.ConsumeCycles(spec.is_network ? 20 * kCyclesPerMilli : 50);

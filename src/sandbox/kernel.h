@@ -5,6 +5,7 @@
 // before every call.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -27,13 +28,49 @@ inline constexpr uint64_t kCyclesPerMilli = 100;
 inline constexpr uint64_t kOneMinuteBudget = 60'000 * kCyclesPerMilli;
 inline constexpr uint64_t kFiveMinuteBudget = 5 * kOneMinuteBudget;
 
+// Deep copy of the kernel's per-run state at an API-call boundary, taken
+// by the pre-call probe before the call's semantics execute. Per-call
+// scratch (pending taint outputs, the identifier address) is deliberately
+// absent: a resumed OnSyscall rebuilds it from the top. The matching host
+// environment is snapshotted separately — it is a value type.
+struct KernelSnapshot {
+  trace::ApiTrace trace;
+  HandleTable handles;
+  std::vector<uint32_t> shadow_stack;
+  uint32_t last_error = 0;
+  uint32_t self_pid = 0;
+  uint32_t heap_cursor = 0;
+  uint32_t rand_state = 0;
+  uint32_t command_line_addr = 0;
+  std::set<std::string> loaded_modules;
+};
+
 class Kernel : public vm::SyscallHandler {
  public:
   // `taint_engine` may be null (taint-free runs, e.g. clinic tests).
   Kernel(os::HostEnvironment& env, taint::TaintEngine* taint_engine,
          std::string self_image_name);
 
+  // Restore constructor: reattaches snapshotted kernel state to a
+  // restored environment copy. Skips the fresh-boot side effects of the
+  // normal constructor (self-process spawn, entropy draw) — the restored
+  // `env` already carries both.
+  Kernel(os::HostEnvironment& env, taint::TaintEngine* taint_engine,
+         const KernelSnapshot& snapshot);
+
   void OnSyscall(vm::Cpu& cpu, int64_t api_id) override;
+
+  // Copies everything a resumed run needs. Valid from a pre-call probe.
+  [[nodiscard]] KernelSnapshot Snapshot() const;
+
+  // Probe invoked on every *resource*-API call after the trace record's
+  // pre-execution fields (name, caller pc, identifier, params) are built
+  // but before any cycle charge, fault injection, interposition, or
+  // execution — the exact point a machine snapshot must capture so that
+  // a restored run re-executes the call from scratch.
+  using PreCallProbe =
+      std::function<void(const trace::ApiCallRecord&, vm::Cpu&)>;
+  void set_pre_call_probe(PreCallProbe probe) { probe_ = std::move(probe); }
 
   void AddHook(ApiHook hook) { hooks_.push_back(std::move(hook)); }
 
@@ -72,6 +109,7 @@ class Kernel : public vm::SyscallHandler {
   trace::ApiTrace trace_;
   HandleTable handles_;
   std::vector<ApiHook> hooks_;
+  PreCallProbe probe_;
   FaultInjector* injector_ = nullptr;
   size_t max_api_records_ = 0;
   std::vector<uint32_t> shadow_stack_;

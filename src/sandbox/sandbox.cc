@@ -1,5 +1,6 @@
 #include "sandbox/sandbox.h"
 
+#include "sandbox/snapshot.h"
 #include "support/metrics.h"
 #include "vm/disassembler.h"
 
@@ -36,6 +37,29 @@ RunMetrics& GetRunMetrics() {
     m->objects_high_water = registry.GetGauge("sandbox.objects_high_water");
     m->file_bytes_high_water =
         registry.GetGauge("sandbox.file_bytes_high_water");
+    return m;
+  }();
+  return *metrics;
+}
+
+// Checkpoint/restore telemetry. Counters are relaxed atomics, so the
+// resume side is safe to call from the mutation fan-out worker threads.
+struct SnapshotMetrics {
+  Counter* captures;
+  Counter* capture_bytes;
+  Counter* resumes;
+  Counter* prefix_cycles_saved;
+};
+
+SnapshotMetrics& GetSnapshotMetrics() {
+  static SnapshotMetrics* metrics = [] {
+    auto* m = new SnapshotMetrics();
+    MetricsRegistry& registry = GlobalMetrics();
+    m->captures = registry.GetCounter("snapshot.captures");
+    m->capture_bytes = registry.GetCounter("snapshot.capture_bytes");
+    m->resumes = registry.GetCounter("snapshot.resumes");
+    m->prefix_cycles_saved =
+        registry.GetCounter("snapshot.prefix_cycles_saved");
     return m;
   }();
   return *metrics;
@@ -90,51 +114,16 @@ class Instrumentation : public vm::ExecutionObserver {
   vm::Cpu* cpu_ = nullptr;
 };
 
-}  // namespace
-
-RunResult RunProgram(const vm::Program& program, os::HostEnvironment& env,
-                     const RunOptions& options,
-                     const std::vector<ApiHook>& hooks) {
-  RunResult result;
-  result.labels = std::make_shared<taint::LabelStore>();
-
-  std::unique_ptr<taint::TaintEngine> taint_engine;
-  if (options.enable_taint) {
-    taint_engine = std::make_unique<taint::TaintEngine>(
-        *result.labels, options.taint_options);
-  }
-
-  const std::string image_name =
-      (program.name.empty() ? "sample" : program.name) + ".exe";
-  Kernel kernel(env, taint_engine.get(), image_name);
-  for (const ApiHook& hook : hooks) kernel.AddHook(hook);
-
-  // Per-run fault-injection state over the shared, immutable plan.
-  std::unique_ptr<FaultInjector> injector;
-  if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
-    injector = std::make_unique<FaultInjector>(*options.fault_plan);
-    kernel.set_fault_injector(injector.get());
-  }
-  kernel.set_max_api_records(options.limits.max_api_records);
-
-  vm::Memory memory;
-  program.LoadInto(memory);
-  vm::Cpu cpu(program, memory);
-  cpu.set_syscall_handler(&kernel);
-  cpu.set_call_depth_limit(options.limits.max_call_depth);
-  cpu.set_api_call_limit(options.limits.max_api_calls);
-
-  Instrumentation instrumentation(
-      kernel, taint_engine.get(),
-      options.record_instructions ? &result.instruction_trace : nullptr,
-      options.limits.max_instruction_records);
-  instrumentation.set_cpu(&cpu);
-  cpu.set_observer(&instrumentation);
-
-  result.stop_reason = cpu.Run(options.cycle_budget);
+// Shared postlude for every run flavour (fresh, capturing, resumed):
+// drains the machine into the RunResult and publishes per-run telemetry.
+// `result.stop_reason` must already be set by the caller's cpu.Run().
+void FinishRun(RunResult& result, vm::Cpu& cpu, vm::Memory& memory,
+               Kernel& kernel, os::HostEnvironment& env,
+               FaultInjector* injector, taint::TaintEngine* taint_engine,
+               uint32_t capture_cstring_addr) {
   if (injector != nullptr) result.faults_injected = injector->faults_injected();
-  if (options.capture_cstring_addr != 0) {
-    result.captured_output = memory.ReadCString(options.capture_cstring_addr);
+  if (capture_cstring_addr != 0) {
+    result.captured_output = memory.ReadCString(capture_cstring_addr);
   }
   result.fault_message = cpu.fault_message();
   result.cycles_used = cpu.cycles_used();
@@ -170,6 +159,165 @@ RunResult RunProgram(const vm::Program& program, os::HostEnvironment& env,
       }
     }
   }
+}
+
+// Shared body of RunProgram / RunProgramWithCapture; `recorder` non-null
+// installs the pre-call capture probe.
+RunResult RunProgramImpl(const vm::Program& program, os::HostEnvironment& env,
+                         const RunOptions& options,
+                         const std::vector<ApiHook>& hooks,
+                         SnapshotRecorder* recorder,
+                         const CaptureOptions& capture) {
+  RunResult result;
+  result.labels = std::make_shared<taint::LabelStore>();
+
+  std::unique_ptr<taint::TaintEngine> taint_engine;
+  if (options.enable_taint) {
+    taint_engine = std::make_unique<taint::TaintEngine>(
+        *result.labels, options.taint_options);
+  }
+
+  const std::string image_name =
+      (program.name.empty() ? "sample" : program.name) + ".exe";
+  Kernel kernel(env, taint_engine.get(), image_name);
+  for (const ApiHook& hook : hooks) kernel.AddHook(hook);
+
+  // Per-run fault-injection state over the shared, immutable plan.
+  std::unique_ptr<FaultInjector> injector;
+  if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
+    injector = std::make_unique<FaultInjector>(*options.fault_plan);
+    kernel.set_fault_injector(injector.get());
+  }
+  kernel.set_max_api_records(options.limits.max_api_records);
+
+  vm::Memory memory;
+  program.LoadInto(memory);
+  vm::Cpu cpu(program, memory);
+  cpu.set_syscall_handler(&kernel);
+  cpu.set_call_depth_limit(options.limits.max_call_depth);
+  cpu.set_api_call_limit(options.limits.max_api_calls);
+
+  if (recorder != nullptr) {
+    // Fires on every resource-API call with the record's pre-execution
+    // fields final and the machine untouched by the call; copies state,
+    // never mutates it, so the run is otherwise a plain RunProgram.
+    kernel.set_pre_call_probe([&](const trace::ApiCallRecord& record,
+                                  vm::Cpu& probe_cpu) {
+      if (!recorder->ShouldCapture(record.api_name, record.caller_pc,
+                                   record.resource_identifier)) {
+        return;
+      }
+      MachineSnapshot snapshot(env);
+      snapshot.api_name = record.api_name;
+      snapshot.caller_pc = record.caller_pc;
+      snapshot.identifier = record.resource_identifier;
+      snapshot.cpu = probe_cpu.SnapshotAtSyscall();
+      snapshot.memory = memory;
+      snapshot.kernel = kernel.Snapshot();
+      if (injector != nullptr) {
+        snapshot.injector = std::make_unique<FaultInjector>(*injector);
+      }
+      if (capture.capture_taint && taint_engine != nullptr) {
+        snapshot.labels = std::make_shared<taint::LabelStore>(*result.labels);
+        snapshot.taint = taint_engine->CaptureState();
+      }
+      snapshot.capture_budget = options.cycle_budget;
+      SnapshotMetrics& metrics = GetSnapshotMetrics();
+      metrics.captures->Increment();
+      metrics.capture_bytes->Increment(snapshot.ApproxBytes());
+      recorder->Add(std::move(snapshot));
+    });
+  }
+
+  Instrumentation instrumentation(
+      kernel, taint_engine.get(),
+      options.record_instructions ? &result.instruction_trace : nullptr,
+      options.limits.max_instruction_records);
+  instrumentation.set_cpu(&cpu);
+  cpu.set_observer(&instrumentation);
+
+  result.stop_reason = cpu.Run(options.cycle_budget);
+  FinishRun(result, cpu, memory, kernel, env, injector.get(),
+            taint_engine.get(), options.capture_cstring_addr);
+  return result;
+}
+
+}  // namespace
+
+RunResult RunProgram(const vm::Program& program, os::HostEnvironment& env,
+                     const RunOptions& options,
+                     const std::vector<ApiHook>& hooks) {
+  return RunProgramImpl(program, env, options, hooks, /*recorder=*/nullptr,
+                        CaptureOptions{});
+}
+
+RunResult RunProgramWithCapture(const vm::Program& program,
+                                os::HostEnvironment& env,
+                                const RunOptions& options,
+                                const std::vector<ApiHook>& hooks,
+                                SnapshotRecorder& recorder,
+                                const CaptureOptions& capture) {
+  return RunProgramImpl(program, env, options, hooks, &recorder, capture);
+}
+
+RunResult ResumeProgram(const vm::Program& program,
+                        const MachineSnapshot& snapshot,
+                        const ResumeOptions& options,
+                        const std::vector<ApiHook>& hooks) {
+  RunResult result;
+
+  std::unique_ptr<taint::TaintEngine> taint_engine;
+  if (options.enable_taint && snapshot.taint.has_value() &&
+      snapshot.labels != nullptr) {
+    // Taint continues from the capture point against a private copy of
+    // the capture run's label store (the snapshot's set ids index it).
+    result.labels = std::make_shared<taint::LabelStore>(*snapshot.labels);
+    taint_engine = std::make_unique<taint::TaintEngine>(
+        *result.labels, options.taint_options);
+    taint_engine->RestoreState(*snapshot.taint);
+  } else {
+    result.labels = std::make_shared<taint::LabelStore>();
+  }
+
+  // Private copies of every piece of machine state: resumes never touch
+  // the snapshot, so one capture serves any number of (concurrent)
+  // mutation re-runs.
+  os::HostEnvironment env = snapshot.env;
+  Kernel kernel(env, taint_engine.get(), snapshot.kernel);
+  for (const ApiHook& hook : hooks) kernel.AddHook(hook);
+
+  std::unique_ptr<FaultInjector> injector;
+  if (snapshot.injector != nullptr) {
+    injector = std::make_unique<FaultInjector>(*snapshot.injector);
+    kernel.set_fault_injector(injector.get());
+  }
+  kernel.set_max_api_records(options.limits.max_api_records);
+
+  vm::Memory memory = snapshot.memory;
+  vm::Cpu cpu(program, memory);
+  cpu.set_syscall_handler(&kernel);
+  cpu.set_call_depth_limit(options.limits.max_call_depth);
+  cpu.set_api_call_limit(options.limits.max_api_calls);
+  cpu.Restore(snapshot.cpu);
+
+  // Resumed runs never record an instruction trace: their consumers
+  // (mutation re-runs) only read the API trace.
+  Instrumentation instrumentation(kernel, taint_engine.get(),
+                                  /*inst_trace=*/nullptr,
+                                  /*max_inst_records=*/0);
+  instrumentation.set_cpu(&cpu);
+  cpu.set_observer(&instrumentation);
+
+  // cycles_used continues from the snapshot, so the budget check below
+  // behaves exactly as in the full run it replaces.
+  result.stop_reason = cpu.Run(options.cycle_budget);
+
+  SnapshotMetrics& snapshot_metrics = GetSnapshotMetrics();
+  snapshot_metrics.resumes->Increment();
+  snapshot_metrics.prefix_cycles_saved->Increment(snapshot.cpu.cycles_used);
+
+  FinishRun(result, cpu, memory, kernel, env, injector.get(),
+            taint_engine.get(), /*capture_cstring_addr=*/0);
   return result;
 }
 

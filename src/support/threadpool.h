@@ -1,0 +1,52 @@
+// A small fixed-size worker pool for the mutation fan-out. Deliberately
+// minimal: submit closures, wait for the queue to drain. Determinism is
+// the caller's job — the pipeline merges speculative results in target
+// order, so scheduling order here never reaches a report.
+//
+// Fork safety: create the pool, use it, and destroy it within one scope
+// on one thread. Campaign workers fork; a pool must never be alive
+// across a fork (the child would inherit locked mutexes and dead
+// threads), which the pipeline guarantees by scoping the pool to a
+// single phase-2 call.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autovac {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  // Drains remaining work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no worker is mid-task.
+  void Wait();
+
+  [[nodiscard]] size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: task or shutdown
+  std::condition_variable idle_cv_;  // signals Wait(): drained and idle
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace autovac

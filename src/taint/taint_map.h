@@ -11,10 +11,28 @@
 
 namespace autovac::taint {
 
+// Value copy of a TaintMap's shadow state (registers, flags, memory) —
+// everything except the label store it interprets against, which is
+// snapshotted separately (LabelStore is itself copyable).
+struct TaintMapState {
+  std::array<LabelSetId, vm::kNumRegs> regs{};
+  LabelSetId flags = kEmptySet;
+  std::vector<LabelSetId> mem;
+};
+
 class TaintMap {
  public:
   explicit TaintMap(LabelStore& store)
       : store_(store), mem_(vm::kMemSize, kEmptySet) {}
+
+  [[nodiscard]] TaintMapState CaptureState() const {
+    return {regs_, flags_, mem_};
+  }
+  void RestoreState(const TaintMapState& state) {
+    regs_ = state.regs;
+    flags_ = state.flags;
+    mem_ = state.mem;
+  }
 
   [[nodiscard]] LabelSetId Reg(vm::Reg reg) const {
     return reg == vm::Reg::kNone ? kEmptySet

@@ -1,12 +1,16 @@
 #include "vaccine/pipeline.h"
 
 #include <algorithm>
+#include <future>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "sandbox/sandbox.h"
+#include "sandbox/snapshot.h"
 #include "support/logging.h"
 #include "support/metrics.h"
+#include "support/threadpool.h"
 
 namespace autovac::vaccine {
 namespace {
@@ -35,6 +39,22 @@ PipelineMetrics& GetPipelineMetrics() {
     return m;
   }();
   return *metrics;
+}
+
+// Mutation re-runs that could not ride a snapshot (no capture for the
+// triple, budget mismatch, differing fault schedule) and paid the full
+// prefix replay instead.
+Counter* SnapshotFallbackCounter() {
+  static Counter* counter =
+      GlobalMetrics().GetCounter("snapshot.fallback_full_runs");
+  return counter;
+}
+
+// Phase-1 runs whose recorder hit its snapshot cap with triples left over.
+Counter* SnapshotCapOverflowCounter() {
+  static Counter* counter =
+      GlobalMetrics().GetCounter("snapshot.cap_overflows");
+  return counter;
 }
 
 // An abnormal end to a sandbox run: the machine faulted or tripped an
@@ -81,37 +101,60 @@ os::HostEnvironment VaccinePipeline::BaselineMachine() const {
   return os::HostEnvironment::StandardMachine(options_.machine_seed);
 }
 
-analysis::ImpactResult VaccinePipeline::RunImpactWithRetry(
+VaccinePipeline::ImpactAttempt VaccinePipeline::ComputeImpact(
     const vm::Program& sample, const os::HostEnvironment& baseline,
     const trace::ApiTrace& natural, const analysis::MutationTarget& target,
-    SampleReport& report) const {
-  analysis::ImpactOptions impact_options = options_.impact;
-  impact_options.limits = options_.limits;
-  impact_options.fault_plan = options_.fault_plan;
+    const sandbox::SnapshotRecorder* snapshots) const {
+  ImpactAttempt attempt;
+  try {
+    analysis::ImpactOptions impact_options = options_.impact;
+    impact_options.limits = options_.limits;
+    impact_options.fault_plan = options_.fault_plan;
 
-  PipelineMetrics& metrics = GetPipelineMetrics();
-  metrics.mutation_runs->Increment();
-  analysis::ImpactResult impact = analysis::RunImpactAnalysis(
-      sample, baseline, natural, target, impact_options);
-  report.faults_injected += impact.faults_injected;
-
-  size_t retries = 0;
-  while (AbnormalStop(impact.stop_reason) &&
-         retries < options_.max_impact_retries) {
-    ++retries;
-    ++report.impact_retries;
-    metrics.impact_retries->Increment();
+    PipelineMetrics& metrics = GetPipelineMetrics();
     metrics.mutation_runs->Increment();
-    // A shorter leash: the retry must finish inside half the budget, so
-    // a run that keeps tripping its envelope converges to "no impact"
-    // instead of burning the whole campaign's time.
-    impact_options.cycle_budget =
-        std::max<uint64_t>(impact_options.cycle_budget / 2, 1);
-    impact = analysis::RunImpactAnalysis(sample, baseline, natural, target,
-                                         impact_options);
-    report.faults_injected += impact.faults_injected;
+
+    std::optional<analysis::ImpactResult> resumed;
+    if (snapshots != nullptr) {
+      const sandbox::MachineSnapshot* snapshot = snapshots->Find(
+          target.api_name, target.caller_pc, target.identifier);
+      if (snapshot != nullptr) {
+        resumed = analysis::TryResumeImpactAnalysis(sample, *snapshot, natural,
+                                                    target, impact_options);
+      }
+      if (!resumed.has_value()) SnapshotFallbackCounter()->Increment();
+    }
+    analysis::ImpactResult impact =
+        resumed.has_value()
+            ? std::move(*resumed)
+            : analysis::RunImpactAnalysis(sample, baseline, natural, target,
+                                          impact_options);
+    attempt.faults_injected += impact.faults_injected;
+
+    while (AbnormalStop(impact.stop_reason) &&
+           attempt.retries < options_.max_impact_retries) {
+      ++attempt.retries;
+      metrics.impact_retries->Increment();
+      metrics.mutation_runs->Increment();
+      // A shorter leash: the retry must finish inside half the budget, so
+      // a run that keeps tripping its envelope converges to "no impact"
+      // instead of burning the whole campaign's time. The halved budget
+      // rules out snapshot resumes, so retries always replay in full.
+      impact_options.cycle_budget =
+          std::max<uint64_t>(impact_options.cycle_budget / 2, 1);
+      impact = analysis::RunImpactAnalysis(sample, baseline, natural, target,
+                                           impact_options);
+      attempt.faults_injected += impact.faults_injected;
+    }
+    attempt.impact = std::move(impact);
+  } catch (const std::exception& e) {
+    // Keep the partial fault tally: runs that completed before the crash
+    // already injected their faults, exactly as the sequential path
+    // counted them.
+    attempt.crashed = true;
+    attempt.crash_message = e.what();
   }
-  return impact;
+  return attempt;
 }
 
 Result<Vaccine> VaccinePipeline::BuildVaccine(
@@ -166,18 +209,66 @@ Result<Vaccine> VaccinePipeline::BuildVaccine(
   return vaccine;
 }
 
-void VaccinePipeline::AnalyzePhase2(const vm::Program& sample,
-                                    const sandbox::RunResult& phase1,
-                                    SampleReport& report) const {
+void VaccinePipeline::AnalyzePhase2(
+    const vm::Program& sample, const sandbox::RunResult& phase1,
+    SampleReport& report, const sandbox::SnapshotRecorder* snapshots) const {
   std::vector<analysis::MutationTarget> targets =
       analysis::CollectMutationTargets(phase1.api_trace);
   report.targets_considered = targets.size();
 
   const os::HostEnvironment baseline = BaselineMachine();
+
+  // The exclusiveness/empty-identifier filter depends only on static
+  // state, so the fan-out can evaluate it up front; the dynamic skips
+  // (vaccine_keys dedup, the impact-run cap) stay in the merge loop.
+  auto statically_eligible = [&](const analysis::MutationTarget& target) {
+    if (options_.run_exclusiveness && index_ != nullptr &&
+        !index_->IsExclusive(target.identifier)) {
+      return false;
+    }
+    return !target.identifier.empty();
+  };
+
+  // Speculative fan-out: with N > 1 worker threads, every statically
+  // eligible target's impact analysis starts immediately on the pool.
+  // Some speculation is wasted — a target the merge loop later skips
+  // (vaccine_keys, cap) computed an attempt nobody reads — but that is
+  // what makes the merge deterministic: it consumes results strictly in
+  // target order and applies exactly the skips the sequential path
+  // applies, so discarded attempts never touch the report.
+  //
+  // Destruction order matters: the pool is declared last so its
+  // destructor joins the workers before attempts/promises go away.
+  std::vector<ImpactAttempt> attempts(targets.size());
+  std::vector<std::promise<void>> promises(targets.size());
+  std::vector<std::future<void>> futures(targets.size());
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.mutation_threads > 1 && !targets.empty()) {
+    pool = std::make_unique<ThreadPool>(options_.mutation_threads);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (!statically_eligible(targets[i])) continue;
+      futures[i] = promises[i].get_future();
+      ImpactAttempt* slot = &attempts[i];
+      std::promise<void>* done = &promises[i];
+      const analysis::MutationTarget* target = &targets[i];
+      const trace::ApiTrace* natural = &phase1.api_trace;
+      const os::HostEnvironment* base = &baseline;
+      pool->Submit([this, &sample, base, natural, target, snapshots, slot,
+                    done] {
+        // ComputeImpact is exception-free by contract, so the promise is
+        // always fulfilled and the merge loop can never deadlock.
+        *slot = ComputeImpact(sample, *base, *natural, *target, snapshots);
+        done->set_value();
+      });
+    }
+  }
+
   Tracer& tracer = GlobalTracer();
   std::set<std::pair<os::ResourceType, std::string>> vaccine_keys;
   size_t impact_runs = 0;
-  for (const analysis::MutationTarget& target : targets) {
+  for (size_t target_index = 0; target_index < targets.size();
+       ++target_index) {
+    const analysis::MutationTarget& target = targets[target_index];
     // One vaccine per resource: several call sites touching the same
     // identifier collapse into the first effective mutation.
     if (vaccine_keys.count({target.resource_type, target.identifier}) > 0) {
@@ -186,17 +277,12 @@ void VaccinePipeline::AnalyzePhase2(const vm::Program& sample,
     // Step-I: exclusiveness (cheap — runs before the impact-run cap).
     {
       ScopedSpan span(tracer, "exclusiveness");
-      if (options_.run_exclusiveness && index_ != nullptr &&
-          !index_->IsExclusive(target.identifier)) {
-        ++report.filtered_not_exclusive;
-        continue;
-      }
-      if (target.identifier.empty()) {
+      if (!statically_eligible(target)) {
         ++report.filtered_not_exclusive;
         continue;
       }
     }
-    // Each surviving target costs a full mutated re-run; cap them.
+    // Each surviving target costs a mutated re-run; cap them.
     if (impact_runs >= options_.max_targets) {
       LogInfo("sample %s: impact-run cap (%zu) reached",
               sample.name.c_str(), options_.max_targets);
@@ -204,20 +290,31 @@ void VaccinePipeline::AnalyzePhase2(const vm::Program& sample,
     }
     ++impact_runs;
 
-    // Step-II: impact. A crash here leaves the effect unknown, so the
-    // target is dropped — the rest of the sample keeps analyzing.
-    analysis::ImpactResult impact;
-    try {
+    // Step-II: impact — collect the speculative attempt, or compute it
+    // inline on the sequential path. A crash leaves the effect unknown,
+    // so the target is dropped — the rest of the sample keeps analyzing.
+    ImpactAttempt attempt;
+    {
       ScopedSpan span(tracer, "mutation");
-      impact = RunImpactWithRetry(sample, baseline, phase1.api_trace, target,
-                                  report);
-    } catch (const std::exception& e) {
+      if (futures[target_index].valid()) {
+        futures[target_index].wait();
+        attempt = std::move(attempts[target_index]);
+      } else {
+        attempt = ComputeImpact(sample, baseline, phase1.api_trace, target,
+                                snapshots);
+      }
+    }
+    report.impact_retries += attempt.retries;
+    report.faults_injected += attempt.faults_injected;
+    if (attempt.crashed) {
       ++report.targets_faulted;
       GetPipelineMetrics().targets_faulted->Increment();
       LogInfo("sample %s: impact analysis crashed for %s: %s",
-              sample.name.c_str(), target.identifier.c_str(), e.what());
+              sample.name.c_str(), target.identifier.c_str(),
+              attempt.crash_message.c_str());
       continue;
     }
+    const analysis::ImpactResult& impact = attempt.impact;
     if (impact.effect.type == analysis::ImmunizationType::kNone) {
       ++report.filtered_no_impact;
       continue;
@@ -259,6 +356,14 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
   // Spans opened from here on belong to this sample's phase-cost rollup.
   const size_t first_span = tracer.spans().size();
 
+  // The snapshot fast path is sound only when mutation re-runs use the
+  // same cycle budget as the capture (phase-1) run; with differing
+  // budgets the recorder stays empty and every re-run replays in full.
+  const bool fast_path =
+      options_.snapshot_replay &&
+      options_.impact.cycle_budget == options_.phase1_budget;
+  sandbox::SnapshotRecorder snapshots(options_.snapshot_cap);
+
   // ---- Phase-I: candidate selection ---------------------------------
   sandbox::RunResult phase1;
   try {
@@ -270,7 +375,11 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
     phase1_options.record_instructions = true;  // for determinism analysis
     phase1_options.limits = options_.limits;
     phase1_options.fault_plan = options_.fault_plan;
-    phase1 = sandbox::RunProgram(sample, phase1_env, phase1_options);
+    phase1 = fast_path
+                 ? sandbox::RunProgramWithCapture(sample, phase1_env,
+                                                  phase1_options, {}, snapshots)
+                 : sandbox::RunProgram(sample, phase1_env, phase1_options);
+    if (snapshots.overflowed()) SnapshotCapOverflowCounter()->Increment();
   } catch (const std::exception& e) {
     report.phase1_status =
         Status::Internal(std::string("phase-1 crash: ") + e.what());
@@ -290,7 +399,8 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
     // ---- Phase-II ---------------------------------------------------
     try {
       ScopedSpan span(tracer, "phase2");
-      AnalyzePhase2(sample, phase1, report);
+      AnalyzePhase2(sample, phase1, report,
+                    fast_path ? &snapshots : nullptr);
     } catch (const std::exception& e) {
       report.phase2_status =
           Status::Internal(std::string("phase-2 crash: ") + e.what());

@@ -39,6 +39,25 @@ struct PipelineOptions {
   // Retries (with halved cycle budget each time) for a mutation re-run
   // that stops abnormally — a fault or a tripped envelope cap.
   size_t max_impact_retries = 1;
+
+  // Snapshot fast path: capture machine snapshots at resource-API call
+  // sites during the phase-1 run and execute mutation re-runs by
+  // restoring + resuming instead of replaying the whole prefix. Only
+  // engages when the impact budget equals the phase-1 budget (otherwise
+  // resumes cannot be proven equivalent); reports are byte-identical
+  // either way. `--no-snapshot-replay` flips this off.
+  bool snapshot_replay = true;
+  // Most snapshots kept per sample (each holds a full memory image);
+  // targets past the cap fall back to full re-runs.
+  size_t snapshot_cap = 32;
+  // Worker threads for the Phase-II mutation fan-out. 1 (the default)
+  // runs mutations inline on the calling thread; N > 1 speculatively
+  // computes every statically-eligible target's impact on a pool and
+  // merges results in target order, so reports stay byte-identical to
+  // the sequential path. Speculation may execute (and then discard)
+  // attempts the sequential path would have skipped, so wall-clock
+  // telemetry — not report contents — can differ across thread counts.
+  size_t mutation_threads = 1;
 };
 
 // How a sample's analysis ultimately ended, across every isolation layer
@@ -139,16 +158,34 @@ class VaccinePipeline {
 
  private:
   // Phase-II body; exceptions escape to Analyze's isolation layer.
+  // `snapshots` non-null enables the mutation fast path (resume targets
+  // from their captured call sites instead of full re-runs).
   void AnalyzePhase2(const vm::Program& sample,
                      const sandbox::RunResult& phase1,
-                     SampleReport& report) const;
+                     SampleReport& report,
+                     const sandbox::SnapshotRecorder* snapshots) const;
 
-  // One mutation re-run, retried with a halved cycle budget while the run
-  // stops abnormally (fault or tripped envelope cap).
-  [[nodiscard]] analysis::ImpactResult RunImpactWithRetry(
+  // The outcome of one target's impact analysis, carried from a (possibly
+  // speculative, possibly worker-thread) computation to the deterministic
+  // merge point. Report counters are applied only at merge, so a
+  // discarded speculative attempt never reaches a report.
+  struct ImpactAttempt {
+    analysis::ImpactResult impact;
+    size_t retries = 0;
+    size_t faults_injected = 0;
+    bool crashed = false;          // the analysis threw; `impact` is empty
+    std::string crash_message;
+  };
+
+  // One target's mutation re-run: snapshot resume when possible, full
+  // re-run otherwise, retried with a halved cycle budget (always a full
+  // re-run — the halved budget invalidates resumes) while the run stops
+  // abnormally. Thread-safe: touches no report state, catches every
+  // exception into the attempt, and logs nothing.
+  [[nodiscard]] ImpactAttempt ComputeImpact(
       const vm::Program& sample, const os::HostEnvironment& baseline,
       const trace::ApiTrace& natural, const analysis::MutationTarget& target,
-      SampleReport& report) const;
+      const sandbox::SnapshotRecorder* snapshots) const;
 
   // Determinism analysis + vaccine assembly for one proven-impactful
   // target. Filter outcomes come back as non-OK statuses; exceptions

@@ -141,6 +141,37 @@ void Cpu::FlushMetrics() {
   }
 }
 
+CpuSnapshot Cpu::SnapshotAtSyscall() const {
+  CpuSnapshot snap;
+  snap.regs = regs_;
+  snap.pc = current_pc_;
+  snap.zf = zf_;
+  snap.sf = sf_;
+  snap.call_depth = call_depth_;
+  // Un-charge the in-flight increments from the top of Step(): the
+  // resumed CPU re-executes the whole `sys` instruction.
+  snap.cycles_used = cycles_used_ - 1;
+  snap.api_calls = api_calls_ - 1;
+  return snap;
+}
+
+void Cpu::Restore(const CpuSnapshot& snap) {
+  regs_ = snap.regs;
+  pc_ = snap.pc;
+  current_pc_ = snap.pc;
+  zf_ = snap.zf;
+  sf_ = snap.sf;
+  call_depth_ = snap.call_depth;
+  cycles_used_ = snap.cycles_used;
+  api_calls_ = snap.api_calls;
+  exit_requested_ = false;
+  pending_stop_ = StopReason::kRunning;
+  stop_reason_ = StopReason::kRunning;
+  fault_.clear();
+  instructions_retired_ = 0;
+  dispatch_counts_.fill(0);
+}
+
 StopReason Cpu::Fault(std::string message) {
   fault_ = std::move(message);
   stop_reason_ = StopReason::kFault;

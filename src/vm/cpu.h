@@ -72,6 +72,22 @@ struct StepInfo {
 
 class Cpu;
 
+// Architectural CPU state at an instruction boundary: everything a
+// resumed run needs to continue executing as if it had run from program
+// start. Flush-delta telemetry (instructions_retired, dispatch counts)
+// is deliberately absent — those counters are deltas since the last
+// metrics flush, not machine state, and a restored CPU starts them at
+// zero so resumed runs never double-publish the prefix.
+struct CpuSnapshot {
+  std::array<uint32_t, kNumRegs> regs{};
+  uint32_t pc = 0;
+  bool zf = false;
+  bool sf = false;
+  uint32_t call_depth = 0;
+  uint64_t cycles_used = 0;
+  uint64_t api_calls = 0;
+};
+
 // Kernel interface: receives `sys` traps. Implementations read arguments
 // from the stack via cpu.Arg(i) and set cpu.regs[eax] for the result.
 class SyscallHandler {
@@ -149,6 +165,20 @@ class Cpu {
   // logs with every API call. Valid while handling a syscall: the pc of
   // the `sys` instruction itself.
   [[nodiscard]] uint32_t current_syscall_pc() const { return current_pc_; }
+
+  // --- checkpoint / restore -------------------------------------------
+  // Captures architectural state while handling a `sys` trap, rewound so
+  // that resuming from the snapshot re-executes the trapping instruction
+  // from scratch: pc points at the `sys` instruction itself and the
+  // charges taken at the top of Step() (one cycle, one api call) are
+  // subtracted. Valid only from inside SyscallHandler::OnSyscall, before
+  // the kernel consumes any extra cycles for the call.
+  [[nodiscard]] CpuSnapshot SnapshotAtSyscall() const;
+  // Overwrites architectural state with `snap` and clears any stop
+  // condition so Run()/Step() continue from the snapshot point.
+  // Flush-delta telemetry restarts at zero — the capturing run already
+  // published the prefix to the global registry.
+  void Restore(const CpuSnapshot& snap);
 
   [[nodiscard]] Memory& memory() { return memory_; }
   [[nodiscard]] const Memory& memory() const { return memory_; }

@@ -6,6 +6,8 @@
 //                                 [--max-api-calls <n>] [--max-call-depth <n>]
 //                                 [--metrics-out <m.jsonl>]
 //                                 [--trace-out <t.json>]
+//                                 [--mutation-threads <n>]
+//                                 [--no-snapshot-replay]
 //       Run Phase I+II on an assembly sample, clinic-test the extracted
 //       vaccines against the benign corpus, and print the survivors.
 //       --fault-seed runs the whole analysis under a deterministic
@@ -39,12 +41,14 @@
 // Samples are written in the sandbox assembly dialect (see
 // src/vm/assembler.h); everything runs inside the simulator — no real
 // binaries are executed.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "campaign/supervisor.h"
 #include "malware/benign.h"
@@ -89,6 +93,11 @@ int Usage() {
       "  --max-call-depth <n> cap the shadow call-stack depth\n"
       "  --metrics-out <f>    dump the metrics registry as JSONL\n"
       "  --trace-out <f>      write a Chrome trace_event JSON file\n"
+      "  --mutation-threads <n>  run Phase-II mutation re-runs on n worker\n"
+      "                       threads (default 1); reports are byte-\n"
+      "                       identical for any n\n"
+      "  --no-snapshot-replay disable the machine-snapshot fast path for\n"
+      "                       mutation re-runs (full prefix replay)\n"
       "campaign durability options:\n"
       "  --jobs <n>           analyze up to n samples in parallel worker\n"
       "                       processes (crash-isolated; default 1)\n"
@@ -166,6 +175,8 @@ struct AnalyzeFlags {
   sandbox::RunLimits limits;
   std::string metrics_path;
   std::string trace_path;
+  size_t mutation_threads = 1;
+  bool snapshot_replay = true;
   // Campaign durability flags (rejected by `analyze`).
   size_t jobs = 1;
   uint64_t sample_deadline_ms = 0;
@@ -219,13 +230,27 @@ bool ParseAnalyzeFlags(int argc, char** argv, AnalyzeFlags* flags,
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
       flags->trace_path = value;
+    } else if (std::strcmp(arg, "--mutation-threads") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
+      const long long threads = std::strtoll(value, nullptr, 0);
+      if (threads <= 0) {
+        std::fprintf(stderr,
+                     "error: --mutation-threads requires at least 1\n");
+        return false;
+      }
+      flags->mutation_threads = static_cast<size_t>(threads);
+    } else if (std::strcmp(arg, "--no-snapshot-replay") == 0) {
+      flags->snapshot_replay = false;
     } else if (campaign && std::strcmp(arg, "--jobs") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
-      flags->jobs = std::strtoull(value, nullptr, 0);
-      if (flags->jobs == 0) {
+      // Signed parse so "--jobs -1" is rejected rather than wrapping to a
+      // huge unsigned count.
+      const long long jobs = std::strtoll(value, nullptr, 0);
+      if (jobs <= 0) {
         std::fprintf(stderr, "error: --jobs requires at least 1\n");
         return false;
       }
+      flags->jobs = static_cast<size_t>(jobs);
     } else if (campaign && std::strcmp(arg, "--journal") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return false;
       flags->journal_path = value;
@@ -334,6 +359,8 @@ int CmdAnalyze(int argc, char** argv) {
   vaccine::PipelineOptions options;
   options.run_exclusiveness = flags.use_exclusiveness;
   options.limits = flags.limits;
+  options.mutation_threads = flags.mutation_threads;
+  options.snapshot_replay = flags.snapshot_replay;
   sandbox::FaultPlan fault_plan(flags.fault_seed);
   if (flags.inject_faults) {
     fault_plan = sandbox::FaultPlan::Randomized(flags.fault_seed,
@@ -449,6 +476,22 @@ int CmdCampaign(int argc, char** argv) {
   vaccine::PipelineOptions options;
   options.run_exclusiveness = flags.use_exclusiveness;
   options.limits = flags.limits;
+  options.snapshot_replay = flags.snapshot_replay;
+  // Total concurrency is --jobs worker processes x --mutation-threads
+  // pool threads inside each worker; cap it at the machine's hardware
+  // threads so a generous flag combination cannot oversubscribe the box.
+  // The note goes to stderr — stdout is the dashboard, which must stay
+  // byte-comparable across machines.
+  options.mutation_threads = flags.mutation_threads;
+  const size_t hardware = std::max(1u, std::thread::hardware_concurrency());
+  if (flags.jobs * flags.mutation_threads > hardware) {
+    options.mutation_threads = std::max<size_t>(1, hardware / flags.jobs);
+    std::fprintf(stderr,
+                 "campaign: capping --mutation-threads %zu -> %zu "
+                 "(%zu jobs x threads must fit %zu hardware threads)\n",
+                 flags.mutation_threads, options.mutation_threads, flags.jobs,
+                 hardware);
+  }
   sandbox::FaultPlan fault_plan(flags.fault_seed);
   if (flags.inject_faults) {
     fault_plan = sandbox::FaultPlan::Randomized(flags.fault_seed,

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the CI bench lane.
+
+Compares a freshly generated bench JSON (perf_generation's BENCH_pipeline
+or perf_campaign's BENCH_campaign) against the checked-in baseline under
+bench/baselines/ and fails on regressions.
+
+Gating policy:
+  * Deterministic quantities (per-phase VM instruction ticks, per-mode
+    samples_analyzed / workers_crashed) gate hard: any growth beyond
+    --max-regression (default 15%) fails. These are machine-independent,
+    so a tight threshold does not flake on shared runners.
+  * Wall-clock times are reported but do not gate by default (shared CI
+    runners are too noisy for absolute-time thresholds); opt in with
+    --check-wall to apply --max-regression to them too.
+  * The snapshot fast-path speedup is a ratio of two wall times from the
+    same process on the same machine, so it transfers across runners:
+    --min-speedup (default 3.0) gates it.
+
+Exit status: 0 clean, 1 on any regression, 2 on usage/IO errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"check_bench: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def pct(new, old):
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / old
+
+
+class Gate:
+    def __init__(self, max_regression, check_wall):
+        self.max_regression = max_regression
+        self.check_wall = check_wall
+        self.failures = []
+
+    def check(self, label, baseline, current, gate=True):
+        change = pct(current, baseline)
+        verdict = "ok"
+        if gate and change > self.max_regression:
+            verdict = "REGRESSION"
+            self.failures.append(label)
+        elif not gate:
+            verdict = "info"
+        print(f"  {label:<44} {baseline:>14.3f} -> {current:>14.3f} "
+              f"({change:+8.1%}) {verdict}")
+
+    def check_exact(self, label, baseline, current):
+        verdict = "ok"
+        if current != baseline:
+            verdict = "MISMATCH"
+            self.failures.append(label)
+        print(f"  {label:<44} {baseline:>14} -> {current:>14} {verdict}")
+
+
+def compare_pipeline(base, cur, gate, min_speedup):
+    gate.check_exact("samples", base.get("samples"), cur.get("samples"))
+    base_phases = {p["phase"]: p for p in base.get("phases", [])}
+    cur_phases = {p["phase"]: p for p in cur.get("phases", [])}
+    for name in sorted(base_phases):
+        if name not in cur_phases:
+            print(f"  phase '{name}' missing from current run  REGRESSION")
+            gate.failures.append(f"phase:{name}")
+            continue
+        gate.check(f"phase {name} instructions",
+                   float(base_phases[name]["instructions"]),
+                   float(cur_phases[name]["instructions"]))
+        gate.check(f"phase {name} wall_ms",
+                   float(base_phases[name]["wall_ms"]),
+                   float(cur_phases[name]["wall_ms"]),
+                   gate=gate.check_wall)
+
+    fastpath = cur.get("fastpath")
+    if fastpath is None:
+        print("  fastpath section missing from current run  REGRESSION")
+        gate.failures.append("fastpath")
+        return
+    speedup = float(fastpath.get("speedup", 0.0))
+    verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+    if verdict != "ok":
+        gate.failures.append("fastpath.speedup")
+    print(f"  {'fastpath speedup':<44} {min_speedup:>14.2f} "
+          f"<= {speedup:>11.2f}x {verdict}")
+    print(f"  {'fastpath legacy_ms':<44} "
+          f"{float(fastpath.get('legacy_ms', 0)):>14.3f} info")
+    print(f"  {'fastpath fast_ms':<44} "
+          f"{float(fastpath.get('fast_ms', 0)):>14.3f} info")
+
+
+def compare_campaign(base, cur, gate):
+    gate.check_exact("samples", base.get("samples"), cur.get("samples"))
+    base_modes = {m["mode"]: m for m in base.get("modes", [])}
+    cur_modes = {m["mode"]: m for m in cur.get("modes", [])}
+    for name in sorted(base_modes):
+        if name not in cur_modes:
+            print(f"  mode '{name}' missing from current run  REGRESSION")
+            gate.failures.append(f"mode:{name}")
+            continue
+        gate.check_exact(f"mode {name} samples_analyzed",
+                         base_modes[name]["samples_analyzed"],
+                         cur_modes[name]["samples_analyzed"])
+        gate.check_exact(f"mode {name} workers_crashed",
+                         base_modes[name]["workers_crashed"],
+                         cur_modes[name]["workers_crashed"])
+        gate.check(f"mode {name} wall_ms",
+                   float(base_modes[name]["wall_ms"]),
+                   float(cur_modes[name]["wall_ms"]),
+                   gate=gate.check_wall)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("current", help="freshly generated bench JSON")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        help="relative growth that fails gated metrics "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="minimum fastpath speedup (pipeline bench)")
+    parser.add_argument("--check-wall", action="store_true",
+                        help="also gate wall-clock times (off by default: "
+                             "shared runners are noisy)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    kind = base.get("bench")
+    if kind != cur.get("bench"):
+        print(f"check_bench: bench kinds differ: baseline={kind} "
+              f"current={cur.get('bench')}", file=sys.stderr)
+        sys.exit(2)
+
+    gate = Gate(args.max_regression, args.check_wall)
+    print(f"== bench '{kind}': {args.baseline} vs {args.current} ==")
+    if kind == "pipeline":
+        compare_pipeline(base, cur, gate, args.min_speedup)
+    elif kind == "campaign":
+        compare_campaign(base, cur, gate)
+    else:
+        print(f"check_bench: unknown bench kind '{kind}'", file=sys.stderr)
+        sys.exit(2)
+
+    if gate.failures:
+        print(f"\ncheck_bench: FAILED ({len(gate.failures)} regressions): "
+              + ", ".join(gate.failures))
+        sys.exit(1)
+    print("\ncheck_bench: OK")
+
+
+if __name__ == "__main__":
+    main()
