@@ -1,0 +1,191 @@
+// Serving-layer performance: the vacd match index against the linear
+// scan it replaced, plus whole-stack query round trips through a live
+// server on a Unix socket.
+//
+// BM_LinearMatch walks every registered vaccine per lookup (the old
+// daemon hook discipline); BM_IndexMatch runs the same lookups through
+// the compiled PatternIndex. Both passes count their hits and the two
+// counts must agree exactly — the speedup is only meaningful if the
+// verdicts are identical. The speedup is a ratio of two wall times from
+// the same process on the same machine, so it transfers across runners
+// and the CI bench lane gates it (>= 10x at N=1000).
+//
+// Machine-readable sibling: BENCH_serving.json (AUTOVAC_BENCH_OUT).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "support/match_index.h"
+#include "support/status.h"
+#include "support/strings.h"
+#include "vacstore/store.h"
+
+using namespace autovac;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+constexpr size_t kPatterns = 1000;   // vaccines registered (paper: 119)
+constexpr size_t kPatternShare = 5;  // every 5th vaccine is a wildcard
+constexpr size_t kLookups = 2000;    // identifier lookups per pass
+constexpr size_t kRoundTrips = 300;  // QUERY requests through the socket
+
+vaccine::Vaccine ServingVaccine(size_t i) {
+  vaccine::Vaccine v;
+  v.malware_name = StrFormat("bench-family-%zu", i);
+  v.malware_digest = StrFormat("digest-%zu", i);
+  v.resource_type = os::ResourceType::kMutex;
+  v.simulate_presence = true;
+  v.immunization = analysis::ImmunizationType::kFull;
+  if (i % kPatternShare == 0) {
+    // Partial-static: a floating suffix after a distinctive anchor.
+    v.identifier = StrFormat("evil-worker-%zu-*", i);
+    v.identifier_kind = analysis::IdentifierClass::kPartialStatic;
+    v.delivery = vaccine::DeliveryMethod::kDaemon;
+    auto pattern = Pattern::Compile(v.identifier);
+    AUTOVAC_CHECK(pattern.ok());
+    v.pattern = std::move(pattern).value();
+  } else {
+    v.identifier = StrFormat("evil-mutex-%zu", i);
+    v.identifier_kind = analysis::IdentifierClass::kStatic;
+    v.delivery = vaccine::DeliveryMethod::kDirectInjection;
+  }
+  return v;
+}
+
+// The lookup mix: literal hits, pattern hits, and misses, round-robin.
+std::string Lookup(size_t i) {
+  switch (i % 4) {
+    case 0:
+      return StrFormat("evil-mutex-%zu", (i * 7) % kPatterns);
+    case 1:
+      return StrFormat("evil-worker-%zu-%zu",
+                       ((i * 13) % (kPatterns / kPatternShare)) *
+                           kPatternShare,
+                       i);
+    case 2:
+      return StrFormat("benign-mutex-%zu", i);
+    default:
+      return StrFormat("evil-mutex-%zu-but-longer", i % kPatterns);
+  }
+}
+
+void WriteBenchJson(double linear_ms, double index_ms, double speedup,
+                    size_t hits, double roundtrip_ms, size_t matches) {
+  const char* env_path = std::getenv("AUTOVAC_BENCH_OUT");
+  const std::string path =
+      env_path != nullptr ? env_path : "BENCH_serving.json";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\"bench\":\"serving\",\"patterns\":" << kPatterns
+      << ",\"lookups\":" << kLookups << ",\"match\":{\"linear_ms\":"
+      << StrFormat("%.3f", linear_ms)
+      << ",\"index_ms\":" << StrFormat("%.3f", index_ms)
+      << ",\"speedup\":" << StrFormat("%.2f", speedup)
+      << ",\"hits\":" << hits << "},\"roundtrip\":{\"requests\":"
+      << kRoundTrips << ",\"wall_ms\":" << StrFormat("%.3f", roundtrip_ms)
+      << ",\"per_request_ms\":"
+      << StrFormat("%.4f", roundtrip_ms / static_cast<double>(kRoundTrips))
+      << ",\"matches\":" << matches << "}}\n";
+  std::printf("\nbench json written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== serving: match index vs linear scan, query round trips "
+              "==\n\n");
+
+  std::vector<vaccine::Vaccine> vaccines;
+  vaccines.reserve(kPatterns);
+  for (size_t i = 0; i < kPatterns; ++i) {
+    vaccines.push_back(ServingVaccine(i));
+  }
+  std::vector<std::string> lookups;
+  lookups.reserve(kLookups);
+  for (size_t i = 0; i < kLookups; ++i) lookups.push_back(Lookup(i));
+
+  // ---- BM_LinearMatch: the old hook discipline, every vaccine per
+  // lookup -----------------------------------------------------------
+  size_t linear_hits = 0;
+  const auto linear_start = Clock::now();
+  for (const std::string& text : lookups) {
+    for (const vaccine::Vaccine& v : vaccines) {
+      const bool hit =
+          v.identifier_kind == analysis::IdentifierClass::kPartialStatic
+              ? v.pattern.Matches(text)
+              : v.identifier == text;
+      if (hit) ++linear_hits;
+    }
+  }
+  const double linear_ms = MillisSince(linear_start);
+
+  // ---- BM_IndexMatch: same lookups, compiled index ------------------
+  PatternIndex index;
+  for (const vaccine::Vaccine& v : vaccines) {
+    (void)index.Add(
+        v.identifier_kind == analysis::IdentifierClass::kPartialStatic
+            ? v.pattern
+            : Pattern::Literal(v.identifier));
+  }
+  index.Build();
+  size_t index_hits = 0;
+  const auto index_start = Clock::now();
+  for (const std::string& text : lookups) {
+    index_hits += index.Match(text).size();
+  }
+  const double index_ms = MillisSince(index_start);
+
+  AUTOVAC_CHECK_MSG(index_hits == linear_hits,
+                    "index verdicts diverged from the linear scan");
+  const double speedup = index_ms > 0 ? linear_ms / index_ms : 0;
+  std::printf("BM_LinearMatch: %zu lookups x %zu vaccines in %8.2f ms "
+              "(%zu hits)\n", kLookups, kPatterns, linear_ms, linear_hits);
+  std::printf("BM_IndexMatch:  same lookups via PatternIndex %8.2f ms "
+              "(%zu hits)\n", index_ms, index_hits);
+  std::printf("speedup:        %.1fx (paper's hook budget: <4%% overhead "
+              "for 119 patterns)\n", speedup);
+
+  // ---- BM_QueryRoundTrip: socket + frame + dispatch + index ---------
+  vacstore::VaccineStore store;
+  auto pushed = store.Push(vaccines);
+  AUTOVAC_CHECK(pushed.ok());
+  net::VacdOptions options;
+  options.socket_path = "bench_serving.sock";
+  options.threads = 2;
+  net::VacdServer server(std::move(store), options);
+  AUTOVAC_CHECK(server.Start().ok());
+  net::VacdClient client(options.socket_path);
+
+  size_t roundtrip_matches = 0;
+  const auto rt_start = Clock::now();
+  for (size_t i = 0; i < kRoundTrips; ++i) {
+    auto reply = client.Query(os::ResourceType::kMutex, lookups[i]);
+    AUTOVAC_CHECK(reply.ok());
+    roundtrip_matches += reply->matches.size();
+  }
+  const double roundtrip_ms = MillisSince(rt_start);
+  server.Stop();
+  std::printf("BM_QueryRoundTrip: %zu QUERYs over the socket in %8.2f ms "
+              "(%.3f ms each, %zu matches)\n", kRoundTrips, roundtrip_ms,
+              roundtrip_ms / static_cast<double>(kRoundTrips),
+              roundtrip_matches);
+
+  WriteBenchJson(linear_ms, index_ms, speedup, linear_hits, roundtrip_ms,
+                 roundtrip_matches);
+  return 0;
+}

@@ -56,6 +56,16 @@ std::vector<SearchHit> ExclusivenessIndex::Query(
   return hits;
 }
 
+std::vector<std::string> ExclusivenessIndex::Identifiers() const {
+  std::vector<std::string> identifiers;
+  identifiers.reserve(index_.size());
+  for (const auto& [identifier, contexts] : index_) {
+    (void)contexts;
+    identifiers.push_back(identifier);
+  }
+  return identifiers;
+}
+
 bool ExclusivenessIndex::IsExclusive(std::string_view identifier) const {
   if (identifier.empty()) return false;  // nothing to key a vaccine on
   return index_.count(os::ObjectNamespace::Canonical(identifier)) == 0;

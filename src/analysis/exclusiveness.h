@@ -41,6 +41,11 @@ class ExclusivenessIndex {
   // No conflicting benign use -> safe vaccine candidate.
   [[nodiscard]] bool IsExclusive(std::string_view identifier) const;
 
+  // Every canonical identifier the benign corpus + whitelist touched, in
+  // sorted (map) order. The vaccine store scans this to quarantine
+  // partial-static patterns that would also match benign resources.
+  [[nodiscard]] std::vector<std::string> Identifiers() const;
+
   [[nodiscard]] size_t size() const { return index_.size(); }
 
  private:

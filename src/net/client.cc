@@ -1,0 +1,138 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/frame.h"
+#include "support/strings.h"
+
+namespace autovac::net {
+namespace {
+
+constexpr std::string_view kBusyPrefix = "vacd busy: ";
+
+Result<int> Connect(const std::string& path, uint64_t deadline_ms) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        StrFormat("socket path too long: %s", path.c_str()));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(deadline_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((deadline_ms % 1000) * 1000);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    // Refused/absent reads as "no server yet" so startup-wait loops can
+    // key on NotFound alone.
+    return Status::NotFound(StrFormat("connect %s failed: %s", path.c_str(),
+                                      std::strerror(err)));
+  }
+  return fd;
+}
+
+// Maps an ErrorReply to a Status for the typed helpers.
+Status ErrorToStatus(const ErrorReply& error) {
+  if (error.busy) {
+    return Status::FailedPrecondition(std::string(kBusyPrefix) +
+                                      error.message);
+  }
+  return Status::Internal(error.message);
+}
+
+}  // namespace
+
+Result<std::string> VacdClient::RoundTripRaw(
+    std::string_view request_json) const {
+  AUTOVAC_ASSIGN_OR_RETURN(const int fd,
+                           Connect(socket_path_, deadline_ms_));
+  // A failed write is not yet fatal: an overloaded server answers BUSY
+  // and closes without reading, so the reply may already be waiting in
+  // our receive buffer while our send sees a broken pipe.
+  const Status written = WriteNetFrame(fd, request_json);
+  Result<std::string> reply = ReadNetFrame(fd);
+  ::close(fd);
+  if (!reply.ok() && !written.ok()) return written;
+  if (!reply.ok() && reply.status().code() == StatusCode::kNotFound) {
+    return Status::Internal("server closed connection without a reply");
+  }
+  return reply;
+}
+
+Result<Reply> VacdClient::RoundTrip(const Request& request) const {
+  AUTOVAC_ASSIGN_OR_RETURN(const std::string payload,
+                           RoundTripRaw(RequestToJson(request)));
+  return ParseReply(payload);
+}
+
+Result<PushReply> VacdClient::Push(
+    const std::vector<vaccine::Vaccine>& vaccines) const {
+  AUTOVAC_ASSIGN_OR_RETURN(const Reply reply,
+                           RoundTrip(Request(PushRequest{vaccines})));
+  if (const auto* error = std::get_if<ErrorReply>(&reply)) {
+    return ErrorToStatus(*error);
+  }
+  if (const auto* push = std::get_if<PushReply>(&reply)) return *push;
+  return Status::Internal("unexpected reply kind for push");
+}
+
+Result<QueryReply> VacdClient::Query(os::ResourceType resource_type,
+                                     std::string_view identifier) const {
+  QueryRequest request;
+  request.resource_type = resource_type;
+  request.identifier = std::string(identifier);
+  AUTOVAC_ASSIGN_OR_RETURN(Reply reply,
+                           RoundTrip(Request(std::move(request))));
+  if (const auto* error = std::get_if<ErrorReply>(&reply)) {
+    return ErrorToStatus(*error);
+  }
+  if (auto* query = std::get_if<QueryReply>(&reply)) {
+    return std::move(*query);
+  }
+  return Status::Internal("unexpected reply kind for query");
+}
+
+Result<PullReply> VacdClient::Pull(uint64_t since) const {
+  AUTOVAC_ASSIGN_OR_RETURN(Reply reply,
+                           RoundTrip(Request(PullRequest{since})));
+  if (const auto* error = std::get_if<ErrorReply>(&reply)) {
+    return ErrorToStatus(*error);
+  }
+  if (auto* pull = std::get_if<PullReply>(&reply)) {
+    return std::move(*pull);
+  }
+  return Status::Internal("unexpected reply kind for pull");
+}
+
+Result<StatusReply> VacdClient::Stats() const {
+  AUTOVAC_ASSIGN_OR_RETURN(const Reply reply,
+                           RoundTrip(Request(StatusRequest{})));
+  if (const auto* error = std::get_if<ErrorReply>(&reply)) {
+    return ErrorToStatus(*error);
+  }
+  if (const auto* status = std::get_if<StatusReply>(&reply)) return *status;
+  return Status::Internal("unexpected reply kind for status");
+}
+
+bool VacdClient::IsBusy(const Status& status) {
+  return status.code() == StatusCode::kFailedPrecondition &&
+         status.message().compare(0, kBusyPrefix.size(), kBusyPrefix) == 0;
+}
+
+}  // namespace autovac::net

@@ -1,0 +1,52 @@
+// vacd client library: one connection per request (the protocol is
+// strictly request/reply, and a feed client syncs rarely), blocking with
+// the same deadline discipline as the server.
+//
+// The typed helpers unwrap the reply variant into Status codes:
+//   * a busy shed  -> FailedPrecondition("vacd busy: ...") — back off and
+//     retry, nothing about the request was wrong (IsBusy() tests this);
+//   * a server-side error reply -> Internal(<server message>);
+//   * connect refused/absent socket -> NotFound, so "wait for the server
+//     to come up" loops can retry on that code alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.h"
+#include "support/status.h"
+
+namespace autovac::net {
+
+class VacdClient {
+ public:
+  explicit VacdClient(std::string socket_path, uint64_t deadline_ms = 5000)
+      : socket_path_(std::move(socket_path)), deadline_ms_(deadline_ms) {}
+
+  [[nodiscard]] Result<PushReply> Push(
+      const std::vector<vaccine::Vaccine>& vaccines) const;
+  [[nodiscard]] Result<QueryReply> Query(os::ResourceType resource_type,
+                                         std::string_view identifier) const;
+  [[nodiscard]] Result<PullReply> Pull(uint64_t since) const;
+  [[nodiscard]] Result<StatusReply> Stats() const;
+
+  // Full round trip with the reply variant exposed (busy arrives as an
+  // ErrorReply value, not a Status).
+  [[nodiscard]] Result<Reply> RoundTrip(const Request& request) const;
+
+  // Sends `request_json` verbatim and returns the raw reply payload —
+  // the byte-identity the store sync tests compare across restarts.
+  [[nodiscard]] Result<std::string> RoundTripRaw(
+      std::string_view request_json) const;
+
+  // True iff `status` is the overload-shed outcome of a typed helper.
+  [[nodiscard]] static bool IsBusy(const Status& status);
+
+ private:
+  std::string socket_path_;
+  uint64_t deadline_ms_;
+};
+
+}  // namespace autovac::net

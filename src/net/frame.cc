@@ -1,0 +1,113 @@
+#include "net/frame.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace autovac::net {
+namespace {
+
+void PutU32(std::string& out, uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const char* bytes) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[3])) << 24;
+}
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as an EPIPE status,
+    // not kill the process with SIGPIPE (the shed path closes without
+    // reading, so mid-write hang-ups are an expected overload outcome).
+    ssize_t n = ::send(fd, bytes.data() + written, bytes.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("frame write timed out");
+      }
+      return Status::Internal(
+          StrFormat("frame write failed: %s", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Reads exactly `size` bytes into `out`. `*eof_ok` reports whether EOF
+// arrived before the first byte (a clean hang-up, not a torn frame).
+Status ReadExact(int fd, char* out, size_t size, bool* clean_eof) {
+  *clean_eof = false;
+  size_t have = 0;
+  while (have < size) {
+    const ssize_t n = ::read(fd, out + have, size - have);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("frame read timed out");
+      }
+      return Status::Internal(
+          StrFormat("frame read failed: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (have == 0) *clean_eof = true;
+      return Status::Internal("connection closed mid-frame");
+    }
+    have += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteNetFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxNetFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  std::string frame;
+  frame.reserve(kNetFrameHeaderSize + payload.size());
+  PutU32(frame, kNetFrameMagic);
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return WriteAll(fd, frame);
+}
+
+Result<std::string> ReadNetFrame(int fd) {
+  char header[kNetFrameHeaderSize];
+  bool clean_eof = false;
+  Status read = ReadExact(fd, header, sizeof(header), &clean_eof);
+  if (!read.ok()) {
+    if (clean_eof) return Status::NotFound("connection closed");
+    return read;
+  }
+  if (GetU32(header) != kNetFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const uint32_t length = GetU32(header + 4);
+  if (length > kMaxNetFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    AUTOVAC_RETURN_IF_ERROR(
+        ReadExact(fd, payload.data(), length, &clean_eof));
+  }
+  return payload;
+}
+
+}  // namespace autovac::net

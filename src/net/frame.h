@@ -1,0 +1,35 @@
+// Socket framing for the vacd protocol: the campaign pipe-framing
+// discipline (campaign/worker.h) applied to a connected stream socket.
+// Every message is `magic u32 | length u32 | payload` little-endian; the
+// magic ("AVNF", distinct from the campaign workers' "AVWF") rejects
+// cross-protocol connects immediately instead of misparsing a length.
+//
+// Reads and writes are blocking; the per-request deadline is enforced by
+// SO_RCVTIMEO/SO_SNDTIMEO on the socket, which surfaces here as
+// DeadlineExceeded. A clean EOF before any header byte is NotFound
+// ("connection closed"), so servers can tell an idle hang-up from a torn
+// frame.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace autovac::net {
+
+// "AVNF" little-endian: AutoVac Net Frame.
+inline constexpr uint32_t kNetFrameMagic = 0x464E5641;
+inline constexpr size_t kNetFrameHeaderSize = 8;
+// Protocol messages are JSON requests/replies; 64 MB is far above any
+// realistic vaccine feed page and far below the campaign frame cap.
+inline constexpr size_t kMaxNetFramePayload = 64u << 20;
+
+// Writes one frame; retries EINTR, maps timeouts to DeadlineExceeded.
+[[nodiscard]] Status WriteNetFrame(int fd, std::string_view payload);
+
+// Reads exactly one frame.
+[[nodiscard]] Result<std::string> ReadNetFrame(int fd);
+
+}  // namespace autovac::net

@@ -1,0 +1,204 @@
+#include "net/protocol.h"
+
+#include "support/json.h"
+#include "support/strings.h"
+#include "vaccine/json.h"
+
+namespace autovac::net {
+namespace {
+
+std::string VaccineArrayJson(const std::vector<vaccine::Vaccine>& vaccines) {
+  std::string out = "[";
+  for (size_t i = 0; i < vaccines.size(); ++i) {
+    if (i > 0) out += ",";
+    out += vaccine::VaccineToJson(vaccines[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Result<std::vector<vaccine::Vaccine>> ParseVaccineArray(
+    const JsonValue& json, std::string_view key) {
+  const JsonValue* array = json.Find(key);
+  if (array == nullptr || !array->is_array()) {
+    return Status::InvalidArgument(
+        StrFormat("missing array field '%s'", std::string(key).c_str()));
+  }
+  std::vector<vaccine::Vaccine> vaccines;
+  vaccines.reserve(array->array.size());
+  for (const JsonValue& element : array->array) {
+    AUTOVAC_ASSIGN_OR_RETURN(vaccine::Vaccine vaccine,
+                             vaccine::VaccineFromJson(element));
+    vaccines.push_back(std::move(vaccine));
+  }
+  return vaccines;
+}
+
+Result<uint64_t> EnumField(const JsonValue& json, std::string_view key,
+                           size_t bound) {
+  AUTOVAC_ASSIGN_OR_RETURN(const uint64_t value, JsonFieldUint64(json, key));
+  if (value >= bound) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' out of range", std::string(key).c_str()));
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string RequestToJson(const Request& request) {
+  if (const auto* push = std::get_if<PushRequest>(&request)) {
+    return StrFormat("{\"op\":\"push\",\"vaccines\":%s}",
+                     VaccineArrayJson(push->vaccines).c_str());
+  }
+  if (const auto* query = std::get_if<QueryRequest>(&request)) {
+    return StrFormat("{\"op\":\"query\",\"resource\":%d,\"identifier\":\"%s\"}",
+                     static_cast<int>(query->resource_type),
+                     JsonEscape(query->identifier).c_str());
+  }
+  if (const auto* pull = std::get_if<PullRequest>(&request)) {
+    return StrFormat("{\"op\":\"pull\",\"since\":%llu}",
+                     static_cast<unsigned long long>(pull->since));
+  }
+  return "{\"op\":\"status\"}";
+}
+
+Result<Request> ParseRequest(std::string_view text) {
+  AUTOVAC_ASSIGN_OR_RETURN(const JsonValue json, ParseJson(text));
+  AUTOVAC_ASSIGN_OR_RETURN(const std::string op, JsonFieldString(json, "op"));
+  if (op == "push") {
+    PushRequest request;
+    AUTOVAC_ASSIGN_OR_RETURN(request.vaccines,
+                             ParseVaccineArray(json, "vaccines"));
+    return Request(std::move(request));
+  }
+  if (op == "query") {
+    QueryRequest request;
+    AUTOVAC_ASSIGN_OR_RETURN(
+        const uint64_t resource,
+        EnumField(json, "resource", os::kNumResourceTypes));
+    request.resource_type = static_cast<os::ResourceType>(resource);
+    AUTOVAC_ASSIGN_OR_RETURN(request.identifier,
+                             JsonFieldString(json, "identifier"));
+    return Request(std::move(request));
+  }
+  if (op == "pull") {
+    PullRequest request;
+    AUTOVAC_ASSIGN_OR_RETURN(request.since, JsonFieldUint64(json, "since"));
+    return Request(request);
+  }
+  if (op == "status") return Request(StatusRequest{});
+  return Status::InvalidArgument(
+      StrFormat("unknown op '%s'", op.c_str()));
+}
+
+std::string ReplyToJson(const Reply& reply) {
+  if (const auto* push = std::get_if<PushReply>(&reply)) {
+    return StrFormat(
+        "{\"ok\":true,\"op\":\"push\",\"added\":%llu,\"duplicates\":%llu,"
+        "\"quarantined\":%llu,\"epoch\":%llu}",
+        static_cast<unsigned long long>(push->added),
+        static_cast<unsigned long long>(push->duplicates),
+        static_cast<unsigned long long>(push->quarantined),
+        static_cast<unsigned long long>(push->epoch));
+  }
+  if (const auto* query = std::get_if<QueryReply>(&reply)) {
+    return StrFormat("{\"ok\":true,\"op\":\"query\",\"matches\":%s}",
+                     VaccineArrayJson(query->matches).c_str());
+  }
+  if (const auto* pull = std::get_if<PullReply>(&reply)) {
+    std::string items = "[";
+    for (size_t i = 0; i < pull->items.size(); ++i) {
+      const FeedItem& item = pull->items[i];
+      if (i > 0) items += ",";
+      items += StrFormat(
+          "{\"digest\":\"%s\",\"epoch\":%llu,\"vaccine\":%s}",
+          item.digest.c_str(), static_cast<unsigned long long>(item.epoch),
+          vaccine::VaccineToJson(item.vaccine).c_str());
+    }
+    items += "]";
+    return StrFormat("{\"ok\":true,\"op\":\"pull\",\"epoch\":%llu,"
+                     "\"items\":%s}",
+                     static_cast<unsigned long long>(pull->epoch),
+                     items.c_str());
+  }
+  if (const auto* status = std::get_if<StatusReply>(&reply)) {
+    return StrFormat(
+        "{\"ok\":true,\"op\":\"status\",\"epoch\":%llu,\"served\":%llu,"
+        "\"quarantined\":%llu,\"requests\":%llu,\"shed\":%llu}",
+        static_cast<unsigned long long>(status->epoch),
+        static_cast<unsigned long long>(status->served),
+        static_cast<unsigned long long>(status->quarantined),
+        static_cast<unsigned long long>(status->requests),
+        static_cast<unsigned long long>(status->shed));
+  }
+  const auto& error = std::get<ErrorReply>(reply);
+  return StrFormat("{\"ok\":false,\"busy\":%s,\"error\":\"%s\"}",
+                   error.busy ? "true" : "false",
+                   JsonEscape(error.message).c_str());
+}
+
+Result<Reply> ParseReply(std::string_view text) {
+  AUTOVAC_ASSIGN_OR_RETURN(const JsonValue json, ParseJson(text));
+  AUTOVAC_ASSIGN_OR_RETURN(const bool ok, JsonFieldBool(json, "ok"));
+  if (!ok) {
+    ErrorReply error;
+    AUTOVAC_ASSIGN_OR_RETURN(error.busy, JsonFieldBool(json, "busy"));
+    AUTOVAC_ASSIGN_OR_RETURN(error.message, JsonFieldString(json, "error"));
+    return Reply(std::move(error));
+  }
+  AUTOVAC_ASSIGN_OR_RETURN(const std::string op, JsonFieldString(json, "op"));
+  if (op == "push") {
+    PushReply reply;
+    AUTOVAC_ASSIGN_OR_RETURN(reply.added, JsonFieldUint64(json, "added"));
+    AUTOVAC_ASSIGN_OR_RETURN(reply.duplicates,
+                             JsonFieldUint64(json, "duplicates"));
+    AUTOVAC_ASSIGN_OR_RETURN(reply.quarantined,
+                             JsonFieldUint64(json, "quarantined"));
+    AUTOVAC_ASSIGN_OR_RETURN(reply.epoch, JsonFieldUint64(json, "epoch"));
+    return Reply(reply);
+  }
+  if (op == "query") {
+    QueryReply reply;
+    AUTOVAC_ASSIGN_OR_RETURN(reply.matches,
+                             ParseVaccineArray(json, "matches"));
+    return Reply(std::move(reply));
+  }
+  if (op == "pull") {
+    PullReply reply;
+    AUTOVAC_ASSIGN_OR_RETURN(reply.epoch, JsonFieldUint64(json, "epoch"));
+    const JsonValue* items = json.Find("items");
+    if (items == nullptr || !items->is_array()) {
+      return Status::InvalidArgument("pull reply has no items array");
+    }
+    for (const JsonValue& element : items->array) {
+      FeedItem item;
+      AUTOVAC_ASSIGN_OR_RETURN(item.digest,
+                               JsonFieldString(element, "digest"));
+      AUTOVAC_ASSIGN_OR_RETURN(item.epoch, JsonFieldUint64(element, "epoch"));
+      const JsonValue* vaccine = element.Find("vaccine");
+      if (vaccine == nullptr) {
+        return Status::InvalidArgument("feed item has no vaccine");
+      }
+      AUTOVAC_ASSIGN_OR_RETURN(item.vaccine,
+                               vaccine::VaccineFromJson(*vaccine));
+      reply.items.push_back(std::move(item));
+    }
+    return Reply(std::move(reply));
+  }
+  if (op == "status") {
+    StatusReply reply;
+    AUTOVAC_ASSIGN_OR_RETURN(reply.epoch, JsonFieldUint64(json, "epoch"));
+    AUTOVAC_ASSIGN_OR_RETURN(reply.served, JsonFieldUint64(json, "served"));
+    AUTOVAC_ASSIGN_OR_RETURN(reply.quarantined,
+                             JsonFieldUint64(json, "quarantined"));
+    AUTOVAC_ASSIGN_OR_RETURN(reply.requests,
+                             JsonFieldUint64(json, "requests"));
+    AUTOVAC_ASSIGN_OR_RETURN(reply.shed, JsonFieldUint64(json, "shed"));
+    return Reply(reply);
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown reply op '%s'", op.c_str()));
+}
+
+}  // namespace autovac::net

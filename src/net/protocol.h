@@ -1,0 +1,96 @@
+// vacd wire protocol: one JSON request frame in, one JSON reply frame
+// out, connection per request.
+//
+// Requests are tagged by "op":
+//   {"op":"push","vaccines":[<vaccine json>...]}
+//   {"op":"query","resource":<enum>,"identifier":"..."}
+//   {"op":"pull","since":<epoch>}
+//   {"op":"status"}
+// Replies echo the op and carry {"ok":true,...}; failures are
+//   {"ok":false,"busy":<bool>,"error":"..."}
+// where busy=true is the explicit overload shed — the client should back
+// off and retry, nothing about the request was wrong.
+//
+// Vaccines travel as their canonical JSON (vaccine/json.h), so a PULL
+// reply is deterministic: the same store contents serialize to the same
+// bytes before and after a server restart, which the sync tests assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "os/resources.h"
+#include "support/status.h"
+#include "vaccine/vaccine.h"
+
+namespace autovac::net {
+
+struct PushRequest {
+  std::vector<vaccine::Vaccine> vaccines;
+};
+
+struct QueryRequest {
+  os::ResourceType resource_type = os::ResourceType::kFile;
+  std::string identifier;
+};
+
+struct PullRequest {
+  uint64_t since = 0;  // feed epoch the client already has
+};
+
+struct StatusRequest {};
+
+using Request =
+    std::variant<PushRequest, QueryRequest, PullRequest, StatusRequest>;
+
+struct PushReply {
+  uint64_t added = 0;
+  uint64_t duplicates = 0;
+  uint64_t quarantined = 0;
+  uint64_t epoch = 0;
+};
+
+struct QueryReply {
+  // Served vaccines matching the identifier, feed order.
+  std::vector<vaccine::Vaccine> matches;
+};
+
+// One feed record: the vaccine plus its content address and epoch, so a
+// client can resume a sync with "since" and dedup by digest.
+struct FeedItem {
+  std::string digest;
+  uint64_t epoch = 0;
+  vaccine::Vaccine vaccine;
+};
+
+struct PullReply {
+  uint64_t epoch = 0;  // store epoch at reply time
+  std::vector<FeedItem> items;
+};
+
+struct StatusReply {
+  uint64_t epoch = 0;
+  uint64_t served = 0;
+  uint64_t quarantined = 0;
+  uint64_t requests = 0;  // served requests since start
+  uint64_t shed = 0;      // connections refused with busy
+};
+
+struct ErrorReply {
+  bool busy = false;  // overload shed, retry later
+  std::string message;
+};
+
+using Reply =
+    std::variant<PushReply, QueryReply, PullReply, StatusReply, ErrorReply>;
+
+[[nodiscard]] std::string RequestToJson(const Request& request);
+[[nodiscard]] Result<Request> ParseRequest(std::string_view text);
+
+[[nodiscard]] std::string ReplyToJson(const Reply& reply);
+[[nodiscard]] Result<Reply> ParseReply(std::string_view text);
+
+}  // namespace autovac::net

@@ -1,0 +1,266 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/frame.h"
+#include "support/strings.h"
+#include "support/tracing.h"
+
+namespace autovac::net {
+namespace {
+
+void SetDeadline(int fd, uint64_t deadline_ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(deadline_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((deadline_ms % 1000) * 1000);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+VacdServer::VacdServer(vacstore::VaccineStore store, VacdOptions options)
+    : store_(std::move(store)), options_(std::move(options)) {
+  if (options_.threads == 0) options_.threads = 1;
+  MetricsRegistry& metrics = GlobalMetrics();
+  requests_metric_ = metrics.GetCounter("vacd.requests");
+  shed_metric_ = metrics.GetCounter("vacd.requests_shed");
+  failed_metric_ = metrics.GetCounter("vacd.requests_failed");
+  push_added_metric_ = metrics.GetCounter("vacd.push.added");
+  push_duplicate_metric_ = metrics.GetCounter("vacd.push.duplicates");
+  push_quarantined_metric_ = metrics.GetCounter("vacd.push.quarantined");
+  query_match_metric_ = metrics.GetCounter("vacd.query.matches");
+}
+
+VacdServer::~VacdServer() { Stop(); }
+
+Status VacdServer::Start() {
+  if (running_) return Status::FailedPrecondition("server already running");
+
+  sockaddr_un addr{};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        StrFormat("socket path too long: %s", options_.socket_path.c_str()));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  // A stale socket file from a previous (crashed) server blocks bind.
+  (void)::unlink(options_.socket_path.c_str());
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(
+        StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(StrFormat("bind %s failed: %s",
+                                      options_.socket_path.c_str(),
+                                      std::strerror(err)));
+  }
+  const int backlog = static_cast<int>(
+      options_.max_pending < 1 ? 1
+      : options_.max_pending > 128 ? 128
+                                   : options_.max_pending);
+  if (::listen(listen_fd_, backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    (void)::unlink(options_.socket_path.c_str());
+    return Status::Internal(
+        StrFormat("listen failed: %s", std::strerror(err)));
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    (void)::unlink(options_.socket_path.c_str());
+    return Status::Internal(
+        StrFormat("pipe failed: %s", std::strerror(err)));
+  }
+
+  {
+    // Single-threaded here, so the span is safe by construction.
+    ScopedSpan span(GlobalTracer(), "vacd.load");
+    RebuildIndex();
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  accept_thread_ = std::thread(&VacdServer::AcceptLoop, this);
+  running_ = true;
+  return Status::Ok();
+}
+
+void VacdServer::Stop() {
+  if (!running_) return;
+  const char stop = 'x';
+  while (::write(stop_pipe_[1], &stop, 1) < 0 && errno == EINTR) {
+  }
+  accept_thread_.join();
+  pool_.reset();  // drains queued connections, joins workers
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  (void)::unlink(options_.socket_path.c_str());
+  running_ = false;
+}
+
+void VacdServer::AcceptLoop() {
+  while (true) {
+    pollfd fds[2];
+    fds[0] = {stop_pipe_[0], POLLIN, 0};
+    fds[1] = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[0].revents != 0) return;  // stop requested
+    if ((fds[1].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetDeadline(fd, options_.deadline_ms);
+    if (pending_.load(std::memory_order_relaxed) >= options_.max_pending) {
+      // Overload: shed at the door with an explicit busy reply.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_metric_->Increment();
+      (void)WriteNetFrame(
+          fd, ReplyToJson(Reply(ErrorReply{true, "server overloaded"})));
+      ::close(fd);
+      continue;
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void VacdServer::ServeConnection(int fd) {
+  Result<std::string> payload = ReadNetFrame(fd);
+  bool answer = true;
+  Reply reply = ErrorReply{};
+  if (!payload.ok()) {
+    // A clean hang-up (client connected and left) gets no reply.
+    answer = payload.status().code() != StatusCode::kNotFound;
+    reply = ErrorReply{false, payload.status().ToString()};
+  } else {
+    Result<Request> request = ParseRequest(*payload);
+    if (!request.ok()) {
+      reply = ErrorReply{false, request.status().ToString()};
+    } else {
+      reply = Dispatch(*request);
+    }
+  }
+  if (const auto* error = std::get_if<ErrorReply>(&reply);
+      error != nullptr && !error->busy) {
+    failed_metric_->Increment();
+  }
+  if (answer) {
+    (void)WriteNetFrame(fd, ReplyToJson(reply));
+  }
+  ::close(fd);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_metric_->Increment();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Reply VacdServer::Dispatch(const Request& request) {
+  if (const auto* push = std::get_if<PushRequest>(&request)) {
+    std::unique_lock lock(mutex_);
+    Result<vacstore::PushStats> stats = [&] {
+      ScopedSpan span(GlobalTracer(), "vacd.push");
+      return store_.Push(push->vaccines);
+    }();
+    if (!stats.ok()) {
+      return ErrorReply{false, stats.status().ToString()};
+    }
+    if (stats->added > 0) {
+      ScopedSpan span(GlobalTracer(), "vacd.index_rebuild");
+      RebuildIndex();
+    }
+    push_added_metric_->Increment(stats->added);
+    push_duplicate_metric_->Increment(stats->duplicates);
+    push_quarantined_metric_->Increment(stats->quarantined);
+    return PushReply{stats->added, stats->duplicates, stats->quarantined,
+                     stats->epoch};
+  }
+  if (const auto* query = std::get_if<QueryRequest>(&request)) {
+    std::shared_lock lock(mutex_);
+    const auto type = static_cast<size_t>(query->resource_type);
+    QueryReply reply;
+    for (const size_t id : index_[type].Match(query->identifier)) {
+      reply.matches.push_back(
+          store_.entries()[entry_of_id_[type][id]].vaccine);
+    }
+    query_match_metric_->Increment(reply.matches.size());
+    return reply;
+  }
+  if (const auto* pull = std::get_if<PullRequest>(&request)) {
+    std::shared_lock lock(mutex_);
+    PullReply reply;
+    reply.epoch = store_.epoch();
+    for (const vacstore::StoreEntry* entry : store_.Since(pull->since)) {
+      reply.items.push_back({entry->digest, entry->epoch, entry->vaccine});
+    }
+    return reply;
+  }
+  std::shared_lock lock(mutex_);
+  StatusReply reply;
+  reply.epoch = store_.epoch();
+  reply.served = store_.served_count();
+  reply.quarantined = store_.quarantined_count();
+  reply.requests = requests_.load(std::memory_order_relaxed);
+  reply.shed = shed_.load(std::memory_order_relaxed);
+  return reply;
+}
+
+StatusReply VacdServer::Stats() const {
+  std::shared_lock lock(mutex_);
+  StatusReply reply;
+  reply.epoch = store_.epoch();
+  reply.served = store_.served_count();
+  reply.quarantined = store_.quarantined_count();
+  reply.requests = requests_.load(std::memory_order_relaxed);
+  reply.shed = shed_.load(std::memory_order_relaxed);
+  return reply;
+}
+
+void VacdServer::RebuildIndex() {
+  for (size_t type = 0; type < os::kNumResourceTypes; ++type) {
+    index_[type] = PatternIndex();
+    entry_of_id_[type].clear();
+  }
+  const std::vector<vacstore::StoreEntry>& entries = store_.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const vacstore::StoreEntry& entry = entries[i];
+    if (entry.quarantined) continue;
+    const auto type = static_cast<size_t>(entry.vaccine.resource_type);
+    if (type >= os::kNumResourceTypes) continue;
+    Pattern pattern =
+        entry.vaccine.identifier_kind ==
+                analysis::IdentifierClass::kPartialStatic
+            ? entry.vaccine.pattern
+            : Pattern::Literal(entry.vaccine.identifier);
+    (void)index_[type].Add(std::move(pattern));
+    entry_of_id_[type].push_back(i);
+  }
+  for (size_t type = 0; type < os::kNumResourceTypes; ++type) {
+    index_[type].Build();
+  }
+}
+
+}  // namespace autovac::net

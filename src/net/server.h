@@ -1,0 +1,107 @@
+// vacd: the long-lived vaccine distribution server (§V deployment,
+// scaled from "copy the vaccine to the host" to a feed service).
+//
+// One Unix-domain listening socket, one accept thread, a fixed
+// support/threadpool of request workers. The accept queue is explicitly
+// bounded: when `max_pending` requests are already in flight the server
+// answers the new connection with a busy reply and closes it — overload
+// is shed at the door with a counted metric, never queued unbounded.
+// Every accepted connection gets SO_RCVTIMEO/SO_SNDTIMEO so one stalled
+// client cannot pin a worker past the request deadline.
+//
+// Store access is a reader/writer lock: PUSH takes it exclusively (the
+// store appends + the match index rebuilds), QUERY/PULL/STATUS share it.
+// Tracing spans are recorded only inside the exclusive sections
+// ("vacd.push", "vacd.index_rebuild") because the global tracer is
+// single-threaded by design; the shared-lock paths report through the
+// (thread-safe) metrics registry only.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "support/match_index.h"
+#include "support/metrics.h"
+#include "support/status.h"
+#include "support/threadpool.h"
+#include "vacstore/store.h"
+
+namespace autovac::net {
+
+struct VacdOptions {
+  std::string socket_path;
+  size_t threads = 4;       // request worker pool size
+  // In-flight cap before shedding BUSY; 0 sheds every connection (a
+  // drain mode, and the deterministic way to test the shed path).
+  size_t max_pending = 64;
+  uint64_t deadline_ms = 5000;  // per-request socket read/write deadline
+};
+
+class VacdServer {
+ public:
+  // Takes ownership of an opened (and possibly pre-loaded) store.
+  VacdServer(vacstore::VaccineStore store, VacdOptions options);
+  ~VacdServer();
+  VacdServer(const VacdServer&) = delete;
+  VacdServer& operator=(const VacdServer&) = delete;
+
+  // Binds the socket (removing a stale one), builds the match index and
+  // starts the accept thread + worker pool.
+  [[nodiscard]] Status Start();
+
+  // Idempotent: drains workers, joins the accept thread, unlinks the
+  // socket. Called by the destructor.
+  void Stop();
+
+  // Current counters, as a STATUS reply (takes the shared lock).
+  [[nodiscard]] StatusReply Stats() const;
+
+  // The underlying store. Only safe while the server is stopped.
+  [[nodiscard]] const vacstore::VaccineStore& store() const {
+    return store_;
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  [[nodiscard]] Reply Dispatch(const Request& request);
+  // Rebuilds the per-resource-type indexes from served store entries.
+  // Caller holds the exclusive lock.
+  void RebuildIndex();
+
+  vacstore::VaccineStore store_;
+  VacdOptions options_;
+
+  mutable std::shared_mutex mutex_;  // store_ + index under it
+  // One index per resource type; ids map to store entry positions via
+  // entry_of_id_, in feed order (so Match results are feed-ordered too).
+  std::array<PatternIndex, os::kNumResourceTypes> index_;
+  std::array<std::vector<size_t>, os::kNumResourceTypes> entry_of_id_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool running_ = false;
+
+  std::atomic<size_t> pending_{0};    // accepted, not yet answered
+  std::atomic<uint64_t> requests_{0};  // answered (ok or error)
+  std::atomic<uint64_t> shed_{0};      // refused with busy
+
+  Counter* requests_metric_ = nullptr;
+  Counter* shed_metric_ = nullptr;
+  Counter* failed_metric_ = nullptr;
+  Counter* push_added_metric_ = nullptr;
+  Counter* push_duplicate_metric_ = nullptr;
+  Counter* push_quarantined_metric_ = nullptr;
+  Counter* query_match_metric_ = nullptr;
+};
+
+}  // namespace autovac::net

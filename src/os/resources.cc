@@ -16,6 +16,29 @@ std::string_view ResourceTypeName(ResourceType type) {
   return "?";
 }
 
+Result<ResourceType> ResourceTypeFromName(std::string_view name) {
+  for (size_t i = 0; i < kNumResourceTypes; ++i) {
+    const auto type = static_cast<ResourceType>(i);
+    std::string_view canonical = ResourceTypeName(type);
+    if (name.size() != canonical.size()) continue;
+    bool equal = true;
+    for (size_t j = 0; j < name.size(); ++j) {
+      const char a = name[j];
+      const char b = canonical[j];
+      const char la = (a >= 'A' && a <= 'Z') ? static_cast<char>(a + 32) : a;
+      const char lb = (b >= 'A' && b <= 'Z') ? static_cast<char>(b + 32) : b;
+      if (la != lb) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return type;
+  }
+  if (name == "window" || name == "Window") return ResourceType::kWindow;
+  return Status::InvalidArgument("unknown resource type '" +
+                                 std::string(name) + "'");
+}
+
 std::string_view OperationName(Operation op) {
   switch (op) {
     case Operation::kCreate: return "Create";

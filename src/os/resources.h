@@ -9,6 +9,8 @@
 #include <string_view>
 #include <vector>
 
+#include "support/status.h"
+
 namespace autovac::os {
 
 enum class ResourceType : uint8_t {
@@ -25,6 +27,11 @@ inline constexpr size_t kNumResourceTypes =
     static_cast<size_t>(ResourceType::kTypeCount);
 
 [[nodiscard]] std::string_view ResourceTypeName(ResourceType type);
+
+// Case-insensitive inverse of ResourceTypeName, for CLI flags and the
+// vacd QUERY protocol; also accepts "window" for kWindow (whose display
+// name is the paper's plural "Windows").
+[[nodiscard]] Result<ResourceType> ResourceTypeFromName(std::string_view name);
 
 // Figure 3's operation buckets; Table III additionally distinguishes
 // existence checks (open that only tests presence).

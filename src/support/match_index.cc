@@ -1,0 +1,177 @@
+#include "support/match_index.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace autovac {
+namespace {
+
+// The anchor is the longest fragment: it is the most selective substring
+// every matching text must contain, so it produces the fewest false
+// candidates. Ties break toward the earliest fragment.
+const std::string& AnchorFragment(const Pattern& pattern) {
+  const std::vector<std::string>& fragments = pattern.fragments();
+  size_t best = 0;
+  for (size_t i = 1; i < fragments.size(); ++i) {
+    if (fragments[i].size() > fragments[best].size()) best = i;
+  }
+  return fragments[best];
+}
+
+}  // namespace
+
+size_t PatternIndex::Add(Pattern pattern) {
+  patterns_.push_back(std::move(pattern));
+  built_ = false;
+  return patterns_.size() - 1;
+}
+
+int32_t PatternIndex::EdgeTarget(int32_t node, unsigned char byte) const {
+  const std::vector<std::pair<unsigned char, int32_t>>& edges =
+      nodes_[node].edges;
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), byte,
+      [](const std::pair<unsigned char, int32_t>& edge, unsigned char b) {
+        return edge.first < b;
+      });
+  if (it != edges.end() && it->first == byte) return it->second;
+  return -1;
+}
+
+void PatternIndex::Build() {
+  literals_.clear();
+  floating_.clear();
+  nodes_.assign(1, Node{});
+  literal_count_ = 0;
+  anchored_count_ = 0;
+
+  // Partition patterns and grow the trie of anchors.
+  for (size_t id = 0; id < patterns_.size(); ++id) {
+    const Pattern& pattern = patterns_[id];
+    if (pattern.is_literal()) {
+      const std::string text = pattern.fragments().empty()
+                                   ? std::string()
+                                   : pattern.fragments().front();
+      literals_[text].push_back(id);
+      ++literal_count_;
+      continue;
+    }
+    if (pattern.fragments().empty()) {
+      floating_.push_back(id);
+      continue;
+    }
+    ++anchored_count_;
+    const std::string& anchor = AnchorFragment(pattern);
+    int32_t node = 0;
+    for (char c : anchor) {
+      const unsigned char byte = static_cast<unsigned char>(c);
+      int32_t next = EdgeTarget(node, byte);
+      if (next < 0) {
+        next = static_cast<int32_t>(nodes_.size());
+        nodes_[node].edges.emplace_back(byte, next);
+        std::sort(nodes_[node].edges.begin(), nodes_[node].edges.end());
+        nodes_.push_back(Node{});
+      }
+      node = next;
+    }
+    nodes_[node].outputs.push_back(id);
+  }
+
+  // BFS failure links (classic Aho-Corasick) plus dictionary-suffix
+  // links so a query only visits fail-chain nodes that carry outputs.
+  std::deque<int32_t> queue;
+  for (const auto& [byte, child] : nodes_[0].edges) {
+    (void)byte;
+    nodes_[child].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    const int32_t node = queue.front();
+    queue.pop_front();
+    const int32_t fail = nodes_[node].fail;
+    nodes_[node].dict_suffix = nodes_[fail].outputs.empty()
+                                   ? nodes_[fail].dict_suffix
+                                   : fail;
+    for (const auto& [byte, child] : nodes_[node].edges) {
+      int32_t probe = fail;
+      int32_t target = EdgeTarget(probe, byte);
+      while (target < 0 && probe != 0) {
+        probe = nodes_[probe].fail;
+        target = EdgeTarget(probe, byte);
+      }
+      // `target` sits strictly shallower than `child`, so no self-loops.
+      nodes_[child].fail = target >= 0 ? target : 0;
+      queue.push_back(child);
+    }
+  }
+  built_ = true;
+}
+
+void PatternIndex::CollectCandidates(std::string_view text,
+                                     std::vector<size_t>& candidates) const {
+  // Floating patterns are candidates for every text.
+  candidates.insert(candidates.end(), floating_.begin(), floating_.end());
+
+  if (nodes_.size() > 1) {
+    int32_t node = 0;
+    for (char c : text) {
+      const unsigned char byte = static_cast<unsigned char>(c);
+      int32_t target = EdgeTarget(node, byte);
+      while (target < 0 && node != 0) {
+        node = nodes_[node].fail;
+        target = EdgeTarget(node, byte);
+      }
+      node = target >= 0 ? target : 0;
+      // Every dict_suffix target carries outputs, so the chain is short.
+      int32_t hit = nodes_[node].outputs.empty() ? nodes_[node].dict_suffix
+                                                 : node;
+      for (; hit >= 0; hit = nodes_[hit].dict_suffix) {
+        candidates.insert(candidates.end(), nodes_[hit].outputs.begin(),
+                          nodes_[hit].outputs.end());
+      }
+    }
+  }
+
+  // A pattern whose anchor occurs several times is collected once.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+}
+
+std::vector<size_t> PatternIndex::Match(std::string_view text) const {
+  AUTOVAC_CHECK(built_);
+  std::vector<size_t> matched;
+
+  // Exact-text hash hit for pure literals.
+  if (auto it = literals_.find(std::string(text)); it != literals_.end()) {
+    matched = it->second;
+  }
+
+  std::vector<size_t> candidates;
+  CollectCandidates(text, candidates);
+  for (size_t id : candidates) {
+    if (patterns_[id].Matches(text)) matched.push_back(id);
+  }
+  std::sort(matched.begin(), matched.end());
+  return matched;
+}
+
+size_t PatternIndex::First(std::string_view text) const {
+  AUTOVAC_CHECK(built_);
+  size_t best = SIZE_MAX;
+  if (auto it = literals_.find(std::string(text)); it != literals_.end()) {
+    best = it->second.front();  // ids per literal are ascending
+  }
+  std::vector<size_t> candidates;
+  CollectCandidates(text, candidates);
+  for (size_t id : candidates) {
+    if (id >= best) break;  // candidates are ascending
+    if (patterns_[id].Matches(text)) {
+      best = id;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace autovac

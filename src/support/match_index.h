@@ -1,0 +1,90 @@
+// Compiled match index over wildcard Patterns.
+//
+// The vaccine daemon and the vacd query path both answer "which of these
+// N patterns match this identifier?" on every intercepted API call.
+// Scanning N glob matchers is O(N x len); this index answers in time
+// proportional to the identifier length plus the number of *candidate*
+// patterns:
+//   * pure-literal patterns live in a hash table keyed by their text —
+//     one lookup, no scan;
+//   * wildcard patterns contribute their longest literal fragment
+//     (Pattern::fragments(), derived from the compiled token stream) as
+//     an anchor string to an Aho-Corasick automaton; a query walks the
+//     automaton once, and only patterns whose anchor actually occurs in
+//     the text are verified with the full glob matcher;
+//   * the rare all-wildcard patterns ("*", "??") have no anchor and are
+//     verified on every query.
+//
+// Match() returns exactly the ids a naive `for i: pattern[i].Matches(t)`
+// loop would, in ascending id order — the equivalence the property tests
+// in tests/match_index_test.cc assert across randomized patterns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/pattern.h"
+
+namespace autovac {
+
+class PatternIndex {
+ public:
+  // Registers a pattern; ids are assigned densely in call order.
+  size_t Add(Pattern pattern);
+
+  // Compiles the automaton. Must be called after the last Add and before
+  // the first Match; calling it again after more Adds recompiles.
+  void Build();
+
+  // Ids of every pattern matching `text`, ascending. Requires Build().
+  // Thread-safe against concurrent Match/First calls (Build is not).
+  [[nodiscard]] std::vector<size_t> Match(std::string_view text) const;
+
+  // Smallest id matching `text`, or SIZE_MAX — the "first registered
+  // pattern wins" rule the vaccine daemon's hook enforces. Stops at the
+  // first verified candidate.
+  [[nodiscard]] size_t First(std::string_view text) const;
+
+  [[nodiscard]] const Pattern& pattern(size_t id) const {
+    return patterns_[id];
+  }
+  [[nodiscard]] size_t size() const { return patterns_.size(); }
+  [[nodiscard]] bool built() const { return built_; }
+
+  // Introspection for tests and the serving bench.
+  [[nodiscard]] size_t literal_patterns() const { return literal_count_; }
+  [[nodiscard]] size_t anchored_patterns() const { return anchored_count_; }
+  [[nodiscard]] size_t floating_patterns() const {
+    return floating_.size();
+  }
+  [[nodiscard]] size_t automaton_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Sorted outgoing edges (byte -> node index); binary-searched.
+    std::vector<std::pair<unsigned char, int32_t>> edges;
+    int32_t fail = 0;
+    int32_t dict_suffix = -1;  // nearest fail-chain node with outputs
+    std::vector<size_t> outputs;  // pattern ids whose anchor ends here
+  };
+
+  [[nodiscard]] int32_t EdgeTarget(int32_t node, unsigned char byte) const;
+  void CollectCandidates(std::string_view text,
+                         std::vector<size_t>& candidates) const;
+
+  std::vector<Pattern> patterns_;
+  bool built_ = false;
+
+  // Literal fast path: pattern text (escapes resolved) -> ids, ascending.
+  std::unordered_map<std::string, std::vector<size_t>> literals_;
+  size_t literal_count_ = 0;
+  size_t anchored_count_ = 0;
+  std::vector<size_t> floating_;  // all-wildcard patterns, ascending
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+};
+
+}  // namespace autovac

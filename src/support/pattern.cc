@@ -31,6 +31,19 @@ Result<Pattern> Pattern::Compile(std::string_view text) {
       ++pattern.literal_length_;
     }
   }
+  // Fragments come from the token stream, not the raw text: escapes are
+  // already resolved and runs of wildcards already collapsed, so the
+  // match index and Matches() can never disagree about what a fragment is.
+  bool fragment_open = false;
+  for (const Token& token : pattern.tokens_) {
+    if (token.kind == TokenKind::kChar) {
+      if (!fragment_open) pattern.fragments_.emplace_back();
+      pattern.fragments_.back().push_back(token.ch);
+      fragment_open = true;
+    } else {
+      fragment_open = false;
+    }
+  }
   return pattern;
 }
 

@@ -36,6 +36,18 @@ class Pattern {
   // "distinguishable" a partial-static identifier is.
   [[nodiscard]] size_t literal_length() const { return literal_length_; }
 
+  // Maximal runs of literal characters, in pattern order, with escapes
+  // resolved (the fragment for `\*lit` is "*lit"). Every matching text
+  // contains each fragment as a substring, in order — the invariant the
+  // compiled match index (support/match_index.h) anchors on. Derived from
+  // the compiled token stream, never from text(), so adjacent wildcards
+  // ("a**b", "a*?*b") and escaped metacharacters can't make the index
+  // disagree with Matches(). Empty for all-wildcard patterns; a pure
+  // literal yields exactly one fragment unless the pattern is "".
+  [[nodiscard]] const std::vector<std::string>& fragments() const {
+    return fragments_;
+  }
+
  private:
   enum class TokenKind { kChar, kAnyOne, kAnyRun };
   struct Token {
@@ -45,6 +57,7 @@ class Pattern {
 
   std::string text_;
   std::vector<Token> tokens_;
+  std::vector<std::string> fragments_;  // built by Compile from tokens_
   bool literal_only_ = true;
   size_t literal_length_ = 0;
 };

@@ -1,7 +1,12 @@
 #include "vaccine/delivery.h"
 
+#include <array>
+#include <memory>
+
 #include "os/errors.h"
 #include "sandbox/sandbox.h"
+#include "support/match_index.h"
+#include "vaccine/json.h"
 
 namespace autovac::vaccine {
 namespace {
@@ -70,8 +75,10 @@ void InjectVaccine(os::HostEnvironment& env, const Vaccine& vaccine,
   }
 }
 
-void VaccineDaemon::AddVaccine(Vaccine vaccine) {
+bool VaccineDaemon::AddVaccine(Vaccine vaccine) {
+  if (!digests_.insert(VaccineDigest(vaccine)).second) return false;
   vaccines_.push_back(std::move(vaccine));
+  return true;
 }
 
 std::string VaccineDaemon::ReplaySlice(const analysis::VaccineSlice& slice,
@@ -148,35 +155,50 @@ size_t VaccineDaemon::RefreshIfHostChanged(os::HostEnvironment& env) {
 }
 
 sandbox::ApiHook VaccineDaemon::Hook() const {
-  // Copy the pattern vaccines into the closure so the hook outlives the
-  // daemon object if needed.
-  std::vector<Vaccine> patterns;
+  // Compiled interception table, shared with the closure so the hook
+  // outlives the daemon object if needed. One index per resource type
+  // keeps the type filter out of the match entirely; First() preserves
+  // the first-registered-pattern-wins rule of the old linear scan.
+  struct HookTable {
+    std::vector<Vaccine> patterns;
+    std::array<PatternIndex, os::kNumResourceTypes> index;
+    std::array<std::vector<size_t>, os::kNumResourceTypes> vaccine_of_id;
+  };
+  auto table = std::make_shared<HookTable>();
   for (const Vaccine& vaccine : vaccines_) {
     if (vaccine.identifier_kind == analysis::IdentifierClass::kPartialStatic) {
-      patterns.push_back(vaccine);
+      table->patterns.push_back(vaccine);
     }
   }
-  return [patterns](const sandbox::ApiObservation& obs)
+  for (size_t i = 0; i < table->patterns.size(); ++i) {
+    const Vaccine& vaccine = table->patterns[i];
+    const auto type = static_cast<size_t>(vaccine.resource_type);
+    (void)table->index[type].Add(vaccine.pattern);
+    table->vaccine_of_id[type].push_back(i);
+  }
+  for (PatternIndex& index : table->index) index.Build();
+  return [table](const sandbox::ApiObservation& obs)
              -> std::optional<sandbox::ForcedOutcome> {
     if (!obs.spec->is_resource_api || obs.identifier.empty()) {
       return std::nullopt;
     }
-    for (const Vaccine& vaccine : patterns) {
-      if (vaccine.resource_type != obs.spec->resource_type) continue;
-      if (!vaccine.pattern.Matches(obs.identifier)) continue;
-      sandbox::ForcedOutcome outcome;
-      if (vaccine.simulate_presence) {
-        outcome.success = true;
-        outcome.last_error = obs.spec->operation == os::Operation::kCreate
-                                 ? os::kErrorAlreadyExists
-                                 : os::kErrorSuccess;
-      } else {
-        outcome.success = false;
-        outcome.last_error = os::kErrorAccessDenied;
-      }
-      return outcome;
+    const auto type = static_cast<size_t>(obs.spec->resource_type);
+    if (type >= os::kNumResourceTypes) return std::nullopt;
+    const size_t id = table->index[type].First(obs.identifier);
+    if (id == SIZE_MAX) return std::nullopt;
+    const Vaccine& vaccine =
+        table->patterns[table->vaccine_of_id[type][id]];
+    sandbox::ForcedOutcome outcome;
+    if (vaccine.simulate_presence) {
+      outcome.success = true;
+      outcome.last_error = obs.spec->operation == os::Operation::kCreate
+                               ? os::kErrorAlreadyExists
+                               : os::kErrorSuccess;
+    } else {
+      outcome.success = false;
+      outcome.last_error = os::kErrorAccessDenied;
     }
-    return std::nullopt;
+    return outcome;
   };
 }
 

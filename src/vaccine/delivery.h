@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "os/host_environment.h"
@@ -35,8 +36,12 @@ void InjectVaccine(os::HostEnvironment& env, const Vaccine& vaccine,
 
 class VaccineDaemon {
  public:
-  // Registers a vaccine for deployment.
-  void AddVaccine(Vaccine vaccine);
+  // Registers a vaccine for deployment. Returns false — keeping the
+  // already-registered copy — when a vaccine with the same content
+  // digest (vaccine/json.h VaccineDigest) was added before: re-adding a
+  // campaign's output, or feeding two campaigns that extracted the same
+  // vaccine, must not double-inject or double-count in InjectionReport.
+  bool AddVaccine(Vaccine vaccine);
 
   [[nodiscard]] const std::vector<Vaccine>& vaccines() const {
     return vaccines_;
@@ -48,7 +53,10 @@ class VaccineDaemon {
   InjectionReport Install(os::HostEnvironment& env);
 
   // The interception hook enforcing partial-static vaccines; pass it to
-  // RunProgram for every process on the protected machine.
+  // RunProgram for every process on the protected machine. The hook
+  // matches through a compiled PatternIndex (support/match_index.h), so
+  // its cost per intercepted call is O(identifier length), not O(number
+  // of vaccines); first-registered-wins order is preserved.
   [[nodiscard]] sandbox::ApiHook Hook() const;
 
   // §V: "Our daemon process runs periodically to check whether the input
@@ -70,6 +78,7 @@ class VaccineDaemon {
       const os::HostEnvironment& env);
 
   std::vector<Vaccine> vaccines_;
+  std::unordered_set<std::string> digests_;  // content addresses seen
   uint64_t installed_fingerprint_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "support/digest.h"
 #include "support/strings.h"
 #include "trace/serialize.h"
 #include "vm/cpu.h"
@@ -243,6 +244,10 @@ Result<Vaccine> VaccineFromJson(const JsonValue& json) {
     AUTOVAC_ASSIGN_OR_RETURN(vaccine.slice, SliceFromJson(*slice));
   }
   return vaccine;
+}
+
+std::string VaccineDigest(const Vaccine& vaccine) {
+  return HexDigest128(VaccineToJson(vaccine));
 }
 
 std::string SampleReportToJson(const SampleReport& report) {

@@ -30,6 +30,12 @@ namespace autovac::vaccine {
 [[nodiscard]] std::string VaccineToJson(const Vaccine& vaccine);
 [[nodiscard]] Result<Vaccine> VaccineFromJson(const JsonValue& json);
 
+// Content address of a vaccine: the digest of its canonical JSON
+// serialization. Two vaccines with the same digest are byte-identical on
+// the wire, which is what the store, the daemon dedup, and the PULL
+// delta protocol all key on.
+[[nodiscard]] std::string VaccineDigest(const Vaccine& vaccine);
+
 [[nodiscard]] std::string SampleReportToJson(const SampleReport& report);
 [[nodiscard]] Result<SampleReport> SampleReportFromJson(
     const JsonValue& json);

@@ -1,0 +1,407 @@
+#include "vacstore/store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "support/json.h"
+#include "support/strings.h"
+#include "vaccine/json.h"
+
+namespace autovac::vacstore {
+namespace {
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrFormat("store write failed: %s",
+                                        std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+std::string HeaderLine() {
+  return StrFormat("{\"type\":\"vacstore\",\"version\":%llu}\n",
+                   static_cast<unsigned long long>(kStoreVersion));
+}
+
+std::string AddLine(const StoreEntry& entry) {
+  std::string line = StrFormat(
+      "{\"type\":\"add\",\"digest\":\"%s\",\"epoch\":%llu,"
+      "\"quarantined\":%s",
+      entry.digest.c_str(), static_cast<unsigned long long>(entry.epoch),
+      entry.quarantined ? "true" : "false");
+  if (entry.quarantined) {
+    line += StrFormat(",\"reason\":\"%s\"",
+                      JsonEscape(entry.quarantine_reason).c_str());
+  }
+  line += ",\"vaccine\":" + vaccine::VaccineToJson(entry.vaccine) + "}\n";
+  return line;
+}
+
+std::string QuarantineLine(std::string_view digest, std::string_view reason) {
+  return StrFormat("{\"type\":\"quarantine\",\"digest\":\"%s\","
+                   "\"reason\":\"%s\"}\n",
+                   std::string(digest).c_str(),
+                   JsonEscape(reason).c_str());
+}
+
+}  // namespace
+
+VaccineStore::~VaccineStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+VaccineStore::VaccineStore(VaccineStore&& other) noexcept
+    : entries_(std::move(other.entries_)),
+      epoch_(other.epoch_),
+      conflicts_(other.conflicts_),
+      benign_identifiers_(std::move(other.benign_identifiers_)),
+      path_(std::move(other.path_)),
+      fd_(other.fd_),
+      sync_(other.sync_),
+      torn_tail_(other.torn_tail_) {
+  other.fd_ = -1;
+}
+
+VaccineStore& VaccineStore::operator=(VaccineStore&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    entries_ = std::move(other.entries_);
+    epoch_ = other.epoch_;
+    conflicts_ = other.conflicts_;
+    benign_identifiers_ = std::move(other.benign_identifiers_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    sync_ = other.sync_;
+    torn_tail_ = other.torn_tail_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<VaccineStore> VaccineStore::Open(const std::string& path) {
+  VaccineStore store;
+  store.path_ = path;
+
+  std::string text;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      char buffer[1 << 16];
+      while (true) {
+        const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          const int err = errno;
+          ::close(fd);
+          return Status::Internal(StrFormat("store read failed: %s",
+                                            std::strerror(err)));
+        }
+        if (n == 0) break;
+        text.append(buffer, static_cast<size_t>(n));
+      }
+      ::close(fd);
+    } else if (errno != ENOENT) {
+      return Status::Internal(StrFormat("cannot open store %s: %s",
+                                        path.c_str(), std::strerror(errno)));
+    }
+  }
+
+  bool needs_compaction = false;
+  if (!text.empty()) {
+    // Split into lines; a final chunk without '\n' is a torn tail, the
+    // same semantics as the campaign journal.
+    std::vector<std::string_view> lines;
+    bool tail_unterminated = false;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      const size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) {
+        lines.emplace_back(text.data() + pos, text.size() - pos);
+        tail_unterminated = true;
+        break;
+      }
+      lines.emplace_back(text.data() + pos, eol - pos);
+      pos = eol + 1;
+    }
+
+    std::unordered_map<std::string, size_t> by_digest;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const bool is_tail = (i + 1 == lines.size());
+      auto parsed = ParseJson(lines[i]);
+      if (!parsed.ok() || (is_tail && tail_unterminated)) {
+        if (is_tail) {
+          store.torn_tail_ = true;
+          needs_compaction = true;
+          break;
+        }
+        return Status::InvalidArgument(
+            StrFormat("store record %zu is corrupt (%s)", i,
+                      parsed.status().message().c_str()));
+      }
+      AUTOVAC_ASSIGN_OR_RETURN(const std::string type,
+                               JsonFieldString(parsed.value(), "type"));
+      if (i == 0) {
+        if (type != "vacstore") {
+          return Status::InvalidArgument(
+              "first store record is not a vacstore header");
+        }
+        AUTOVAC_ASSIGN_OR_RETURN(const uint64_t version,
+                                 JsonFieldUint64(parsed.value(), "version"));
+        if (version != kStoreVersion) {
+          return Status::InvalidArgument(
+              StrFormat("unsupported store version %llu",
+                        static_cast<unsigned long long>(version)));
+        }
+        continue;
+      }
+      if (type == "add") {
+        StoreEntry entry;
+        AUTOVAC_ASSIGN_OR_RETURN(entry.digest,
+                                 JsonFieldString(parsed.value(), "digest"));
+        AUTOVAC_ASSIGN_OR_RETURN(entry.epoch,
+                                 JsonFieldUint64(parsed.value(), "epoch"));
+        AUTOVAC_ASSIGN_OR_RETURN(
+            entry.quarantined,
+            JsonFieldBool(parsed.value(), "quarantined"));
+        if (entry.quarantined) {
+          AUTOVAC_ASSIGN_OR_RETURN(entry.quarantine_reason,
+                                   JsonFieldString(parsed.value(), "reason"));
+        }
+        const JsonValue* vaccine_json = parsed.value().Find("vaccine");
+        if (vaccine_json == nullptr) {
+          return Status::InvalidArgument(
+              StrFormat("store record %zu has no vaccine", i));
+        }
+        AUTOVAC_ASSIGN_OR_RETURN(entry.vaccine,
+                                 vaccine::VaccineFromJson(*vaccine_json));
+        if (vaccine::VaccineDigest(entry.vaccine) != entry.digest) {
+          return Status::InvalidArgument(
+              StrFormat("store record %zu digest mismatch", i));
+        }
+        auto [it, inserted] =
+            by_digest.emplace(entry.digest, store.entries_.size());
+        if (!inserted) {
+          needs_compaction = true;  // redundant add; first one wins
+          continue;
+        }
+        store.epoch_ = std::max(store.epoch_, entry.epoch);
+        store.entries_.push_back(std::move(entry));
+      } else if (type == "quarantine") {
+        AUTOVAC_ASSIGN_OR_RETURN(const std::string digest,
+                                 JsonFieldString(parsed.value(), "digest"));
+        AUTOVAC_ASSIGN_OR_RETURN(const std::string reason,
+                                 JsonFieldString(parsed.value(), "reason"));
+        auto it = by_digest.find(digest);
+        if (it == by_digest.end()) {
+          return Status::InvalidArgument(
+              StrFormat("store record %zu quarantines unknown digest %s", i,
+                        digest.c_str()));
+        }
+        StoreEntry& entry = store.entries_[it->second];
+        entry.quarantined = true;
+        entry.quarantine_reason = reason;
+        needs_compaction = true;  // fold the record into the add line
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("store record %zu has unknown type '%s'", i,
+                      type.c_str()));
+      }
+    }
+  }
+
+  if (needs_compaction || text.empty()) {
+    AUTOVAC_RETURN_IF_ERROR(store.Compact());
+  } else {
+    store.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (store.fd_ < 0) {
+      return Status::Internal(StrFormat("cannot append to store %s: %s",
+                                        path.c_str(), std::strerror(errno)));
+    }
+  }
+  return store;
+}
+
+Status VaccineStore::Compact() {
+  if (path_.empty()) return Status::Ok();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const std::string temp = path_ + ".compact";
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("cannot create %s: %s", temp.c_str(),
+                                      std::strerror(errno)));
+  }
+  std::string image = HeaderLine();
+  for (const StoreEntry& entry : entries_) image += AddLine(entry);
+  Status written = WriteAll(fd, image);
+  if (written.ok() && ::fsync(fd) != 0) {
+    written = Status::Internal(StrFormat("store fsync failed: %s",
+                                         std::strerror(errno)));
+  }
+  if (!written.ok()) {
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return written;
+  }
+  ::close(fd);
+  if (::rename(temp.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(temp.c_str());
+    return Status::Internal(StrFormat("store rename failed: %s",
+                                      std::strerror(err)));
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    return Status::Internal(StrFormat("cannot reopen store %s: %s",
+                                      path_.c_str(), std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+void VaccineStore::SetConflictIndex(
+    const analysis::ExclusivenessIndex* index) {
+  conflicts_ = index;
+  benign_identifiers_ =
+      index != nullptr ? index->Identifiers() : std::vector<std::string>();
+}
+
+std::optional<std::string> VaccineStore::ConflictReason(
+    const vaccine::Vaccine& vaccine) const {
+  if (conflicts_ == nullptr) return std::nullopt;
+  if (vaccine.identifier_kind == analysis::IdentifierClass::kPartialStatic) {
+    for (const std::string& identifier : benign_identifiers_) {
+      if (vaccine.pattern.Matches(identifier)) {
+        return StrFormat("pattern collides with benign identifier '%s'",
+                         identifier.c_str());
+      }
+    }
+    return std::nullopt;
+  }
+  if (!conflicts_->IsExclusive(vaccine.identifier)) {
+    return StrFormat("identifier '%s' is used by benign software",
+                     vaccine.identifier.c_str());
+  }
+  return std::nullopt;
+}
+
+Status VaccineStore::AppendLine(const std::string& line) {
+  if (fd_ < 0) return Status::Ok();  // in-memory store
+  return WriteAll(fd_, line);
+}
+
+Status VaccineStore::SyncNow() {
+  if (fd_ < 0 || !sync_) return Status::Ok();
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(StrFormat("store fsync failed: %s",
+                                      std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Result<PushStats> VaccineStore::Push(
+    const std::vector<vaccine::Vaccine>& vaccines) {
+  PushStats stats;
+  // The batch joins one epoch, assigned only if something new arrives.
+  const uint64_t batch_epoch = epoch_ + 1;
+  for (const vaccine::Vaccine& vaccine : vaccines) {
+    std::string digest = vaccine::VaccineDigest(vaccine);
+    if (FindDigest(digest) != nullptr) {
+      ++stats.duplicates;
+      continue;
+    }
+    StoreEntry entry;
+    entry.vaccine = vaccine;
+    entry.digest = std::move(digest);
+    entry.epoch = batch_epoch;
+    if (std::optional<std::string> reason = ConflictReason(vaccine);
+        reason.has_value()) {
+      entry.quarantined = true;
+      entry.quarantine_reason = std::move(*reason);
+      ++stats.quarantined;
+    }
+    AUTOVAC_RETURN_IF_ERROR(AppendLine(AddLine(entry)));
+    entries_.push_back(std::move(entry));
+    ++stats.added;
+  }
+  if (stats.added > 0) {
+    epoch_ = batch_epoch;
+    AUTOVAC_RETURN_IF_ERROR(SyncNow());
+  }
+  stats.epoch = epoch_;
+  return stats;
+}
+
+Status VaccineStore::Quarantine(std::string_view digest,
+                                std::string_view reason) {
+  for (StoreEntry& entry : entries_) {
+    if (entry.digest != digest) continue;
+    if (entry.quarantined) return Status::Ok();
+    entry.quarantined = true;
+    entry.quarantine_reason = std::string(reason);
+    AUTOVAC_RETURN_IF_ERROR(AppendLine(QuarantineLine(digest, reason)));
+    return SyncNow();
+  }
+  return Status::NotFound(StrFormat("no vaccine with digest %s",
+                                    std::string(digest).c_str()));
+}
+
+Result<size_t> VaccineStore::RescanConflicts() {
+  size_t retracted = 0;
+  for (StoreEntry& entry : entries_) {
+    if (entry.quarantined) continue;
+    std::optional<std::string> reason = ConflictReason(entry.vaccine);
+    if (!reason.has_value()) continue;
+    entry.quarantined = true;
+    entry.quarantine_reason = *reason;
+    AUTOVAC_RETURN_IF_ERROR(
+        AppendLine(QuarantineLine(entry.digest, *reason)));
+    ++retracted;
+  }
+  if (retracted > 0) AUTOVAC_RETURN_IF_ERROR(SyncNow());
+  return retracted;
+}
+
+std::vector<const StoreEntry*> VaccineStore::Since(uint64_t since) const {
+  std::vector<const StoreEntry*> delta;
+  for (const StoreEntry& entry : entries_) {
+    if (!entry.quarantined && entry.epoch > since) delta.push_back(&entry);
+  }
+  return delta;
+}
+
+const StoreEntry* VaccineStore::FindDigest(std::string_view digest) const {
+  for (const StoreEntry& entry : entries_) {
+    if (entry.digest == digest) return &entry;
+  }
+  return nullptr;
+}
+
+size_t VaccineStore::served_count() const {
+  size_t count = 0;
+  for (const StoreEntry& entry : entries_) {
+    if (!entry.quarantined) ++count;
+  }
+  return count;
+}
+
+size_t VaccineStore::quarantined_count() const {
+  return entries_.size() - served_count();
+}
+
+}  // namespace autovac::vacstore

@@ -1,0 +1,127 @@
+// Content-addressed vaccine store: the collection point between campaign
+// output and vaccine distribution (§V's deployment pipeline).
+//
+// Every vaccine is keyed by the digest of its canonical JSON
+// serialization (vaccine/json.h), so re-pushing a campaign — or two
+// campaigns that extracted the same vaccine from different samples of a
+// family — dedups instead of double-serving. Accepted vaccines join a
+// monotonically numbered *feed epoch*: each Push batch that adds at
+// least one new vaccine bumps the epoch, and PULL-style delta sync asks
+// for "everything after epoch E".
+//
+// Conflict quarantine: a vaccine whose identifier (or, for
+// partial-static vaccines, whose pattern) collides with an identifier
+// the benign corpus uses is stored but never served — the §IV-D clinic
+// verdict applied at the distribution layer, where evidence from later
+// campaigns can still arrive. Quarantine() lets an operator or a fresh
+// clinic run retract an already-stored vaccine.
+//
+// Durability follows the campaign journal (campaign/journal.h): an
+// append-only JSONL file whose first line is a header record, fsync'd
+// once per Push batch. A crash mid-append leaves a torn tail that Load
+// drops; load-time compaction then rewrites the file so the tail damage
+// and any folded quarantine records do not accumulate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/exclusiveness.h"
+#include "support/status.h"
+#include "vaccine/vaccine.h"
+
+namespace autovac::vacstore {
+
+inline constexpr uint64_t kStoreVersion = 1;
+
+struct StoreEntry {
+  vaccine::Vaccine vaccine;
+  std::string digest;          // content address (VaccineDigest)
+  uint64_t epoch = 0;          // feed epoch the vaccine joined
+  bool quarantined = false;    // stored but never served
+  std::string quarantine_reason;
+};
+
+struct PushStats {
+  size_t added = 0;        // new digests accepted into the feed
+  size_t duplicates = 0;   // digests already present
+  size_t quarantined = 0;  // of `added`, how many were quarantined
+  uint64_t epoch = 0;      // store epoch after the push
+};
+
+class VaccineStore {
+ public:
+  // In-memory store (tests, benches, ephemeral servers).
+  VaccineStore() = default;
+  ~VaccineStore();
+  VaccineStore(VaccineStore&& other) noexcept;
+  VaccineStore& operator=(VaccineStore&& other) noexcept;
+  VaccineStore(const VaccineStore&) = delete;
+  VaccineStore& operator=(const VaccineStore&) = delete;
+
+  // Opens (creating if absent) a durable store at `path`. A torn tail is
+  // dropped and the file compacted; corruption before the tail refuses
+  // the open, like a campaign journal resume.
+  [[nodiscard]] static Result<VaccineStore> Open(const std::string& path);
+
+  // Installs the conflict oracle consulted on every future Push;
+  // identifiers the benign corpus touched are cached at call time.
+  void SetConflictIndex(const analysis::ExclusivenessIndex* index);
+
+  // Ingests a batch (one campaign's vaccines, a package, one PUSH
+  // frame). New digests are appended durably before the stats return.
+  [[nodiscard]] Result<PushStats> Push(
+      const std::vector<vaccine::Vaccine>& vaccines);
+
+  // Quarantines an already-stored vaccine (new clinic evidence, operator
+  // retraction). No-op Ok when the digest is already quarantined.
+  [[nodiscard]] Status Quarantine(std::string_view digest,
+                                  std::string_view reason);
+
+  // Re-evaluates every served entry against the current conflict index,
+  // quarantining hits; returns how many were retracted.
+  [[nodiscard]] Result<size_t> RescanConflicts();
+
+  // All entries in insertion (= feed) order, quarantined included.
+  [[nodiscard]] const std::vector<StoreEntry>& entries() const {
+    return entries_;
+  }
+
+  // Served (non-quarantined) entries with epoch > `since`, feed order —
+  // the PULL delta payload.
+  [[nodiscard]] std::vector<const StoreEntry*> Since(uint64_t since) const;
+
+  [[nodiscard]] const StoreEntry* FindDigest(std::string_view digest) const;
+
+  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] size_t served_count() const;
+  [[nodiscard]] size_t quarantined_count() const;
+  [[nodiscard]] bool persistent() const { return fd_ >= 0; }
+  // True when Open dropped a torn tail record (and compacted it away).
+  [[nodiscard]] bool repaired_torn_tail() const { return torn_tail_; }
+
+  // Benchmarks only: skip the per-batch fsync.
+  void set_sync(bool sync) { sync_ = sync; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> ConflictReason(
+      const vaccine::Vaccine& vaccine) const;
+  [[nodiscard]] Status AppendLine(const std::string& line);
+  [[nodiscard]] Status SyncNow();
+  // Rewrites `path` from in-memory state (temp file + rename).
+  [[nodiscard]] Status Compact();
+
+  std::vector<StoreEntry> entries_;
+  uint64_t epoch_ = 0;
+  const analysis::ExclusivenessIndex* conflicts_ = nullptr;
+  std::vector<std::string> benign_identifiers_;
+  std::string path_;
+  int fd_ = -1;
+  bool sync_ = true;
+  bool torn_tail_ = false;
+};
+
+}  // namespace autovac::vacstore

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/wait.h>
 #include <time.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <string>
 #include <utility>
 
@@ -22,6 +25,7 @@
 #include "trace/serialize.h"
 #include "vaccine/json.h"
 #include "vaccine/pipeline.h"
+#include "vacstore/store.h"
 
 namespace autovac {
 namespace {
@@ -677,6 +681,91 @@ TEST(Serialization, FaultInjectedFlagRoundTrips) {
   for (const auto& call : legacy_parsed->calls) {
     EXPECT_FALSE(call.fault_injected);
   }
+}
+
+// ---------------------------------------------------------------------
+// Store chaos: a pusher killed mid-stream leaves a loadable journal
+// ---------------------------------------------------------------------
+
+// SIGKILL lands wherever it lands — between complete append lines or in
+// the middle of one. Either way the survivor must reopen: acknowledged
+// batches intact, at worst one torn tail record dropped and compacted.
+TEST(StoreChaos, KilledPusherLeavesLoadableJournal) {
+  const std::string path = "chaos_store.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".compact").c_str());
+
+  int acks[2];
+  ASSERT_EQ(pipe(acks), 0);
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    close(acks[0]);
+    auto opened = vacstore::VaccineStore::Open(path);
+    if (!opened.ok()) _exit(1);
+    vacstore::VaccineStore store = std::move(*opened);
+    store.set_sync(false);  // spin fast so the kill lands mid-stream
+    for (uint64_t i = 0;; ++i) {
+      vaccine::Vaccine v;
+      v.malware_name = "chaos-pusher";
+      v.malware_digest = "chaos";
+      v.resource_type = os::ResourceType::kMutex;
+      v.identifier = "chaos-mutex-" + std::to_string(i);
+      v.simulate_presence = true;
+      v.identifier_kind = analysis::IdentifierClass::kStatic;
+      v.immunization = analysis::ImmunizationType::kFull;
+      v.delivery = vaccine::DeliveryMethod::kDirectInjection;
+      if (!store.Push({v}).ok()) _exit(2);
+      const char ack = 'p';
+      if (write(acks[1], &ack, 1) != 1) _exit(3);
+    }
+  }
+  close(acks[1]);
+
+  // Let several batches land, then kill the writer wherever it is.
+  char buffer[16];
+  size_t acked = 0;
+  while (acked < 8) {
+    const ssize_t n = read(acks[0], buffer, sizeof buffer);
+    ASSERT_GT(n, 0) << "pusher child died before producing batches";
+    acked += static_cast<size_t>(n);
+  }
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int wait_status = 0;
+  ASSERT_EQ(waitpid(child, &wait_status, 0), child);
+  EXPECT_TRUE(WIFSIGNALED(wait_status));
+  close(acks[0]);
+
+  // The journal must load: every acknowledged batch present, digests
+  // verified by Open itself, tail damage (if any) repaired.
+  auto reopened = vacstore::VaccineStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GE(reopened->entries().size(), acked);
+  EXPECT_EQ(reopened->epoch(), reopened->entries().back().epoch);
+
+  // And it is writable again: the survivor keeps pushing.
+  vaccine::Vaccine next;
+  next.malware_name = "chaos-survivor";
+  next.malware_digest = "chaos";
+  next.resource_type = os::ResourceType::kMutex;
+  next.identifier = "survivor-mutex";
+  next.simulate_presence = true;
+  next.identifier_kind = analysis::IdentifierClass::kStatic;
+  next.immunization = analysis::ImmunizationType::kFull;
+  next.delivery = vaccine::DeliveryMethod::kDirectInjection;
+  auto pushed = reopened->Push({next});
+  ASSERT_TRUE(pushed.ok()) << pushed.status().ToString();
+  EXPECT_EQ(pushed->added, 1u);
+
+  // A third open sees a clean, torn-tail-free file.
+  const size_t entries_after = reopened->entries().size();
+  reopened = vacstore::VaccineStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(reopened->repaired_torn_tail());
+  EXPECT_EQ(reopened->entries().size(), entries_after);
+
+  std::remove(path.c_str());
+  std::remove((path + ".compact").c_str());
 }
 
 }  // namespace

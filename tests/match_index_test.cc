@@ -1,0 +1,263 @@
+// PatternIndex correctness: the compiled automaton must return exactly
+// the ids a naive linear scan of Pattern::Matches returns, for every
+// pattern shape the pipeline can generate — including the adversarial
+// ones: adjacent wildcards ("a**b", "a*?*b"), escaped metacharacters
+// ("\*lit"), empty patterns, and all-wildcard patterns. A slow
+// backtracking reference matcher cross-checks Pattern::Matches itself,
+// so the index, the glob matcher, and the reference can never silently
+// agree on a shared bug.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/match_index.h"
+#include "support/pattern.h"
+#include "support/rng.h"
+
+namespace autovac {
+namespace {
+
+// Exponential-time reference matcher, straight from the wildcard
+// semantics: '*' -> try every split, '?' -> any one char.
+bool ReferenceMatch(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return text.empty();
+  const char c = pattern.front();
+  if (c == '*') {
+    for (size_t skip = 0; skip <= text.size(); ++skip) {
+      if (ReferenceMatch(pattern.substr(1), text.substr(skip))) return true;
+    }
+    return false;
+  }
+  if (c == '?') {
+    return !text.empty() && ReferenceMatch(pattern.substr(1), text.substr(1));
+  }
+  if (c == '\\') {
+    if (pattern.size() < 2) return false;  // malformed; Compile rejects
+    return !text.empty() && text.front() == pattern[1] &&
+           ReferenceMatch(pattern.substr(2), text.substr(1));
+  }
+  return !text.empty() && text.front() == c &&
+         ReferenceMatch(pattern.substr(1), text.substr(1));
+}
+
+std::vector<size_t> NaiveMatch(const std::vector<Pattern>& patterns,
+                               std::string_view text) {
+  std::vector<size_t> ids;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (patterns[i].Matches(text)) ids.push_back(i);
+  }
+  return ids;
+}
+
+PatternIndex BuildIndex(const std::vector<Pattern>& patterns) {
+  PatternIndex index;
+  for (const Pattern& pattern : patterns) index.Add(pattern);
+  index.Build();
+  return index;
+}
+
+TEST(PatternFragments, DerivedFromTokensNotText) {
+  auto p = Pattern::Compile("pre-*-mid-?suf");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->fragments(),
+            (std::vector<std::string>{"pre-", "-mid-", "suf"}));
+
+  // Escaped metacharacters land inside fragments with the escape removed.
+  auto escaped = Pattern::Compile("a\\*b*c");
+  ASSERT_TRUE(escaped.ok());
+  EXPECT_EQ(escaped->fragments(), (std::vector<std::string>{"a*b", "c"}));
+
+  // Adjacent wildcards never produce empty fragments.
+  auto adjacent = Pattern::Compile("x**??*y");
+  ASSERT_TRUE(adjacent.ok());
+  EXPECT_EQ(adjacent->fragments(), (std::vector<std::string>{"x", "y"}));
+
+  auto floating = Pattern::Compile("*??*");
+  ASSERT_TRUE(floating.ok());
+  EXPECT_TRUE(floating->fragments().empty());
+
+  EXPECT_TRUE(Pattern::Literal("").fragments().empty());
+  EXPECT_EQ(Pattern::Literal("a*b").fragments(),
+            (std::vector<std::string>{"a*b"}));
+}
+
+TEST(PatternIndex, LiteralHashPath) {
+  std::vector<Pattern> patterns = {
+      Pattern::Literal("C:\\sys\\drop.exe"),
+      Pattern::Literal("marker-mutex"),
+      Pattern::Literal(""),
+      Pattern::Literal("marker-mutex"),  // duplicate -> both ids
+  };
+  PatternIndex index = BuildIndex(patterns);
+  EXPECT_EQ(index.literal_patterns(), 4u);
+  EXPECT_EQ(index.Match("marker-mutex"), (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(index.Match(""), (std::vector<size_t>{2}));
+  EXPECT_EQ(index.Match("C:\\sys\\drop.exe"), (std::vector<size_t>{0}));
+  EXPECT_TRUE(index.Match("marker-mutex2").empty());
+  EXPECT_EQ(index.First("marker-mutex"), 1u);
+  EXPECT_EQ(index.First("nope"), SIZE_MAX);
+}
+
+TEST(PatternIndex, AnchoredAndFloatingPartition) {
+  std::vector<Pattern> patterns;
+  auto add = [&](const char* text) {
+    auto p = Pattern::Compile(text);
+    ASSERT_TRUE(p.ok());
+    patterns.push_back(std::move(p).value());
+  };
+  add("gen-*-sfx");
+  add("*");
+  add("??");
+  add("lit");
+  PatternIndex index = BuildIndex(patterns);
+  EXPECT_EQ(index.anchored_patterns(), 1u);
+  EXPECT_EQ(index.floating_patterns(), 2u);
+  EXPECT_EQ(index.literal_patterns(), 1u);
+
+  EXPECT_EQ(index.Match("gen-123-sfx"), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(index.Match("ab"), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(index.Match("lit"), (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(index.First("lit"), 1u);
+}
+
+TEST(PatternIndex, AnchorIsSuffixOfAnotherAnchor) {
+  // "sfx" ends inside "longsfx": dictionary-suffix links must surface
+  // the shorter anchor's pattern when the longer one is walked.
+  std::vector<Pattern> patterns;
+  auto add = [&](const char* text) {
+    auto p = Pattern::Compile(text);
+    ASSERT_TRUE(p.ok());
+    patterns.push_back(std::move(p).value());
+  };
+  add("*longsfx");
+  add("*sfx*");
+  add("*gsf?");
+  PatternIndex index = BuildIndex(patterns);
+  for (const char* text :
+       {"alongsfx", "xxsfxyy", "gsfq", "longsf", "sfx", "agsfx"}) {
+    EXPECT_EQ(index.Match(text), NaiveMatch(patterns, text)) << text;
+  }
+}
+
+// ---- randomized equivalence -------------------------------------------
+
+// Small alphabet so patterns and texts collide often; backslash and
+// metacharacters included to exercise escaping.
+std::string RandomText(Rng& rng, size_t max_len) {
+  static constexpr char kAlphabet[] = "ab*?\\-xy";
+  const size_t len = rng.NextBelow(max_len + 1);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+std::string RandomPatternText(Rng& rng, size_t max_len) {
+  static constexpr char kPieces[] = "ab-xy";
+  const size_t len = rng.NextBelow(max_len + 1);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    switch (rng.NextBelow(8)) {
+      case 0:
+      case 1:
+        out.push_back('*');
+        break;
+      case 2:
+        out.push_back('?');
+        break;
+      case 3:
+        out.push_back('\\');
+        out.push_back("*?\\a"[rng.NextBelow(4)]);
+        break;
+      default:
+        out.push_back(kPieces[rng.NextBelow(sizeof(kPieces) - 1)]);
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(PatternIndex, RandomizedEquivalenceWithNaiveScan) {
+  Rng rng(20260807);
+  for (int round = 0; round < 60; ++round) {
+    std::vector<Pattern> patterns;
+    const size_t count = 1 + rng.NextBelow(40);
+    for (size_t i = 0; i < count; ++i) {
+      auto p = Pattern::Compile(RandomPatternText(rng, 10));
+      ASSERT_TRUE(p.ok());
+      patterns.push_back(std::move(p).value());
+    }
+    PatternIndex index = BuildIndex(patterns);
+    for (int q = 0; q < 40; ++q) {
+      const std::string text = RandomText(rng, 14);
+      const std::vector<size_t> naive = NaiveMatch(patterns, text);
+      EXPECT_EQ(index.Match(text), naive)
+          << "text='" << text << "' round=" << round;
+      EXPECT_EQ(index.First(text), naive.empty() ? SIZE_MAX : naive.front());
+    }
+  }
+}
+
+TEST(PatternMatcher, AgreesWithBacktrackingReference) {
+  Rng rng(424242);
+  for (int round = 0; round < 400; ++round) {
+    const std::string pattern_text = RandomPatternText(rng, 8);
+    auto pattern = Pattern::Compile(pattern_text);
+    ASSERT_TRUE(pattern.ok());
+    for (int q = 0; q < 12; ++q) {
+      const std::string text = RandomText(rng, 10);
+      EXPECT_EQ(pattern->Matches(text), ReferenceMatch(pattern_text, text))
+          << "pattern='" << pattern_text << "' text='" << text << "'";
+    }
+  }
+}
+
+TEST(PatternIndex, AdjacentWildcardTorture) {
+  // Hand-picked shapes that historically diverge between glob matchers
+  // and fragment-extraction index layers.
+  const char* patterns_text[] = {
+      "a**b", "a*?*b", "a?*?b", "**", "*?", "?*", "a\\*b", "\\**\\?",
+      "a**",  "**a",   "*a*a*", "aa*aa", "\\\\*",
+  };
+  std::vector<Pattern> patterns;
+  for (const char* text : patterns_text) {
+    auto p = Pattern::Compile(text);
+    ASSERT_TRUE(p.ok());
+    patterns.push_back(std::move(p).value());
+  }
+  PatternIndex index = BuildIndex(patterns);
+  const char* texts[] = {
+      "",    "a",    "b",    "ab",   "ab*",  "a*b",  "axb", "axyb",
+      "aab", "aaba", "a?b",  "\\",   "\\\\", "*",    "?",   "aaaa",
+      "aabaa", "aaxaa", "a*?*b",
+  };
+  for (const char* text : texts) {
+    EXPECT_EQ(index.Match(text), NaiveMatch(patterns, text)) << text;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      EXPECT_EQ(patterns[i].Matches(text),
+                ReferenceMatch(patterns_text[i], text))
+          << "pattern='" << patterns_text[i] << "' text='" << text << "'";
+    }
+  }
+}
+
+TEST(PatternIndex, RebuildAfterAddRecompiles) {
+  PatternIndex index;
+  auto p = Pattern::Compile("pre*");
+  ASSERT_TRUE(p.ok());
+  index.Add(std::move(p).value());
+  index.Build();
+  EXPECT_EQ(index.Match("prefix"), (std::vector<size_t>{0}));
+
+  auto q = Pattern::Compile("*fix");
+  ASSERT_TRUE(q.ok());
+  index.Add(std::move(q).value());
+  EXPECT_FALSE(index.built());
+  index.Build();
+  EXPECT_EQ(index.Match("prefix"), (std::vector<size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace autovac

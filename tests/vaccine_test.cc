@@ -168,6 +168,48 @@ TEST(Daemon, CreateUnderPresencePatternSignalsAlreadyExists) {
   EXPECT_EQ(outcome->last_error, os::kErrorAlreadyExists);
 }
 
+TEST(Daemon, AddVaccineDedupsByContentDigest) {
+  VaccineDaemon daemon;
+  const Vaccine original =
+      MakeVaccine(os::ResourceType::kMutex, "dup-marker", true);
+  EXPECT_TRUE(daemon.AddVaccine(original));
+  // Byte-identical vaccine: rejected, not double-registered.
+  EXPECT_FALSE(daemon.AddVaccine(original));
+  // Any field difference is a different content digest.
+  Vaccine variant = original;
+  variant.simulate_presence = false;
+  EXPECT_TRUE(daemon.AddVaccine(variant));
+  EXPECT_EQ(daemon.vaccines().size(), 2u);
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  auto report = daemon.Install(env);
+  EXPECT_EQ(report.direct_injected, 2u);
+  EXPECT_EQ(report.injected_identifiers.size(), 2u);
+}
+
+TEST(Daemon, DuplicateAddDoesNotDoubleCountOrDoubleRefresh) {
+  VaccineDaemon daemon;
+  Vaccine algo = MakeVaccine(os::ResourceType::kMutex, "fallback", true,
+                             analysis::IdentifierClass::kAlgorithmDeterministic);
+  EXPECT_TRUE(daemon.AddVaccine(algo));
+  EXPECT_FALSE(daemon.AddVaccine(algo));
+  Vaccine pattern =
+      MakeVaccine(os::ResourceType::kMutex, "pre-*-post", true,
+                  analysis::IdentifierClass::kPartialStatic);
+  EXPECT_TRUE(daemon.AddVaccine(pattern));
+  EXPECT_FALSE(daemon.AddVaccine(pattern));
+
+  os::HostEnvironment env = os::HostEnvironment::StandardMachine();
+  auto report = daemon.Install(env);
+  EXPECT_EQ(report.daemon_patterns, 1u);
+  EXPECT_EQ(report.injected_identifiers.size(), 1u);
+
+  // A host change regenerates each algorithm-deterministic vaccine once.
+  env.mutable_profile().computer_name = "OTHER-HOST";
+  EXPECT_EQ(daemon.RefreshIfHostChanged(env), 0u);  // no slice: skipped
+  EXPECT_EQ(daemon.vaccines().size(), 2u);
+}
+
 // ---- BDR ---------------------------------------------------------------------
 
 TEST(Bdr, FullVaccineYieldsHighRatio) {

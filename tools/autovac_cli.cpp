@@ -37,11 +37,26 @@
 //       Run the sample once and dump the serialized API trace.
 //   autovac disasm <sample.asm>
 //       Assemble and print the program listing.
+//   autovac serve --socket <s> [--store <f>] [options]
+//       Run vacd, the vaccine store + distribution server, until
+//       SIGINT/SIGTERM. --store makes the feed durable (JSONL, fsync'd).
+//   autovac push --socket <s> <package.pkg>...
+//       Ingest packages into a running vacd (deduped by content digest).
+//   autovac query --socket <s> --resource <type> <identifier>
+//       Ask vacd which served vaccines match an identifier. Exit 0 on a
+//       match, 1 when nothing matches.
+//   autovac pull --socket <s> [--since <epoch>] [--out <f>]
+//       Delta-sync the vaccine feed since an epoch; the feed page is the
+//       server's reply JSON, byte-identical across server restarts.
 //
 // Samples are written in the sandbox assembly dialect (see
 // src/vm/assembler.h); everything runs inside the simulator — no real
 // binaries are executed.
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +67,8 @@
 
 #include "campaign/supervisor.h"
 #include "malware/benign.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "sandbox/sandbox.h"
 #include "support/metrics.h"
 #include "support/strings.h"
@@ -65,22 +82,26 @@
 #include "vaccine/package.h"
 #include "vaccine/report.h"
 #include "vaccine/pipeline.h"
+#include "vacstore/store.h"
 #include "vm/disassembler.h"
 
 using namespace autovac;
 
 namespace {
 
-int Usage() {
+void PrintUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage: autovac <analyze|campaign|test|trace|disasm> <sample.asm> "
-      "[options]\n"
+      out,
+      "usage: autovac <command> [arguments] [options]\n"
       "  analyze  <sample.asm> [options]\n"
       "  campaign <sample.asm>... [options]\n"
       "  test     <sample.asm> <package.pkg>\n"
       "  trace    <sample.asm> [--out trace.txt]\n"
       "  disasm   <sample.asm>\n"
+      "  serve    --socket <s> [--store <f>] [serving options]\n"
+      "  push     --socket <s> <package.pkg>...\n"
+      "  query    --socket <s> --resource <type> <identifier>\n"
+      "  pull     --socket <s> [--since <epoch>] [--out <f>]\n"
       "analyze/campaign options:\n"
       "  --no-exclusiveness   skip the benign-corpus exclusiveness filter\n"
       "  --no-clinic          skip the malware-clinic safety test\n"
@@ -107,8 +128,44 @@ int Usage() {
       "  --sample-deadline-ms <n>  SIGKILL a worker stuck on one sample\n"
       "                       longer than n ms (implies worker mode)\n"
       "  --stop-after <n>     stop cleanly after n samples (exit code 3)\n"
-      "  --campaign-out <f>   write the campaign report as JSON\n");
+      "  --campaign-out <f>   write the campaign report as JSON\n"
+      "vacd serving options (serve):\n"
+      "  --store <f>          durable store file (JSONL, created if absent)\n"
+      "  --threads <n>        request worker threads (default 4)\n"
+      "  --queue <n>          max in-flight requests before shedding BUSY\n"
+      "                       (default 64)\n"
+      "  --deadline-ms <n>    per-request socket deadline (default 5000)\n"
+      "  --no-exclusiveness   skip the benign-conflict quarantine scan\n"
+      "vacd client options (push/query/pull):\n"
+      "  --deadline-ms <n>    request deadline (default 5000)\n"
+      "  --resource <type>    query: file|registry|mutex|process|window|\n"
+      "                       library|service\n"
+      "  --since <n>          pull: only vaccines after feed epoch n\n"
+      "  --out <f>            pull: write the feed page JSON to a file\n"
+      "quick start (vaccine feed):\n"
+      "  autovac campaign samples/*.asm --package wave.pkg\n"
+      "  autovac serve --socket /tmp/vacd.sock --store feed.jsonl &\n"
+      "  autovac push --socket /tmp/vacd.sock wave.pkg\n"
+      "  autovac query --socket /tmp/vacd.sock --resource mutex BadMutex\n"
+      "  autovac pull --socket /tmp/vacd.sock --since 0\n"
+      "every command also accepts --help.\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
+}
+
+// True when any argument asks for help; commands print usage to stdout
+// and exit 0 in that case.
+bool WantsHelp(int argc, char** argv) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 // Strict flag handling: anything starting with "--" that no command
@@ -681,16 +738,373 @@ int CmdDisasm(int argc, char** argv) {
   return 0;
 }
 
+// ---- vacd commands ---------------------------------------------------
+
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int) { g_stop_requested.store(true); }
+
+// Flags shared by the vacd client commands (push/query/pull).
+struct ClientFlags {
+  std::string socket_path;
+  uint64_t deadline_ms = 5000;
+};
+
+int CmdServe(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac serve --socket <s> [--store <f>] [--threads <n>]\n"
+        "                     [--queue <n>] [--deadline-ms <n>]\n"
+        "                     [--no-exclusiveness]\n"
+        "Runs vacd, the vaccine store + distribution server, until SIGINT\n"
+        "or SIGTERM. With --store the feed is durable: pushes append to a\n"
+        "fsync'd JSONL journal that survives crashes and restarts.\n"
+        "Vaccines whose identifier or pattern collides with the benign\n"
+        "corpus are quarantined (stored, never served) unless\n"
+        "--no-exclusiveness is given.\n");
+    return 0;
+  }
+  std::string socket_path;
+  std::string store_path;
+  net::VacdOptions options;
+  bool use_exclusiveness = true;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--socket") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      socket_path = value;
+    } else if (std::strcmp(arg, "--store") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      store_path = value;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      const long long threads = std::strtoll(value, nullptr, 0);
+      if (threads <= 0) {
+        std::fprintf(stderr, "error: --threads requires at least 1\n");
+        return 2;
+      }
+      options.threads = static_cast<size_t>(threads);
+    } else if (std::strcmp(arg, "--queue") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      const long long queue = std::strtoll(value, nullptr, 0);
+      if (queue <= 0) {
+        std::fprintf(stderr, "error: --queue requires at least 1\n");
+        return 2;
+      }
+      options.max_pending = static_cast<size_t>(queue);
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--no-exclusiveness") == 0) {
+      use_exclusiveness = false;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return UnknownOption(arg);
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg);
+      return Usage();
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "error: serve requires --socket\n");
+    return Usage();
+  }
+  options.socket_path = socket_path;
+
+  vacstore::VaccineStore store;
+  if (!store_path.empty()) {
+    auto opened = vacstore::VaccineStore::Open(store_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(opened).value();
+    if (store.repaired_torn_tail()) {
+      std::fprintf(stderr,
+                   "vacd: dropped a torn record from %s (crash mid-push)\n",
+                   store_path.c_str());
+    }
+  }
+  analysis::ExclusivenessIndex index;
+  if (use_exclusiveness) {
+    index = TrainIndex();
+    store.SetConflictIndex(&index);
+    auto rescanned = store.RescanConflicts();
+    if (!rescanned.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   rescanned.status().ToString().c_str());
+      return 1;
+    }
+    if (*rescanned > 0) {
+      std::fprintf(stderr, "vacd: quarantined %zu stored vaccines that "
+                   "conflict with the benign corpus\n", *rescanned);
+    }
+  }
+
+  net::VacdServer server(std::move(store), options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // The "listening" line is the readiness signal scripts wait for.
+  std::printf("vacd: listening on %s (%zu served, %zu quarantined, "
+              "epoch %llu)\n",
+              socket_path.c_str(), server.Stats().served,
+              server.Stats().quarantined,
+              static_cast<unsigned long long>(server.Stats().epoch));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested.load()) {
+    ::usleep(50 * 1000);
+  }
+  const net::StatusReply stats = server.Stats();
+  server.Stop();
+  std::printf("vacd: stopped after %llu requests (%llu shed); "
+              "%llu served, %llu quarantined, epoch %llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.quarantined),
+              static_cast<unsigned long long>(stats.epoch));
+  return 0;
+}
+
+// Parses --socket/--deadline-ms, collecting positionals. Returns -1 to
+// continue, or an exit code.
+int ParseClientFlags(int argc, char** argv, ClientFlags* flags,
+                     std::vector<std::string>* positional,
+                     const char* extra_flag = nullptr,
+                     const char** extra_value = nullptr) {
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--socket") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags->socket_path = value;
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags->deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (extra_flag != nullptr && std::strcmp(arg, extra_flag) == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      *extra_value = value;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return UnknownOption(arg);
+    } else {
+      positional->push_back(arg);
+    }
+  }
+  if (flags->socket_path.empty()) {
+    std::fprintf(stderr, "error: this command requires --socket\n");
+    return Usage();
+  }
+  return -1;
+}
+
+int CmdPush(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac push --socket <s> [--deadline-ms <n>] "
+        "<package.pkg>...\n"
+        "Ingests the packages' vaccines into a running vacd. The store\n"
+        "dedups by content digest, so re-pushing a package is a no-op;\n"
+        "conflicting vaccines are quarantined, not served.\n");
+    return 0;
+  }
+  ClientFlags flags;
+  std::vector<std::string> files;
+  const int parsed = ParseClientFlags(argc, argv, &flags, &files);
+  if (parsed >= 0) return parsed;
+  if (files.empty()) {
+    std::fprintf(stderr, "error: push needs at least one package file\n");
+    return Usage();
+  }
+  std::vector<vaccine::Vaccine> vaccines;
+  for (const std::string& path : files) {
+    auto text = ReadFileToString(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed_package = vaccine::ParsePackage(text.value());
+    if (!parsed_package.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   parsed_package.status().ToString().c_str());
+      return 1;
+    }
+    vaccines.insert(vaccines.end(), parsed_package->begin(),
+                    parsed_package->end());
+  }
+  net::VacdClient client(flags.socket_path, flags.deadline_ms);
+  auto reply = client.Push(vaccines);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
+    return net::VacdClient::IsBusy(reply.status()) ? 4 : 1;
+  }
+  std::printf("pushed %zu vaccines: %llu added, %llu duplicates, "
+              "%llu quarantined; feed epoch %llu\n",
+              vaccines.size(),
+              static_cast<unsigned long long>(reply->added),
+              static_cast<unsigned long long>(reply->duplicates),
+              static_cast<unsigned long long>(reply->quarantined),
+              static_cast<unsigned long long>(reply->epoch));
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac query --socket <s> --resource <type> <identifier>\n"
+        "Asks vacd which served vaccines match the identifier (resource\n"
+        "types: file, registry, mutex, process, window, library,\n"
+        "service). Exit 0 when at least one vaccine matches, 1 when\n"
+        "none does.\n");
+    return 0;
+  }
+  ClientFlags flags;
+  std::vector<std::string> positional;
+  const char* resource_name = nullptr;
+  const int parsed = ParseClientFlags(argc, argv, &flags, &positional,
+                                      "--resource", &resource_name);
+  if (parsed >= 0) return parsed;
+  if (resource_name == nullptr || positional.size() != 1) {
+    std::fprintf(stderr,
+                 "error: query needs --resource and exactly one "
+                 "identifier\n");
+    return Usage();
+  }
+  auto resource = os::ResourceTypeFromName(resource_name);
+  if (!resource.ok()) {
+    std::fprintf(stderr, "error: %s\n", resource.status().ToString().c_str());
+    return 2;
+  }
+  net::VacdClient client(flags.socket_path, flags.deadline_ms);
+  auto reply = client.Query(resource.value(), positional[0]);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
+    return net::VacdClient::IsBusy(reply.status()) ? 4 : 1;
+  }
+  if (reply->matches.empty()) {
+    std::printf("no vaccine matches '%s'\n", positional[0].c_str());
+    return 1;
+  }
+  for (const vaccine::Vaccine& v : reply->matches) {
+    std::printf("match: %s\n", v.Summary().c_str());
+    std::printf("action: %s\n",
+                v.simulate_presence
+                    ? "simulate presence (report already-exists)"
+                    : "deny access");
+  }
+  return 0;
+}
+
+int CmdPull(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac pull --socket <s> [--since <epoch>] [--out <f>]\n"
+        "Fetches every served vaccine newer than the given feed epoch.\n"
+        "The feed page (the server's reply JSON) goes to stdout or --out\n"
+        "verbatim; the same store contents produce byte-identical pages\n"
+        "across server restarts. The summary line goes to stderr.\n");
+    return 0;
+  }
+  ClientFlags flags;
+  std::vector<std::string> positional;
+  uint64_t since = 0;
+  std::string out_path;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--socket") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags.socket_path = value;
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags.deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--since") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      since = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      out_path = value;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return UnknownOption(arg);
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg);
+      return Usage();
+    }
+  }
+  if (flags.socket_path.empty()) {
+    std::fprintf(stderr, "error: pull requires --socket\n");
+    return Usage();
+  }
+  net::VacdClient client(flags.socket_path, flags.deadline_ms);
+  const net::Request request = net::PullRequest{since};
+  auto raw = client.RoundTripRaw(net::RequestToJson(request));
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  auto reply = net::ParseReply(raw.value());
+  if (!reply.ok()) {
+    std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
+    return 1;
+  }
+  if (const auto* error = std::get_if<net::ErrorReply>(&reply.value())) {
+    std::fprintf(stderr, "error: %s\n", error->message.c_str());
+    return error->busy ? 4 : 1;
+  }
+  const auto* page = std::get_if<net::PullReply>(&reply.value());
+  if (page == nullptr) {
+    std::fprintf(stderr, "error: unexpected reply kind for pull\n");
+    return 1;
+  }
+  if (out_path.empty()) {
+    std::printf("%s\n", raw->c_str());
+  } else {
+    const Status written = WriteStringToFile(out_path, *raw + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "pulled %zu vaccines since epoch %llu (feed epoch "
+               "%llu)\n",
+               page->items.size(), static_cast<unsigned long long>(since),
+               static_cast<unsigned long long>(page->epoch));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    PrintUsage(stdout);
+    return 0;
+  }
+  // The sample-processing commands share the consolidated usage text;
+  // the vacd commands print their own focused help.
+  const bool legacy = command == "analyze" || command == "campaign" ||
+                      command == "test" || command == "trace" ||
+                      command == "disasm";
+  if (legacy && WantsHelp(argc - 2, argv + 2)) {
+    PrintUsage(stdout);
+    return 0;
+  }
   if (command == "analyze") return CmdAnalyze(argc - 2, argv + 2);
   if (command == "campaign") return CmdCampaign(argc - 2, argv + 2);
   if (command == "test") return CmdTest(argc - 2, argv + 2);
   if (command == "trace") return CmdTrace(argc - 2, argv + 2);
   if (command == "disasm") return CmdDisasm(argc - 2, argv + 2);
+  if (command == "serve") return CmdServe(argc - 2, argv + 2);
+  if (command == "push") return CmdPush(argc - 2, argv + 2);
+  if (command == "query") return CmdQuery(argc - 2, argv + 2);
+  if (command == "pull") return CmdPull(argc - 2, argv + 2);
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return Usage();
 }

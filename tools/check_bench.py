@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Benchmark regression gate for the CI bench lane.
 
-Compares a freshly generated bench JSON (perf_generation's BENCH_pipeline
-or perf_campaign's BENCH_campaign) against the checked-in baseline under
-bench/baselines/ and fails on regressions.
+Compares a freshly generated bench JSON (perf_generation's BENCH_pipeline,
+perf_campaign's BENCH_campaign, or perf_serving's BENCH_serving) against
+the checked-in baseline under bench/baselines/ and fails on regressions.
 
 Gating policy:
   * Deterministic quantities (per-phase VM instruction ticks, per-mode
@@ -15,7 +15,9 @@ Gating policy:
     --check-wall to apply --max-regression to them too.
   * The snapshot fast-path speedup is a ratio of two wall times from the
     same process on the same machine, so it transfers across runners:
-    --min-speedup (default 3.0) gates it.
+    --min-speedup (default 3.0) gates it. The serving bench's match-index
+    speedup over the linear scan is the same kind of ratio:
+    --min-index-speedup (default 10.0) gates it.
 
 Exit status: 0 clean, 1 on any regression, 2 on usage/IO errors.
 """
@@ -120,6 +122,38 @@ def compare_campaign(base, cur, gate):
                    gate=gate.check_wall)
 
 
+def compare_serving(base, cur, gate, min_index_speedup):
+    gate.check_exact("patterns", base.get("patterns"), cur.get("patterns"))
+    gate.check_exact("lookups", base.get("lookups"), cur.get("lookups"))
+
+    base_match = base.get("match", {})
+    cur_match = cur.get("match", {})
+    # The hit counts are deterministic verdicts: the index and the linear
+    # scan agreed inside the bench, and both runs must agree with each
+    # other — a drift means the match semantics changed.
+    gate.check_exact("match hits", base_match.get("hits"),
+                     cur_match.get("hits"))
+    speedup = float(cur_match.get("speedup", 0.0))
+    verdict = "ok" if speedup >= min_index_speedup else "REGRESSION"
+    if verdict != "ok":
+        gate.failures.append("match.speedup")
+    print(f"  {'index speedup over linear scan':<44} "
+          f"{min_index_speedup:>14.2f} <= {speedup:>11.2f}x {verdict}")
+    gate.check("match linear_ms", float(base_match.get("linear_ms", 0)),
+               float(cur_match.get("linear_ms", 0)), gate=gate.check_wall)
+    gate.check("match index_ms", float(base_match.get("index_ms", 0)),
+               float(cur_match.get("index_ms", 0)), gate=gate.check_wall)
+
+    base_rt = base.get("roundtrip", {})
+    cur_rt = cur.get("roundtrip", {})
+    gate.check_exact("roundtrip requests", base_rt.get("requests"),
+                     cur_rt.get("requests"))
+    gate.check_exact("roundtrip matches", base_rt.get("matches"),
+                     cur_rt.get("matches"))
+    gate.check("roundtrip wall_ms", float(base_rt.get("wall_ms", 0)),
+               float(cur_rt.get("wall_ms", 0)), gate=gate.check_wall)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="checked-in baseline JSON")
@@ -129,6 +163,9 @@ def main():
                              "(default 0.15 = 15%%)")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="minimum fastpath speedup (pipeline bench)")
+    parser.add_argument("--min-index-speedup", type=float, default=10.0,
+                        help="minimum match-index speedup over the linear "
+                             "scan (serving bench)")
     parser.add_argument("--check-wall", action="store_true",
                         help="also gate wall-clock times (off by default: "
                              "shared runners are noisy)")
@@ -148,6 +185,8 @@ def main():
         compare_pipeline(base, cur, gate, args.min_speedup)
     elif kind == "campaign":
         compare_campaign(base, cur, gate)
+    elif kind == "serving":
+        compare_serving(base, cur, gate, args.min_index_speedup)
     else:
         print(f"check_bench: unknown bench kind '{kind}'", file=sys.stderr)
         sys.exit(2)
