@@ -41,6 +41,11 @@ constexpr size_t kPatternShare = 5;  // every 5th vaccine is a wildcard
 constexpr size_t kLookups = 2000;    // identifier lookups per pass
 constexpr size_t kRoundTrips = 300;  // QUERY requests through the socket
 
+// Recovery bench: a 10k-entry durable store reopened twice — once by
+// full journal replay, once from a checkpoint plus a one-batch delta.
+constexpr size_t kRecoveryBatches = 100;  // pushes building the store
+constexpr size_t kRecoveryBatch = 100;    // vaccines per push
+
 vaccine::Vaccine ServingVaccine(size_t i) {
   vaccine::Vaccine v;
   v.malware_name = StrFormat("bench-family-%zu", i);
@@ -81,8 +86,102 @@ std::string Lookup(size_t i) {
   }
 }
 
+struct RecoveryNumbers {
+  size_t entries_full = 0;       // entries after the full-replay open
+  size_t full_records = 0;       // journal records that open replayed
+  double full_open_ms = 0;
+  size_t entries_checkpoint = 0;  // entries after the checkpointed open
+  size_t checkpoint_records = 0;  // suffix records that open replayed
+  double checkpoint_open_ms = 0;
+  double speedup = 0;
+};
+
+vaccine::Vaccine RecoveryVaccine(size_t i) {
+  vaccine::Vaccine v;
+  v.malware_name = StrFormat("recovery-family-%zu", i % 64);
+  v.malware_digest = StrFormat("recovery-digest-%zu", i);
+  v.resource_type = os::ResourceType::kMutex;
+  v.identifier = StrFormat("recovery-mutex-%zu", i);
+  v.identifier_kind = analysis::IdentifierClass::kStatic;
+  v.simulate_presence = true;
+  v.immunization = analysis::ImmunizationType::kFull;
+  v.delivery = vaccine::DeliveryMethod::kDirectInjection;
+  return v;
+}
+
+void RemoveRecoveryFiles(const std::string& path) {
+  for (const char* suffix : {"", ".ckpt", ".ckpt.tmp", ".rotate",
+                             ".compact"}) {
+    std::remove((path + suffix).c_str());
+  }
+}
+
+// BM_RecoveryReplay: builds an N-entry durable store, reopens it cold
+// (full journal replay), checkpoints it, adds one more batch, and
+// reopens again (checkpoint + O(delta) suffix replay). The speedup is a
+// ratio of two wall times from the same process, so it transfers across
+// runners and the bench lane gates it; the record counts are
+// deterministic and gate exactly.
+RecoveryNumbers BenchRecovery() {
+  const std::string path = "bench_serving_store.jsonl";
+  RemoveRecoveryFiles(path);
+  RecoveryNumbers out;
+
+  {
+    auto store = vacstore::VaccineStore::Open(path);
+    AUTOVAC_CHECK(store.ok());
+    store->set_sync(false);  // build fast; Flush below makes it durable
+    std::vector<vaccine::Vaccine> batch(kRecoveryBatch);
+    for (size_t b = 0; b < kRecoveryBatches; ++b) {
+      for (size_t i = 0; i < kRecoveryBatch; ++i) {
+        batch[i] = RecoveryVaccine(b * kRecoveryBatch + i);
+      }
+      auto stats = store->Push(batch);
+      AUTOVAC_CHECK(stats.ok());
+      AUTOVAC_CHECK(stats->added == kRecoveryBatch);
+    }
+    AUTOVAC_CHECK(store->Flush().ok());
+  }
+
+  {
+    const auto start = Clock::now();
+    auto store = vacstore::VaccineStore::Open(path);
+    out.full_open_ms = MillisSince(start);
+    AUTOVAC_CHECK(store.ok());
+    AUTOVAC_CHECK(!store->checkpoint_loaded());
+    out.entries_full = store->entries().size();
+    out.full_records = store->replayed_records();
+
+    AUTOVAC_CHECK(store->Checkpoint().ok());
+    std::vector<vaccine::Vaccine> delta(kRecoveryBatch);
+    for (size_t i = 0; i < kRecoveryBatch; ++i) {
+      delta[i] =
+          RecoveryVaccine(kRecoveryBatches * kRecoveryBatch + i);
+    }
+    auto stats = store->Push(delta);
+    AUTOVAC_CHECK(stats.ok());
+  }
+
+  {
+    const auto start = Clock::now();
+    auto store = vacstore::VaccineStore::Open(path);
+    out.checkpoint_open_ms = MillisSince(start);
+    AUTOVAC_CHECK(store.ok());
+    AUTOVAC_CHECK(store->checkpoint_loaded());
+    out.entries_checkpoint = store->entries().size();
+    out.checkpoint_records = store->replayed_records();
+  }
+
+  out.speedup = out.checkpoint_open_ms > 0
+                    ? out.full_open_ms / out.checkpoint_open_ms
+                    : 0;
+  RemoveRecoveryFiles(path);
+  return out;
+}
+
 void WriteBenchJson(double linear_ms, double index_ms, double speedup,
-                    size_t hits, double roundtrip_ms, size_t matches) {
+                    size_t hits, double roundtrip_ms, size_t matches,
+                    const RecoveryNumbers& recovery) {
   const char* env_path = std::getenv("AUTOVAC_BENCH_OUT");
   const std::string path =
       env_path != nullptr ? env_path : "BENCH_serving.json";
@@ -100,7 +199,15 @@ void WriteBenchJson(double linear_ms, double index_ms, double speedup,
       << kRoundTrips << ",\"wall_ms\":" << StrFormat("%.3f", roundtrip_ms)
       << ",\"per_request_ms\":"
       << StrFormat("%.4f", roundtrip_ms / static_cast<double>(kRoundTrips))
-      << ",\"matches\":" << matches << "}}\n";
+      << ",\"matches\":" << matches << "},\"recovery\":{\"entries_full\":"
+      << recovery.entries_full
+      << ",\"full_records\":" << recovery.full_records
+      << ",\"full_open_ms\":" << StrFormat("%.3f", recovery.full_open_ms)
+      << ",\"entries_checkpoint\":" << recovery.entries_checkpoint
+      << ",\"checkpoint_records\":" << recovery.checkpoint_records
+      << ",\"checkpoint_open_ms\":"
+      << StrFormat("%.3f", recovery.checkpoint_open_ms)
+      << ",\"speedup\":" << StrFormat("%.2f", recovery.speedup) << "}}\n";
   std::printf("\nbench json written to %s\n", path.c_str());
 }
 
@@ -185,7 +292,18 @@ int main() {
               roundtrip_ms / static_cast<double>(kRoundTrips),
               roundtrip_matches);
 
+  // ---- BM_RecoveryReplay: checkpoint recovery vs full replay --------
+  const RecoveryNumbers recovery = BenchRecovery();
+  std::printf("BM_RecoveryReplay: full replay of %zu records %8.2f ms "
+              "(%zu entries)\n", recovery.full_records,
+              recovery.full_open_ms, recovery.entries_full);
+  std::printf("                   checkpoint + %zu-record suffix %8.2f ms "
+              "(%zu entries)\n", recovery.checkpoint_records,
+              recovery.checkpoint_open_ms, recovery.entries_checkpoint);
+  std::printf("recovery speedup:  %.1fx (replay bounded to "
+              "O(delta-since-checkpoint))\n", recovery.speedup);
+
   WriteBenchJson(linear_ms, index_ms, speedup, linear_hits, roundtrip_ms,
-                 roundtrip_matches);
+                 roundtrip_matches, recovery);
   return 0;
 }

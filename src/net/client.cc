@@ -5,10 +5,15 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "net/faultwire.h"
 #include "net/frame.h"
+#include "support/digest.h"
+#include "support/rng.h"
 #include "support/strings.h"
 
 namespace autovac::net {
@@ -35,10 +40,13 @@ Result<int> Connect(const std::string& path, uint64_t deadline_ms) {
   tv.tv_usec = static_cast<suseconds_t>((deadline_ms % 1000) * 1000);
   (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
+  // WireConnect retries EINTR (an interrupted connect completes in the
+  // background and reports EISCONN on the retry) and applies the
+  // installed NetFaultPlan, if any.
+  if (WireConnect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
     const int err = errno;
-    ::close(fd);
+    WireClose(fd);
     // Refused/absent reads as "no server yet" so startup-wait loops can
     // key on NotFound alone.
     return Status::NotFound(StrFormat("connect %s failed: %s", path.c_str(),
@@ -56,6 +64,13 @@ Status ErrorToStatus(const ErrorReply& error) {
   return Status::Internal(error.message);
 }
 
+uint64_t ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 }  // namespace
 
 Result<std::string> VacdClient::RoundTripRaw(
@@ -67,7 +82,7 @@ Result<std::string> VacdClient::RoundTripRaw(
   // our receive buffer while our send sees a broken pipe.
   const Status written = WriteNetFrame(fd, request_json);
   Result<std::string> reply = ReadNetFrame(fd);
-  ::close(fd);
+  WireClose(fd);
   if (!reply.ok() && !written.ok()) return written;
   if (!reply.ok() && reply.status().code() == StatusCode::kNotFound) {
     return Status::Internal("server closed connection without a reply");
@@ -75,20 +90,83 @@ Result<std::string> VacdClient::RoundTripRaw(
   return reply;
 }
 
+bool VacdClient::IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:          // no server (yet), refused
+    case StatusCode::kDeadlineExceeded:  // one attempt's socket deadline
+    case StatusCode::kInternal:          // torn reply / severed stream
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Reply> VacdClient::RoundTripJson(const std::string& json) const {
+  // The jitter stream is deterministic per (seed, request): two runs of
+  // the same campaign sleep the same schedule.
+  Rng jitter(retry_.seed ^ Fnv1a64(json));
+  const auto start = std::chrono::steady_clock::now();
+  for (uint32_t attempt = 1;; ++attempt) {
+    Status last = Status::Ok();
+    Result<std::string> raw = RoundTripRaw(json);
+    if (raw.ok()) {
+      Result<Reply> reply = ParseReply(*raw);
+      if (!reply.ok()) return reply;  // malformed reply: not transient
+      const auto* error = std::get_if<ErrorReply>(&reply.value());
+      if (error == nullptr || !error->busy) return reply;
+      if (attempt >= retry_.max_attempts) return reply;  // busy, gave up
+      last = ErrorToStatus(*error);
+    } else {
+      last = raw.status();
+      if (!IsRetryable(last)) return last;
+      if (attempt >= retry_.max_attempts) return last;
+    }
+
+    const uint64_t elapsed = ElapsedMs(start);
+    if (elapsed >= retry_.max_total_ms) {
+      return Status::DeadlineExceeded(StrFormat(
+          "retry budget (%llu ms) exhausted after %u attempts; last: %s",
+          static_cast<unsigned long long>(retry_.max_total_ms), attempt,
+          last.ToString().c_str()));
+    }
+    const uint32_t shift = std::min<uint32_t>(attempt - 1, 20);
+    uint64_t backoff =
+        std::min(retry_.max_backoff_ms, retry_.initial_backoff_ms << shift);
+    if (backoff == 0) backoff = 1;
+    // Decorrelated jitter in [backoff/2, backoff], then clamped to what
+    // remains of the budget so the final sleep cannot overshoot it.
+    uint64_t sleep_ms = backoff / 2 + jitter.NextBelow(backoff / 2 + 1);
+    sleep_ms = std::min(sleep_ms, retry_.max_total_ms - elapsed);
+    if (sleep_ms > 0) {
+      ::usleep(static_cast<useconds_t>(sleep_ms * 1000));
+    }
+  }
+}
+
 Result<Reply> VacdClient::RoundTrip(const Request& request) const {
-  AUTOVAC_ASSIGN_OR_RETURN(const std::string payload,
-                           RoundTripRaw(RequestToJson(request)));
-  return ParseReply(payload);
+  return RoundTripJson(RequestToJson(request));
 }
 
 Result<PushReply> VacdClient::Push(
     const std::vector<vaccine::Vaccine>& vaccines) const {
+  PushRequest push;
+  push.vaccines = vaccines;
+  if (retry_.max_attempts > 1) {
+    // One id per *logical* push: every retry presents the same id, two
+    // pushes of identical content present different ones (sequence).
+    const uint64_t sequence =
+        push_sequence_.fetch_add(1, std::memory_order_relaxed);
+    push.request_id = HexDigest128(
+        StrFormat("%llu|%llu|", static_cast<unsigned long long>(retry_.seed),
+                  static_cast<unsigned long long>(sequence)) +
+        RequestToJson(Request(push)));
+  }
   AUTOVAC_ASSIGN_OR_RETURN(const Reply reply,
-                           RoundTrip(Request(PushRequest{vaccines})));
+                           RoundTrip(Request(std::move(push))));
   if (const auto* error = std::get_if<ErrorReply>(&reply)) {
     return ErrorToStatus(*error);
   }
-  if (const auto* push = std::get_if<PushReply>(&reply)) return *push;
+  if (const auto* pushed = std::get_if<PushReply>(&reply)) return *pushed;
   return Status::Internal("unexpected reply kind for push");
 }
 
@@ -108,9 +186,11 @@ Result<QueryReply> VacdClient::Query(os::ResourceType resource_type,
   return Status::Internal("unexpected reply kind for query");
 }
 
-Result<PullReply> VacdClient::Pull(uint64_t since) const {
-  AUTOVAC_ASSIGN_OR_RETURN(Reply reply,
-                           RoundTrip(Request(PullRequest{since})));
+Result<PullReply> VacdClient::Pull(uint64_t since, uint64_t limit) const {
+  PullRequest request;
+  request.since = since;
+  request.limit = limit;
+  AUTOVAC_ASSIGN_OR_RETURN(Reply reply, RoundTrip(Request(request)));
   if (const auto* error = std::get_if<ErrorReply>(&reply)) {
     return ErrorToStatus(*error);
   }
@@ -118,6 +198,22 @@ Result<PullReply> VacdClient::Pull(uint64_t since) const {
     return std::move(*pull);
   }
   return Status::Internal("unexpected reply kind for pull");
+}
+
+Result<PullReply> VacdClient::SyncAll(uint64_t since,
+                                      uint64_t page_limit) const {
+  PullReply merged;
+  uint64_t cursor = since;
+  while (true) {
+    AUTOVAC_ASSIGN_OR_RETURN(PullReply page, Pull(cursor, page_limit));
+    for (FeedItem& item : page.items) {
+      cursor = std::max(cursor, item.epoch);
+      merged.items.push_back(std::move(item));
+    }
+    merged.epoch = page.epoch;
+    if (!page.more) break;
+  }
+  return merged;
 }
 
 Result<StatusReply> VacdClient::Stats() const {

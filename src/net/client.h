@@ -6,10 +6,21 @@
 //   * a busy shed  -> FailedPrecondition("vacd busy: ...") — back off and
 //     retry, nothing about the request was wrong (IsBusy() tests this);
 //   * a server-side error reply -> Internal(<server message>);
-//   * connect refused/absent socket -> NotFound, so "wait for the server
-//     to come up" loops can retry on that code alone.
+//   * connect refused/absent socket -> NotFound.
+//
+// Resilience: construct the client with a RetryPolicy and every typed
+// helper retries the transient outcomes — BUSY, NotFound (server not up
+// yet / connection refused), torn replies, per-attempt deadline misses —
+// with capped exponential backoff and deterministic seeded jitter. The
+// old hand-rolled "retry on NotFound until the server comes up" loop is
+// subsumed and *capped*: when the policy's total budget runs out the
+// client surfaces DeadlineExceeded instead of spinning forever. Pushes
+// sent under a retrying policy carry a client-generated request id, so a
+// retry of a push whose reply was torn is deduped server-side and never
+// double-applies.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -20,33 +31,88 @@
 
 namespace autovac::net {
 
+// Capped exponential backoff with deterministic seeded jitter. The
+// default-constructed policy makes exactly one attempt (no retries);
+// Retrying() is the sensible starting point for flaky links.
+struct RetryPolicy {
+  // Total attempts, including the first; 1 disables retries.
+  uint32_t max_attempts = 1;
+  uint64_t initial_backoff_ms = 10;  // doubles per attempt...
+  uint64_t max_backoff_ms = 2000;    // ...up to this cap
+  // Wall-clock budget across all attempts and backoffs. Exhausting it
+  // surfaces DeadlineExceeded — the explicit max-wait that caps the
+  // "wait for the server to come up" pattern.
+  uint64_t max_total_ms = 30000;
+  // Seeds the jitter stream (and the push request-id derivation): the
+  // same seed replays the same backoff schedule, so chaos tests stay
+  // deterministic.
+  uint64_t seed = 0;
+
+  [[nodiscard]] static RetryPolicy None() { return RetryPolicy{}; }
+  [[nodiscard]] static RetryPolicy Retrying() {
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    return policy;
+  }
+};
+
 class VacdClient {
  public:
-  explicit VacdClient(std::string socket_path, uint64_t deadline_ms = 5000)
-      : socket_path_(std::move(socket_path)), deadline_ms_(deadline_ms) {}
+  explicit VacdClient(std::string socket_path, uint64_t deadline_ms = 5000,
+                      RetryPolicy retry = RetryPolicy())
+      : socket_path_(std::move(socket_path)),
+        deadline_ms_(deadline_ms),
+        retry_(retry) {}
 
+  // Under a retrying policy the push carries a request id derived from
+  // the policy seed, a per-client sequence number and the batch content,
+  // so every retry of one logical push presents the same id.
   [[nodiscard]] Result<PushReply> Push(
       const std::vector<vaccine::Vaccine>& vaccines) const;
   [[nodiscard]] Result<QueryReply> Query(os::ResourceType resource_type,
                                          std::string_view identifier) const;
-  [[nodiscard]] Result<PullReply> Pull(uint64_t since) const;
+  // One feed page: at most `limit` items (0 = everything), never
+  // splitting a feed epoch, with reply.more signalling truncation.
+  [[nodiscard]] Result<PullReply> Pull(uint64_t since,
+                                       uint64_t limit = 0) const;
+  // Pages through the whole delta after `since`. Each page is retried
+  // independently, and the cursor only advances past fully-received
+  // pages — a torn page reply re-pulls from the last item that made it.
+  [[nodiscard]] Result<PullReply> SyncAll(uint64_t since,
+                                          uint64_t page_limit = 0) const;
   [[nodiscard]] Result<StatusReply> Stats() const;
 
   // Full round trip with the reply variant exposed (busy arrives as an
-  // ErrorReply value, not a Status).
+  // ErrorReply value, not a Status — only retried under a policy, and
+  // returned as-is once attempts run out).
   [[nodiscard]] Result<Reply> RoundTrip(const Request& request) const;
 
   // Sends `request_json` verbatim and returns the raw reply payload —
   // the byte-identity the store sync tests compare across restarts.
+  // Single attempt: retries live in RoundTrip and the typed helpers.
   [[nodiscard]] Result<std::string> RoundTripRaw(
       std::string_view request_json) const;
 
   // True iff `status` is the overload-shed outcome of a typed helper.
   [[nodiscard]] static bool IsBusy(const Status& status);
 
+  // True iff `status` is an outcome a retry can fix: the server not up
+  // yet (NotFound), a torn reply or severed connection (Internal), or a
+  // per-attempt deadline miss (DeadlineExceeded).
+  [[nodiscard]] static bool IsRetryable(const Status& status);
+
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+
  private:
+  // RoundTrip on pre-serialized json, with the retry loop.
+  [[nodiscard]] Result<Reply> RoundTripJson(const std::string& json) const;
+
   std::string socket_path_;
   uint64_t deadline_ms_;
+  RetryPolicy retry_;
+  // Distinguishes two pushes of identical content from one retried push
+  // in the request-id derivation.
+  mutable std::atomic<uint64_t> push_sequence_{0};
 };
 
 }  // namespace autovac::net

@@ -1,0 +1,416 @@
+#include "net/faultwire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/strings.h"
+
+namespace autovac::net {
+
+const char* NetFaultOpName(NetFaultOp op) {
+  switch (op) {
+    case NetFaultOp::kConnect:
+      return "connect";
+    case NetFaultOp::kSend:
+      return "send";
+    case NetFaultOp::kRecv:
+      return "recv";
+  }
+  return "?";
+}
+
+const char* NetFaultActionName(NetFaultAction action) {
+  switch (action) {
+    case NetFaultAction::kRefuse:
+      return "refuse";
+    case NetFaultAction::kCutAtByte:
+      return "cut";
+    case NetFaultAction::kShortIo:
+      return "short";
+    case NetFaultAction::kEintr:
+      return "eintr";
+    case NetFaultAction::kStall:
+      return "stall";
+    case NetFaultAction::kDuplicate:
+      return "duplicate";
+  }
+  return "?";
+}
+
+bool ConnectionFaults::Clean() const {
+  return !refuse && cut_send_at < 0 && cut_recv_at < 0 && !short_send &&
+         !short_recv && !eintr_send && !eintr_recv && stall_ms == 0 &&
+         !duplicate;
+}
+
+std::string ConnectionFaults::Summary() const {
+  if (Clean()) return "clean";
+  std::string out;
+  const auto tag = [&out](const std::string& piece) {
+    if (!out.empty()) out += ' ';
+    out += piece;
+  };
+  if (refuse) tag("refuse");
+  if (cut_send_at >= 0) {
+    tag(StrFormat("cut_send@%lld", static_cast<long long>(cut_send_at)));
+  }
+  if (cut_recv_at >= 0) {
+    tag(StrFormat("cut_recv@%lld", static_cast<long long>(cut_recv_at)));
+  }
+  if (short_send) tag("short_send");
+  if (short_recv) tag("short_recv");
+  if (eintr_send) tag("eintr_send");
+  if (eintr_recv) tag("eintr_recv");
+  if (stall_ms > 0) {
+    tag(StrFormat("stall%llums", static_cast<unsigned long long>(stall_ms)));
+  }
+  if (duplicate) tag("dup");
+  return out;
+}
+
+NetFaultPlan NetFaultPlan::Randomized(uint64_t seed, double fault_rate) {
+  NetFaultPlan plan(seed);
+  Rng rng(seed ^ HashSeed("netfaultplan"));
+  const double rate = std::clamp(fault_rate, 0.0, 1.0);
+  const double frequent = std::min(1.0, 3.0 * rate);
+
+  NetFaultRule refuse;
+  refuse.op = NetFaultOp::kConnect;
+  refuse.action = NetFaultAction::kRefuse;
+  refuse.probability = rate;
+  plan.AddRule(refuse);
+
+  // Cut offsets are drawn once at plan-build time: small offsets land in
+  // the frame header, larger ones mid-payload, and both stay identical
+  // for every injector built from this plan.
+  NetFaultRule cut_send;
+  cut_send.op = NetFaultOp::kSend;
+  cut_send.action = NetFaultAction::kCutAtByte;
+  cut_send.byte_offset = static_cast<int64_t>(rng.NextBelow(96));
+  cut_send.probability = rate;
+  plan.AddRule(cut_send);
+
+  NetFaultRule cut_recv;
+  cut_recv.op = NetFaultOp::kRecv;
+  cut_recv.action = NetFaultAction::kCutAtByte;
+  cut_recv.byte_offset = static_cast<int64_t>(rng.NextBelow(96));
+  cut_recv.probability = rate;
+  plan.AddRule(cut_recv);
+
+  NetFaultRule short_send;
+  short_send.op = NetFaultOp::kSend;
+  short_send.action = NetFaultAction::kShortIo;
+  short_send.probability = frequent;
+  plan.AddRule(short_send);
+
+  NetFaultRule short_recv;
+  short_recv.op = NetFaultOp::kRecv;
+  short_recv.action = NetFaultAction::kShortIo;
+  short_recv.probability = frequent;
+  plan.AddRule(short_recv);
+
+  NetFaultRule eintr_send;
+  eintr_send.op = NetFaultOp::kSend;
+  eintr_send.action = NetFaultAction::kEintr;
+  eintr_send.probability = frequent;
+  plan.AddRule(eintr_send);
+
+  NetFaultRule eintr_recv;
+  eintr_recv.op = NetFaultOp::kRecv;
+  eintr_recv.action = NetFaultAction::kEintr;
+  eintr_recv.probability = frequent;
+  plan.AddRule(eintr_recv);
+
+  NetFaultRule stall;
+  stall.op = NetFaultOp::kConnect;
+  stall.action = NetFaultAction::kStall;
+  stall.stall_ms = 1 + rng.NextBelow(4);
+  stall.probability = rate;
+  plan.AddRule(stall);
+
+  NetFaultRule duplicate;
+  duplicate.op = NetFaultOp::kConnect;
+  duplicate.action = NetFaultAction::kDuplicate;
+  duplicate.probability = rate;
+  plan.AddRule(duplicate);
+
+  return plan;
+}
+
+std::string NetFaultPlan::Summary() const {
+  std::string out = StrFormat("netfaults[seed=%llu",
+                              static_cast<unsigned long long>(seed_));
+  for (const NetFaultRule& rule : rules_) {
+    out += StrFormat(" %s/%s", NetFaultOpName(rule.op),
+                     NetFaultActionName(rule.action));
+    if (rule.occurrence >= 0) {
+      out += StrFormat("@%d", rule.occurrence);
+    } else if (rule.every > 0) {
+      out += StrFormat("%%%d", rule.every);
+    } else {
+      out += StrFormat("~%.3f", rule.probability);
+    }
+    if (rule.action == NetFaultAction::kCutAtByte) {
+      out += StrFormat(":%lld", static_cast<long long>(rule.byte_offset));
+    }
+  }
+  out += "]";
+  return out;
+}
+
+NetFaultInjector::NetFaultInjector(const NetFaultPlan& plan)
+    : plan_(plan),
+      rng_(plan.seed() ^ HashSeed("netfaultinjector")),
+      rule_fired_(plan.rules().size(), false) {}
+
+ConnectionFaults NetFaultInjector::OnConnect() {
+  const uint32_t index = next_connection_++;
+  ConnectionFaults faults;
+  for (size_t i = 0; i < plan_.rules().size(); ++i) {
+    const NetFaultRule& rule = plan_.rules()[i];
+    bool fires = false;
+    if (rule.occurrence >= 0) {
+      if (!rule_fired_[i] &&
+          static_cast<uint32_t>(rule.occurrence) == index) {
+        fires = true;
+        rule_fired_[i] = true;
+      }
+    } else if (rule.every > 0) {
+      fires = index % static_cast<uint32_t>(rule.every) == 0;
+    } else if (rule.probability > 0.0) {
+      // Always consume one draw so the stream stays aligned no matter
+      // which rules fire — determinism over economy.
+      fires = rng_.NextBool(rule.probability);
+    }
+    if (!fires) continue;
+    switch (rule.action) {
+      case NetFaultAction::kRefuse:
+        faults.refuse = true;
+        break;
+      case NetFaultAction::kCutAtByte:
+        if (rule.op == NetFaultOp::kRecv) {
+          faults.cut_recv_at = rule.byte_offset;
+        } else {
+          faults.cut_send_at = rule.byte_offset;
+        }
+        break;
+      case NetFaultAction::kShortIo:
+        if (rule.op == NetFaultOp::kRecv) {
+          faults.short_recv = true;
+        } else {
+          faults.short_send = true;
+        }
+        break;
+      case NetFaultAction::kEintr:
+        if (rule.op == NetFaultOp::kRecv) {
+          faults.eintr_recv = true;
+        } else {
+          faults.eintr_send = true;
+        }
+        break;
+      case NetFaultAction::kStall:
+        faults.stall_ms = std::max(faults.stall_ms, rule.stall_ms);
+        break;
+      case NetFaultAction::kDuplicate:
+        faults.duplicate = true;
+        break;
+    }
+  }
+  if (!faults.Clean()) ++faults_injected_;
+  return faults;
+}
+
+// ---------------------------------------------------------------------
+// Wire shim.
+
+namespace {
+
+// Per-fd fault state for one registered client connection.
+struct WireConnState {
+  ConnectionFaults faults;
+  uint64_t sent = 0;      // client->server bytes that went out
+  uint64_t received = 0;  // server->client bytes that came in
+  bool eintr_send_done = false;
+  bool eintr_recv_done = false;
+};
+
+struct WireShim {
+  std::mutex mutex;
+  const NetFaultPlan* plan = nullptr;
+  std::unique_ptr<NetFaultInjector> injector;
+  std::unordered_map<int, WireConnState> conns;
+};
+
+std::atomic<bool> g_wire_active{false};
+
+WireShim& Shim() {
+  static WireShim* shim = new WireShim;
+  return *shim;
+}
+
+int RawConnect(int fd, const sockaddr* addr, socklen_t len) {
+  while (::connect(fd, addr, len) != 0) {
+    if (errno == EINTR) {
+      // An interrupted connect may still complete in the background;
+      // retrying then reports EISCONN, which is success for us.
+      continue;
+    }
+    if (errno == EISCONN) break;
+    return -1;
+  }
+  return 0;
+}
+
+// Severs both directions so the peer observes a real mid-frame hang-up,
+// not just a local error.
+void SeverConnection(int fd) { (void)::shutdown(fd, SHUT_RDWR); }
+
+}  // namespace
+
+void InstallWireFaults(const NetFaultPlan* plan) {
+  WireShim& shim = Shim();
+  std::lock_guard<std::mutex> lock(shim.mutex);
+  shim.plan = plan;
+  shim.injector =
+      plan != nullptr ? std::make_unique<NetFaultInjector>(*plan) : nullptr;
+  shim.conns.clear();
+  g_wire_active.store(plan != nullptr, std::memory_order_release);
+}
+
+bool WireFaultsActive() {
+  return g_wire_active.load(std::memory_order_acquire);
+}
+
+uint64_t WireFaultConnections() {
+  WireShim& shim = Shim();
+  std::lock_guard<std::mutex> lock(shim.mutex);
+  return shim.injector != nullptr ? shim.injector->connections() : 0;
+}
+
+int WireConnect(int fd, const sockaddr* addr, socklen_t len) {
+  if (!WireFaultsActive()) return RawConnect(fd, addr, len);
+
+  ConnectionFaults faults;
+  {
+    WireShim& shim = Shim();
+    std::lock_guard<std::mutex> lock(shim.mutex);
+    if (shim.injector == nullptr) return RawConnect(fd, addr, len);
+    faults = shim.injector->OnConnect();
+  }
+  if (faults.refuse) {
+    errno = ECONNREFUSED;
+    return -1;
+  }
+  if (faults.stall_ms > 0) {
+    ::usleep(static_cast<useconds_t>(faults.stall_ms * 1000));
+  }
+  if (RawConnect(fd, addr, len) != 0) return -1;
+  if (!faults.Clean()) {
+    WireShim& shim = Shim();
+    std::lock_guard<std::mutex> lock(shim.mutex);
+    shim.conns[fd] = WireConnState{faults, 0, 0, false, false};
+  }
+  return 0;
+}
+
+ssize_t WireSend(int fd, const void* buf, size_t len, int flags) {
+  if (!WireFaultsActive()) return ::send(fd, buf, len, flags);
+
+  // Decide what to do under the lock, but perform the (potentially
+  // blocking) syscall outside it: with client and server in one process
+  // a worker parked in send() must not hold the shim mutex, or every
+  // other connection serializes behind its socket deadline.
+  size_t allowed = len;
+  {
+    WireShim& shim = Shim();
+    std::lock_guard<std::mutex> lock(shim.mutex);
+    auto it = shim.conns.find(fd);
+    if (it != shim.conns.end()) {
+      WireConnState& state = it->second;
+      if (state.faults.eintr_send && !state.eintr_send_done) {
+        state.eintr_send_done = true;
+        errno = EINTR;
+        return -1;
+      }
+      if (state.faults.cut_send_at >= 0) {
+        const uint64_t cut =
+            static_cast<uint64_t>(state.faults.cut_send_at);
+        if (state.sent >= cut) {
+          SeverConnection(fd);
+          errno = ECONNRESET;
+          return -1;
+        }
+        allowed = std::min<size_t>(allowed, cut - state.sent);
+      }
+      if (state.faults.short_send) allowed = std::min<size_t>(allowed, 1);
+    }
+  }
+  const ssize_t n = ::send(fd, buf, allowed, flags);
+  if (n > 0) {
+    WireShim& shim = Shim();
+    std::lock_guard<std::mutex> lock(shim.mutex);
+    auto it = shim.conns.find(fd);
+    if (it != shim.conns.end()) it->second.sent += static_cast<uint64_t>(n);
+  }
+  return n;
+}
+
+ssize_t WireRecv(int fd, void* buf, size_t len) {
+  if (!WireFaultsActive()) return ::read(fd, buf, len);
+
+  // Same rule as WireSend: no blocking read() while the mutex is held.
+  size_t allowed = len;
+  {
+    WireShim& shim = Shim();
+    std::lock_guard<std::mutex> lock(shim.mutex);
+    auto it = shim.conns.find(fd);
+    if (it != shim.conns.end()) {
+      WireConnState& state = it->second;
+      if (state.faults.eintr_recv && !state.eintr_recv_done) {
+        state.eintr_recv_done = true;
+        errno = EINTR;
+        return -1;
+      }
+      if (state.faults.cut_recv_at >= 0) {
+        const uint64_t cut =
+            static_cast<uint64_t>(state.faults.cut_recv_at);
+        if (state.received >= cut) {
+          // The bytes may exist, but this connection never sees them:
+          // the reader observes a peer hang-up exactly `cut` bytes in.
+          SeverConnection(fd);
+          return 0;
+        }
+        allowed = std::min<size_t>(allowed, cut - state.received);
+      }
+      if (state.faults.short_recv) allowed = std::min<size_t>(allowed, 1);
+    }
+  }
+  const ssize_t n = ::read(fd, buf, allowed);
+  if (n > 0) {
+    WireShim& shim = Shim();
+    std::lock_guard<std::mutex> lock(shim.mutex);
+    auto it = shim.conns.find(fd);
+    if (it != shim.conns.end()) {
+      it->second.received += static_cast<uint64_t>(n);
+    }
+  }
+  return n;
+}
+
+void WireClose(int fd) {
+  if (WireFaultsActive()) {
+    WireShim& shim = Shim();
+    std::lock_guard<std::mutex> lock(shim.mutex);
+    shim.conns.erase(fd);
+  }
+  ::close(fd);
+}
+
+}  // namespace autovac::net

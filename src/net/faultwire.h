@@ -1,0 +1,173 @@
+// Deterministic network-fault injection for the vacd wire protocol —
+// sandbox/faults.h applied to sockets instead of API calls.
+//
+// A hostile network fails in a handful of canonical ways: the connect is
+// refused, the stream is severed mid-frame at byte N, reads and writes
+// come back short or interrupted, the peer stalls, a request is delivered
+// twice. A NetFaultPlan describes such a network as data — seedable and
+// bit-for-bit reproducible — and a NetFaultInjector replays it one
+// connection at a time, so a chaos test can iterate every cut point of a
+// frame and CI can replay the exact failure a campaign saw.
+//
+// Two delivery mechanisms share the plan:
+//   * the in-process wire shim (InstallWireFaults): frame.cc and
+//     client.cc route their socket IO through Wire{Connect,Send,Recv},
+//     which degrade to the raw syscalls (one relaxed atomic load) when no
+//     plan is installed — production pays nothing;
+//   * the ChaosProxy (chaosproxy.h): a frame-aware relay that applies the
+//     same per-connection verdicts between a real client and a real
+//     server, usable from tests and the `chaos-proxy` CLI subcommand.
+#pragma once
+
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace autovac::net {
+
+// Which side of a connection's life a rule applies to.
+enum class NetFaultOp : uint8_t {
+  kConnect = 0,  // connection establishment
+  kSend,         // client -> server stream
+  kRecv,         // server -> client stream
+};
+
+[[nodiscard]] const char* NetFaultOpName(NetFaultOp op);
+
+// What a triggered rule does to the matched connection.
+enum class NetFaultAction : uint8_t {
+  kRefuse = 0,  // connect: fail with ECONNREFUSED
+  kCutAtByte,   // send/recv: sever the stream after `byte_offset` bytes
+  kShortIo,     // send/recv: every transfer moves at most one byte
+  kEintr,       // send/recv: one spurious EINTR before the first byte
+  kStall,       // connect: sleep `stall_ms` before proceeding
+  kDuplicate,   // proxy only: deliver the request frame twice
+};
+
+[[nodiscard]] const char* NetFaultActionName(NetFaultAction action);
+
+// One injection rule. Matches connections by index and triggers either on
+// an exact connection index, on a modulus, or with a probability.
+struct NetFaultRule {
+  NetFaultOp op = NetFaultOp::kConnect;
+  // Fires exactly once, on the `occurrence`-th connection (0-based);
+  // negative = trigger by `every` or by probability instead.
+  int32_t occurrence = -1;
+  // > 0: fires on every connection whose index is a multiple of `every`
+  // (the deterministic "every Nth request" knob for chaos-proxy demos).
+  int32_t every = 0;
+  double probability = 0.0;  // per-connection chance when neither matches
+  NetFaultAction action = NetFaultAction::kRefuse;
+  int64_t byte_offset = 0;  // kCutAtByte: stream offset of the severance
+  uint64_t stall_ms = 0;    // kStall
+};
+
+// Combined verdict for one connection, decided at connect time so a
+// single decision covers both directions of the stream.
+struct ConnectionFaults {
+  bool refuse = false;
+  int64_t cut_send_at = -1;  // client->server offset to sever at; -1 never
+  int64_t cut_recv_at = -1;  // server->client offset; -1 never
+  bool short_send = false;
+  bool short_recv = false;
+  bool eintr_send = false;
+  bool eintr_recv = false;
+  uint64_t stall_ms = 0;
+  bool duplicate = false;
+
+  [[nodiscard]] bool Clean() const;
+  // One-line description for logs ("refuse", "cut_send@13 dup", ...).
+  [[nodiscard]] std::string Summary() const;
+};
+
+// A reproducible network-fault schedule. Immutable once built — per-run
+// state lives in the NetFaultInjector, so one plan can serve a whole
+// chaos campaign.
+class NetFaultPlan {
+ public:
+  NetFaultPlan() = default;
+  explicit NetFaultPlan(uint64_t seed) : seed_(seed) {}
+
+  void AddRule(NetFaultRule rule) { rules_.push_back(rule); }
+
+  [[nodiscard]] uint64_t seed() const { return seed_; }
+  [[nodiscard]] const std::vector<NetFaultRule>& rules() const {
+    return rules_;
+  }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+
+  // Chaos-campaign generator: a randomized but fully seed-determined mix
+  // of refusals, mid-frame cuts at drawn offsets, short IO, spurious
+  // EINTR, stalls and duplicate delivery. `fault_rate` is the approximate
+  // per-connection probability of each disruptive rule.
+  [[nodiscard]] static NetFaultPlan Randomized(uint64_t seed,
+                                               double fault_rate);
+
+  // One-line description for logs and CLI banners.
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  uint64_t seed_ = 0;
+  std::vector<NetFaultRule> rules_;
+};
+
+// Per-run dispatcher: owns the connection counter and the probability
+// stream, so two runs under the same plan fault identical connections.
+// Not thread-safe by itself; the wire shim and the proxy serialize calls.
+class NetFaultInjector {
+ public:
+  explicit NetFaultInjector(const NetFaultPlan& plan);
+
+  // Advances the injector's state and returns the verdict for the next
+  // connection.
+  [[nodiscard]] ConnectionFaults OnConnect();
+
+  [[nodiscard]] const NetFaultPlan& plan() const { return plan_; }
+  [[nodiscard]] uint64_t connections() const { return next_connection_; }
+  [[nodiscard]] size_t faults_injected() const { return faults_injected_; }
+
+ private:
+  const NetFaultPlan& plan_;
+  Rng rng_;
+  uint32_t next_connection_ = 0;
+  std::vector<bool> rule_fired_;  // occurrence rules fire at most once
+  size_t faults_injected_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Wire shim: a process-global hook under frame.cc / client.cc IO.
+//
+// Only fds registered by WireConnect (i.e. client-side connections made
+// while a plan is installed) are faulted; server-side accepted sockets
+// and unrelated fds pass straight through, so a test can host client and
+// server in one process and fault only the client's view of the wire.
+
+// Installs `plan` for every subsequent client connect; nullptr uninstalls
+// and forgets all registered fds. The plan must outlive the installation.
+// Test-only: not meant to be toggled while connections are in flight.
+void InstallWireFaults(const NetFaultPlan* plan);
+
+[[nodiscard]] bool WireFaultsActive();
+
+// Connections decided by the installed injector so far (0 when inactive).
+[[nodiscard]] uint64_t WireFaultConnections();
+
+// ::connect with EINTR handling; applies the connection verdict and
+// registers the fd when a plan is installed.
+[[nodiscard]] int WireConnect(int fd, const sockaddr* addr, socklen_t len);
+
+// ::send / ::read with the registered fd's faults applied. Unregistered
+// fds (or no plan) hit the raw syscall directly.
+[[nodiscard]] ssize_t WireSend(int fd, const void* buf, size_t len,
+                               int flags);
+[[nodiscard]] ssize_t WireRecv(int fd, void* buf, size_t len);
+
+// ::close that also unregisters the fd (fd numbers are reused; a stale
+// registration would fault an unrelated future connection).
+void WireClose(int fd);
+
+}  // namespace autovac::net

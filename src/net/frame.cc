@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/faultwire.h"
 #include "support/strings.h"
 
 namespace autovac::net {
@@ -31,8 +32,9 @@ Status WriteAll(int fd, std::string_view bytes) {
     // MSG_NOSIGNAL: a peer that hung up must surface as an EPIPE status,
     // not kill the process with SIGPIPE (the shed path closes without
     // reading, so mid-write hang-ups are an expected overload outcome).
-    ssize_t n = ::send(fd, bytes.data() + written, bytes.size() - written,
-                       MSG_NOSIGNAL);
+    // WireSend is ::send unless a NetFaultPlan is installed (faultwire.h).
+    ssize_t n = WireSend(fd, bytes.data() + written, bytes.size() - written,
+                         MSG_NOSIGNAL);
     if (n < 0 && errno == ENOTSOCK) {
       n = ::write(fd, bytes.data() + written, bytes.size() - written);
     }
@@ -55,7 +57,7 @@ Status ReadExact(int fd, char* out, size_t size, bool* clean_eof) {
   *clean_eof = false;
   size_t have = 0;
   while (have < size) {
-    const ssize_t n = ::read(fd, out + have, size - have);
+    const ssize_t n = WireRecv(fd, out + have, size - have);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -75,16 +77,20 @@ Status ReadExact(int fd, char* out, size_t size, bool* clean_eof) {
 
 }  // namespace
 
-Status WriteNetFrame(int fd, std::string_view payload) {
-  if (payload.size() > kMaxNetFramePayload) {
-    return Status::InvalidArgument("frame payload too large");
-  }
+std::string EncodeNetFrame(std::string_view payload) {
   std::string frame;
   frame.reserve(kNetFrameHeaderSize + payload.size());
   PutU32(frame, kNetFrameMagic);
   PutU32(frame, static_cast<uint32_t>(payload.size()));
   frame.append(payload);
-  return WriteAll(fd, frame);
+  return frame;
+}
+
+Status WriteNetFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxNetFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  return WriteAll(fd, EncodeNetFrame(payload));
 }
 
 Result<std::string> ReadNetFrame(int fd) {

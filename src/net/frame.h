@@ -26,6 +26,10 @@ inline constexpr size_t kNetFrameHeaderSize = 8;
 // realistic vaccine feed page and far below the campaign frame cap.
 inline constexpr size_t kMaxNetFramePayload = 64u << 20;
 
+// Header + payload as raw bytes — what WriteNetFrame puts on the wire.
+// The chaos proxy uses this to cut a relayed frame at an exact byte.
+[[nodiscard]] std::string EncodeNetFrame(std::string_view payload);
+
 // Writes one frame; retries EINTR, maps timeouts to DeadlineExceeded.
 [[nodiscard]] Status WriteNetFrame(int fd, std::string_view payload);
 

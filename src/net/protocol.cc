@@ -48,7 +48,12 @@ Result<uint64_t> EnumField(const JsonValue& json, std::string_view key,
 
 std::string RequestToJson(const Request& request) {
   if (const auto* push = std::get_if<PushRequest>(&request)) {
-    return StrFormat("{\"op\":\"push\",\"vaccines\":%s}",
+    if (push->request_id.empty()) {
+      return StrFormat("{\"op\":\"push\",\"vaccines\":%s}",
+                       VaccineArrayJson(push->vaccines).c_str());
+    }
+    return StrFormat("{\"op\":\"push\",\"request_id\":\"%s\",\"vaccines\":%s}",
+                     JsonEscape(push->request_id).c_str(),
                      VaccineArrayJson(push->vaccines).c_str());
   }
   if (const auto* query = std::get_if<QueryRequest>(&request)) {
@@ -57,8 +62,13 @@ std::string RequestToJson(const Request& request) {
                      JsonEscape(query->identifier).c_str());
   }
   if (const auto* pull = std::get_if<PullRequest>(&request)) {
-    return StrFormat("{\"op\":\"pull\",\"since\":%llu}",
-                     static_cast<unsigned long long>(pull->since));
+    if (pull->limit == 0) {
+      return StrFormat("{\"op\":\"pull\",\"since\":%llu}",
+                       static_cast<unsigned long long>(pull->since));
+    }
+    return StrFormat("{\"op\":\"pull\",\"since\":%llu,\"limit\":%llu}",
+                     static_cast<unsigned long long>(pull->since),
+                     static_cast<unsigned long long>(pull->limit));
   }
   return "{\"op\":\"status\"}";
 }
@@ -70,6 +80,10 @@ Result<Request> ParseRequest(std::string_view text) {
     PushRequest request;
     AUTOVAC_ASSIGN_OR_RETURN(request.vaccines,
                              ParseVaccineArray(json, "vaccines"));
+    if (json.Find("request_id") != nullptr) {
+      AUTOVAC_ASSIGN_OR_RETURN(request.request_id,
+                               JsonFieldString(json, "request_id"));
+    }
     return Request(std::move(request));
   }
   if (op == "query") {
@@ -85,6 +99,9 @@ Result<Request> ParseRequest(std::string_view text) {
   if (op == "pull") {
     PullRequest request;
     AUTOVAC_ASSIGN_OR_RETURN(request.since, JsonFieldUint64(json, "since"));
+    if (json.Find("limit") != nullptr) {
+      AUTOVAC_ASSIGN_OR_RETURN(request.limit, JsonFieldUint64(json, "limit"));
+    }
     return Request(request);
   }
   if (op == "status") return Request(StatusRequest{});
@@ -118,19 +135,21 @@ std::string ReplyToJson(const Reply& reply) {
     }
     items += "]";
     return StrFormat("{\"ok\":true,\"op\":\"pull\",\"epoch\":%llu,"
-                     "\"items\":%s}",
+                     "\"more\":%s,\"items\":%s}",
                      static_cast<unsigned long long>(pull->epoch),
-                     items.c_str());
+                     pull->more ? "true" : "false", items.c_str());
   }
   if (const auto* status = std::get_if<StatusReply>(&reply)) {
     return StrFormat(
         "{\"ok\":true,\"op\":\"status\",\"epoch\":%llu,\"served\":%llu,"
-        "\"quarantined\":%llu,\"requests\":%llu,\"shed\":%llu}",
+        "\"quarantined\":%llu,\"requests\":%llu,\"shed\":%llu,"
+        "\"evicted\":%llu}",
         static_cast<unsigned long long>(status->epoch),
         static_cast<unsigned long long>(status->served),
         static_cast<unsigned long long>(status->quarantined),
         static_cast<unsigned long long>(status->requests),
-        static_cast<unsigned long long>(status->shed));
+        static_cast<unsigned long long>(status->shed),
+        static_cast<unsigned long long>(status->evicted));
   }
   const auto& error = std::get<ErrorReply>(reply);
   return StrFormat("{\"ok\":false,\"busy\":%s,\"error\":\"%s\"}",
@@ -167,6 +186,9 @@ Result<Reply> ParseReply(std::string_view text) {
   if (op == "pull") {
     PullReply reply;
     AUTOVAC_ASSIGN_OR_RETURN(reply.epoch, JsonFieldUint64(json, "epoch"));
+    if (json.Find("more") != nullptr) {
+      AUTOVAC_ASSIGN_OR_RETURN(reply.more, JsonFieldBool(json, "more"));
+    }
     const JsonValue* items = json.Find("items");
     if (items == nullptr || !items->is_array()) {
       return Status::InvalidArgument("pull reply has no items array");
@@ -195,6 +217,10 @@ Result<Reply> ParseReply(std::string_view text) {
     AUTOVAC_ASSIGN_OR_RETURN(reply.requests,
                              JsonFieldUint64(json, "requests"));
     AUTOVAC_ASSIGN_OR_RETURN(reply.shed, JsonFieldUint64(json, "shed"));
+    if (json.Find("evicted") != nullptr) {
+      AUTOVAC_ASSIGN_OR_RETURN(reply.evicted,
+                               JsonFieldUint64(json, "evicted"));
+    }
     return Reply(reply);
   }
   return Status::InvalidArgument(

@@ -30,6 +30,10 @@ namespace autovac::net {
 
 struct PushRequest {
   std::vector<vaccine::Vaccine> vaccines;
+  // Client-generated idempotency key: a retried push carries the same id
+  // and the server's dedup window answers it with the recorded reply
+  // instead of re-applying the batch. Empty = no dedup requested.
+  std::string request_id;
 };
 
 struct QueryRequest {
@@ -39,6 +43,10 @@ struct QueryRequest {
 
 struct PullRequest {
   uint64_t since = 0;  // feed epoch the client already has
+  // Page size: at most this many items per reply, extended so a feed
+  // epoch is never split across pages (which keeps "since" an exact
+  // resume cursor). 0 = the whole delta in one reply.
+  uint64_t limit = 0;
 };
 
 struct StatusRequest {};
@@ -68,6 +76,9 @@ struct FeedItem {
 
 struct PullReply {
   uint64_t epoch = 0;  // store epoch at reply time
+  // True when a limit truncated the delta: pull again with since = the
+  // epoch of the last item received to resume.
+  bool more = false;
   std::vector<FeedItem> items;
 };
 
@@ -77,6 +88,7 @@ struct StatusReply {
   uint64_t quarantined = 0;
   uint64_t requests = 0;  // served requests since start
   uint64_t shed = 0;      // connections refused with busy
+  uint64_t evicted = 0;   // slow clients evicted on a write deadline
 };
 
 struct ErrorReply {

@@ -34,10 +34,13 @@ VacdServer::VacdServer(vacstore::VaccineStore store, VacdOptions options)
   requests_metric_ = metrics.GetCounter("vacd.requests");
   shed_metric_ = metrics.GetCounter("vacd.requests_shed");
   failed_metric_ = metrics.GetCounter("vacd.requests_failed");
+  evicted_metric_ = metrics.GetCounter("vacd.slow_client_evictions");
   push_added_metric_ = metrics.GetCounter("vacd.push.added");
   push_duplicate_metric_ = metrics.GetCounter("vacd.push.duplicates");
   push_quarantined_metric_ = metrics.GetCounter("vacd.push.quarantined");
+  push_deduped_metric_ = metrics.GetCounter("vacd.push.deduped");
   query_match_metric_ = metrics.GetCounter("vacd.query.matches");
+  checkpoint_metric_ = metrics.GetCounter("vacd.checkpoints");
 }
 
 VacdServer::~VacdServer() { Stop(); }
@@ -111,6 +114,13 @@ void VacdServer::Stop() {
   }
   accept_thread_.join();
   pool_.reset();  // drains queued connections, joins workers
+  // Every in-flight push has been answered; make its bytes durable, and
+  // leave a fresh checkpoint behind when auto-checkpointing is on so the
+  // next start replays nothing.
+  (void)store_.Flush();
+  if (options_.checkpoint_every > 0 && store_.Checkpoint().ok()) {
+    checkpoint_metric_->Increment();
+  }
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::close(stop_pipe_[0]);
@@ -135,6 +145,15 @@ void VacdServer::AcceptLoop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     SetDeadline(fd, options_.deadline_ms);
+    if (options_.sndbuf_bytes > 0) {
+      // Bound the per-connection output buffer: a reader that stops
+      // draining blocks our writes once this fills, the send deadline
+      // fires, and ServeConnection evicts the connection instead of
+      // letting one slow client hold reply memory and a worker forever.
+      const int sndbuf = static_cast<int>(options_.sndbuf_bytes);
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof(sndbuf));
+    }
     if (pending_.load(std::memory_order_relaxed) >= options_.max_pending) {
       // Overload: shed at the door with an explicit busy reply.
       shed_.fetch_add(1, std::memory_order_relaxed);
@@ -170,7 +189,13 @@ void VacdServer::ServeConnection(int fd) {
     failed_metric_->Increment();
   }
   if (answer) {
-    (void)WriteNetFrame(fd, ReplyToJson(reply));
+    const Status written = WriteNetFrame(fd, ReplyToJson(reply));
+    if (written.code() == StatusCode::kDeadlineExceeded) {
+      // The client stopped draining and our bounded SO_SNDBUF filled:
+      // that is an eviction (close on them), not a generic failure.
+      evicted_.fetch_add(1, std::memory_order_relaxed);
+      evicted_metric_->Increment();
+    }
   }
   ::close(fd);
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -181,6 +206,17 @@ void VacdServer::ServeConnection(int fd) {
 Reply VacdServer::Dispatch(const Request& request) {
   if (const auto* push = std::get_if<PushRequest>(&request)) {
     std::unique_lock lock(mutex_);
+    const bool dedup =
+        !push->request_id.empty() && options_.push_dedup_window > 0;
+    if (dedup) {
+      // A retried push whose first application succeeded but whose reply
+      // was lost: answer with the recorded reply, apply nothing twice.
+      const auto hit = dedup_replies_.find(push->request_id);
+      if (hit != dedup_replies_.end()) {
+        push_deduped_metric_->Increment();
+        return hit->second;
+      }
+    }
     Result<vacstore::PushStats> stats = [&] {
       ScopedSpan span(GlobalTracer(), "vacd.push");
       return store_.Push(push->vaccines);
@@ -195,8 +231,28 @@ Reply VacdServer::Dispatch(const Request& request) {
     push_added_metric_->Increment(stats->added);
     push_duplicate_metric_->Increment(stats->duplicates);
     push_quarantined_metric_->Increment(stats->quarantined);
-    return PushReply{stats->added, stats->duplicates, stats->quarantined,
-                     stats->epoch};
+    const PushReply reply{stats->added, stats->duplicates,
+                          stats->quarantined, stats->epoch};
+    if (dedup) {
+      // Record only after the push is durable, so a dedup hit never
+      // vouches for a batch the store does not hold.
+      dedup_order_.push_back(push->request_id);
+      dedup_replies_[push->request_id] = reply;
+      while (dedup_order_.size() > options_.push_dedup_window) {
+        dedup_replies_.erase(dedup_order_.front());
+        dedup_order_.pop_front();
+      }
+    }
+    if (options_.checkpoint_every > 0) {
+      added_since_checkpoint_ += stats->added;
+      if (added_since_checkpoint_ >= options_.checkpoint_every) {
+        // Failure is non-fatal: the journal already holds every byte,
+        // recovery just replays more than it would have.
+        if (store_.Checkpoint().ok()) checkpoint_metric_->Increment();
+        added_since_checkpoint_ = 0;
+      }
+    }
+    return reply;
   }
   if (const auto* query = std::get_if<QueryRequest>(&request)) {
     std::shared_lock lock(mutex_);
@@ -214,6 +270,14 @@ Reply VacdServer::Dispatch(const Request& request) {
     PullReply reply;
     reply.epoch = store_.epoch();
     for (const vacstore::StoreEntry* entry : store_.Since(pull->since)) {
+      // A page never splits a feed epoch: once the limit is reached the
+      // page still extends through the current epoch, so "epoch of the
+      // last item received" is always an exact resume cursor.
+      if (pull->limit > 0 && reply.items.size() >= pull->limit &&
+          entry->epoch != reply.items.back().epoch) {
+        reply.more = true;
+        break;
+      }
       reply.items.push_back({entry->digest, entry->epoch, entry->vaccine});
     }
     return reply;
@@ -225,6 +289,7 @@ Reply VacdServer::Dispatch(const Request& request) {
   reply.quarantined = store_.quarantined_count();
   reply.requests = requests_.load(std::memory_order_relaxed);
   reply.shed = shed_.load(std::memory_order_relaxed);
+  reply.evicted = evicted_.load(std::memory_order_relaxed);
   return reply;
 }
 
@@ -236,7 +301,16 @@ StatusReply VacdServer::Stats() const {
   reply.quarantined = store_.quarantined_count();
   reply.requests = requests_.load(std::memory_order_relaxed);
   reply.shed = shed_.load(std::memory_order_relaxed);
+  reply.evicted = evicted_.load(std::memory_order_relaxed);
   return reply;
+}
+
+Status VacdServer::CheckpointNow() {
+  std::unique_lock lock(mutex_);
+  AUTOVAC_RETURN_IF_ERROR(store_.Checkpoint());
+  checkpoint_metric_->Increment();
+  added_since_checkpoint_ = 0;
+  return Status::Ok();
 }
 
 void VacdServer::RebuildIndex() {

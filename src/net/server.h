@@ -20,10 +20,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/protocol.h"
@@ -42,6 +44,18 @@ struct VacdOptions {
   // drain mode, and the deterministic way to test the shed path).
   size_t max_pending = 64;
   uint64_t deadline_ms = 5000;  // per-request socket read/write deadline
+  // Bounded per-connection output buffer (SO_SNDBUF): a slow reader can
+  // absorb at most this much before the write deadline starts ticking
+  // and the connection is evicted. 0 keeps the kernel default.
+  size_t sndbuf_bytes = 128 * 1024;
+  // Push replies remembered per request id for idempotent retries; a
+  // retried push whose reply was torn gets the recorded reply instead of
+  // a second application. 0 disables dedup.
+  size_t push_dedup_window = 128;
+  // Checkpoint the store after this many accepted vaccines (and again on
+  // Stop), bounding restart recovery to O(delta-since-checkpoint).
+  // 0 = never checkpoint automatically.
+  size_t checkpoint_every = 0;
 };
 
 class VacdServer {
@@ -56,9 +70,15 @@ class VacdServer {
   // starts the accept thread + worker pool.
   [[nodiscard]] Status Start();
 
-  // Idempotent: drains workers, joins the accept thread, unlinks the
-  // socket. Called by the destructor.
+  // Graceful, idempotent shutdown: stops accepting, finishes every
+  // in-flight request, fsyncs the store (plus a final checkpoint when
+  // checkpoint_every is set), unlinks the socket. Called by the
+  // destructor, and what the CLI runs on SIGTERM — the draining half of
+  // "drain, then restart with bounded recovery".
   void Stop();
+
+  // Checkpoints the store now (exclusive lock). Safe while serving.
+  [[nodiscard]] Status CheckpointNow();
 
   // Current counters, as a STATUS reply (takes the shared lock).
   [[nodiscard]] StatusReply Stats() const;
@@ -94,14 +114,24 @@ class VacdServer {
   std::atomic<size_t> pending_{0};    // accepted, not yet answered
   std::atomic<uint64_t> requests_{0};  // answered (ok or error)
   std::atomic<uint64_t> shed_{0};      // refused with busy
+  std::atomic<uint64_t> evicted_{0};   // write deadline hit, closed on them
+
+  // Request-id -> recorded reply, FIFO-bounded to push_dedup_window.
+  // Guarded by mutex_ (the push path already holds it exclusively).
+  std::unordered_map<std::string, PushReply> dedup_replies_;
+  std::deque<std::string> dedup_order_;
+  size_t added_since_checkpoint_ = 0;  // guarded by mutex_
 
   Counter* requests_metric_ = nullptr;
   Counter* shed_metric_ = nullptr;
   Counter* failed_metric_ = nullptr;
+  Counter* evicted_metric_ = nullptr;
   Counter* push_added_metric_ = nullptr;
   Counter* push_duplicate_metric_ = nullptr;
   Counter* push_quarantined_metric_ = nullptr;
+  Counter* push_deduped_metric_ = nullptr;
   Counter* query_match_metric_ = nullptr;
+  Counter* checkpoint_metric_ = nullptr;
 };
 
 }  // namespace autovac::net

@@ -17,16 +17,28 @@
 // clinic run retract an already-stored vaccine.
 //
 // Durability follows the campaign journal (campaign/journal.h): an
-// append-only JSONL file whose first line is a header record, fsync'd
-// once per Push batch. A crash mid-append leaves a torn tail that Load
-// drops; load-time compaction then rewrites the file so the tail damage
-// and any folded quarantine records do not accumulate.
+// append-only JSONL file whose first line is a header record. A Push
+// batch appends its add records followed by one commit record, then
+// fsyncs — the commit is the batch's atomicity point, so a crash
+// mid-push is invisible after reload (adds without a commit are dropped,
+// the store is pre-push or post-push, never partial). A torn tail is
+// likewise dropped, and load-time rewriting keeps neither from
+// accumulating.
+//
+// Bounded recovery: Checkpoint() snapshots the full state into
+// `<path>.ckpt` (digest-verified, written via temp file + rename) and
+// rotates the journal down to a header that records the checkpoint
+// epoch. Reload then replays only the post-checkpoint journal suffix —
+// O(delta-since-checkpoint) instead of O(history). A torn or corrupt
+// checkpoint falls back to a full journal replay when the journal still
+// holds the full history, and refuses loudly when it does not.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/exclusiveness.h"
@@ -35,7 +47,8 @@
 
 namespace autovac::vacstore {
 
-inline constexpr uint64_t kStoreVersion = 1;
+// Version 2: per-batch commit records and checkpoint/rotation support.
+inline constexpr uint64_t kStoreVersion = 2;
 
 struct StoreEntry {
   vaccine::Vaccine vaccine;
@@ -62,9 +75,11 @@ class VaccineStore {
   VaccineStore(const VaccineStore&) = delete;
   VaccineStore& operator=(const VaccineStore&) = delete;
 
-  // Opens (creating if absent) a durable store at `path`. A torn tail is
-  // dropped and the file compacted; corruption before the tail refuses
-  // the open, like a campaign journal resume.
+  // Opens (creating if absent) a durable store at `path`. Loads the
+  // checkpoint when one is present and valid, then replays the journal
+  // suffix; a torn tail or an uncommitted batch is dropped and the file
+  // rewritten; corruption before the tail refuses the open, like a
+  // campaign journal resume.
   [[nodiscard]] static Result<VaccineStore> Open(const std::string& path);
 
   // Installs the conflict oracle consulted on every future Push;
@@ -72,7 +87,8 @@ class VaccineStore {
   void SetConflictIndex(const analysis::ExclusivenessIndex* index);
 
   // Ingests a batch (one campaign's vaccines, a package, one PUSH
-  // frame). New digests are appended durably before the stats return.
+  // frame). New digests are appended durably — add records plus one
+  // commit record, one fsync — before the stats return.
   [[nodiscard]] Result<PushStats> Push(
       const std::vector<vaccine::Vaccine>& vaccines);
 
@@ -84,6 +100,17 @@ class VaccineStore {
   // Re-evaluates every served entry against the current conflict index,
   // quarantining hits; returns how many were retracted.
   [[nodiscard]] Result<size_t> RescanConflicts();
+
+  // Snapshots the full store into `<path>.ckpt` (temp file + fsync +
+  // rename, trailer digest over the image) and rotates the journal down
+  // to a header marking the checkpoint epoch. No-op Ok for in-memory
+  // stores. Crash-safe at every step: the journal is only rotated after
+  // the checkpoint rename, and reload handles the overlap window.
+  [[nodiscard]] Status Checkpoint();
+
+  // fsyncs the journal even when set_sync(false) deferred per-batch
+  // syncs — the draining-shutdown flush.
+  [[nodiscard]] Status Flush();
 
   // All entries in insertion (= feed) order, quarantined included.
   [[nodiscard]] const std::vector<StoreEntry>& entries() const {
@@ -100,21 +127,59 @@ class VaccineStore {
   [[nodiscard]] size_t served_count() const;
   [[nodiscard]] size_t quarantined_count() const;
   [[nodiscard]] bool persistent() const { return fd_ >= 0; }
-  // True when Open dropped a torn tail record (and compacted it away).
+  // True when Open dropped a torn tail record (and rewrote the file).
   [[nodiscard]] bool repaired_torn_tail() const { return torn_tail_; }
+  // True when Open dropped complete add records with no commit — a crash
+  // landed between a batch's adds and its commit.
+  [[nodiscard]] bool dropped_uncommitted_batch() const {
+    return dropped_uncommitted_;
+  }
+  // True when Open restored state from `<path>.ckpt`.
+  [[nodiscard]] bool checkpoint_loaded() const { return checkpoint_loaded_; }
+  // True when a checkpoint file existed but was torn/corrupt and Open
+  // fell back to a full journal replay.
+  [[nodiscard]] bool checkpoint_fallback() const {
+    return checkpoint_fallback_;
+  }
+  // Journal records replayed by Open after the header — the recovery
+  // cost the checkpoint bounds to O(delta), and what the serving bench
+  // gates.
+  [[nodiscard]] size_t replayed_records() const { return replayed_records_; }
 
   // Benchmarks only: skip the per-batch fsync.
   void set_sync(bool sync) { sync_ = sync; }
 
+  // Crash-test hook: SIGKILL the process after exactly `n` more journal
+  // bytes are written (the partial bytes do land first). Lets a forked
+  // chaos test iterate every byte of a push as a crash point. Negative
+  // disables.
+  void set_crash_after_bytes(int64_t n) { crash_after_bytes_ = n; }
+
  private:
+  struct CheckpointImage {
+    std::vector<StoreEntry> entries;
+    uint64_t epoch = 0;
+  };
+
+  // Reads and verifies `<path>.ckpt`. `*present` reports whether the
+  // file existed at all; a present-but-invalid checkpoint returns
+  // nullopt with the reason in `*error`.
+  [[nodiscard]] static std::optional<CheckpointImage> LoadCheckpoint(
+      const std::string& ckpt_path, bool* present, std::string* error);
+
   [[nodiscard]] std::optional<std::string> ConflictReason(
       const vaccine::Vaccine& vaccine) const;
-  [[nodiscard]] Status AppendLine(const std::string& line);
+  [[nodiscard]] Status AppendBytes(const std::string& bytes);
   [[nodiscard]] Status SyncNow();
-  // Rewrites `path` from in-memory state (temp file + rename).
+  // Rewrites `path` from in-memory state (temp file + rename) as a full
+  // base-epoch-0 journal.
   [[nodiscard]] Status Compact();
+  void IndexEntries();
 
   std::vector<StoreEntry> entries_;
+  // digest -> entries_ position; keeps Push O(batch) instead of
+  // O(batch * store).
+  std::unordered_map<std::string, size_t> index_of_digest_;
   uint64_t epoch_ = 0;
   const analysis::ExclusivenessIndex* conflicts_ = nullptr;
   std::vector<std::string> benign_identifiers_;
@@ -122,6 +187,11 @@ class VaccineStore {
   int fd_ = -1;
   bool sync_ = true;
   bool torn_tail_ = false;
+  bool dropped_uncommitted_ = false;
+  bool checkpoint_loaded_ = false;
+  bool checkpoint_fallback_ = false;
+  size_t replayed_records_ = 0;
+  int64_t crash_after_bytes_ = -1;
 };
 
 }  // namespace autovac::vacstore

@@ -178,6 +178,23 @@ TEST(Protocol, RequestsRoundTrip) {
   const auto* pull_back = std::get_if<PullRequest>(&*pull_parsed);
   ASSERT_NE(pull_back, nullptr);
   EXPECT_EQ(pull_back->since, 7u);
+  EXPECT_EQ(pull_back->limit, 0u);
+
+  // Optional fields round-trip, and their absence keeps legacy bytes.
+  EXPECT_EQ(RequestToJson(Request{pull}).find("limit"), std::string::npos);
+  pull.limit = 32;
+  auto paged = ParseRequest(RequestToJson(Request{pull}));
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ(std::get_if<PullRequest>(&*paged)->limit, 32u);
+
+  PushRequest idempotent;
+  idempotent.vaccines.push_back(MakeVaccine(os::ResourceType::kMutex, "m"));
+  EXPECT_EQ(RequestToJson(Request{idempotent}).find("request_id"),
+            std::string::npos);
+  idempotent.request_id = "retry-key-1";
+  auto keyed = ParseRequest(RequestToJson(Request{idempotent}));
+  ASSERT_TRUE(keyed.ok());
+  EXPECT_EQ(std::get_if<PushRequest>(&*keyed)->request_id, "retry-key-1");
 
   auto status_parsed = ParseRequest(RequestToJson(Request{StatusRequest{}}));
   ASSERT_TRUE(status_parsed.ok());
@@ -201,6 +218,7 @@ TEST(Protocol, RepliesRoundTrip) {
 
   PullReply pull;
   pull.epoch = 4;
+  pull.more = true;
   FeedItem item;
   item.digest = "abc123";
   item.epoch = 2;
@@ -211,9 +229,24 @@ TEST(Protocol, RepliesRoundTrip) {
   const auto* pull_back = std::get_if<PullReply>(&*pull_parsed);
   ASSERT_NE(pull_back, nullptr);
   EXPECT_EQ(pull_back->epoch, 4u);
+  EXPECT_TRUE(pull_back->more);
   ASSERT_EQ(pull_back->items.size(), 1u);
   EXPECT_EQ(pull_back->items[0].digest, "abc123");
   EXPECT_EQ(pull_back->items[0].epoch, 2u);
+
+  StatusReply status;
+  status.epoch = 5;
+  status.served = 4;
+  status.quarantined = 1;
+  status.requests = 99;
+  status.shed = 2;
+  status.evicted = 3;
+  auto status_parsed = ParseReply(ReplyToJson(Reply{status}));
+  ASSERT_TRUE(status_parsed.ok());
+  const auto* status_back = std::get_if<StatusReply>(&*status_parsed);
+  ASSERT_NE(status_back, nullptr);
+  EXPECT_EQ(status_back->evicted, 3u);
+  EXPECT_EQ(status_back->shed, 2u);
 
   ErrorReply error;
   error.busy = true;
@@ -330,6 +363,50 @@ TEST(Vacd, PushQueryPullStatusEndToEnd) {
   EXPECT_GE(stats->requests, 8u);
   EXPECT_EQ(stats->shed, 0u);
 
+  server.Stop();
+}
+
+TEST(Vacd, PagedPullNeverSplitsAnEpochAndResumes) {
+  ScratchPath sock("vacd_paging.sock");
+  VacdOptions options;
+  options.socket_path = sock.path();
+  options.threads = 1;
+  VacdServer server(vacstore::VaccineStore(), options);
+  ASSERT_TRUE(server.Start().ok());
+  VacdClient client(sock.path());
+
+  // Epoch 1 holds two vaccines, epoch 2 one: a limit of 1 must extend
+  // the first page through all of epoch 1 so "since" stays an exact
+  // resume cursor.
+  ASSERT_TRUE(client.Push({MakeVaccine(os::ResourceType::kMutex, "page-a"),
+                           MakeVaccine(os::ResourceType::kMutex, "page-b")})
+                  .ok());
+  ASSERT_TRUE(
+      client.Push({MakeVaccine(os::ResourceType::kMutex, "page-c")}).ok());
+
+  auto first = client.Pull(0, /*limit=*/1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->items.size(), 2u);
+  EXPECT_TRUE(first->more);
+  EXPECT_EQ(first->items.back().epoch, 1u);
+
+  auto second = client.Pull(first->items.back().epoch, /*limit=*/1);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->items.size(), 1u);
+  EXPECT_FALSE(second->more);
+  EXPECT_EQ(second->items[0].vaccine.identifier, "page-c");
+
+  // SyncAll pages through the same feed and merges it completely.
+  auto all = client.SyncAll(0, /*page_limit=*/1);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->items.size(), 3u);
+  EXPECT_EQ(all->epoch, 2u);
+
+  // An unlimited pull is unchanged (and never reports more).
+  auto unpaged = client.Pull(0);
+  ASSERT_TRUE(unpaged.ok());
+  EXPECT_EQ(unpaged->items.size(), 3u);
+  EXPECT_FALSE(unpaged->more);
   server.Stop();
 }
 

@@ -21,18 +21,25 @@ namespace {
 class ScratchFile {
  public:
   explicit ScratchFile(std::string path) : path_(std::move(path)) {
-    std::remove(path_.c_str());
-    std::remove((path_ + ".compact").c_str());
+    Remove();
   }
-  ~ScratchFile() {
-    std::remove(path_.c_str());
-    std::remove((path_ + ".compact").c_str());
-  }
+  ~ScratchFile() { Remove(); }
   const std::string& path() const { return path_; }
 
  private:
+  void Remove() {
+    for (const char* suffix : {"", ".compact", ".ckpt", ".ckpt.tmp",
+                               ".rotate"}) {
+      std::remove((path_ + suffix).c_str());
+    }
+  }
   std::string path_;
 };
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
 
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -284,6 +291,130 @@ TEST(VaccineStore, DigestMismatchRefusesToLoad) {
   ASSERT_NE(pos, std::string::npos);
   tampered.replace(pos, 4, "evil");
   WriteFile(file.path(), tampered);
+  EXPECT_FALSE(VaccineStore::Open(file.path()).ok());
+}
+
+TEST(VaccineStore, UncommittedBatchIsDroppedOnReload) {
+  ScratchFile file("vacstore_uncommitted_test.jsonl");
+  std::string image_one;
+  {
+    auto store = VaccineStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        store->Push({MakeVaccine(os::ResourceType::kMutex, "a")}).ok());
+    image_one = FeedImage(*store);
+    ASSERT_TRUE(
+        store->Push({MakeVaccine(os::ResourceType::kMutex, "b")}).ok());
+  }
+  // Remove the second batch's commit record but keep its (fully
+  // terminated) add line: the adds landed, the atomicity point did not.
+  std::string journal = ReadFile(file.path());
+  const size_t last_line = journal.rfind('\n', journal.size() - 2) + 1;
+  ASSERT_NE(journal.substr(last_line).find("\"commit\""),
+            std::string::npos);
+  WriteFile(file.path(), journal.substr(0, last_line));
+
+  auto reloaded = VaccineStore::Open(file.path());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_TRUE(reloaded->dropped_uncommitted_batch());
+  EXPECT_EQ(FeedImage(*reloaded), image_one);
+  EXPECT_EQ(reloaded->epoch(), 1u);
+
+  // The rewrite scrubbed the orphaned adds; the next open is clean, and
+  // re-pushing the lost batch converges to the fault-free state.
+  auto clean = VaccineStore::Open(file.path());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->dropped_uncommitted_batch());
+  ASSERT_TRUE(
+      clean->Push({MakeVaccine(os::ResourceType::kMutex, "b")}).ok());
+  EXPECT_EQ(clean->entries().size(), 2u);
+  EXPECT_EQ(clean->epoch(), 2u);
+}
+
+TEST(VaccineStore, CheckpointBoundsRecoveryToTheDelta) {
+  ScratchFile file("vacstore_ckpt_test.jsonl");
+  std::string image;
+  {
+    auto store = VaccineStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        store->Push({MakeVaccine(os::ResourceType::kMutex, "a"),
+                     MakeVaccine(os::ResourceType::kFile, "C:\\b")})
+            .ok());
+    ASSERT_TRUE(
+        store->Push({MakeVaccine(os::ResourceType::kService, "svc")}).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(FileExists(file.path() + ".ckpt"));
+    // Post-checkpoint delta: one batch (one add + one commit record).
+    ASSERT_TRUE(
+        store->Push({MakeVaccine(os::ResourceType::kMutex, "delta")}).ok());
+    image = FeedImage(*store);
+  }
+  // The rotated journal holds only the delta; the checkpoint holds the
+  // first three entries. Recovery replays exactly two records.
+  auto reloaded = VaccineStore::Open(file.path());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_TRUE(reloaded->checkpoint_loaded());
+  EXPECT_FALSE(reloaded->checkpoint_fallback());
+  EXPECT_EQ(reloaded->replayed_records(), 2u);
+  EXPECT_EQ(FeedImage(*reloaded), image);
+  EXPECT_EQ(reloaded->epoch(), 3u);
+
+  // Epochs keep counting from where the checkpoint left off.
+  ASSERT_TRUE(
+      reloaded->Push({MakeVaccine(os::ResourceType::kMutex, "next")}).ok());
+  EXPECT_EQ(reloaded->epoch(), 4u);
+}
+
+TEST(VaccineStore, TornCheckpointFallsBackToFullReplay) {
+  ScratchFile file("vacstore_ckptfall_test.jsonl");
+  std::string image;
+  {
+    auto store = VaccineStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        store->Push({MakeVaccine(os::ResourceType::kMutex, "a"),
+                     MakeVaccine(os::ResourceType::kMutex, "b")})
+            .ok());
+    image = FeedImage(*store);
+  }
+  // A torn/corrupt checkpoint next to an unrotated (complete) journal:
+  // recovery must distrust the checkpoint and replay the journal fully.
+  WriteFile(file.path() + ".ckpt", "{\"type\":\"vacstore-ckpt\",\"ver");
+  auto recovered = VaccineStore::Open(file.path());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->checkpoint_fallback());
+  EXPECT_FALSE(recovered->checkpoint_loaded());
+  EXPECT_EQ(FeedImage(*recovered), image);
+
+  // The unusable checkpoint was discarded; the next open is clean.
+  EXPECT_FALSE(FileExists(file.path() + ".ckpt"));
+  auto clean = VaccineStore::Open(file.path());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->checkpoint_fallback());
+  EXPECT_EQ(FeedImage(*clean), image);
+}
+
+TEST(VaccineStore, RotatedJournalWithLostCheckpointRefusesToGuess) {
+  ScratchFile file("vacstore_ckptlost_test.jsonl");
+  {
+    auto store = VaccineStore::Open(file.path());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        store->Push({MakeVaccine(os::ResourceType::kMutex, "a")}).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  // The journal was rotated (its base epoch vouches for checkpointed
+  // history), so losing the checkpoint means losing data — loading must
+  // refuse rather than silently serve an empty feed.
+  ASSERT_EQ(std::remove((file.path() + ".ckpt").c_str()), 0);
+  auto lost = VaccineStore::Open(file.path());
+  ASSERT_FALSE(lost.ok());
+  EXPECT_NE(lost.status().ToString().find("rotated"), std::string::npos)
+      << lost.status().ToString();
+
+  // Same refusal when the checkpoint exists but is corrupt.
+  WriteFile(file.path() + ".ckpt", "garbage\n");
   EXPECT_FALSE(VaccineStore::Open(file.path()).ok());
 }
 

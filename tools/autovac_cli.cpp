@@ -48,6 +48,10 @@
 //   autovac pull --socket <s> [--since <epoch>] [--out <f>]
 //       Delta-sync the vaccine feed since an epoch; the feed page is the
 //       server's reply JSON, byte-identical across server restarts.
+//   autovac chaos-proxy --listen <s> --backend <s> --fault-seed <n>
+//       Relay vacd traffic through a deterministic wire-fault injector
+//       (refused connects, torn frames, stalls, duplicate delivery) to
+//       rehearse client retry behaviour against a real server.
 //
 // Samples are written in the sandbox assembly dialect (see
 // src/vm/assembler.h); everything runs inside the simulator — no real
@@ -67,7 +71,9 @@
 
 #include "campaign/supervisor.h"
 #include "malware/benign.h"
+#include "net/chaosproxy.h"
 #include "net/client.h"
+#include "net/faultwire.h"
 #include "net/server.h"
 #include "sandbox/sandbox.h"
 #include "support/metrics.h"
@@ -102,6 +108,7 @@ void PrintUsage(std::FILE* out) {
       "  push     --socket <s> <package.pkg>...\n"
       "  query    --socket <s> --resource <type> <identifier>\n"
       "  pull     --socket <s> [--since <epoch>] [--out <f>]\n"
+      "  chaos-proxy --listen <s> --backend <s> [--fault-seed <n>]\n"
       "analyze/campaign options:\n"
       "  --no-exclusiveness   skip the benign-corpus exclusiveness filter\n"
       "  --no-clinic          skip the malware-clinic safety test\n"
@@ -135,13 +142,32 @@ void PrintUsage(std::FILE* out) {
       "  --queue <n>          max in-flight requests before shedding BUSY\n"
       "                       (default 64)\n"
       "  --deadline-ms <n>    per-request socket deadline (default 5000)\n"
+      "  --checkpoint-every <n>  checkpoint the store every n accepted\n"
+      "                       vaccines (and on shutdown), so a restart\n"
+      "                       replays only the delta since the checkpoint\n"
+      "  --sndbuf <bytes>     per-connection output buffer cap; a client\n"
+      "                       that stops reading past this is evicted\n"
+      "                       (default 131072, 0 = kernel default)\n"
+      "  --dedup-window <n>   push replies remembered for idempotent\n"
+      "                       retries (default 128, 0 disables)\n"
       "  --no-exclusiveness   skip the benign-conflict quarantine scan\n"
       "vacd client options (push/query/pull):\n"
       "  --deadline-ms <n>    request deadline (default 5000)\n"
+      "  --retries <n>        attempts per request (default 1 = no retry);\n"
+      "                       retried pushes carry an idempotency id\n"
+      "  --retry-budget-ms <n>  total retry wall-clock budget before\n"
+      "                       DeadlineExceeded (default 30000)\n"
+      "  --retry-seed <n>     seed for deterministic backoff jitter\n"
       "  --resource <type>    query: file|registry|mutex|process|window|\n"
       "                       library|service\n"
       "  --since <n>          pull: only vaccines after feed epoch n\n"
       "  --out <f>            pull: write the feed page JSON to a file\n"
+      "chaos-proxy options:\n"
+      "  --listen <s>         socket the client should connect to\n"
+      "  --backend <s>        the real vacd socket to relay to\n"
+      "  --fault-seed <n>     seed the deterministic fault plan (default 1)\n"
+      "  --fault-rate <p>     per-rule fault probability (default 0.1)\n"
+      "  --deadline-ms <n>    relay socket deadline (default 5000)\n"
       "quick start (vaccine feed):\n"
       "  autovac campaign samples/*.asm --package wave.pkg\n"
       "  autovac serve --socket /tmp/vacd.sock --store feed.jsonl &\n"
@@ -748,6 +774,7 @@ void HandleStopSignal(int) { g_stop_requested.store(true); }
 struct ClientFlags {
   std::string socket_path;
   uint64_t deadline_ms = 5000;
+  net::RetryPolicy retry;  // default: a single attempt
 };
 
 int CmdServe(int argc, char** argv) {
@@ -755,13 +782,16 @@ int CmdServe(int argc, char** argv) {
     std::printf(
         "usage: autovac serve --socket <s> [--store <f>] [--threads <n>]\n"
         "                     [--queue <n>] [--deadline-ms <n>]\n"
-        "                     [--no-exclusiveness]\n"
+        "                     [--checkpoint-every <n>] [--sndbuf <bytes>]\n"
+        "                     [--dedup-window <n>] [--no-exclusiveness]\n"
         "Runs vacd, the vaccine store + distribution server, until SIGINT\n"
-        "or SIGTERM. With --store the feed is durable: pushes append to a\n"
-        "fsync'd JSONL journal that survives crashes and restarts.\n"
-        "Vaccines whose identifier or pattern collides with the benign\n"
-        "corpus are quarantined (stored, never served) unless\n"
-        "--no-exclusiveness is given.\n");
+        "or SIGTERM (both drain: in-flight requests finish and the store\n"
+        "is fsync'd before exit). With --store the feed is durable: pushes\n"
+        "append to a fsync'd JSONL journal that survives crashes and\n"
+        "restarts; --checkpoint-every bounds restart recovery to the\n"
+        "delta since the last checkpoint. Vaccines whose identifier or\n"
+        "pattern collides with the benign corpus are quarantined (stored,\n"
+        "never served) unless --no-exclusiveness is given.\n");
     return 0;
   }
   std::string socket_path;
@@ -796,6 +826,18 @@ int CmdServe(int argc, char** argv) {
     } else if (std::strcmp(arg, "--deadline-ms") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
       options.deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.checkpoint_every =
+          static_cast<size_t>(std::strtoull(value, nullptr, 0));
+    } else if (std::strcmp(arg, "--sndbuf") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.sndbuf_bytes =
+          static_cast<size_t>(std::strtoull(value, nullptr, 0));
+    } else if (std::strcmp(arg, "--dedup-window") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.push_dedup_window =
+          static_cast<size_t>(std::strtoull(value, nullptr, 0));
     } else if (std::strcmp(arg, "--no-exclusiveness") == 0) {
       use_exclusiveness = false;
     } else if (std::strncmp(arg, "--", 2) == 0) {
@@ -888,6 +930,20 @@ int ParseClientFlags(int argc, char** argv, ClientFlags* flags,
     } else if (std::strcmp(arg, "--deadline-ms") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
       flags->deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      const long long attempts = std::strtoll(value, nullptr, 0);
+      if (attempts <= 0) {
+        std::fprintf(stderr, "error: --retries requires at least 1\n");
+        return 2;
+      }
+      flags->retry.max_attempts = static_cast<uint32_t>(attempts);
+    } else if (std::strcmp(arg, "--retry-budget-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags->retry.max_total_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--retry-seed") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags->retry.seed = std::strtoull(value, nullptr, 0);
     } else if (extra_flag != nullptr && std::strcmp(arg, extra_flag) == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
       *extra_value = value;
@@ -938,7 +994,7 @@ int CmdPush(int argc, char** argv) {
     vaccines.insert(vaccines.end(), parsed_package->begin(),
                     parsed_package->end());
   }
-  net::VacdClient client(flags.socket_path, flags.deadline_ms);
+  net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
   auto reply = client.Push(vaccines);
   if (!reply.ok()) {
     std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
@@ -981,7 +1037,7 @@ int CmdQuery(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", resource.status().ToString().c_str());
     return 2;
   }
-  net::VacdClient client(flags.socket_path, flags.deadline_ms);
+  net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
   auto reply = client.Query(resource.value(), positional[0]);
   if (!reply.ok()) {
     std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
@@ -1024,6 +1080,20 @@ int CmdPull(int argc, char** argv) {
     } else if (std::strcmp(arg, "--deadline-ms") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
       flags.deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      const long long attempts = std::strtoll(value, nullptr, 0);
+      if (attempts <= 0) {
+        std::fprintf(stderr, "error: --retries requires at least 1\n");
+        return 2;
+      }
+      flags.retry.max_attempts = static_cast<uint32_t>(attempts);
+    } else if (std::strcmp(arg, "--retry-budget-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags.retry.max_total_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--retry-seed") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags.retry.seed = std::strtoull(value, nullptr, 0);
     } else if (std::strcmp(arg, "--since") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
       since = std::strtoull(value, nullptr, 0);
@@ -1041,9 +1111,22 @@ int CmdPull(int argc, char** argv) {
     std::fprintf(stderr, "error: pull requires --socket\n");
     return Usage();
   }
-  net::VacdClient client(flags.socket_path, flags.deadline_ms);
+  net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
   const net::Request request = net::PullRequest{since};
-  auto raw = client.RoundTripRaw(net::RequestToJson(request));
+  // RoundTripRaw is one attempt by design; under --retries, fall back to
+  // the retrying typed path and re-serialize (canonical JSON, so the
+  // output bytes match what the server would have sent).
+  Result<std::string> raw = Status::Internal("unreachable");
+  if (flags.retry.max_attempts > 1) {
+    auto retried = client.RoundTrip(request);
+    if (retried.ok()) {
+      raw = net::ReplyToJson(*retried);
+    } else {
+      raw = retried.status();
+    }
+  } else {
+    raw = client.RoundTripRaw(net::RequestToJson(request));
+  }
   if (!raw.ok()) {
     std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
     return 1;
@@ -1078,6 +1161,84 @@ int CmdPull(int argc, char** argv) {
   return 0;
 }
 
+int CmdChaosProxy(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac chaos-proxy --listen <s> --backend <s>\n"
+        "                           [--fault-seed <n>] [--fault-rate <p>]\n"
+        "                           [--deadline-ms <n>]\n"
+        "Relays vacd connections from --listen to --backend through a\n"
+        "deterministic wire-fault injector: refused connects, frames cut\n"
+        "mid-byte, one-byte-at-a-time delivery, stalls and duplicated\n"
+        "requests, all drawn from --fault-seed. Point a client at the\n"
+        "proxy socket to rehearse its retry policy against a real vacd:\n"
+        "  autovac serve --socket /tmp/vacd.sock --store feed.jsonl &\n"
+        "  autovac chaos-proxy --listen /tmp/chaos.sock \\\n"
+        "      --backend /tmp/vacd.sock --fault-seed 7 &\n"
+        "  autovac push --socket /tmp/chaos.sock --retries 8 wave.pkg\n"
+        "Runs until SIGINT/SIGTERM, then prints a fault summary.\n");
+    return 0;
+  }
+  net::ChaosProxyOptions options;
+  uint64_t seed = 1;
+  double rate = 0.1;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--listen") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.listen_path = value;
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.backend_path = value;
+    } else if (std::strcmp(arg, "--fault-seed") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      seed = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--fault-rate") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      rate = std::strtod(value, nullptr);
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return UnknownOption(arg);
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg);
+      return Usage();
+    }
+  }
+  if (options.listen_path.empty() || options.backend_path.empty()) {
+    std::fprintf(stderr, "error: chaos-proxy requires --listen and "
+                 "--backend\n");
+    return Usage();
+  }
+  options.verbose = true;
+  const net::NetFaultPlan plan = net::NetFaultPlan::Randomized(seed, rate);
+  net::ChaosProxy proxy(plan, options);
+  const Status started = proxy.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // The "relaying" line is the readiness signal scripts wait for.
+  std::printf("chaos-proxy: relaying %s -> %s (%s)\n",
+              options.listen_path.c_str(), options.backend_path.c_str(),
+              plan.Summary().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested.load()) {
+    ::usleep(50 * 1000);
+  }
+  proxy.Stop();
+  std::printf("chaos-proxy: stopped after %llu connections, %llu faults "
+              "injected\n",
+              static_cast<unsigned long long>(proxy.connections()),
+              static_cast<unsigned long long>(proxy.faults_injected()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1105,6 +1266,7 @@ int main(int argc, char** argv) {
   if (command == "push") return CmdPush(argc - 2, argv + 2);
   if (command == "query") return CmdQuery(argc - 2, argv + 2);
   if (command == "pull") return CmdPull(argc - 2, argv + 2);
+  if (command == "chaos-proxy") return CmdChaosProxy(argc - 2, argv + 2);
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return Usage();
 }

@@ -122,7 +122,8 @@ def compare_campaign(base, cur, gate):
                    gate=gate.check_wall)
 
 
-def compare_serving(base, cur, gate, min_index_speedup):
+def compare_serving(base, cur, gate, min_index_speedup,
+                    min_recovery_speedup):
     gate.check_exact("patterns", base.get("patterns"), cur.get("patterns"))
     gate.check_exact("lookups", base.get("lookups"), cur.get("lookups"))
 
@@ -153,6 +154,41 @@ def compare_serving(base, cur, gate, min_index_speedup):
     gate.check("roundtrip wall_ms", float(base_rt.get("wall_ms", 0)),
                float(cur_rt.get("wall_ms", 0)), gate=gate.check_wall)
 
+    cur_rec = cur.get("recovery")
+    if cur_rec is None:
+        print("  recovery section missing from current run  REGRESSION")
+        gate.failures.append("recovery")
+        return
+    base_rec = base.get("recovery", {})
+    # Record counts are deterministic: the full open replays the whole
+    # journal, the checkpointed open replays only the post-checkpoint
+    # suffix. Any drift means recovery is replaying the wrong span.
+    gate.check_exact("recovery entries (full open)",
+                     base_rec.get("entries_full"),
+                     cur_rec.get("entries_full"))
+    gate.check_exact("recovery full_records",
+                     base_rec.get("full_records"),
+                     cur_rec.get("full_records"))
+    gate.check_exact("recovery entries (checkpoint open)",
+                     base_rec.get("entries_checkpoint"),
+                     cur_rec.get("entries_checkpoint"))
+    gate.check_exact("recovery checkpoint_records",
+                     base_rec.get("checkpoint_records"),
+                     cur_rec.get("checkpoint_records"))
+    speedup = float(cur_rec.get("speedup", 0.0))
+    verdict = "ok" if speedup >= min_recovery_speedup else "REGRESSION"
+    if verdict != "ok":
+        gate.failures.append("recovery.speedup")
+    print(f"  {'checkpoint recovery speedup over replay':<44} "
+          f"{min_recovery_speedup:>14.2f} <= {speedup:>11.2f}x {verdict}")
+    gate.check("recovery full_open_ms",
+               float(base_rec.get("full_open_ms", 0)),
+               float(cur_rec.get("full_open_ms", 0)), gate=gate.check_wall)
+    gate.check("recovery checkpoint_open_ms",
+               float(base_rec.get("checkpoint_open_ms", 0)),
+               float(cur_rec.get("checkpoint_open_ms", 0)),
+               gate=gate.check_wall)
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
@@ -166,6 +202,9 @@ def main():
     parser.add_argument("--min-index-speedup", type=float, default=10.0,
                         help="minimum match-index speedup over the linear "
                              "scan (serving bench)")
+    parser.add_argument("--min-recovery-speedup", type=float, default=2.0,
+                        help="minimum checkpoint-recovery speedup over a "
+                             "full journal replay (serving bench)")
     parser.add_argument("--check-wall", action="store_true",
                         help="also gate wall-clock times (off by default: "
                              "shared runners are noisy)")
@@ -186,7 +225,8 @@ def main():
     elif kind == "campaign":
         compare_campaign(base, cur, gate)
     elif kind == "serving":
-        compare_serving(base, cur, gate, args.min_index_speedup)
+        compare_serving(base, cur, gate, args.min_index_speedup,
+                        args.min_recovery_speedup)
     else:
         print(f"check_bench: unknown bench kind '{kind}'", file=sys.stderr)
         sys.exit(2)

@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
 # Chaos harness driver: builds the tree with ASan+UBSan and runs the
-# fault-injection test suite (plus, optionally, the whole suite) under the
-# sanitizers. Any injected-fault path that corrupts memory or trips UB
-# fails loudly here rather than silently in a campaign.
+# fault-injection test suites (plus, optionally, the whole suite) under
+# the sanitizers. Any injected-fault path that corrupts memory or trips
+# UB fails loudly here rather than silently in a campaign.
 #
-# usage: tools/run_chaos.sh [--all] [build-dir]
-#   --all      run every test binary, not just chaos_test
-#   build-dir  sanitizer build directory (default: build-asan)
+# The default run covers both chaos surfaces:
+#   * chaos_test    — VM / analysis fault injection
+#   * netchaos_test — wire faults: refused connects, mid-frame cuts,
+#                     short reads/writes, EINTR, duplicate delivery,
+#                     retrying clients, crash-during-push recovery
+#
+# usage: tools/run_chaos.sh [--all] [--net-only] [build-dir]
+#   --all       run every test binary, not just the chaos suites
+#   --net-only  run only the network chaos suite
+#   build-dir   sanitizer build directory (default: build-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_all=0
+net_only=0
 build_dir=build-asan
 for arg in "$@"; do
   case "$arg" in
     --all) run_all=1 ;;
+    --net-only) net_only=1 ;;
     *) build_dir="$arg" ;;
   esac
 done
@@ -28,7 +37,10 @@ export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
 
 if [[ "$run_all" == 1 ]]; then
   (cd "$build_dir" && ctest --output-on-failure -j"$(nproc)")
+elif [[ "$net_only" == 1 ]]; then
+  "$build_dir/tests/netchaos_test"
 else
   "$build_dir/tests/chaos_test"
+  "$build_dir/tests/netchaos_test"
 fi
 echo "chaos run clean."
