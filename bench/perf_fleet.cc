@@ -1,0 +1,221 @@
+// Detonation-fleet efficiency: the lease-coordinated distributed
+// campaign (fleet/coordinator.h) against the single-process baseline
+// over the same generated corpus, fault-free and with a worker SIGKILLed
+// mid-sample. Two contracts are measured:
+//   * semantics — every fleet schedule merges to a CampaignReport
+//     byte-identical to the in-process run (the bench aborts otherwise);
+//   * efficiency — fleet wall time against the ideal shard time
+//     (baseline / workers). The ratio is two walls from the same run on
+//     the same machine, so it transfers across runners and CI gates it
+//     (tools/check_bench.py --min-fleet-efficiency).
+// Corpus size override: AUTOVAC_CORPUS_SIZE; workers: AUTOVAC_BENCH_WORKERS.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "campaign/supervisor.h"
+#include "fleet/agent.h"
+#include "fleet/coordinator.h"
+#include "vaccine/json.h"
+
+using namespace autovac;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+size_t WorkersFromEnv() {
+  if (const char* env = std::getenv("AUTOVAC_BENCH_WORKERS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 1) return static_cast<size_t>(parsed);
+  }
+  const size_t cores = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(cores, 2, 4);
+}
+
+pid_t ForkWorker(const analysis::ExclusivenessIndex& index,
+                 const std::vector<vm::Program>& wave,
+                 const fleet::WorkerOptions& options) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    vaccine::VaccinePipeline pipeline(&index);
+    const auto stats = fleet::RunWorker(pipeline, wave, options);
+    _exit(stats.ok() ? 0 : 1);
+  }
+  AUTOVAC_CHECK(pid > 0);
+  return pid;
+}
+
+void Reap(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+fleet::WorkerOptions BaseWorker(const std::string& socket_path, size_t n) {
+  fleet::WorkerOptions options;
+  options.socket_path = socket_path;
+  options.worker_id = StrFormat("bench-w%zu", n);
+  options.retry = net::RetryPolicy::Retrying();
+  options.retry.max_total_ms = 30'000;
+  options.idle_poll_ms = 20;
+  options.max_idle_ms = 60'000;
+  return options;
+}
+
+struct Row {
+  std::string name;
+  double wall_ms = 0;
+  double efficiency = 0;  // ideal shard time / measured fleet time
+  uint64_t completed = 0;
+  uint64_t reassigned = 0;
+  bool identical = false;
+};
+
+// One coordinated fleet run: W forked workers, plus an optional kamikaze
+// that SIGKILLs itself mid-sample so a lease has to expire and reassign.
+Row RunFleet(const std::string& name,
+             const analysis::ExclusivenessIndex& index,
+             const std::vector<vm::Program>& wave, size_t workers,
+             bool kill_one, double ideal_ms,
+             const std::string& baseline_json) {
+  Row row;
+  row.name = name;
+
+  fleet::CoordinatorOptions options;
+  options.socket_path = StrFormat("perf_fleet_%s.sock",
+                                  kill_one ? "chaos" : "clean");
+  options.journal_path = StrFormat("perf_fleet_%s.jsonl",
+                                   kill_one ? "chaos" : "clean");
+  std::remove(options.socket_path.c_str());
+  std::remove(options.journal_path.c_str());
+  // Short lease so a killed worker's sample reassigns quickly; healthy
+  // workers renew at a third of the window and are unaffected.
+  options.lease_ms = kill_one ? 500 : 5000;
+  fleet::FleetCoordinator coordinator(wave, vaccine::PipelineOptions{},
+                                      options);
+  AUTOVAC_CHECK(coordinator.Start().ok());
+
+  const auto start = Clock::now();
+  std::vector<pid_t> pids;
+  if (kill_one) {
+    fleet::WorkerOptions kamikaze = BaseWorker(options.socket_path, 99);
+    kamikaze.kill_after_claims = 1;
+    pids.push_back(ForkWorker(index, wave, kamikaze));
+  }
+  for (size_t i = 0; i < workers; ++i) {
+    pids.push_back(ForkWorker(index, wave,
+                              BaseWorker(options.socket_path, i)));
+  }
+  AUTOVAC_CHECK(coordinator.WaitUntilDone(/*timeout_ms=*/600'000).ok());
+  row.wall_ms = MillisSince(start);
+  for (const pid_t pid : pids) Reap(pid);
+
+  const net::FleetStatusReply progress = coordinator.Progress();
+  row.completed = progress.completed;
+  row.reassigned = progress.reassigned;
+  row.efficiency = ideal_ms / row.wall_ms;
+  auto report = coordinator.Report();
+  AUTOVAC_CHECK(report.ok());
+  row.identical =
+      vaccine::CampaignReportToJson(report.value()) == baseline_json;
+  // The whole point of the lease protocol: faults never change bytes.
+  AUTOVAC_CHECK(row.identical);
+  coordinator.Stop();
+  std::remove(options.journal_path.c_str());
+  return row;
+}
+
+// Machine-readable sibling of the printed report (perf_campaign.cc
+// idiom). Path override: AUTOVAC_BENCH_OUT.
+void WriteBenchJson(size_t samples, size_t workers, double baseline_ms,
+                    const std::vector<Row>& rows) {
+  const char* env_path = std::getenv("AUTOVAC_BENCH_OUT");
+  const std::string path =
+      env_path != nullptr ? env_path : "BENCH_fleet.json";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\"bench\":\"fleet\",\"samples\":" << samples
+      << ",\"workers\":" << workers << ",\"baseline_wall_ms\":"
+      << StrFormat("%.3f", baseline_ms) << ",\"modes\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    if (i > 0) out << ",";
+    out << "{\"mode\":\"" << JsonEscape(row.name) << "\",\"wall_ms\":"
+        << StrFormat("%.3f", row.wall_ms) << ",\"efficiency\":"
+        << StrFormat("%.4f", row.efficiency)
+        << ",\"completed\":" << row.completed
+        << ",\"reassigned\":" << row.reassigned << ",\"identical\":"
+        << (row.identical ? "true" : "false") << "}";
+  }
+  out << "]}\n";
+  std::printf("bench telemetry written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const size_t total = std::min<size_t>(bench::CorpusSizeFromEnv(), 18);
+  const size_t workers = WorkersFromEnv();
+  auto index = bench::BuildBenignIndex();
+
+  malware::CorpusOptions corpus_options;
+  corpus_options.total = total;
+  auto corpus = malware::GenerateCorpus(corpus_options);
+  AUTOVAC_CHECK(corpus.ok());
+  std::vector<vm::Program> samples;
+  samples.reserve(corpus->size());
+  for (const malware::CorpusSample& sample : corpus.value()) {
+    samples.push_back(sample.program);
+  }
+
+  // The oracle: one in-process pass, no fleet, no journal.
+  vaccine::VaccinePipeline pipeline(&index);
+  const auto base_start = Clock::now();
+  auto baseline = campaign::RunDurableCampaign(pipeline, samples, {});
+  const double base_ms = MillisSince(base_start);
+  AUTOVAC_CHECK(baseline.ok());
+  const std::string baseline_json =
+      vaccine::CampaignReportToJson(baseline->report);
+  const double ideal_ms = base_ms / static_cast<double>(workers);
+
+  std::vector<Row> rows;
+  rows.push_back(RunFleet("fault-free", index, samples, workers,
+                          /*kill_one=*/false, ideal_ms, baseline_json));
+  rows.push_back(RunFleet("worker-killed", index, samples, workers,
+                          /*kill_one=*/true, ideal_ms, baseline_json));
+
+  std::printf("== detonation fleet efficiency (%zu samples, %zu workers) "
+              "==\n", total, workers);
+  std::printf("  %-26s %9.1f ms  (ideal shard: %.1f ms)\n",
+              "in-process baseline", base_ms, ideal_ms);
+  for (const Row& row : rows) {
+    std::printf("  %-26s %9.1f ms  efficiency %.2f  (%llu completed, "
+                "%llu reassigned)\n",
+                row.name.c_str(), row.wall_ms, row.efficiency,
+                static_cast<unsigned long long>(row.completed),
+                static_cast<unsigned long long>(row.reassigned));
+  }
+  std::printf("fleet reports byte-identical to the in-process run across "
+              "all %zu schedules\n", rows.size());
+  WriteBenchJson(total, workers, base_ms, rows);
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -15,15 +16,33 @@
 namespace autovac::campaign {
 namespace {
 
+// Test seam for the write path; nullptr (production) is the raw syscall.
+// Relaxed atomics: tests install the shim before any journal activity.
+std::atomic<JournalWriteShim> g_write_shim{nullptr};
+
+// EINTR/partial-write audit (mirrors net/frame.cc): a journal append may
+// be split across many ::write calls — a signal can interrupt before any
+// byte moves (EINTR, retried) or after a prefix landed (short count, the
+// loop continues from `written`). A failure mid-record leaves a torn
+// tail, which Load drops by design; bytes are only acknowledged as
+// durable once the whole line *and* its fsync complete. A zero-byte
+// write (possible only for a zero-length buffer, which the callers never
+// pass) would loop forever, so it is rejected defensively.
 Status WriteAll(int fd, std::string_view bytes) {
+  const JournalWriteShim shim = g_write_shim.load(std::memory_order_relaxed);
   size_t written = 0;
   while (written < bytes.size()) {
     const ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
+        shim != nullptr
+            ? shim(fd, bytes.data() + written, bytes.size() - written)
+            : ::write(fd, bytes.data() + written, bytes.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(StrFormat("journal write failed: %s",
                                         std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::Internal("journal write made no progress");
     }
     written += static_cast<size_t>(n);
   }
@@ -78,6 +97,10 @@ Result<JournalHeader> HeaderFromJson(const JsonValue& json) {
 }
 
 }  // namespace
+
+void SetJournalWriteShimForTest(JournalWriteShim shim) {
+  g_write_shim.store(shim, std::memory_order_relaxed);
+}
 
 std::string CampaignConfigDigest(const vaccine::PipelineOptions& options,
                                  const std::vector<vm::Program>& samples,
@@ -240,7 +263,7 @@ Result<CampaignJournal::Replay> CampaignJournal::Load(
       continue;
     }
     auto type = JsonFieldString(parsed.value(), "type");
-    if (!type.ok() || type.value() != "sample") {
+    if (!type.ok() || (type.value() != "sample" && type.value() != "assign")) {
       return Status::InvalidArgument(
           StrFormat("journal record %zu has bad type", i));
     }
@@ -250,6 +273,15 @@ Result<CampaignJournal::Replay> CampaignJournal::Load(
       return Status::InvalidArgument(
           StrFormat("journal record %zu: sample index %llu out of range",
                     i, static_cast<unsigned long long>(index)));
+    }
+    if (type.value() == "assign") {
+      // Fleet assignment: advisory (the sample is reissued if no sample
+      // record follows), but the lease-id floor must survive resume.
+      AUTOVAC_ASSIGN_OR_RETURN(const uint64_t lease,
+                               JsonFieldUint64(parsed.value(), "lease"));
+      ++replay.assignments;
+      if (lease > replay.max_lease_id) replay.max_lease_id = lease;
+      continue;
     }
     const JsonValue* report_json = parsed.value().Find("report");
     if (report_json == nullptr) {
@@ -270,6 +302,22 @@ Status CampaignJournal::Append(size_t index,
   const std::string line = StrFormat(
       "{\"type\":\"sample\",\"index\":%zu,\"report\":%s}\n", index,
       vaccine::SampleReportToJson(report).c_str());
+  AUTOVAC_RETURN_IF_ERROR(WriteAll(fd_, line));
+  if (sync_ && ::fsync(fd_) != 0) {
+    return Status::Internal(StrFormat("journal fsync failed: %s",
+                                      std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status CampaignJournal::AppendAssignment(size_t index,
+                                         std::string_view worker_id,
+                                         uint64_t lease_id) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal is not open");
+  const std::string line = StrFormat(
+      "{\"type\":\"assign\",\"index\":%zu,\"worker\":\"%s\",\"lease\":%llu}\n",
+      index, JsonEscape(worker_id).c_str(),
+      static_cast<unsigned long long>(lease_id));
   AUTOVAC_RETURN_IF_ERROR(WriteAll(fd_, line));
   if (sync_ && ::fsync(fd_) != 0) {
     return Status::Internal(StrFormat("journal fsync failed: %s",

@@ -16,6 +16,8 @@
 // refused resume, not a silent skip.
 #pragma once
 
+#include <sys/types.h>
+
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +29,14 @@
 namespace autovac::campaign {
 
 inline constexpr uint64_t kJournalVersion = 1;
+
+// Test-only write shim: routes every journal ::write through `shim` so a
+// test can force short transfers and spurious EINTR against a real fd —
+// the same discipline PR 6's wire shim applies to sockets, here applied
+// to the journal. The shim returns the byte count written or -1 with
+// errno set. nullptr restores the raw syscall.
+using JournalWriteShim = ssize_t (*)(int fd, const char* data, size_t len);
+void SetJournalWriteShimForTest(JournalWriteShim shim);
 
 struct JournalHeader {
   uint64_t version = kJournalVersion;
@@ -74,6 +84,12 @@ class CampaignJournal {
     std::vector<std::optional<vaccine::SampleReport>> reports;
     size_t completed = 0;
     bool torn_tail = false;  // a torn final record was dropped
+    // Fleet coordinator state: how many assignment records were seen and
+    // the highest lease id ever issued. A resumed coordinator hands out
+    // lease ids strictly above max_lease_id, so no lease id from a prior
+    // incarnation can ever be mistaken for a live one.
+    size_t assignments = 0;
+    uint64_t max_lease_id = 0;
   };
 
   // Parses the journal at `path`. `corpus_size` bounds the sample index
@@ -87,6 +103,14 @@ class CampaignJournal {
   // `sync` false (benchmarks only) the fsync is skipped.
   [[nodiscard]] Status Append(size_t index,
                               const vaccine::SampleReport& report);
+
+  // Appends (and fsyncs) one fleet assignment record: sample `index` is
+  // now leased to `worker_id` under `lease_id`. Advisory for resume
+  // (assignments without a matching sample record are simply reissued),
+  // but the durable lease-id floor: Load's max_lease_id covers it.
+  [[nodiscard]] Status AppendAssignment(size_t index,
+                                        std::string_view worker_id,
+                                        uint64_t lease_id);
 
   void set_sync(bool sync) { sync_ = sync; }
   [[nodiscard]] bool open() const { return fd_ >= 0; }

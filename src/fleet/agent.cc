@@ -1,0 +1,175 @@
+#include "fleet/agent.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "campaign/journal.h"
+#include "support/strings.h"
+
+namespace autovac::fleet {
+namespace {
+
+// Renews one lease at a third of its window until told to stop. Renewal
+// failures are deliberately not fatal: the lease may already be renewed
+// with plenty of window left, and a genuinely stale lease surfaces as a
+// rejected upload — the loop's job is only to keep a *healthy* worker's
+// lease alive.
+class Heartbeat {
+ public:
+  Heartbeat(const FleetClient& client, std::string worker_id,
+            uint64_t lease_id, uint64_t lease_ms)
+      : client_(client),
+        worker_id_(std::move(worker_id)),
+        lease_id_(lease_id),
+        interval_ms_(std::max<uint64_t>(1, lease_ms / 3)) {
+    thread_ = std::thread(&Heartbeat::Loop, this);
+  }
+
+  ~Heartbeat() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      lock.unlock();
+      (void)client_.Renew(worker_id_, lease_id_);
+      lock.lock();
+    }
+  }
+
+  const FleetClient& client_;
+  const std::string worker_id_;
+  const uint64_t lease_id_;
+  const uint64_t interval_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+Result<WorkerStats> RunWorker(const vaccine::VaccinePipeline& pipeline,
+                              const std::vector<vm::Program>& corpus,
+                              const WorkerOptions& options) {
+  FleetClient client(options.socket_path, options.deadline_ms, options.retry);
+  // Uploads go through a second client carrying the mid-upload chaos
+  // hook, so claims and heartbeats are never the ones that detonate.
+  FleetClient uploader(options.socket_path, options.deadline_ms,
+                       options.retry);
+  if (options.kill_mid_upload) {
+    uploader.set_after_send_hook([] { (void)::raise(SIGKILL); });
+  }
+
+  const std::string expected_config = campaign::CampaignConfigDigest(
+      pipeline.options(), corpus, options.config_extra);
+
+  WorkerStats stats;
+  uint64_t idle_ms = 0;
+  while (true) {
+    AUTOVAC_ASSIGN_OR_RETURN(const net::ClaimReply claim,
+                             client.Claim(options.worker_id));
+    if (claim.done) return stats;
+    if (!claim.has_work) {
+      // Everything left is leased elsewhere; an expired lease may come
+      // back to the queue, so poll — but not forever.
+      if (options.max_idle_ms > 0 && idle_ms >= options.max_idle_ms) {
+        return Status::DeadlineExceeded(StrFormat(
+            "no work granted for %llu ms and the campaign is not done",
+            static_cast<unsigned long long>(idle_ms)));
+      }
+      ::usleep(static_cast<useconds_t>(options.idle_poll_ms * 1000));
+      idle_ms += options.idle_poll_ms;
+      continue;
+    }
+    idle_ms = 0;
+    ++stats.claimed;
+    if (options.kill_after_claims > 0 &&
+        stats.claimed >= options.kill_after_claims) {
+      // Chaos hook: die holding a live lease, mid-sample. The sample is
+      // recovered by lease expiry + reassignment, nothing else.
+      (void)::raise(SIGKILL);
+    }
+
+    if (claim.config_digest != expected_config) {
+      return Status::FailedPrecondition(StrFormat(
+          "coordinator campaign config digest %s does not match this "
+          "worker's %s; refusing to analyze",
+          claim.config_digest.c_str(), expected_config.c_str()));
+    }
+    const size_t index = static_cast<size_t>(claim.sample_index);
+    if (index >= corpus.size()) {
+      return Status::FailedPrecondition(StrFormat(
+          "claimed sample index %zu but this worker's corpus has %zu "
+          "samples",
+          index, corpus.size()));
+    }
+    const vm::Program& sample = corpus[index];
+    if (sample.Digest() != claim.sample_digest) {
+      return Status::FailedPrecondition(StrFormat(
+          "sample %zu (%s) digest mismatch: coordinator %s, local %s — "
+          "stale corpus copy?",
+          index, sample.name.c_str(), claim.sample_digest.c_str(),
+          sample.Digest().c_str()));
+    }
+
+    if (options.verdicts) {
+      // Cheap resource profile first: operators see a suspicion verdict
+      // long before the full pipeline finishes the sample.
+      net::VerdictRequest verdict =
+          ScoreSample(sample, options.verdict_options);
+      verdict.worker_id = options.worker_id;
+      verdict.lease_id = claim.lease_id;
+      verdict.sample_index = claim.sample_index;
+      Result<net::VerdictReply> sent = client.Verdict(verdict);
+      if (sent.ok() && sent->accepted) ++stats.verdicts;
+    }
+
+    net::CompleteRequest upload;
+    {
+      Heartbeat heartbeat(client, options.worker_id, claim.lease_id,
+                          claim.lease_ms);
+      upload.report = vaccine::AnalyzeIsolated(pipeline, sample);
+    }
+    upload.worker_id = options.worker_id;
+    upload.lease_id = claim.lease_id;
+    upload.sample_index = claim.sample_index;
+    AUTOVAC_ASSIGN_OR_RETURN(const net::CompleteReply done,
+                             uploader.Complete(std::move(upload)));
+    if (done.accepted) {
+      ++stats.completed;
+    } else if (done.stale) {
+      // Our lease expired and the sample went to someone else; the work
+      // is wasted but the campaign is unharmed. Claim the next one.
+      ++stats.stale;
+    } else if (done.duplicate) {
+      ++stats.duplicates;
+    }
+    if (done.campaign_done) {
+      // Our upload finished the campaign: exit on its acknowledgement
+      // instead of racing one more claim against a coordinator that may
+      // already be tearing its socket down.
+      return stats;
+    }
+  }
+}
+
+}  // namespace autovac::fleet

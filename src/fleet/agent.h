@@ -1,0 +1,71 @@
+// Fleet worker agent: the claim → analyze → upload loop one detonation
+// worker runs against a coordinator.
+//
+// The agent holds its own copy of the corpus (out-of-band distribution;
+// same generator seed or shared storage) and verifies every claim twice
+// before burning cycles on it: the campaign config digest — a worker
+// configured differently could never merge byte-identically — and the
+// sample content digest — a stale corpus copy analyzes the wrong bytes.
+// Either mismatch is a refused claim, not a silent wrong answer.
+//
+// While a sample is analyzing, a heartbeat thread renews the lease at a
+// third of its window. A worker that stalls past the window without
+// renewing loses the sample to reassignment; if it then finishes anyway,
+// its upload is rejected stale and simply not counted — the agent moves
+// on to the next claim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/client.h"
+#include "fleet/verdict.h"
+#include "net/client.h"
+#include "support/status.h"
+#include "vaccine/pipeline.h"
+#include "vm/program.h"
+
+namespace autovac::fleet {
+
+struct WorkerOptions {
+  std::string socket_path;
+  std::string worker_id = "worker";
+  uint64_t deadline_ms = 5000;
+  net::RetryPolicy retry;
+  // Must match the coordinator's config_extra or every claim is refused.
+  std::string config_extra;
+  // Emit the advisory online-verdict stream before full analysis.
+  bool verdicts = false;
+  VerdictOptions verdict_options;
+  // Poll cadence while every remaining sample is leased elsewhere, and
+  // how long to keep polling before giving up (0 = forever).
+  uint64_t idle_poll_ms = 50;
+  uint64_t max_idle_ms = 60000;
+  // Chaos hooks, both SIGKILL-this-process:
+  // ... right after the n-th successful claim — the "worker mid-sample"
+  // death: a lease is held, nothing was uploaded. 0 disables.
+  size_t kill_after_claims = 0;
+  // ... after the complete frame is sent, before its reply is read — the
+  // "worker mid-upload" death: the coordinator may have applied the
+  // report whose acknowledgement nobody will ever read.
+  bool kill_mid_upload = false;
+};
+
+struct WorkerStats {
+  size_t claimed = 0;     // samples this worker analyzed
+  size_t completed = 0;   // uploads accepted
+  size_t stale = 0;       // uploads rejected (our lease was reassigned)
+  size_t duplicates = 0;  // uploads for already-done samples
+  size_t verdicts = 0;    // verdict-stream records accepted
+};
+
+// Runs the claim loop until the coordinator reports the campaign done
+// (Ok), a claim is unacceptable (FailedPrecondition), the idle budget
+// elapses, or the coordinator becomes unreachable past the retry budget.
+[[nodiscard]] Result<WorkerStats> RunWorker(
+    const vaccine::VaccinePipeline& pipeline,
+    const std::vector<vm::Program>& corpus, const WorkerOptions& options);
+
+}  // namespace autovac::fleet

@@ -1,0 +1,114 @@
+#include "fleet/lease.h"
+
+#include <chrono>
+#include <utility>
+
+namespace autovac::fleet {
+
+LeaseTable::LeaseTable(size_t samples, Options options)
+    : slots_(samples),
+      options_(std::move(options)),
+      next_lease_id_(options_.first_lease_id == 0 ? 1
+                                                  : options_.first_lease_id) {
+  if (options_.lease_ms == 0) options_.lease_ms = 1;
+}
+
+uint64_t LeaseTable::Now() const {
+  if (options_.clock) return options_.clock();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void LeaseTable::MarkCompleted(size_t index) {
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (slot.state == State::kCompleted) return;
+  slot.state = State::kCompleted;
+  ++completed_;
+}
+
+void LeaseTable::ReapExpired() {
+  const uint64_t now = Now();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.state != State::kLeased || now < slot.lease_expiry) continue;
+    // The window elapsed: return the sample to the queue and kill the
+    // lease id. From here on the old holder is a zombie.
+    slot_of_lease_.erase(slot.lease_id);
+    slot.state = State::kPending;
+    slot.lease_id = 0;
+    slot.worker_id.clear();
+    ++reassignments_;
+  }
+}
+
+LeaseTable::Grant LeaseTable::Claim(const std::string& worker_id) {
+  workers_.insert(worker_id);
+  ReapExpired();
+  Grant grant;
+  if (done()) {
+    grant.done = true;
+    return grant;
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.state != State::kPending) continue;
+    slot.state = State::kLeased;
+    slot.lease_id = next_lease_id_++;
+    slot.lease_expiry = Now() + options_.lease_ms;
+    slot.worker_id = worker_id;
+    slot_of_lease_[slot.lease_id] = i;
+    grant.has_work = true;
+    grant.index = i;
+    grant.lease_id = slot.lease_id;
+    grant.lease_ms = options_.lease_ms;
+    return grant;
+  }
+  // Everything left is leased out right now; the caller polls again and
+  // may inherit an expired lease on a later claim.
+  return grant;
+}
+
+bool LeaseTable::Renew(uint64_t lease_id) {
+  const auto it = slot_of_lease_.find(lease_id);
+  if (it == slot_of_lease_.end()) return false;
+  Slot& slot = slots_[it->second];
+  // Not reaped yet, so the lease is still the sample's current one —
+  // renew even if the window technically elapsed (grace; see lease.h).
+  slot.lease_expiry = Now() + options_.lease_ms;
+  return true;
+}
+
+LeaseTable::CompleteOutcome LeaseTable::Complete(uint64_t lease_id,
+                                                 size_t index) {
+  if (index >= slots_.size()) {
+    ++stale_rejections_;
+    return CompleteOutcome::kStale;
+  }
+  Slot& slot = slots_[index];
+  if (slot.state == State::kCompleted) {
+    ++duplicates_;
+    return CompleteOutcome::kDuplicate;
+  }
+  if (slot.state != State::kLeased || slot.lease_id != lease_id) {
+    // Reassigned (or never this worker's): the zombie-upload rejection.
+    ++stale_rejections_;
+    return CompleteOutcome::kStale;
+  }
+  slot_of_lease_.erase(slot.lease_id);
+  slot.state = State::kCompleted;
+  slot.lease_id = 0;
+  ++completed_;
+  return CompleteOutcome::kAccepted;
+}
+
+bool LeaseTable::IsLive(uint64_t lease_id, size_t index) const {
+  const auto it = slot_of_lease_.find(lease_id);
+  return it != slot_of_lease_.end() && it->second == index;
+}
+
+size_t LeaseTable::leased() const { return slot_of_lease_.size(); }
+
+}  // namespace autovac::fleet

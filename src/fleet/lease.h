@@ -1,0 +1,121 @@
+// Lease table: the exactly-once bookkeeping at the heart of the fleet
+// coordinator.
+//
+// Each corpus sample moves through a three-state machine:
+//
+//     pending ──claim──▶ leased ──complete──▶ completed
+//        ▲                  │
+//        └────expire────────┘   (reassignment; the old lease id dies)
+//
+// A claim grants a lease: a fresh monotonically increasing id plus a
+// validity window. Workers renew by heartbeat; a lease whose window
+// elapses is *reaped* back to pending on the next claim, at which point
+// (and only at which point) its id becomes stale. The distinction
+// matters: a worker that merely missed a heartbeat but completes before
+// anyone reclaims its sample is accepted (grace), while a zombie whose
+// sample was reassigned is rejected — no sample is ever counted twice.
+//
+// Lease ids never restart from zero: a resumed coordinator seeds
+// `first_lease_id` above the journal's max_lease_id, so an id issued by
+// a dead incarnation can never collide with a live one.
+//
+// The table is clock-injected (milliseconds, monotonic) so expiry tests
+// are deterministic, and does no locking of its own — the coordinator
+// serializes access under its dispatch mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace autovac::fleet {
+
+class LeaseTable {
+ public:
+  using Clock = std::function<uint64_t()>;  // monotonic milliseconds
+
+  struct Options {
+    uint64_t lease_ms = 5000;     // validity window per grant/renewal
+    uint64_t first_lease_id = 1;  // resumed coordinators seed this higher
+    Clock clock;                  // nullptr = steady_clock
+  };
+
+  LeaseTable(size_t samples, Options options);
+
+  // Journal replay: marks `index` completed without ever leasing it.
+  void MarkCompleted(size_t index);
+
+  struct Grant {
+    bool has_work = false;
+    bool done = false;  // every sample completed
+    size_t index = 0;
+    uint64_t lease_id = 0;
+    uint64_t lease_ms = 0;
+  };
+
+  // Reaps expired leases, then grants the lowest pending index to
+  // `worker_id`. has_work=false with done=false means everything left is
+  // leased out — the caller should poll again.
+  [[nodiscard]] Grant Claim(const std::string& worker_id);
+
+  // Heartbeat: extends the lease window. False when the lease id is not
+  // live (expired + reassigned, unknown, or its sample completed).
+  [[nodiscard]] bool Renew(uint64_t lease_id);
+
+  enum class CompleteOutcome {
+    kAccepted,   // live lease: count the report
+    kDuplicate,  // sample already completed (benign retry or lost race)
+    kStale,      // lease invalidated by reassignment: reject the report
+  };
+
+  // Resolves an upload for (`lease_id`, `index`). Accepts iff the lease
+  // is the sample's *current* lease — expiry alone does not invalidate
+  // it, reassignment does (see file comment).
+  [[nodiscard]] CompleteOutcome Complete(uint64_t lease_id, size_t index);
+
+  // True iff `lease_id` is live and currently covers `index` — the guard
+  // that keeps zombie verdict telemetry out of the stream.
+  [[nodiscard]] bool IsLive(uint64_t lease_id, size_t index) const;
+
+  [[nodiscard]] size_t total() const { return slots_.size(); }
+  [[nodiscard]] size_t completed() const { return completed_; }
+  [[nodiscard]] bool done() const { return completed_ == slots_.size(); }
+  [[nodiscard]] size_t leased() const;
+  [[nodiscard]] uint64_t reassignments() const { return reassignments_; }
+  [[nodiscard]] uint64_t stale_rejections() const {
+    return stale_rejections_;
+  }
+  [[nodiscard]] uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] size_t workers_seen() const { return workers_.size(); }
+  [[nodiscard]] uint64_t next_lease_id() const { return next_lease_id_; }
+
+ private:
+  enum class State : uint8_t { kPending, kLeased, kCompleted };
+
+  struct Slot {
+    State state = State::kPending;
+    uint64_t lease_id = 0;      // current lease when kLeased
+    uint64_t lease_expiry = 0;  // clock ms when the window elapses
+    std::string worker_id;
+  };
+
+  [[nodiscard]] uint64_t Now() const;
+  // Returns leased slots whose window elapsed to pending.
+  void ReapExpired();
+
+  std::vector<Slot> slots_;
+  Options options_;
+  uint64_t next_lease_id_;
+  // lease id -> slot index, live leases only.
+  std::unordered_map<uint64_t, size_t> slot_of_lease_;
+  std::unordered_set<std::string> workers_;
+  size_t completed_ = 0;
+  uint64_t reassignments_ = 0;
+  uint64_t stale_rejections_ = 0;
+  uint64_t duplicates_ = 0;
+};
+
+}  // namespace autovac::fleet

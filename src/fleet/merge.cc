@@ -1,0 +1,36 @@
+#include "fleet/merge.h"
+
+#include <utility>
+
+#include "support/strings.h"
+
+namespace autovac::fleet {
+
+Result<vaccine::CampaignReport> MergeFleetReports(
+    std::vector<std::optional<vaccine::SampleReport>> reports,
+    const std::vector<vm::Program>& samples) {
+  if (reports.size() != samples.size()) {
+    return Status::Internal(
+        StrFormat("merge: %zu report slots for %zu samples", reports.size(),
+                  samples.size()));
+  }
+  std::vector<vaccine::SampleReport> ordered;
+  ordered.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (!reports[i].has_value()) {
+      return Status::Internal(StrFormat(
+          "merge: sample %zu (%s) has no report — the campaign is not done",
+          i, samples[i].name.c_str()));
+    }
+    if (reports[i]->sample_digest != samples[i].Digest()) {
+      return Status::Internal(StrFormat(
+          "merge: sample %zu report digest %s does not match corpus digest "
+          "%s",
+          i, reports[i]->sample_digest.c_str(), samples[i].Digest().c_str()));
+    }
+    ordered.push_back(std::move(*reports[i]));
+  }
+  return vaccine::BuildCampaignReport(std::move(ordered));
+}
+
+}  // namespace autovac::fleet

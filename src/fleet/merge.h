@@ -1,0 +1,31 @@
+// Deterministic merge: per-sample reports (journal replay + live
+// uploads) folded into the campaign artifact, with the exactly-once
+// audit the chaos suite asserts.
+//
+// Determinism argument (DESIGN.md §12): each SampleReport is a pure
+// function of (sample bytes, pipeline options, machine seed) — which
+// worker produced it, after how many retries, is invisible in the
+// report. The merge orders reports by corpus index and delegates to
+// vaccine::BuildCampaignReport, so the merged CampaignReport serializes
+// byte-identically to a fault-free single-host run for *any* failure
+// schedule, provided every sample is present exactly once — which the
+// lease table guarantees and this merge verifies.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "support/status.h"
+#include "vaccine/pipeline.h"
+#include "vm/program.h"
+
+namespace autovac::fleet {
+
+// Fails loudly (Internal) when a sample is missing, or when a report's
+// digest does not match its corpus slot — either would mean the
+// exactly-once bookkeeping let something through.
+[[nodiscard]] Result<vaccine::CampaignReport> MergeFleetReports(
+    std::vector<std::optional<vaccine::SampleReport>> reports,
+    const std::vector<vm::Program>& samples);
+
+}  // namespace autovac::fleet

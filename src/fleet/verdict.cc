@@ -1,0 +1,39 @@
+#include "fleet/verdict.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "os/host_environment.h"
+#include "sandbox/sandbox.h"
+
+namespace autovac::fleet {
+
+net::VerdictRequest ScoreSample(const vm::Program& sample,
+                                const VerdictOptions& options) {
+  os::HostEnvironment env =
+      os::HostEnvironment::StandardMachine(options.machine_seed);
+  sandbox::RunOptions run;
+  run.cycle_budget = options.cycle_budget;
+  run.enable_taint = true;
+  run.limits.max_api_calls = options.max_api_calls;
+  const sandbox::RunResult result = sandbox::RunProgram(sample, env, run);
+
+  net::VerdictRequest verdict;
+  verdict.api_calls = result.api_trace.calls.size();
+  std::unordered_set<std::string> identifiers;
+  for (const trace::ApiCallRecord& call : result.api_trace.calls) {
+    if (!call.is_resource_api) continue;
+    ++verdict.resource_calls;
+    if (call.taint_reached_predicate) ++verdict.tainted;
+    if (!call.resource_identifier.empty()) {
+      identifiers.insert(call.resource_identifier);
+    }
+  }
+  verdict.identifiers = identifiers.size();
+  // Resource probing whose outcome steered a branch is exactly the
+  // §III constraint-checking behaviour vaccines exploit.
+  verdict.suspicious = verdict.resource_calls > 0 && verdict.tainted > 0;
+  return verdict;
+}
+
+}  // namespace autovac::fleet

@@ -1,0 +1,35 @@
+// Online verdict stream: a cheap resource-utilization profile scored
+// *before* full vaccine analysis, after "Online Malware Detection using
+// Process Resource Utilization Metrics" (PAPERS.md). A detonation worker
+// runs the sample for a small cycle budget, summarizes its system-
+// resource behaviour, and streams the verdict to the coordinator — so a
+// fleet operator sees "suspicious" minutes before Phase II finishes.
+//
+// The verdict is deterministic (fixed machine seed, fixed budget) but
+// deliberately advisory: it never enters the merged CampaignReport,
+// whose bytes must stay identical to a fault-free run regardless of
+// which workers streamed verdicts before dying.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fleet_protocol.h"
+#include "vm/program.h"
+
+namespace autovac::fleet {
+
+struct VerdictOptions {
+  uint64_t cycle_budget = 200000;  // a fraction of the Phase-I minute
+  uint64_t machine_seed = 7;       // must match the pipeline's seed
+  uint64_t max_api_calls = 400;    // hard cap; profile runs stay cheap
+};
+
+// Profiles `sample` in a fresh sandbox and fills the resource-metric
+// fields of a VerdictRequest (worker/lease/index are the caller's).
+// Suspicious = the sample touched system resources *and* its control
+// flow depended on what it found there — the resource-probing signature
+// the paper's classifier keys on.
+[[nodiscard]] net::VerdictRequest ScoreSample(const vm::Program& sample,
+                                              const VerdictOptions& options);
+
+}  // namespace autovac::fleet

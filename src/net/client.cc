@@ -73,14 +73,16 @@ uint64_t ElapsedMs(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-Result<std::string> VacdClient::RoundTripRaw(
-    std::string_view request_json) const {
-  AUTOVAC_ASSIGN_OR_RETURN(const int fd,
-                           Connect(socket_path_, deadline_ms_));
+Result<std::string> FrameRoundTrip(const std::string& socket_path,
+                                   uint64_t deadline_ms,
+                                   std::string_view request_json,
+                                   const std::function<void()>& after_send) {
+  AUTOVAC_ASSIGN_OR_RETURN(const int fd, Connect(socket_path, deadline_ms));
   // A failed write is not yet fatal: an overloaded server answers BUSY
   // and closes without reading, so the reply may already be waiting in
   // our receive buffer while our send sees a broken pipe.
   const Status written = WriteNetFrame(fd, request_json);
+  if (after_send) after_send();
   Result<std::string> reply = ReadNetFrame(fd);
   WireClose(fd);
   if (!reply.ok() && !written.ok()) return written;
@@ -88,6 +90,11 @@ Result<std::string> VacdClient::RoundTripRaw(
     return Status::Internal("server closed connection without a reply");
   }
   return reply;
+}
+
+Result<std::string> VacdClient::RoundTripRaw(
+    std::string_view request_json) const {
+  return FrameRoundTrip(socket_path_, deadline_ms_, request_json);
 }
 
 bool VacdClient::IsRetryable(const Status& status) {

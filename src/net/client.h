@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +31,22 @@
 #include "support/status.h"
 
 namespace autovac::net {
+
+// One AVNF frame round trip on a fresh connection: connect to the Unix
+// socket, send `request_json`, read one reply frame, close. Single
+// attempt — retry loops layer on top. Connect refused/absent maps to
+// NotFound (the "no server yet" signal startup-wait loops key on); a
+// clean close before any reply byte maps to Internal. Shared by the vacd
+// client and the fleet control-plane client, so both tiers inherit the
+// same wire-fault shim (faultwire.h) and deadline discipline.
+//
+// `after_send` is a chaos-test seam: invoked between the request frame
+// landing and the reply read — the "request delivered, acknowledgement
+// lost" window crash tests SIGKILL inside. Production passes nothing.
+[[nodiscard]] Result<std::string> FrameRoundTrip(
+    const std::string& socket_path, uint64_t deadline_ms,
+    std::string_view request_json,
+    const std::function<void()>& after_send = nullptr);
 
 // Capped exponential backoff with deterministic seeded jitter. The
 // default-constructed policy makes exactly one attempt (no retries);

@@ -165,10 +165,10 @@ std::string NetFaultPlan::Summary() const {
   return out;
 }
 
-NetFaultInjector::NetFaultInjector(const NetFaultPlan& plan)
-    : plan_(plan),
-      rng_(plan.seed() ^ HashSeed("netfaultinjector")),
-      rule_fired_(plan.rules().size(), false) {}
+NetFaultInjector::NetFaultInjector(NetFaultPlan plan)
+    : plan_(std::move(plan)),
+      rng_(plan_.seed() ^ HashSeed("netfaultinjector")),
+      rule_fired_(plan_.rules().size(), false) {}
 
 ConnectionFaults NetFaultInjector::OnConnect() {
   const uint32_t index = next_connection_++;

@@ -117,10 +117,12 @@ class NetFaultPlan {
 
 // Per-run dispatcher: owns the connection counter and the probability
 // stream, so two runs under the same plan fault identical connections.
-// Not thread-safe by itself; the wire shim and the proxy serialize calls.
+// Holds its own copy of the plan, so a temporary is fine to construct
+// from. Not thread-safe by itself; the wire shim and the proxy
+// serialize calls.
 class NetFaultInjector {
  public:
-  explicit NetFaultInjector(const NetFaultPlan& plan);
+  explicit NetFaultInjector(NetFaultPlan plan);
 
   // Advances the injector's state and returns the verdict for the next
   // connection.
@@ -131,7 +133,7 @@ class NetFaultInjector {
   [[nodiscard]] size_t faults_injected() const { return faults_injected_; }
 
  private:
-  const NetFaultPlan& plan_;
+  NetFaultPlan plan_;
   Rng rng_;
   uint32_t next_connection_ = 0;
   std::vector<bool> rule_fired_;  // occurrence rules fire at most once

@@ -1,0 +1,146 @@
+// Fleet wire protocol: the coordinator/worker control plane for
+// distributed detonation campaigns, carried over the same AVNF framing
+// (frame.h) and connection-per-request discipline as the vacd protocol.
+//
+// The corpus itself travels out-of-band (both sides load the same sample
+// set — shared storage in production, the same generator seed in tests);
+// the control plane hands out *indices* plus content digests, so a
+// worker holding the wrong corpus refuses loudly instead of analyzing
+// the wrong bytes.
+//
+// Requests are tagged by "op":
+//   {"op":"claim","worker":"w1"}
+//   {"op":"renew","worker":"w1","lease":7}
+//   {"op":"complete","worker":"w1","lease":7,"index":3,
+//    "request_id":"...","report":{<sample report json>}}
+//   {"op":"verdict","worker":"w1","lease":7,"index":3,
+//    "api_calls":120,"resource_calls":14,"tainted":3,"identifiers":2,
+//    "suspicious":true}
+//   {"op":"fleet_status"}
+// Replies echo the op with {"ok":true,...}; failures reuse the vacd
+// ErrorReply shape {"ok":false,"busy":<bool>,"error":"..."}.
+//
+// Lease semantics (see DESIGN.md §12): a claim grants a lease (id +
+// validity window); the lease is invalidated by *reassignment* after
+// expiry, not by the clock tick itself, and a complete under an
+// invalidated lease is rejected as stale — the exactly-once guard
+// against zombie workers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "net/protocol.h"
+#include "support/status.h"
+#include "vaccine/pipeline.h"
+
+namespace autovac::net {
+
+struct ClaimRequest {
+  std::string worker_id;
+};
+
+// has_work=false comes in two flavors: done=true means the whole corpus
+// is completed (the worker can exit); done=false means every remaining
+// sample is leased to someone else right now — poll again, a lease may
+// yet expire back into the pending queue.
+struct ClaimReply {
+  bool has_work = false;
+  bool done = false;
+  uint64_t sample_index = 0;
+  std::string sample_name;
+  std::string sample_digest;  // worker cross-checks its local corpus copy
+  uint64_t lease_id = 0;
+  uint64_t lease_ms = 0;  // validity window; renew well before it elapses
+  // Campaign config digest (journal.h CampaignConfigDigest): a worker
+  // configured with different pipeline options refuses the claim, since
+  // its reports could never merge byte-identically.
+  std::string config_digest;
+};
+
+struct RenewRequest {
+  std::string worker_id;
+  uint64_t lease_id = 0;
+};
+
+struct RenewReply {
+  bool renewed = false;  // false: lease is stale (expired + reassigned)
+  uint64_t lease_ms = 0;
+};
+
+struct CompleteRequest {
+  std::string worker_id;
+  uint64_t lease_id = 0;
+  uint64_t sample_index = 0;
+  // Client-generated idempotency key: a retried upload carries the same
+  // id and is answered from the coordinator's dedup window (the PR 6
+  // idempotent-push discipline applied to report uploads).
+  std::string request_id;
+  vaccine::SampleReport report;
+};
+
+struct CompleteReply {
+  bool accepted = false;   // journaled and counted
+  bool stale = false;      // lease invalid: the work was reassigned
+  bool duplicate = false;  // sample already completed (benign retry/race)
+  // True when the whole corpus is now completed. Piggybacked so the
+  // worker that finishes the last sample can exit on its own upload's
+  // acknowledgement instead of racing one more claim against a
+  // coordinator that may already be tearing its socket down.
+  bool campaign_done = false;
+};
+
+// Online verdict stream ("Online Malware Detection using Process
+// Resource Utilization Metrics", PAPERS.md): a cheap resource-profile
+// scored before full analysis completes, so operators see suspicious
+// samples minutes before the vaccine pipeline finishes. Advisory only —
+// verdicts never enter the merged CampaignReport (which must stay
+// byte-identical to a fault-free run).
+struct VerdictRequest {
+  std::string worker_id;
+  uint64_t lease_id = 0;
+  uint64_t sample_index = 0;
+  uint64_t api_calls = 0;       // API calls observed in the profile run
+  uint64_t resource_calls = 0;  // of those, system-resource APIs
+  uint64_t tainted = 0;         // resource calls whose taint hit a branch
+  uint64_t identifiers = 0;     // distinct resource identifiers touched
+  bool suspicious = false;      // the thresholded verdict
+};
+
+struct VerdictReply {
+  bool accepted = false;  // false: stale lease, verdict discarded
+};
+
+struct FleetStatusRequest {};
+
+struct FleetStatusReply {
+  uint64_t total = 0;       // corpus size
+  uint64_t completed = 0;   // journaled sample reports
+  uint64_t leased = 0;      // currently assigned, in flight
+  uint64_t reassigned = 0;  // leases expired and handed to someone else
+  uint64_t stale_rejected = 0;   // completes refused under a stale lease
+  uint64_t duplicates = 0;       // completes for an already-done sample
+  uint64_t workers = 0;          // distinct worker ids seen
+  uint64_t verdicts = 0;         // verdict-stream records received
+  uint64_t suspicious = 0;       // of those, flagged suspicious
+  bool done = false;             // completed == total
+};
+
+using FleetRequest = std::variant<ClaimRequest, RenewRequest,
+                                  CompleteRequest, VerdictRequest,
+                                  FleetStatusRequest>;
+
+// ErrorReply is shared with the vacd protocol so client retry logic
+// (busy shed handling) is identical across both tiers.
+using FleetReply = std::variant<ClaimReply, RenewReply, CompleteReply,
+                                VerdictReply, FleetStatusReply, ErrorReply>;
+
+[[nodiscard]] std::string FleetRequestToJson(const FleetRequest& request);
+[[nodiscard]] Result<FleetRequest> ParseFleetRequest(std::string_view text);
+
+[[nodiscard]] std::string FleetReplyToJson(const FleetReply& reply);
+[[nodiscard]] Result<FleetReply> ParseFleetReply(std::string_view text);
+
+}  // namespace autovac::net

@@ -143,13 +143,17 @@ std::string ReplyToJson(const Reply& reply) {
     return StrFormat(
         "{\"ok\":true,\"op\":\"status\",\"epoch\":%llu,\"served\":%llu,"
         "\"quarantined\":%llu,\"requests\":%llu,\"shed\":%llu,"
-        "\"evicted\":%llu}",
+        "\"evicted\":%llu,\"checkpoint_epoch\":%llu,\"replayed\":%llu,"
+        "\"dedup_hits\":%llu}",
         static_cast<unsigned long long>(status->epoch),
         static_cast<unsigned long long>(status->served),
         static_cast<unsigned long long>(status->quarantined),
         static_cast<unsigned long long>(status->requests),
         static_cast<unsigned long long>(status->shed),
-        static_cast<unsigned long long>(status->evicted));
+        static_cast<unsigned long long>(status->evicted),
+        static_cast<unsigned long long>(status->checkpoint_epoch),
+        static_cast<unsigned long long>(status->replayed),
+        static_cast<unsigned long long>(status->dedup_hits));
   }
   const auto& error = std::get<ErrorReply>(reply);
   return StrFormat("{\"ok\":false,\"busy\":%s,\"error\":\"%s\"}",
@@ -220,6 +224,20 @@ Result<Reply> ParseReply(std::string_view text) {
     if (json.Find("evicted") != nullptr) {
       AUTOVAC_ASSIGN_OR_RETURN(reply.evicted,
                                JsonFieldUint64(json, "evicted"));
+    }
+    // Recovery/ops fields arrived after v1 of the protocol; a reply from
+    // an older server simply leaves them zero.
+    if (json.Find("checkpoint_epoch") != nullptr) {
+      AUTOVAC_ASSIGN_OR_RETURN(reply.checkpoint_epoch,
+                               JsonFieldUint64(json, "checkpoint_epoch"));
+    }
+    if (json.Find("replayed") != nullptr) {
+      AUTOVAC_ASSIGN_OR_RETURN(reply.replayed,
+                               JsonFieldUint64(json, "replayed"));
+    }
+    if (json.Find("dedup_hits") != nullptr) {
+      AUTOVAC_ASSIGN_OR_RETURN(reply.dedup_hits,
+                               JsonFieldUint64(json, "dedup_hits"));
     }
     return Reply(reply);
   }

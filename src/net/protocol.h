@@ -89,6 +89,17 @@ struct StatusReply {
   uint64_t requests = 0;  // served requests since start
   uint64_t shed = 0;      // connections refused with busy
   uint64_t evicted = 0;   // slow clients evicted on a write deadline
+  // Recovery/ops telemetry for fleet operators (optional on the wire so
+  // old clients and replies interoperate):
+  // feed epoch covered by the last checkpoint (0 = none yet) — how much
+  // a restart would have to replay;
+  uint64_t checkpoint_epoch = 0;
+  // journal records the store replayed at load — the O(delta) recovery
+  // cost actually paid on the last start;
+  uint64_t replayed = 0;
+  // push dedup-window hits since start — how often the idempotency
+  // window absorbed a retried upload.
+  uint64_t dedup_hits = 0;
 };
 
 struct ErrorReply {

@@ -214,6 +214,7 @@ Reply VacdServer::Dispatch(const Request& request) {
       const auto hit = dedup_replies_.find(push->request_id);
       if (hit != dedup_replies_.end()) {
         push_deduped_metric_->Increment();
+        dedup_hits_.fetch_add(1, std::memory_order_relaxed);
         return hit->second;
       }
     }
@@ -283,18 +284,16 @@ Reply VacdServer::Dispatch(const Request& request) {
     return reply;
   }
   std::shared_lock lock(mutex_);
-  StatusReply reply;
-  reply.epoch = store_.epoch();
-  reply.served = store_.served_count();
-  reply.quarantined = store_.quarantined_count();
-  reply.requests = requests_.load(std::memory_order_relaxed);
-  reply.shed = shed_.load(std::memory_order_relaxed);
-  reply.evicted = evicted_.load(std::memory_order_relaxed);
-  return reply;
+  return Stats(lock);
 }
 
 StatusReply VacdServer::Stats() const {
   std::shared_lock lock(mutex_);
+  return Stats(lock);
+}
+
+StatusReply VacdServer::Stats(
+    const std::shared_lock<std::shared_mutex>&) const {
   StatusReply reply;
   reply.epoch = store_.epoch();
   reply.served = store_.served_count();
@@ -302,6 +301,9 @@ StatusReply VacdServer::Stats() const {
   reply.requests = requests_.load(std::memory_order_relaxed);
   reply.shed = shed_.load(std::memory_order_relaxed);
   reply.evicted = evicted_.load(std::memory_order_relaxed);
+  reply.checkpoint_epoch = store_.checkpoint_epoch();
+  reply.replayed = store_.replayed_records();
+  reply.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
   return reply;
 }
 

@@ -92,6 +92,10 @@ class VacdServer {
   void AcceptLoop();
   void ServeConnection(int fd);
   [[nodiscard]] Reply Dispatch(const Request& request);
+  // Counter snapshot under an already-held shared lock (the Dispatch
+  // status path and the public Stats() share this body).
+  [[nodiscard]] StatusReply Stats(
+      const std::shared_lock<std::shared_mutex>& lock) const;
   // Rebuilds the per-resource-type indexes from served store entries.
   // Caller holds the exclusive lock.
   void RebuildIndex();
@@ -115,6 +119,7 @@ class VacdServer {
   std::atomic<uint64_t> requests_{0};  // answered (ok or error)
   std::atomic<uint64_t> shed_{0};      // refused with busy
   std::atomic<uint64_t> evicted_{0};   // write deadline hit, closed on them
+  std::atomic<uint64_t> dedup_hits_{0};  // pushes answered from the window
 
   // Request-id -> recorded reply, FIFO-bounded to push_dedup_window.
   // Guarded by mutex_ (the push path already holds it exclusively).

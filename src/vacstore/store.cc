@@ -402,6 +402,7 @@ VaccineStore::VaccineStore(VaccineStore&& other) noexcept
       checkpoint_loaded_(other.checkpoint_loaded_),
       checkpoint_fallback_(other.checkpoint_fallback_),
       replayed_records_(other.replayed_records_),
+      checkpoint_epoch_(other.checkpoint_epoch_),
       crash_after_bytes_(other.crash_after_bytes_) {
   other.fd_ = -1;
 }
@@ -422,6 +423,7 @@ VaccineStore& VaccineStore::operator=(VaccineStore&& other) noexcept {
     checkpoint_loaded_ = other.checkpoint_loaded_;
     checkpoint_fallback_ = other.checkpoint_fallback_;
     replayed_records_ = other.replayed_records_;
+    checkpoint_epoch_ = other.checkpoint_epoch_;
     crash_after_bytes_ = other.crash_after_bytes_;
     other.fd_ = -1;
   }
@@ -586,6 +588,7 @@ Result<VaccineStore> VaccineStore::Open(const std::string& path) {
     store.checkpoint_loaded_ = true;
     store.entries_ = std::move(ckpt->entries);
     store.epoch_ = ckpt->epoch;
+    store.checkpoint_epoch_ = ckpt->epoch;
     store.IndexEntries();
     // A journal whose base predates the checkpoint means the crash
     // landed between the checkpoint rename and the rotation; the replay
@@ -722,6 +725,7 @@ Status VaccineStore::Checkpoint() {
     return Status::Internal(StrFormat("cannot reopen store %s: %s",
                                       path_.c_str(), std::strerror(errno)));
   }
+  checkpoint_epoch_ = epoch_;
   return Status::Ok();
 }
 
@@ -913,6 +917,21 @@ size_t VaccineStore::served_count() const {
 
 size_t VaccineStore::quarantined_count() const {
   return entries_.size() - served_count();
+}
+
+Result<PushStats> IngestCampaignReport(
+    VaccineStore& store, const vaccine::CampaignReport& report) {
+  std::vector<vaccine::Vaccine> batch;
+  for (const vaccine::SampleReport& sample : report.reports) {
+    batch.insert(batch.end(), sample.vaccines.begin(),
+                 sample.vaccines.end());
+  }
+  if (batch.empty()) {
+    PushStats stats;
+    stats.epoch = store.epoch();
+    return stats;
+  }
+  return store.Push(batch);
 }
 
 }  // namespace autovac::vacstore

@@ -43,6 +43,7 @@
 
 #include "analysis/exclusiveness.h"
 #include "support/status.h"
+#include "vaccine/pipeline.h"
 #include "vaccine/vaccine.h"
 
 namespace autovac::vacstore {
@@ -145,6 +146,10 @@ class VaccineStore {
   // cost the checkpoint bounds to O(delta), and what the serving bench
   // gates.
   [[nodiscard]] size_t replayed_records() const { return replayed_records_; }
+  // Feed epoch covered by the last known checkpoint: set when Open loads
+  // one and when Checkpoint() succeeds; 0 = no checkpoint yet. Surfaced
+  // through vacd STATUS so operators can see recovery staying O(delta).
+  [[nodiscard]] uint64_t checkpoint_epoch() const { return checkpoint_epoch_; }
 
   // Benchmarks only: skip the per-batch fsync.
   void set_sync(bool sync) { sync_ = sync; }
@@ -191,7 +196,16 @@ class VaccineStore {
   bool checkpoint_loaded_ = false;
   bool checkpoint_fallback_ = false;
   size_t replayed_records_ = 0;
+  uint64_t checkpoint_epoch_ = 0;
   int64_t crash_after_bytes_ = -1;
 };
+
+// Detonation → immunization handoff: pushes every vaccine a campaign
+// extracted into the store as one batch (one feed epoch, one fsync),
+// skipping samples that produced none. The fleet coordinator calls this
+// with its merged report so freshly extracted vaccines are immediately
+// pullable by the rest of the fleet.
+[[nodiscard]] Result<PushStats> IngestCampaignReport(
+    VaccineStore& store, const vaccine::CampaignReport& report);
 
 }  // namespace autovac::vacstore

@@ -314,6 +314,62 @@ TEST(Durability, BackoffHalvesBudgetsWithFloorOfOne) {
 // Phase-cost aggregation (per-report rollups, not the global tracer)
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Journal write audit: short writes and spurious EINTR
+// ---------------------------------------------------------------------
+
+// Hostile write(2): never transfers more than one byte at a time, and
+// fails every third call with EINTR before touching the fd — the same
+// degenerate kernel PR 6's wire shim simulates for sockets, here aimed
+// at the journal's WriteAll loop.
+ssize_t HostileJournalWrite(int fd, const char* data, size_t len) {
+  static int calls = 0;
+  if (++calls % 3 == 0) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::write(fd, data, len > 0 ? 1 : 0);
+}
+
+// Uninstalls the shim on every exit path; it is process global and a
+// leaked shim would slow every other journal test to one byte per call.
+class InstalledJournalShim {
+ public:
+  explicit InstalledJournalShim(campaign::JournalWriteShim shim) {
+    campaign::SetJournalWriteShimForTest(shim);
+  }
+  ~InstalledJournalShim() { campaign::SetJournalWriteShimForTest(nullptr); }
+};
+
+TEST(Journal, AppendSurvivesShortWritesAndEintr) {
+  ScratchFile file("journal_shortwrite_test.jsonl");
+  const std::vector<vm::Program> wave = SmallCorpus(46, 2);
+  vaccine::VaccinePipeline pipeline(nullptr, FastOptions());
+  const vaccine::SampleReport report =
+      vaccine::AnalyzeIsolated(pipeline, wave[0]);
+
+  {
+    InstalledJournalShim shim(&HostileJournalWrite);
+    auto journal = campaign::CampaignJournal::Create(
+        file.path(), campaign::MakeJournalHeader(FastOptions(), wave));
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    ASSERT_TRUE(journal->Append(0, report).ok());
+    ASSERT_TRUE(journal->AppendAssignment(1, "w1", 7).ok());
+  }
+
+  // Every record written through the hostile kernel loads back intact:
+  // no byte was dropped, duplicated, or reordered by the retry loop.
+  auto replay = campaign::CampaignJournal::Load(file.path(), wave.size());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->torn_tail);
+  EXPECT_EQ(replay->completed, 1u);
+  ASSERT_TRUE(replay->reports[0].has_value());
+  EXPECT_EQ(vaccine::SampleReportToJson(*replay->reports[0]),
+            vaccine::SampleReportToJson(report));
+  EXPECT_EQ(replay->assignments, 1u);
+  EXPECT_EQ(replay->max_lease_id, 7u);
+}
+
 TEST(Durability, CampaignPhaseCostsPartitionTheTracerSpans) {
   Tracer& tracer = GlobalTracer();
   const bool was_enabled = tracer.enabled();

@@ -431,6 +431,78 @@ TEST(ChaosProxy, CleanRelayIsByteIdentical) {
   server.Stop();
 }
 
+TEST(ChaosProxy, PagedPullResumesAcrossBoundariesUnderWireFaults) {
+  ScratchPath backend("netchaos_paging_backend.sock");
+  ScratchPath front("netchaos_paging_front.sock");
+  VacdOptions options;
+  options.socket_path = backend.path();
+  options.threads = 1;
+  VacdServer server(vacstore::VaccineStore(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Three feed epochs of uneven width, so a page limit of 1 forces
+  // several truncated replies (more=true) and the "since" cursor has to
+  // land exactly on epoch boundaries to resume correctly.
+  VacdClient direct(backend.path());
+  ASSERT_TRUE(direct
+                  .Push({MakeVaccine(os::ResourceType::kMutex, "pg-a"),
+                         MakeVaccine(os::ResourceType::kMutex, "pg-b")})
+                  .ok());
+  ASSERT_TRUE(
+      direct.Push({MakeVaccine(os::ResourceType::kFile, "C:\\pg-c")}).ok());
+  ASSERT_TRUE(direct
+                  .Push({MakeVaccine(os::ResourceType::kMutex, "pg-d"),
+                         MakeVaccine(os::ResourceType::kFile, "C:\\pg-e")})
+                  .ok());
+  auto expected = direct.Pull(0);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->items.size(), 5u);
+
+  // Every page now crosses a lying wire: cut requests, torn replies,
+  // refused connects, duplicated deliveries.
+  const NetFaultPlan plan = NetFaultPlan::Randomized(77, 0.3);
+  ChaosProxyOptions proxy_options;
+  proxy_options.listen_path = front.path();
+  proxy_options.backend_path = backend.path();
+  proxy_options.deadline_ms = 1000;
+  ChaosProxy proxy(plan, proxy_options);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  RetryPolicy policy = RetryPolicy::Retrying();
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 20;
+  policy.seed = 78;
+  VacdClient client(front.path(), 1000, policy);
+
+  // Page by hand to watch each truncated reply resume, then with
+  // SyncAll; both must reproduce the direct unpaged pull exactly.
+  std::vector<std::string> paged;
+  uint64_t since = 0;
+  for (int pages = 0; pages < 10; ++pages) {
+    auto page = client.Pull(since, /*limit=*/1);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    for (const auto& item : page->items) paged.push_back(item.digest);
+    if (!page->more) break;
+    ASSERT_FALSE(page->items.empty());
+    since = page->items.back().epoch;
+  }
+  ASSERT_EQ(paged.size(), expected->items.size());
+  for (size_t i = 0; i < paged.size(); ++i) {
+    EXPECT_EQ(paged[i], expected->items[i].digest) << i;
+  }
+
+  auto synced = client.SyncAll(0, /*page_limit=*/2);
+  ASSERT_TRUE(synced.ok()) << synced.status().ToString();
+  ASSERT_EQ(synced->items.size(), expected->items.size());
+  for (size_t i = 0; i < synced->items.size(); ++i) {
+    EXPECT_EQ(synced->items[i].digest, expected->items[i].digest) << i;
+  }
+  EXPECT_EQ(synced->epoch, expected->epoch);
+  EXPECT_GT(proxy.faults_injected(), 0u);
+  proxy.Stop();
+  server.Stop();
+}
+
 TEST(ChaosProxy, RetryingClientConvergesThroughEveryFaultKind) {
   ScratchPath backend("netchaos_kinds_backend.sock");
   ScratchPath front("netchaos_kinds_front.sock");

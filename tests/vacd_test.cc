@@ -498,6 +498,61 @@ TEST(Vacd, MalformedFrameGetsAnErrorReplyNotACrash) {
 // Restart byte-identity: the feed is deterministic storage
 // ---------------------------------------------------------------------
 
+TEST(Vacd, StatusReportsRecoveryAndDedupTelemetry) {
+  ScratchPath store_file("vacd_opsstatus_store.jsonl");
+  ScratchPath sock("vacd_opsstatus.sock");
+  VacdOptions options;
+  options.socket_path = sock.path();
+  options.threads = 1;
+
+  {
+    auto store = vacstore::VaccineStore::Open(store_file.path());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    VacdServer server(std::move(*store), options);
+    ASSERT_TRUE(server.Start().ok());
+    VacdClient client(sock.path());
+
+    // Epoch 1 is checkpointed; epoch 2 lives only in the journal.
+    ASSERT_TRUE(
+        client.Push({MakeVaccine(os::ResourceType::kMutex, "ops-a")}).ok());
+    ASSERT_TRUE(server.CheckpointNow().ok());
+    ASSERT_TRUE(
+        client.Push({MakeVaccine(os::ResourceType::kMutex, "ops-b")}).ok());
+
+    // A retried idempotent push: the second send is a dedup-window hit.
+    PushRequest retried;
+    retried.request_id = "ops-retry-1";
+    retried.vaccines = {MakeVaccine(os::ResourceType::kFile, "c:\\ops-c")};
+    ASSERT_TRUE(client.RoundTripRaw(RequestToJson(Request{retried})).ok());
+    ASSERT_TRUE(client.RoundTripRaw(RequestToJson(Request{retried})).ok());
+
+    auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->epoch, 3u);
+    EXPECT_EQ(stats->checkpoint_epoch, 1u);
+    EXPECT_EQ(stats->replayed, 0u);  // this incarnation loaded nothing
+    EXPECT_EQ(stats->dedup_hits, 1u);
+    server.Stop();
+  }
+
+  // The restarted daemon reports how it recovered: the checkpoint it
+  // loaded and how many journal records it replayed past it — exactly
+  // the two numbers an operator needs to judge recovery health.
+  {
+    auto store = vacstore::VaccineStore::Open(store_file.path());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    VacdServer server(std::move(*store), options);
+    ASSERT_TRUE(server.Start().ok());
+    auto stats = VacdClient(sock.path()).Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->epoch, 3u);
+    EXPECT_EQ(stats->checkpoint_epoch, 1u);
+    EXPECT_GT(stats->replayed, 0u);
+    EXPECT_EQ(stats->dedup_hits, 0u);  // the window died with the process
+    server.Stop();
+  }
+}
+
 TEST(Vacd, PullReplyIsByteIdenticalAcrossRestart) {
   ScratchPath store_file("vacd_restart_store.jsonl");
   ScratchPath sock("vacd_restart.sock");

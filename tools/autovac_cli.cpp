@@ -52,6 +52,21 @@
 //       Relay vacd traffic through a deterministic wire-fault injector
 //       (refused connects, torn frames, stalls, duplicate delivery) to
 //       rehearse client retry behaviour against a real server.
+//   autovac status --socket <s>
+//       Print a running vacd's operational counters, including the
+//       recovery telemetry (checkpoint epoch, records replayed at load,
+//       push dedup hits).
+//   autovac coordinate --socket <s> <sample.asm>... [--journal <f>]
+//       Run the fleet coordinator: shard the samples across remote
+//       detonation workers under leases, journal progress write-ahead,
+//       and merge the uploads into a campaign report byte-identical to
+//       a fault-free single-host run.
+//   autovac detonate-worker --socket <s> <sample.asm>...
+//       Run one detonation worker against a coordinator: claim a
+//       sample, analyze it under a heartbeat-renewed lease, upload the
+//       report, repeat until the campaign is done. The worker needs the
+//       same corpus files and pipeline flags as the coordinator, or its
+//       claims are refused.
 //
 // Samples are written in the sandbox assembly dialect (see
 // src/vm/assembler.h); everything runs inside the simulator — no real
@@ -70,6 +85,8 @@
 #include <thread>
 
 #include "campaign/supervisor.h"
+#include "fleet/agent.h"
+#include "fleet/coordinator.h"
 #include "malware/benign.h"
 #include "net/chaosproxy.h"
 #include "net/client.h"
@@ -109,6 +126,9 @@ void PrintUsage(std::FILE* out) {
       "  query    --socket <s> --resource <type> <identifier>\n"
       "  pull     --socket <s> [--since <epoch>] [--out <f>]\n"
       "  chaos-proxy --listen <s> --backend <s> [--fault-seed <n>]\n"
+      "  status   --socket <s>\n"
+      "  coordinate --socket <s> <sample.asm>... [fleet options]\n"
+      "  detonate-worker --socket <s> <sample.asm>... [fleet options]\n"
       "analyze/campaign options:\n"
       "  --no-exclusiveness   skip the benign-corpus exclusiveness filter\n"
       "  --no-clinic          skip the malware-clinic safety test\n"
@@ -168,6 +188,31 @@ void PrintUsage(std::FILE* out) {
       "  --fault-seed <n>     seed the deterministic fault plan (default 1)\n"
       "  --fault-rate <p>     per-rule fault probability (default 0.1)\n"
       "  --deadline-ms <n>    relay socket deadline (default 5000)\n"
+      "fleet options (coordinate/detonate-worker; the pipeline flags\n"
+      "--no-exclusiveness/--max-api-calls/--max-call-depth/\n"
+      "--mutation-threads/--no-snapshot-replay are folded into the\n"
+      "campaign config digest and must match on both sides):\n"
+      "  --journal <f>        coordinate: write-ahead journal; with\n"
+      "                       --resume a SIGKILLed coordinator restarts\n"
+      "                       with only the in-flight delta lost\n"
+      "  --lease-ms <n>       coordinate: lease validity window; a worker\n"
+      "                       that does not renew within it loses the\n"
+      "                       sample to reassignment (default 5000)\n"
+      "  --store <f>          coordinate: stream extracted vaccines into\n"
+      "                       this vacd store file as samples complete\n"
+      "  --campaign-out <f>   coordinate: write the merged campaign\n"
+      "                       report as JSON (byte-identical to a\n"
+      "                       fault-free `autovac campaign` run)\n"
+      "  --linger-ms <n>      coordinate: after the campaign completes,\n"
+      "                       keep serving until the fleet is quiet this\n"
+      "                       long so idle workers observe done instead\n"
+      "                       of a torn socket (default 3000)\n"
+      "  --worker-id <s>      detonate-worker: lease owner name shown in\n"
+      "                       coordinator telemetry (default 'worker')\n"
+      "  --verdicts           detonate-worker: emit the advisory online\n"
+      "                       verdict stream before full analysis\n"
+      "  --max-idle-ms <n>    detonate-worker: give up after polling an\n"
+      "                       idle coordinator this long (default 60000)\n"
       "quick start (vaccine feed):\n"
       "  autovac campaign samples/*.asm --package wave.pkg\n"
       "  autovac serve --socket /tmp/vacd.sock --store feed.jsonl &\n"
@@ -1239,6 +1284,439 @@ int CmdChaosProxy(int argc, char** argv) {
   return 0;
 }
 
+int CmdStatus(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac status --socket <s> [--deadline-ms <n>]\n"
+        "Prints a running vacd's operational counters. The recovery\n"
+        "telemetry shows what a restart would cost: 'checkpoint epoch'\n"
+        "is the feed epoch the last checkpoint covers, 'replayed' the\n"
+        "journal records actually replayed at the last start, and\n"
+        "'dedup hits' how often the idempotency window absorbed a\n"
+        "retried push.\n");
+    return 0;
+  }
+  ClientFlags flags;
+  std::vector<std::string> positional;
+  const int parsed = ParseClientFlags(argc, argv, &flags, &positional);
+  if (parsed >= 0) return parsed;
+  if (!positional.empty()) {
+    std::fprintf(stderr, "error: status takes no arguments\n");
+    return Usage();
+  }
+  net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
+  auto stats = client.Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+    return net::VacdClient::IsBusy(stats.status()) ? 4 : 1;
+  }
+  std::printf("vacd at %s:\n", flags.socket_path.c_str());
+  std::printf("  feed epoch        %llu\n",
+              static_cast<unsigned long long>(stats->epoch));
+  std::printf("  served            %llu\n",
+              static_cast<unsigned long long>(stats->served));
+  std::printf("  quarantined       %llu\n",
+              static_cast<unsigned long long>(stats->quarantined));
+  std::printf("  requests          %llu\n",
+              static_cast<unsigned long long>(stats->requests));
+  std::printf("  shed (busy)       %llu\n",
+              static_cast<unsigned long long>(stats->shed));
+  std::printf("  evicted (slow)    %llu\n",
+              static_cast<unsigned long long>(stats->evicted));
+  std::printf("  checkpoint epoch  %llu\n",
+              static_cast<unsigned long long>(stats->checkpoint_epoch));
+  std::printf("  replayed at load  %llu\n",
+              static_cast<unsigned long long>(stats->replayed));
+  std::printf("  push dedup hits   %llu\n",
+              static_cast<unsigned long long>(stats->dedup_hits));
+  return 0;
+}
+
+// ---- fleet commands --------------------------------------------------
+
+// Pipeline flags shared by `coordinate` and `detonate-worker`. Both
+// sides fold them into the campaign config digest, so a worker started
+// with different flags refuses its claims instead of merging a
+// configuration mismatch into the report.
+struct FleetPipelineFlags {
+  bool use_exclusiveness = true;
+  sandbox::RunLimits limits;
+  size_t mutation_threads = 1;
+  bool snapshot_replay = true;
+};
+
+// Tries to consume one pipeline flag at argv[*i]. Returns 1 when
+// consumed, 0 when the flag is not a pipeline flag, 2 on a missing
+// value or bad argument (error already printed).
+int ParseFleetPipelineFlag(int argc, char** argv, int* i,
+                           FleetPipelineFlags* flags) {
+  const char* arg = argv[*i];
+  const char* value = nullptr;
+  if (std::strcmp(arg, "--no-exclusiveness") == 0) {
+    flags->use_exclusiveness = false;
+  } else if (std::strcmp(arg, "--max-api-calls") == 0) {
+    if ((value = OptionValue(argc, argv, i)) == nullptr) return 2;
+    flags->limits.max_api_calls = std::strtoull(value, nullptr, 0);
+  } else if (std::strcmp(arg, "--max-call-depth") == 0) {
+    if ((value = OptionValue(argc, argv, i)) == nullptr) return 2;
+    flags->limits.max_call_depth =
+        static_cast<uint32_t>(std::strtoul(value, nullptr, 0));
+  } else if (std::strcmp(arg, "--mutation-threads") == 0) {
+    if ((value = OptionValue(argc, argv, i)) == nullptr) return 2;
+    const long long threads = std::strtoll(value, nullptr, 0);
+    if (threads <= 0) {
+      std::fprintf(stderr, "error: --mutation-threads requires at least 1\n");
+      return 2;
+    }
+    flags->mutation_threads = static_cast<size_t>(threads);
+  } else if (std::strcmp(arg, "--no-snapshot-replay") == 0) {
+    flags->snapshot_replay = false;
+  } else {
+    return 0;
+  }
+  return 1;
+}
+
+vaccine::PipelineOptions MakeFleetPipelineOptions(
+    const FleetPipelineFlags& flags) {
+  vaccine::PipelineOptions options;
+  options.run_exclusiveness = flags.use_exclusiveness;
+  options.limits = flags.limits;
+  options.mutation_threads = flags.mutation_threads;
+  options.snapshot_replay = flags.snapshot_replay;
+  return options;
+}
+
+Result<std::vector<vm::Program>> LoadSamples(
+    const std::vector<std::string>& paths) {
+  std::vector<vm::Program> programs;
+  programs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    auto program = LoadSample(path);
+    if (!program.ok()) return program.status();
+    programs.push_back(std::move(program).value());
+  }
+  return programs;
+}
+
+int CmdCoordinate(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac coordinate --socket <s> <sample.asm>...\n"
+        "                          [--journal <f>] [--resume]\n"
+        "                          [--lease-ms <n>] [--threads <n>]\n"
+        "                          [--queue <n>] [--deadline-ms <n>]\n"
+        "                          [--store <f>] [--campaign-out <f>]\n"
+        "                          [--linger-ms <n>] [pipeline flags]\n"
+        "Shards the samples across remote detonation workers under\n"
+        "leases. A worker that crashes, stalls, or partitions loses its\n"
+        "lease and the sample is reassigned; a zombie upload under a\n"
+        "reassigned lease is rejected stale, so every sample is counted\n"
+        "exactly once. With --journal every assignment and completion is\n"
+        "fsync'd write-ahead, and --resume restarts a SIGKILLed\n"
+        "coordinator with only the unacknowledged delta lost; the final\n"
+        "report is byte-identical to a fault-free run for any failure\n"
+        "schedule. Exit code 3 means interrupted with the journal\n"
+        "intact.\n");
+    return 0;
+  }
+  FleetPipelineFlags pipeline_flags;
+  fleet::CoordinatorOptions options;
+  std::string campaign_out;
+  // After the last sample completes, keep serving until no request has
+  // arrived for this long. Idle workers learn done=true from their next
+  // claim instead of finding a severed socket, and a worker whose done
+  // reply was torn by the network gets a second chance within its retry
+  // backoff (capped at 2 s, hence the 3 s default).
+  uint64_t linger_ms = 3000;
+  std::vector<std::string> sample_paths;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    const int pipeline = ParseFleetPipelineFlag(argc, argv, &i,
+                                                &pipeline_flags);
+    if (pipeline == 2) return 2;
+    if (pipeline == 1) continue;
+    if (std::strcmp(arg, "--socket") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.socket_path = value;
+    } else if (std::strcmp(arg, "--journal") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.journal_path = value;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strcmp(arg, "--lease-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.lease_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      const long long threads = std::strtoll(value, nullptr, 0);
+      if (threads <= 0) {
+        std::fprintf(stderr, "error: --threads requires at least 1\n");
+        return 2;
+      }
+      options.threads = static_cast<size_t>(threads);
+    } else if (std::strcmp(arg, "--queue") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      const long long queue = std::strtoll(value, nullptr, 0);
+      if (queue <= 0) {
+        std::fprintf(stderr, "error: --queue requires at least 1\n");
+        return 2;
+      }
+      options.max_pending = static_cast<size_t>(queue);
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--store") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.store_path = value;
+    } else if (std::strcmp(arg, "--campaign-out") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      campaign_out = value;
+    } else if (std::strcmp(arg, "--linger-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      linger_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--crash-after-assignments") == 0) {
+      // Chaos hook for the CI kill matrix: SIGKILL this process right
+      // after journaling the n-th assignment. Deliberately undocumented.
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.crash_after_assignments =
+          static_cast<size_t>(std::strtoull(value, nullptr, 0));
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return UnknownOption(arg);
+    } else {
+      sample_paths.push_back(arg);
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "error: coordinate requires --socket\n");
+    return Usage();
+  }
+  if (sample_paths.empty()) {
+    std::fprintf(stderr, "error: coordinate needs at least one sample\n");
+    return Usage();
+  }
+  auto programs = LoadSamples(sample_paths);
+  if (!programs.ok()) {
+    std::fprintf(stderr, "error: %s\n", programs.status().ToString().c_str());
+    return 1;
+  }
+  const size_t total = programs->size();
+
+  fleet::FleetCoordinator coordinator(std::move(programs).value(),
+                                      MakeFleetPipelineOptions(pipeline_flags),
+                                      options);
+  const Status started = coordinator.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // The "listening" line is the readiness signal scripts wait for.
+  std::printf("coordinator: listening on %s (%zu samples, %zu already "
+              "journaled, lease %llu ms, config %s)\n",
+              options.socket_path.c_str(), total,
+              coordinator.Stats().resumed_completed,
+              static_cast<unsigned long long>(options.lease_ms),
+              coordinator.config_digest().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  Status outcome = Status::Ok();
+  while (true) {
+    outcome = coordinator.WaitUntilDone(/*timeout_ms=*/200);
+    if (outcome.ok()) break;
+    if (outcome.code() != StatusCode::kDeadlineExceeded) break;
+    if (g_stop_requested.load()) break;
+  }
+  if (outcome.ok() && linger_ms > 0) {
+    // Drain: the campaign is done but idle workers are still polling
+    // claims. Keep serving until the fleet goes quiet so each of them
+    // observes done=true instead of a torn connection.
+    uint64_t last = coordinator.requests_served();
+    uint64_t quiet = 0;
+    while (quiet < linger_ms && !g_stop_requested.load()) {
+      ::usleep(100 * 1000);
+      const uint64_t now = coordinator.requests_served();
+      if (now != last) {
+        last = now;
+        quiet = 0;
+      } else {
+        quiet += 100;
+      }
+    }
+  }
+  const net::FleetStatusReply progress = coordinator.Progress();
+  const fleet::CoordinatorStats stats = coordinator.Stats();
+  coordinator.Stop();
+  // Durability narration goes to stderr: stdout stays byte-comparable
+  // between fresh and resumed runs.
+  std::fprintf(stderr,
+               "coordinator: %llu/%llu samples done, %llu reassigned, "
+               "%llu stale uploads rejected, %llu duplicates, %llu dedup "
+               "hits, %llu workers seen, %llu verdicts (%llu suspicious), "
+               "%llu vaccines ingested\n",
+               static_cast<unsigned long long>(progress.completed),
+               static_cast<unsigned long long>(progress.total),
+               static_cast<unsigned long long>(progress.reassigned),
+               static_cast<unsigned long long>(progress.stale_rejected),
+               static_cast<unsigned long long>(progress.duplicates),
+               static_cast<unsigned long long>(stats.dedup_hits),
+               static_cast<unsigned long long>(progress.workers),
+               static_cast<unsigned long long>(progress.verdicts),
+               static_cast<unsigned long long>(progress.suspicious),
+               static_cast<unsigned long long>(stats.ingested));
+  if (!outcome.ok() && outcome.code() != StatusCode::kDeadlineExceeded) {
+    std::fprintf(stderr, "error: %s\n", outcome.ToString().c_str());
+    return 1;
+  }
+  if (!progress.done) {
+    std::fprintf(stderr,
+                 "coordinator: interrupted; resume with --resume "
+                 "--journal %s\n",
+                 options.journal_path.c_str());
+    return 3;
+  }
+
+  auto report = coordinator.Report();
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fleet campaign complete: %zu samples, %zu vaccines "
+              "(%zu demoted), %zu faults injected, %zu degraded, "
+              "%zu failed\n",
+              report->reports.size(), report->total_vaccines,
+              report->total_demoted, report->total_faults_injected,
+              report->samples_degraded, report->samples_failed);
+  if (!campaign_out.empty()) {
+    const Status written = WriteStringToFile(
+        campaign_out, vaccine::CampaignReportToJson(report.value()) + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("campaign report written to %s (%zu samples)\n",
+                campaign_out.c_str(), report->reports.size());
+  }
+  return 0;
+}
+
+int CmdDetonateWorker(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac detonate-worker --socket <s> <sample.asm>...\n"
+        "                               [--worker-id <s>] [--verdicts]\n"
+        "                               [--deadline-ms <n>] [--retries <n>]\n"
+        "                               [--retry-budget-ms <n>]\n"
+        "                               [--retry-seed <n>]\n"
+        "                               [--idle-poll-ms <n>]\n"
+        "                               [--max-idle-ms <n>]\n"
+        "                               [pipeline flags]\n"
+        "Runs one detonation worker against a coordinator: claim a\n"
+        "sample, analyze it while a heartbeat thread renews the lease,\n"
+        "upload the report, repeat until the campaign is done. The\n"
+        "sample files and pipeline flags must match the coordinator's\n"
+        "(both are folded into the campaign config digest) or every\n"
+        "claim is refused. A worker that stalls past the lease window\n"
+        "loses the sample to reassignment; its late upload is rejected\n"
+        "stale and not counted.\n");
+    return 0;
+  }
+  FleetPipelineFlags pipeline_flags;
+  fleet::WorkerOptions options;
+  std::vector<std::string> sample_paths;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    const int pipeline = ParseFleetPipelineFlag(argc, argv, &i,
+                                                &pipeline_flags);
+    if (pipeline == 2) return 2;
+    if (pipeline == 1) continue;
+    if (std::strcmp(arg, "--socket") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.socket_path = value;
+    } else if (std::strcmp(arg, "--worker-id") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.worker_id = value;
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      const long long attempts = std::strtoll(value, nullptr, 0);
+      if (attempts <= 0) {
+        std::fprintf(stderr, "error: --retries requires at least 1\n");
+        return 2;
+      }
+      options.retry.max_attempts = static_cast<uint32_t>(attempts);
+    } else if (std::strcmp(arg, "--retry-budget-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.retry.max_total_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--retry-seed") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.retry.seed = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--verdicts") == 0) {
+      options.verdicts = true;
+    } else if (std::strcmp(arg, "--idle-poll-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.idle_poll_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--max-idle-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.max_idle_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--kill-after-claims") == 0) {
+      // Chaos hook for the CI kill matrix: SIGKILL this process right
+      // after the n-th successful claim. Deliberately undocumented.
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.kill_after_claims =
+          static_cast<size_t>(std::strtoull(value, nullptr, 0));
+    } else if (std::strcmp(arg, "--kill-mid-upload") == 0) {
+      // Chaos hook: SIGKILL after sending the first complete frame,
+      // before reading its reply. Deliberately undocumented.
+      options.kill_mid_upload = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return UnknownOption(arg);
+    } else {
+      sample_paths.push_back(arg);
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "error: detonate-worker requires --socket\n");
+    return Usage();
+  }
+  if (sample_paths.empty()) {
+    std::fprintf(stderr,
+                 "error: detonate-worker needs the corpus samples\n");
+    return Usage();
+  }
+  // Workers produce the phase-cost rollups that land in the merged
+  // campaign report; the tracer must run exactly as `autovac campaign`
+  // runs it or the merged report bytes would differ.
+  GlobalTracer().set_enabled(true);
+
+  auto corpus = LoadSamples(sample_paths);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  analysis::ExclusivenessIndex index;
+  if (pipeline_flags.use_exclusiveness) index = TrainIndex();
+  vaccine::VaccinePipeline pipeline(
+      pipeline_flags.use_exclusiveness ? &index : nullptr,
+      MakeFleetPipelineOptions(pipeline_flags));
+
+  auto stats = fleet::RunWorker(pipeline, corpus.value(), options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("worker %s: %zu claimed, %zu completed, %zu stale, "
+              "%zu duplicates, %zu verdicts\n",
+              options.worker_id.c_str(), stats->claimed, stats->completed,
+              stats->stale, stats->duplicates, stats->verdicts);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1267,6 +1745,11 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(argc - 2, argv + 2);
   if (command == "pull") return CmdPull(argc - 2, argv + 2);
   if (command == "chaos-proxy") return CmdChaosProxy(argc - 2, argv + 2);
+  if (command == "status") return CmdStatus(argc - 2, argv + 2);
+  if (command == "coordinate") return CmdCoordinate(argc - 2, argv + 2);
+  if (command == "detonate-worker") {
+    return CmdDetonateWorker(argc - 2, argv + 2);
+  }
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return Usage();
 }

@@ -42,6 +42,22 @@ def pct(new, old):
     return (new - old) / old
 
 
+def require(obj, key, where):
+    """Fetches a key that the bench schema says must exist.
+
+    A missing key used to flow through .get() as None and surface as a
+    baffling None-vs-value MISMATCH (or a TypeError inside float()).
+    Fail loudly at the source instead, naming the key and which file
+    lost it — a missing baseline key means the baseline predates the
+    bench schema and must be regenerated, not silently compared.
+    """
+    if not isinstance(obj, dict) or key not in obj:
+        print(f"check_bench: missing key '{key}' in {where} "
+              f"(regenerate the baseline?)", file=sys.stderr)
+        sys.exit(2)
+    return obj[key]
+
+
 class Gate:
     def __init__(self, max_regression, check_wall):
         self.max_regression = max_regression
@@ -68,9 +84,11 @@ class Gate:
 
 
 def compare_pipeline(base, cur, gate, min_speedup):
-    gate.check_exact("samples", base.get("samples"), cur.get("samples"))
-    base_phases = {p["phase"]: p for p in base.get("phases", [])}
-    cur_phases = {p["phase"]: p for p in cur.get("phases", [])}
+    gate.check_exact("samples", require(base, "samples", "baseline"),
+                     require(cur, "samples", "current"))
+    base_phases = {p["phase"]: p
+                   for p in require(base, "phases", "baseline")}
+    cur_phases = {p["phase"]: p for p in require(cur, "phases", "current")}
     for name in sorted(base_phases):
         if name not in cur_phases:
             print(f"  phase '{name}' missing from current run  REGRESSION")
@@ -102,9 +120,10 @@ def compare_pipeline(base, cur, gate, min_speedup):
 
 
 def compare_campaign(base, cur, gate):
-    gate.check_exact("samples", base.get("samples"), cur.get("samples"))
-    base_modes = {m["mode"]: m for m in base.get("modes", [])}
-    cur_modes = {m["mode"]: m for m in cur.get("modes", [])}
+    gate.check_exact("samples", require(base, "samples", "baseline"),
+                     require(cur, "samples", "current"))
+    base_modes = {m["mode"]: m for m in require(base, "modes", "baseline")}
+    cur_modes = {m["mode"]: m for m in require(cur, "modes", "current")}
     for name in sorted(base_modes):
         if name not in cur_modes:
             print(f"  mode '{name}' missing from current run  REGRESSION")
@@ -124,16 +143,18 @@ def compare_campaign(base, cur, gate):
 
 def compare_serving(base, cur, gate, min_index_speedup,
                     min_recovery_speedup):
-    gate.check_exact("patterns", base.get("patterns"), cur.get("patterns"))
-    gate.check_exact("lookups", base.get("lookups"), cur.get("lookups"))
+    gate.check_exact("patterns", require(base, "patterns", "baseline"),
+                     require(cur, "patterns", "current"))
+    gate.check_exact("lookups", require(base, "lookups", "baseline"),
+                     require(cur, "lookups", "current"))
 
-    base_match = base.get("match", {})
-    cur_match = cur.get("match", {})
+    base_match = require(base, "match", "baseline")
+    cur_match = require(cur, "match", "current")
     # The hit counts are deterministic verdicts: the index and the linear
     # scan agreed inside the bench, and both runs must agree with each
     # other — a drift means the match semantics changed.
-    gate.check_exact("match hits", base_match.get("hits"),
-                     cur_match.get("hits"))
+    gate.check_exact("match hits", require(base_match, "hits", "baseline"),
+                     require(cur_match, "hits", "current"))
     speedup = float(cur_match.get("speedup", 0.0))
     verdict = "ok" if speedup >= min_index_speedup else "REGRESSION"
     if verdict != "ok":
@@ -145,12 +166,14 @@ def compare_serving(base, cur, gate, min_index_speedup,
     gate.check("match index_ms", float(base_match.get("index_ms", 0)),
                float(cur_match.get("index_ms", 0)), gate=gate.check_wall)
 
-    base_rt = base.get("roundtrip", {})
-    cur_rt = cur.get("roundtrip", {})
-    gate.check_exact("roundtrip requests", base_rt.get("requests"),
-                     cur_rt.get("requests"))
-    gate.check_exact("roundtrip matches", base_rt.get("matches"),
-                     cur_rt.get("matches"))
+    base_rt = require(base, "roundtrip", "baseline")
+    cur_rt = require(cur, "roundtrip", "current")
+    gate.check_exact("roundtrip requests",
+                     require(base_rt, "requests", "baseline"),
+                     require(cur_rt, "requests", "current"))
+    gate.check_exact("roundtrip matches",
+                     require(base_rt, "matches", "baseline"),
+                     require(cur_rt, "matches", "current"))
     gate.check("roundtrip wall_ms", float(base_rt.get("wall_ms", 0)),
                float(cur_rt.get("wall_ms", 0)), gate=gate.check_wall)
 
@@ -159,22 +182,22 @@ def compare_serving(base, cur, gate, min_index_speedup,
         print("  recovery section missing from current run  REGRESSION")
         gate.failures.append("recovery")
         return
-    base_rec = base.get("recovery", {})
+    base_rec = require(base, "recovery", "baseline")
     # Record counts are deterministic: the full open replays the whole
     # journal, the checkpointed open replays only the post-checkpoint
     # suffix. Any drift means recovery is replaying the wrong span.
     gate.check_exact("recovery entries (full open)",
-                     base_rec.get("entries_full"),
-                     cur_rec.get("entries_full"))
+                     require(base_rec, "entries_full", "baseline"),
+                     require(cur_rec, "entries_full", "current"))
     gate.check_exact("recovery full_records",
-                     base_rec.get("full_records"),
-                     cur_rec.get("full_records"))
+                     require(base_rec, "full_records", "baseline"),
+                     require(cur_rec, "full_records", "current"))
     gate.check_exact("recovery entries (checkpoint open)",
-                     base_rec.get("entries_checkpoint"),
-                     cur_rec.get("entries_checkpoint"))
+                     require(base_rec, "entries_checkpoint", "baseline"),
+                     require(cur_rec, "entries_checkpoint", "current"))
     gate.check_exact("recovery checkpoint_records",
-                     base_rec.get("checkpoint_records"),
-                     cur_rec.get("checkpoint_records"))
+                     require(base_rec, "checkpoint_records", "baseline"),
+                     require(cur_rec, "checkpoint_records", "current"))
     speedup = float(cur_rec.get("speedup", 0.0))
     verdict = "ok" if speedup >= min_recovery_speedup else "REGRESSION"
     if verdict != "ok":
@@ -188,6 +211,64 @@ def compare_serving(base, cur, gate, min_index_speedup,
                float(base_rec.get("checkpoint_open_ms", 0)),
                float(cur_rec.get("checkpoint_open_ms", 0)),
                gate=gate.check_wall)
+
+
+def compare_fleet(base, cur, gate, min_fleet_efficiency):
+    gate.check_exact("samples", require(base, "samples", "baseline"),
+                     require(cur, "samples", "current"))
+    gate.check_exact("workers", require(base, "workers", "baseline"),
+                     require(cur, "workers", "current"))
+    gate.check("baseline wall_ms",
+               float(require(base, "baseline_wall_ms", "baseline")),
+               float(require(cur, "baseline_wall_ms", "current")),
+               gate=gate.check_wall)
+    base_modes = {m["mode"]: m for m in require(base, "modes", "baseline")}
+    cur_modes = {m["mode"]: m for m in require(cur, "modes", "current")}
+    for name in sorted(base_modes):
+        if name not in cur_modes:
+            print(f"  mode '{name}' missing from current run  REGRESSION")
+            gate.failures.append(f"mode:{name}")
+            continue
+        b, c = base_modes[name], cur_modes[name]
+        where_b = f"baseline mode '{name}'"
+        where_c = f"current mode '{name}'"
+        # The two deterministic contracts: every sample exactly once,
+        # and the merged report byte-identical to the fault-free
+        # single-host run — for any failure schedule.
+        gate.check_exact(f"mode {name} completed",
+                         require(b, "completed", where_b),
+                         require(c, "completed", where_c))
+        gate.check_exact(f"mode {name} identical",
+                         require(b, "identical", where_b),
+                         require(c, "identical", where_c))
+        gate.check(f"mode {name} wall_ms",
+                   float(require(b, "wall_ms", where_b)),
+                   float(require(c, "wall_ms", where_c)),
+                   gate=gate.check_wall)
+        efficiency = float(require(c, "efficiency", where_c))
+        if name == "fault-free":
+            # Efficiency is a ratio of two walls from the same run on
+            # the same machine, so it transfers across runners. Only the
+            # clean schedule gates on it: the worker-killed run
+            # deliberately pays a lease-expiry wait, so its ratio mostly
+            # measures the configured lease window.
+            verdict = ("ok" if efficiency >= min_fleet_efficiency
+                       else "REGRESSION")
+            if verdict != "ok":
+                gate.failures.append(f"mode {name} efficiency")
+            print(f"  {'fleet efficiency vs ideal shard time':<44} "
+                  f"{min_fleet_efficiency:>14.2f} <= {efficiency:>11.2f}x "
+                  f"{verdict}")
+        else:
+            print(f"  {f'mode {name} efficiency':<44} "
+                  f"{efficiency:>14.4f} info")
+        if name == "worker-killed":
+            reassigned = int(require(c, "reassigned", where_c))
+            verdict = "ok" if reassigned >= 1 else "REGRESSION"
+            if verdict != "ok":
+                gate.failures.append(f"mode {name} reassigned")
+            print(f"  {'killed worker lease was reassigned':<44} "
+                  f"{1:>14} <= {reassigned:>11} {verdict}")
 
 
 def main():
@@ -205,6 +286,9 @@ def main():
     parser.add_argument("--min-recovery-speedup", type=float, default=2.0,
                         help="minimum checkpoint-recovery speedup over a "
                              "full journal replay (serving bench)")
+    parser.add_argument("--min-fleet-efficiency", type=float, default=0.10,
+                        help="minimum fault-free fleet efficiency against "
+                             "the ideal shard time (fleet bench)")
     parser.add_argument("--check-wall", action="store_true",
                         help="also gate wall-clock times (off by default: "
                              "shared runners are noisy)")
@@ -227,6 +311,8 @@ def main():
     elif kind == "serving":
         compare_serving(base, cur, gate, args.min_index_speedup,
                         args.min_recovery_speedup)
+    elif kind == "fleet":
+        compare_fleet(base, cur, gate, args.min_fleet_efficiency)
     else:
         print(f"check_bench: unknown bench kind '{kind}'", file=sys.stderr)
         sys.exit(2)

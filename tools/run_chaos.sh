@@ -4,27 +4,37 @@
 # the sanitizers. Any injected-fault path that corrupts memory or trips
 # UB fails loudly here rather than silently in a campaign.
 #
-# The default run covers both chaos surfaces:
+# The default run covers all three chaos surfaces:
 #   * chaos_test    — VM / analysis fault injection
 #   * netchaos_test — wire faults: refused connects, mid-frame cuts,
 #                     short reads/writes, EINTR, duplicate delivery,
 #                     retrying clients, crash-during-push recovery
+#   * fleet_test    — distributed campaigns: dying workers, stale
+#                     leases, a SIGKILLed coordinator resumed from its
+#                     journal, byte-identical merged reports
 #
-# usage: tools/run_chaos.sh [--all] [--net-only] [build-dir]
-#   --all       run every test binary, not just the chaos suites
-#   --net-only  run only the network chaos suite
-#   build-dir   sanitizer build directory (default: build-asan)
+# The fleet CLI drill (tools/run_fleet_chaos.sh) layers the same kill
+# matrix over the `autovac coordinate` / `detonate-worker` surface;
+# --fleet-drill appends it here.
+#
+# usage: tools/run_chaos.sh [--all] [--net-only] [--fleet-drill] [build-dir]
+#   --all          run every test binary, not just the chaos suites
+#   --net-only     run only the network chaos suite
+#   --fleet-drill  also run the CLI fleet drill after the suites
+#   build-dir      sanitizer build directory (default: build-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_all=0
 net_only=0
+fleet_drill=0
 build_dir=build-asan
 for arg in "$@"; do
   case "$arg" in
     --all) run_all=1 ;;
     --net-only) net_only=1 ;;
+    --fleet-drill) fleet_drill=1 ;;
     *) build_dir="$arg" ;;
   esac
 done
@@ -42,5 +52,9 @@ elif [[ "$net_only" == 1 ]]; then
 else
   "$build_dir/tests/chaos_test"
   "$build_dir/tests/netchaos_test"
+  "$build_dir/tests/fleet_test"
+fi
+if [[ "$fleet_drill" == 1 ]]; then
+  tools/run_fleet_chaos.sh "$build_dir"
 fi
 echo "chaos run clean."

@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Fleet chaos drill: a coordinator and three detonation workers talking
+# through the wire-fault chaos proxy, SIGKILLed at every interesting
+# point — worker mid-sample, worker mid-upload, coordinator
+# mid-assignment (then resumed from its journal) — with the merged
+# campaign report compared byte-for-byte against a fault-free
+# single-host `autovac campaign` run after every schedule.
+#
+# Exercises the CLI surface end to end (coordinate / detonate-worker /
+# chaos-proxy plus the hidden chaos flags); the in-process equivalents
+# live in tests/fleet_test.cc.
+#
+# usage: tools/run_fleet_chaos.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build-asan}"
+bin="$build_dir/tools/autovac"
+if [[ ! -x "$bin" ]]; then
+  echo "run_fleet_chaos: $bin is not built" >&2
+  exit 2
+fi
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/fleet_chaos.XXXXXX")"
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+samples=(samples/*.asm)
+coord_pid=""
+proxy_pid=""
+
+wait_for() { # <file> <pattern>
+  for _ in $(seq 1 300); do
+    grep -q "$2" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "run_fleet_chaos: timed out waiting for '$2' in $1" >&2
+  cat "$1" >&2 || true
+  return 1
+}
+
+start_coordinator() { # <tag> [extra coordinate flags...]
+  local tag="$1"; shift
+  "$bin" coordinate --socket "$work/coord.sock" --lease-ms 1500 \
+    --campaign-out "$work/$tag.json" "$@" "${samples[@]}" \
+    > "$work/$tag.coord.txt" 2> "$work/$tag.coord.err" &
+  coord_pid=$!
+  wait_for "$work/$tag.coord.txt" "coordinator: listening"
+}
+
+start_proxy() { # <tag>
+  "$bin" chaos-proxy --listen "$work/proxy.sock" \
+    --backend "$work/coord.sock" --fault-seed 2013 --fault-rate 0.15 \
+    > "$work/$1.proxy.txt" 2>&1 &
+  proxy_pid=$!
+  wait_for "$work/$1.proxy.txt" "chaos-proxy: relaying"
+}
+
+worker() { # <id> [extra detonate-worker flags...]
+  local id="$1"; shift
+  "$bin" detonate-worker --socket "$work/proxy.sock" --worker-id "$id" \
+    --retries 10 --retry-budget-ms 60000 --retry-seed 7 \
+    "$@" "${samples[@]}"
+}
+
+stop_proxy() {
+  kill -TERM "$proxy_pid" 2>/dev/null || true
+  wait "$proxy_pid" 2>/dev/null || true
+}
+
+check_report() { # <tag>
+  diff "$work/baseline.json" "$work/$1.json"
+  echo "== $1: merged report byte-identical to the fault-free baseline =="
+}
+
+echo "== fault-free single-host baseline =="
+"$bin" campaign "${samples[@]}" --campaign-out "$work/baseline.json" \
+  > /dev/null
+
+# --- schedule 1: no kills, just a lying network -----------------------
+start_coordinator wire
+start_proxy wire
+worker w1 > "$work/wire.w1.txt" & w1=$!
+worker w2 > "$work/wire.w2.txt" & w2=$!
+worker w3 > "$work/wire.w3.txt" & w3=$!
+wait "$w1"; wait "$w2"; wait "$w3"
+wait "$coord_pid"
+stop_proxy
+check_report wire
+
+# --- schedule 2: a worker SIGKILLed mid-sample ------------------------
+# The kamikaze runs alone first so its claim is guaranteed, then dies
+# holding the lease; the sample must expire back into the queue and
+# reassign to a surviving worker.
+rm -f "$work/coord.sock" "$work/proxy.sock"
+start_coordinator killworker
+start_proxy killworker
+worker kamikaze --kill-after-claims 1 > "$work/killworker.k.txt" & k=$!
+wait "$k" && { echo "kamikaze survived --kill-after-claims" >&2; exit 1; }
+worker w1 > "$work/killworker.w1.txt" & w1=$!
+worker w2 > "$work/killworker.w2.txt" & w2=$!
+wait "$w1"; wait "$w2"
+wait "$coord_pid"
+stop_proxy
+check_report killworker
+
+# --- schedule 3: a worker SIGKILLed mid-upload ------------------------
+# The kamikaze runs alone first: it claims, analyzes, dies after
+# sending its report but before reading the acknowledgement. The
+# coordinator has already journaled the report, so nothing is lost and
+# nothing is double-counted when the survivors finish the rest.
+rm -f "$work/coord.sock" "$work/proxy.sock"
+start_coordinator killupload
+start_proxy killupload
+worker kamikaze --kill-mid-upload > "$work/killupload.k.txt" & k=$!
+wait "$k" && { echo "kamikaze survived --kill-mid-upload" >&2; exit 1; }
+worker w1 > "$work/killupload.w1.txt" & w1=$!
+worker w2 > "$work/killupload.w2.txt" & w2=$!
+wait "$w1"; wait "$w2"
+wait "$coord_pid"
+stop_proxy
+check_report killupload
+
+# --- schedule 4: the coordinator SIGKILLed mid-assignment -------------
+# The first incarnation dies right after journaling an assignment,
+# before acknowledging it; the resumed incarnation replays the journal
+# and finishes with only the unacknowledged delta re-run. The workers
+# ride out the outage on their retry budgets.
+rm -f "$work/coord.sock" "$work/proxy.sock" "$work/fleet.jsonl"
+start_coordinator killcoord --journal "$work/fleet.jsonl" \
+  --crash-after-assignments 2
+start_proxy killcoord
+worker w1 > "$work/killcoord.w1.txt" & w1=$!
+worker w2 > "$work/killcoord.w2.txt" & w2=$!
+worker w3 > "$work/killcoord.w3.txt" & w3=$!
+wait "$coord_pid" && {
+  echo "coordinator survived --crash-after-assignments" >&2; exit 1
+}
+start_coordinator killcoord --journal "$work/fleet.jsonl" --resume
+wait "$w1"; wait "$w2"; wait "$w3"
+wait "$coord_pid"
+stop_proxy
+check_report killcoord
+# The crashed incarnation must actually have journaled assignments for
+# the resume to have replayed anything.
+grep -q '"type":"assign"' "$work/fleet.jsonl"
+
+echo "fleet chaos drill clean: 4 schedules, one report."
