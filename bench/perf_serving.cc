@@ -10,15 +10,36 @@
 // the same process on the same machine, so it transfers across runners
 // and the CI bench lane gates it (>= 10x at N=1000).
 //
+// BM_FleetLoad forks a vacd child serving the TCP event-loop tier and
+// drives 10k concurrent clients from an epoll loop in the parent — every
+// connection open at once, every client issuing binary delta pulls —
+// measuring sustained QPS and pull latency percentiles, plus the
+// full-vs-delta item counts that prove a fleet sync costs O(delta).
+//
 // Machine-readable sibling: BENCH_serving.json (AUTOVAC_BENCH_OUT).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "net/binary.h"
 #include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
 #include "net/server.h"
 #include "support/match_index.h"
 #include "support/status.h"
@@ -179,9 +200,304 @@ RecoveryNumbers BenchRecovery() {
   return out;
 }
 
+// --- BM_FleetLoad ----------------------------------------------------
+
+constexpr size_t kFleetClientsDefault = 10000;  // AUTOVAC_BENCH_CLIENTS
+constexpr size_t kFleetRounds = 2;   // sustained requests per client
+constexpr size_t kConnectWave = 256; // ramp wave (bounded by the backlog)
+
+struct FleetNumbers {
+  size_t clients = 0;
+  size_t requests = 0;       // sustained-phase requests measured
+  double wall_ms = 0;        // sustained-phase wall time
+  double sustained_qps = 0;
+  double pull_p50_us = 0;
+  double pull_p99_us = 0;
+  size_t full_items = 0;   // items a cold client pulls (the whole feed)
+  size_t delta_items = 0;  // items a caught-up client pulls after 1 push
+};
+
+// Lifts the soft fd limit toward the hard cap and returns how many
+// client connections actually fit (the container caps the hard limit).
+size_t RaiseNofile(size_t want_clients) {
+  rlimit lim{};
+  AUTOVAC_CHECK(::getrlimit(RLIMIT_NOFILE, &lim) == 0);
+  const rlim_t want = static_cast<rlim_t>(want_clients) + 128;
+  if (lim.rlim_cur < want) {
+    lim.rlim_cur =
+        lim.rlim_max == RLIM_INFINITY ? want : std::min(want, lim.rlim_max);
+    (void)::setrlimit(RLIMIT_NOFILE, &lim);
+    AUTOVAC_CHECK(::getrlimit(RLIMIT_NOFILE, &lim) == 0);
+  }
+  if (lim.rlim_cur < want) {
+    const size_t fit = static_cast<size_t>(lim.rlim_cur) - 128;
+    std::fprintf(stderr,
+                 "warning: RLIMIT_NOFILE %llu caps the fleet at %zu "
+                 "clients (wanted %zu)\n",
+                 static_cast<unsigned long long>(lim.rlim_cur), fit,
+                 want_clients);
+    return fit;
+  }
+  return want_clients;
+}
+
+// One simulated fleet client: a nonblocking TCP connection that sends
+// the prebuilt delta-pull frame and waits for the reply, repeatedly.
+struct ClientConn {
+  int fd = -1;
+  bool connected = false;
+  size_t out_pos = 0;
+  size_t remaining = 0;  // requests left in the current phase
+  net::FrameDecoder decoder;
+  Clock::time_point sent_at;
+};
+
+void FleetServerChild(int port_write_fd, int stop_read_fd,
+                      size_t max_clients) {
+  vacstore::VaccineStore store;
+  std::vector<vaccine::Vaccine> vaccines;
+  vaccines.reserve(kPatterns);
+  for (size_t i = 0; i < kPatterns; ++i) {
+    vaccines.push_back(ServingVaccine(i));
+  }
+  AUTOVAC_CHECK(store.Push(vaccines).ok());
+
+  net::VacdOptions options;
+  options.socket_path = "bench_fleet.sock";
+  options.threads = 2;
+  options.tcp_host = "127.0.0.1";
+  options.tcp_port = 0;
+  options.max_connections = max_clients + 64;
+  options.idle_timeout_ms = 0;  // the bench parks idle conns on purpose
+  net::VacdServer server(std::move(store), options);
+  AUTOVAC_CHECK(server.Start().ok());
+  const uint16_t port = server.tcp_port();
+  AUTOVAC_CHECK(::write(port_write_fd, &port, sizeof(port)) ==
+                static_cast<ssize_t>(sizeof(port)));
+  // Serve until the parent closes its end of the stop pipe.
+  char byte;
+  while (::read(stop_read_fd, &byte, 1) < 0 && errno == EINTR) {
+  }
+  server.Stop();
+  std::remove(options.socket_path.c_str());
+  std::_Exit(0);
+}
+
+FleetNumbers BenchFleetLoad() {
+  size_t want = kFleetClientsDefault;
+  if (const char* env = std::getenv("AUTOVAC_BENCH_CLIENTS")) {
+    want = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    AUTOVAC_CHECK_MSG(want > 0, "AUTOVAC_BENCH_CLIENTS must be positive");
+  }
+  FleetNumbers out;
+  out.clients = RaiseNofile(want);
+
+  std::remove("bench_fleet.sock");
+  int port_pipe[2];
+  int stop_pipe[2];
+  AUTOVAC_CHECK(::pipe(port_pipe) == 0 && ::pipe(stop_pipe) == 0);
+  const pid_t pid = ::fork();
+  AUTOVAC_CHECK(pid >= 0);
+  if (pid == 0) {
+    ::close(port_pipe[0]);
+    ::close(stop_pipe[1]);
+    // The child holds one accepted fd per client; it needs the same
+    // headroom the parent does.
+    (void)RaiseNofile(out.clients);
+    FleetServerChild(port_pipe[1], stop_pipe[0], out.clients);
+  }
+  ::close(port_pipe[1]);
+  ::close(stop_pipe[0]);
+  uint16_t port = 0;
+  AUTOVAC_CHECK(::read(port_pipe[0], &port, sizeof(port)) ==
+                static_cast<ssize_t>(sizeof(port)));
+  ::close(port_pipe[0]);
+  const std::string spec = StrFormat("tcp:127.0.0.1:%u",
+                                     static_cast<unsigned>(port));
+
+  // The O(delta) proof: a cold client pulls the whole feed; a caught-up
+  // client pulls exactly what changed since its cursor.
+  net::VacdClient control(spec);
+  auto full = control.Pull(0);
+  AUTOVAC_CHECK(full.ok());
+  out.full_items = full->items.size();
+  const uint64_t cursor = full->epoch;
+  AUTOVAC_CHECK(control.Push({ServingVaccine(kPatterns)}).ok());
+  auto delta = control.Pull(cursor);
+  AUTOVAC_CHECK(delta.ok());
+  out.delta_items = delta->items.size();
+  const uint64_t caught_up = delta->epoch;
+
+  // The hot request every client loops on: a binary delta pull from a
+  // caught-up cursor — the steady-state heartbeat of an immunized fleet.
+  bool binary_ok = false;
+  const std::string request = net::EncodeNetFrame(net::EncodeBinaryRequest(
+      net::Request(net::PullRequest{caught_up, 0}), &binary_ok));
+  AUTOVAC_CHECK(binary_ok);
+
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  AUTOVAC_CHECK(ep >= 0);
+  std::vector<ClientConn> conns(out.clients);
+  std::vector<double> latencies;
+  latencies.reserve(out.clients * kFleetRounds);
+  bool record = false;
+  size_t done = 0;
+
+  auto arm = [&](size_t id, uint32_t events, int op) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = id;
+    AUTOVAC_CHECK(::epoll_ctl(ep, op, conns[id].fd, &ev) == 0);
+  };
+  // Sends as much of the request as the socket accepts; arms EPOLLOUT
+  // to resume on a short write, EPOLLIN once the request is out.
+  auto try_send = [&](size_t id) {
+    ClientConn& c = conns[id];
+    while (c.out_pos < request.size()) {
+      const ssize_t n = ::send(c.fd, request.data() + c.out_pos,
+                               request.size() - c.out_pos, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        AUTOVAC_CHECK_MSG(errno == EAGAIN || errno == EWOULDBLOCK,
+                          "fleet bench: send failed");
+        arm(id, EPOLLOUT, EPOLL_CTL_MOD);
+        return;
+      }
+      c.out_pos += static_cast<size_t>(n);
+    }
+    c.sent_at = Clock::now();
+    arm(id, EPOLLIN, EPOLL_CTL_MOD);
+  };
+  // Runs the readiness loop until `target` requests have completed
+  // since the bench started counting.
+  auto drive = [&](size_t target) {
+    epoll_event events[256];
+    while (done < target) {
+      const int ready =
+          ::epoll_wait(ep, events, 256, /*timeout_ms=*/30000);
+      if (ready < 0 && errno == EINTR) continue;
+      AUTOVAC_CHECK_MSG(ready > 0, "fleet bench stalled: no readiness "
+                                   "events for 30s");
+      for (int i = 0; i < ready; ++i) {
+        const size_t id = events[i].data.u64;
+        ClientConn& c = conns[id];
+        if (!c.connected) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          AUTOVAC_CHECK(::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err,
+                                     &len) == 0);
+          AUTOVAC_CHECK_MSG(err == 0, "fleet bench: connect failed");
+          c.connected = true;
+          try_send(id);
+          continue;
+        }
+        if ((events[i].events & EPOLLOUT) != 0) {
+          try_send(id);
+          continue;
+        }
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            AUTOVAC_CHECK_MSG(errno == EAGAIN || errno == EWOULDBLOCK,
+                              "fleet bench: recv failed");
+            break;
+          }
+          AUTOVAC_CHECK_MSG(n > 0, "fleet bench: server closed a client");
+          c.decoder.Append(std::string_view(buf, static_cast<size_t>(n)));
+        }
+        std::string payload;
+        for (;;) {
+          auto got = c.decoder.Next(&payload);
+          AUTOVAC_CHECK(got.ok());
+          if (!*got) break;
+          if (record) {
+            latencies.push_back(
+                std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          c.sent_at)
+                    .count());
+          }
+          ++done;
+          --c.remaining;
+          if (c.remaining > 0) {
+            c.out_pos = 0;
+            try_send(id);
+          } else {
+            arm(id, 0, EPOLL_CTL_MOD);  // park, connection stays open
+          }
+        }
+      }
+    }
+  };
+
+  // Ramp: connect in waves sized under the listen backlog; each client
+  // completes one warm request, then parks with its connection open.
+  for (size_t base = 0; base < out.clients; base += kConnectWave) {
+    const size_t end = std::min(base + kConnectWave, out.clients);
+    for (size_t id = base; id < end; ++id) {
+      ClientConn& c = conns[id];
+      c.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                      0);
+      AUTOVAC_CHECK_MSG(c.fd >= 0, "fleet bench: socket() failed");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      AUTOVAC_CHECK(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) ==
+                    1);
+      if (::connect(c.fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        AUTOVAC_CHECK_MSG(errno == EINPROGRESS,
+                          "fleet bench: connect refused");
+      }
+      c.remaining = 1;
+      arm(id, EPOLLOUT, EPOLL_CTL_ADD);
+    }
+    drive(end);  // the warm requests completed so far
+  }
+
+  // Sustained phase: every connection fires at once and keeps going —
+  // out.clients concurrent in-flight pulls against one event loop.
+  record = true;
+  done = 0;
+  const auto start = Clock::now();
+  for (size_t id = 0; id < out.clients; ++id) {
+    conns[id].remaining = kFleetRounds;
+    conns[id].out_pos = 0;
+    try_send(id);
+  }
+  drive(out.clients * kFleetRounds);
+  out.wall_ms = MillisSince(start);
+  out.requests = done;
+  out.sustained_qps =
+      out.wall_ms > 0 ? static_cast<double>(done) / (out.wall_ms / 1000.0)
+                      : 0;
+
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    out.pull_p50_us = latencies[latencies.size() / 2];
+    out.pull_p99_us = latencies[(latencies.size() * 99) / 100 >=
+                                        latencies.size()
+                                    ? latencies.size() - 1
+                                    : (latencies.size() * 99) / 100];
+  }
+
+  for (ClientConn& c : conns) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  ::close(ep);
+  ::close(stop_pipe[1]);  // EOF tells the child to stop serving
+  int status = 0;
+  AUTOVAC_CHECK(::waitpid(pid, &status, 0) == pid);
+  AUTOVAC_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                    "fleet bench: server child failed");
+  return out;
+}
+
 void WriteBenchJson(double linear_ms, double index_ms, double speedup,
                     size_t hits, double roundtrip_ms, size_t matches,
-                    const RecoveryNumbers& recovery) {
+                    const RecoveryNumbers& recovery,
+                    const FleetNumbers& fleet) {
   const char* env_path = std::getenv("AUTOVAC_BENCH_OUT");
   const std::string path =
       env_path != nullptr ? env_path : "BENCH_serving.json";
@@ -207,7 +523,15 @@ void WriteBenchJson(double linear_ms, double index_ms, double speedup,
       << ",\"checkpoint_records\":" << recovery.checkpoint_records
       << ",\"checkpoint_open_ms\":"
       << StrFormat("%.3f", recovery.checkpoint_open_ms)
-      << ",\"speedup\":" << StrFormat("%.2f", recovery.speedup) << "}}\n";
+      << ",\"speedup\":" << StrFormat("%.2f", recovery.speedup)
+      << "},\"fleet\":{\"clients\":" << fleet.clients
+      << ",\"requests\":" << fleet.requests
+      << ",\"wall_ms\":" << StrFormat("%.3f", fleet.wall_ms)
+      << ",\"sustained_qps\":" << StrFormat("%.1f", fleet.sustained_qps)
+      << ",\"pull_p50_us\":" << StrFormat("%.1f", fleet.pull_p50_us)
+      << ",\"pull_p99_us\":" << StrFormat("%.1f", fleet.pull_p99_us)
+      << ",\"full_items\":" << fleet.full_items
+      << ",\"delta_items\":" << fleet.delta_items << "}}\n";
   std::printf("\nbench json written to %s\n", path.c_str());
 }
 
@@ -303,7 +627,19 @@ int main() {
   std::printf("recovery speedup:  %.1fx (replay bounded to "
               "O(delta-since-checkpoint))\n", recovery.speedup);
 
+  // ---- BM_FleetLoad: 10k concurrent clients on the epoll tier -------
+  const FleetNumbers fleet = BenchFleetLoad();
+  std::printf("BM_FleetLoad: %zu concurrent clients, %zu binary delta "
+              "pulls in %8.2f ms\n", fleet.clients, fleet.requests,
+              fleet.wall_ms);
+  std::printf("              sustained %.0f QPS, pull p50 %.0f us, "
+              "p99 %.0f us\n", fleet.sustained_qps, fleet.pull_p50_us,
+              fleet.pull_p99_us);
+  std::printf("              cold pull %zu items vs caught-up delta %zu "
+              "item(s): sync is O(delta)\n", fleet.full_items,
+              fleet.delta_items);
+
   WriteBenchJson(linear_ms, index_ms, speedup, linear_hits, roundtrip_ms,
-                 roundtrip_matches, recovery);
+                 roundtrip_matches, recovery, fleet);
   return 0;
 }

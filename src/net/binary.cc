@@ -1,0 +1,182 @@
+#include "net/binary.h"
+
+#include "support/binio.h"
+#include "vaccine/wire.h"
+
+namespace autovac::net {
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(
+      std::string("truncated binary message: ") + what);
+}
+
+}  // namespace
+
+std::string EncodeBinaryRequest(const Request& request, bool* ok) {
+  *ok = true;
+  std::string out;
+  if (const auto* query = std::get_if<QueryRequest>(&request)) {
+    PutU8(out, kBinQueryRequest);
+    PutU8(out, static_cast<uint8_t>(query->resource_type));
+    PutStr(out, query->identifier);
+    return out;
+  }
+  if (const auto* pull = std::get_if<PullRequest>(&request)) {
+    PutU8(out, kBinPullRequest);
+    PutU64(out, pull->since);
+    PutU64(out, pull->limit);
+    return out;
+  }
+  if (std::get_if<StatusRequest>(&request) != nullptr) {
+    PutU8(out, kBinStatusRequest);
+    return out;
+  }
+  *ok = false;
+  return out;
+}
+
+Result<Request> ParseBinaryRequest(std::string_view payload) {
+  BinReader reader{payload, 0};
+  uint8_t op;
+  if (!reader.U8(&op)) return Truncated("opcode");
+  if (op == kBinQueryRequest) {
+    QueryRequest request;
+    uint8_t resource;
+    if (!reader.U8(&resource) || resource >= os::kNumResourceTypes) {
+      return Status::InvalidArgument("bad binary resource type");
+    }
+    request.resource_type = static_cast<os::ResourceType>(resource);
+    if (!reader.Str(&request.identifier)) return Truncated("identifier");
+    if (!reader.Done()) return Status::InvalidArgument("trailing bytes");
+    return Request(std::move(request));
+  }
+  if (op == kBinPullRequest) {
+    PullRequest request;
+    if (!reader.U64(&request.since)) return Truncated("since");
+    if (!reader.U64(&request.limit)) return Truncated("limit");
+    if (!reader.Done()) return Status::InvalidArgument("trailing bytes");
+    return Request(request);
+  }
+  if (op == kBinStatusRequest) {
+    if (!reader.Done()) return Status::InvalidArgument("trailing bytes");
+    return Request(StatusRequest{});
+  }
+  return Status::InvalidArgument("unknown binary request opcode");
+}
+
+std::string EncodeBinaryReply(const Reply& reply) {
+  std::string out;
+  if (const auto* query = std::get_if<QueryReply>(&reply)) {
+    PutU8(out, kBinQueryReply);
+    PutU32(out, static_cast<uint32_t>(query->matches.size()));
+    for (const vaccine::Vaccine& match : query->matches) {
+      vaccine::EncodeVaccine(out, match);
+    }
+    return out;
+  }
+  if (const auto* pull = std::get_if<PullReply>(&reply)) {
+    PutU8(out, kBinPullReply);
+    PutU64(out, pull->epoch);
+    PutU8(out, pull->more ? 1 : 0);
+    PutU32(out, static_cast<uint32_t>(pull->items.size()));
+    for (const FeedItem& item : pull->items) {
+      PutStr(out, item.digest);
+      PutU64(out, item.epoch);
+      PutU8(out, item.quarantined ? 1 : 0);
+      vaccine::EncodeVaccine(out, item.vaccine);
+    }
+    return out;
+  }
+  if (const auto* status = std::get_if<StatusReply>(&reply)) {
+    PutU8(out, kBinStatusReply);
+    PutU64(out, status->epoch);
+    PutU64(out, status->served);
+    PutU64(out, status->quarantined);
+    PutU64(out, status->requests);
+    PutU64(out, status->shed);
+    PutU64(out, status->evicted);
+    PutU64(out, status->checkpoint_epoch);
+    PutU64(out, status->replayed);
+    PutU64(out, status->dedup_hits);
+    return out;
+  }
+  // Push/quarantine replies never travel binary (their requests are
+  // JSON); everything else degrades to an error reply.
+  ErrorReply error{false, "unsupported binary reply kind"};
+  if (const auto* actual = std::get_if<ErrorReply>(&reply)) error = *actual;
+  PutU8(out, kBinErrorReply);
+  PutU8(out, error.busy ? 1 : 0);
+  PutStr(out, error.message);
+  return out;
+}
+
+Result<Reply> ParseBinaryReply(std::string_view payload) {
+  BinReader reader{payload, 0};
+  uint8_t op;
+  if (!reader.U8(&op)) return Truncated("opcode");
+  std::string error;
+  if (op == kBinQueryReply) {
+    QueryReply reply;
+    uint32_t count;
+    if (!reader.U32(&count)) return Truncated("match count");
+    reply.matches.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      vaccine::Vaccine match;
+      if (!vaccine::DecodeVaccine(reader, &match, &error)) {
+        return Status::InvalidArgument(error);
+      }
+      reply.matches.push_back(std::move(match));
+    }
+    if (!reader.Done()) return Status::InvalidArgument("trailing bytes");
+    return Reply(std::move(reply));
+  }
+  if (op == kBinPullReply) {
+    PullReply reply;
+    uint8_t more;
+    uint32_t count;
+    if (!reader.U64(&reply.epoch)) return Truncated("epoch");
+    if (!reader.U8(&more)) return Truncated("more flag");
+    reply.more = more != 0;
+    if (!reader.U32(&count)) return Truncated("item count");
+    reply.items.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      FeedItem item;
+      uint8_t quarantined;
+      if (!reader.Str(&item.digest)) return Truncated("item digest");
+      if (!reader.U64(&item.epoch)) return Truncated("item epoch");
+      if (!reader.U8(&quarantined)) return Truncated("item tombstone flag");
+      item.quarantined = quarantined != 0;
+      if (!vaccine::DecodeVaccine(reader, &item.vaccine, &error)) {
+        return Status::InvalidArgument(error);
+      }
+      reply.items.push_back(std::move(item));
+    }
+    if (!reader.Done()) return Status::InvalidArgument("trailing bytes");
+    return Reply(std::move(reply));
+  }
+  if (op == kBinStatusReply) {
+    StatusReply reply;
+    if (!reader.U64(&reply.epoch) || !reader.U64(&reply.served) ||
+        !reader.U64(&reply.quarantined) || !reader.U64(&reply.requests) ||
+        !reader.U64(&reply.shed) || !reader.U64(&reply.evicted) ||
+        !reader.U64(&reply.checkpoint_epoch) ||
+        !reader.U64(&reply.replayed) || !reader.U64(&reply.dedup_hits)) {
+      return Truncated("status fields");
+    }
+    if (!reader.Done()) return Status::InvalidArgument("trailing bytes");
+    return Reply(reply);
+  }
+  if (op == kBinErrorReply) {
+    ErrorReply reply;
+    uint8_t busy;
+    if (!reader.U8(&busy)) return Truncated("busy flag");
+    reply.busy = busy != 0;
+    if (!reader.Str(&reply.message)) return Truncated("error message");
+    if (!reader.Done()) return Status::InvalidArgument("trailing bytes");
+    return Reply(std::move(reply));
+  }
+  return Status::InvalidArgument("unknown binary reply opcode");
+}
+
+}  // namespace autovac::net

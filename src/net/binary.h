@@ -1,0 +1,50 @@
+// Compact binary encoding for the hot vacd query/pull path.
+//
+// A frame payload's first byte discriminates the two encodings: JSON
+// messages always start with '{' (0x7B), binary messages start with an
+// opcode byte chosen to never collide with it. The server answers in
+// the encoding the request arrived in, so JSON stays available for
+// control, debugging and byte-identity checks while a polling fleet
+// pays binary prices: no JSON escaping, no float formatting, one
+// length-prefixed vaccine codec shared with the checkpoint image
+// (vaccine/wire.h).
+//
+// The hot path is read-only (query/pull/status) — mutations (push,
+// quarantine) carry vaccine batches rarely and stay JSON, which also
+// keeps the idempotency request-id plumbing in one encoding.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/protocol.h"
+#include "support/status.h"
+
+namespace autovac::net {
+
+// Request opcodes (first payload byte).
+inline constexpr uint8_t kBinQueryRequest = 0x01;
+inline constexpr uint8_t kBinPullRequest = 0x02;
+inline constexpr uint8_t kBinStatusRequest = 0x03;
+// Reply opcodes.
+inline constexpr uint8_t kBinQueryReply = 0x81;
+inline constexpr uint8_t kBinPullReply = 0x82;
+inline constexpr uint8_t kBinStatusReply = 0x83;
+inline constexpr uint8_t kBinErrorReply = 0xFE;
+
+// True when `payload` should be parsed as a binary message ('{' means
+// JSON). Empty payloads are neither and fail either parser.
+[[nodiscard]] inline bool IsBinaryPayload(std::string_view payload) {
+  return !payload.empty() && payload.front() != '{';
+}
+
+// Returns empty and sets `*ok = false` for request kinds the binary
+// protocol does not carry (push/quarantine stay JSON).
+[[nodiscard]] std::string EncodeBinaryRequest(const Request& request,
+                                              bool* ok);
+[[nodiscard]] Result<Request> ParseBinaryRequest(std::string_view payload);
+
+[[nodiscard]] std::string EncodeBinaryReply(const Reply& reply);
+[[nodiscard]] Result<Reply> ParseBinaryReply(std::string_view payload);
+
+}  // namespace autovac::net

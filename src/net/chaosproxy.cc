@@ -1,5 +1,7 @@
 #include "net/chaosproxy.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -10,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "net/endpoint.h"
 #include "net/frame.h"
 #include "support/strings.h"
 
@@ -24,16 +27,40 @@ void SetDeadline(int fd, uint64_t deadline_ms) {
   (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
-int ConnectUnix(const std::string& path, uint64_t deadline_ms) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) return -1;
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+// The backend leg must dial the *real* socket even when a test has
+// installed an in-process fault shim, so backend connects bypass
+// DialEndpoint (which routes through WireConnect) on purpose: the proxy
+// is the fault injector here, not a victim of another one.
+int ConnectBackend(const std::string& spec, uint64_t deadline_ms) {
+  const Result<Endpoint> endpoint = ParseEndpoint(spec);
+  if (!endpoint.ok()) return -1;
+  sockaddr_storage storage{};
+  socklen_t len = 0;
+  int fd = -1;
+  if (endpoint->tcp) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint->port);
+    const std::string host =
+        endpoint->host == "localhost" ? "127.0.0.1" : endpoint->host;
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
+    std::memcpy(&storage, &addr, sizeof(addr));
+    len = sizeof(addr);
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  } else {
+    sockaddr_un addr{};
+    if (endpoint->path.size() >= sizeof(addr.sun_path)) return -1;
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, endpoint->path.c_str(),
+                endpoint->path.size() + 1);
+    std::memcpy(&storage, &addr, sizeof(addr));
+    len = sizeof(addr);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  }
   if (fd < 0) return -1;
   SetDeadline(fd, deadline_ms);
-  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr)) != 0) {
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&storage), len) !=
+         0) {
     if (errno == EINTR) continue;
     if (errno == EISCONN) break;
     ::close(fd);
@@ -52,43 +79,25 @@ ChaosProxy::~ChaosProxy() { Stop(); }
 Status ChaosProxy::Start() {
   if (running_) return Status::FailedPrecondition("proxy already running");
 
-  sockaddr_un addr{};
-  if (options_.listen_path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument(
-        StrFormat("socket path too long: %s", options_.listen_path.c_str()));
-  }
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, options_.listen_path.c_str(),
-              options_.listen_path.size() + 1);
-  (void)::unlink(options_.listen_path.c_str());
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(
-        StrFormat("socket failed: %s", std::strerror(errno)));
-  }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal(StrFormat("bind %s failed: %s",
-                                      options_.listen_path.c_str(),
-                                      std::strerror(err)));
-  }
-  if (::listen(listen_fd_, 16) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    (void)::unlink(options_.listen_path.c_str());
-    return Status::Internal(
-        StrFormat("listen failed: %s", std::strerror(err)));
+  AUTOVAC_ASSIGN_OR_RETURN(const Endpoint listen_endpoint,
+                           ParseEndpoint(options_.listen_path));
+  listen_unix_ = !listen_endpoint.tcp;
+  AUTOVAC_ASSIGN_OR_RETURN(listen_fd_,
+                           ListenEndpoint(listen_endpoint, /*backlog=*/16));
+  if (listen_endpoint.tcp) {
+    const Result<uint16_t> port = ListenPort(listen_fd_);
+    if (!port.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return port.status();
+    }
+    listen_port_ = *port;
   }
   if (::pipe(stop_pipe_) != 0) {
     const int err = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
-    (void)::unlink(options_.listen_path.c_str());
+    if (listen_unix_) (void)::unlink(options_.listen_path.c_str());
     return Status::Internal(
         StrFormat("pipe failed: %s", std::strerror(err)));
   }
@@ -105,10 +114,11 @@ void ChaosProxy::Stop() {
   accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  listen_port_ = 0;
   ::close(stop_pipe_[0]);
   ::close(stop_pipe_[1]);
   stop_pipe_[0] = stop_pipe_[1] = -1;
-  (void)::unlink(options_.listen_path.c_str());
+  if (listen_unix_) (void)::unlink(options_.listen_path.c_str());
   running_ = false;
 }
 
@@ -184,7 +194,7 @@ void ChaosProxy::Relay(int client_fd, const ConnectionFaults& faults) {
   }
   const std::string raw_request = EncodeNetFrame(*request);
 
-  const int backend = ConnectUnix(options_.backend_path, options_.deadline_ms);
+  const int backend = ConnectBackend(options_.backend_path, options_.deadline_ms);
   if (backend < 0) {
     ::close(client_fd);
     return;
@@ -201,7 +211,7 @@ void ChaosProxy::Relay(int client_fd, const ConnectionFaults& faults) {
   if (faults.duplicate) {
     // The wire event an idempotent push must absorb: the same request
     // frame arrives twice, and only one reply reaches the client.
-    const int twin = ConnectUnix(options_.backend_path, options_.deadline_ms);
+    const int twin = ConnectBackend(options_.backend_path, options_.deadline_ms);
     if (twin >= 0) {
       uint64_t twin_sent = 0;
       if (RelayBytes(twin, raw_request, -1, false, &twin_sent)) {

@@ -29,8 +29,12 @@
 namespace autovac::net {
 
 struct ChaosProxyOptions {
-  std::string listen_path;   // Unix socket the client connects to
-  std::string backend_path;  // the real vacd socket
+  // Endpoint specs (net/endpoint.h): a Unix socket path, or
+  // "tcp:host:port" / "tcp:port" — either leg can be either kind, so
+  // the TCP event tier rehearses under the same fault plans as the
+  // Unix tier.
+  std::string listen_path;   // where the client connects
+  std::string backend_path;  // the real vacd endpoint
   uint64_t deadline_ms = 5000;  // per-leg socket read/write deadline
   bool verbose = false;         // log one line per connection to stderr
 };
@@ -49,6 +53,10 @@ class ChaosProxy {
 
   // Idempotent: joins the relay thread, unlinks the listen socket.
   void Stop();
+
+  // Bound port of a TCP listen endpoint (resolves port 0 to what the
+  // kernel assigned). Valid after Start(); 0 for a Unix listener.
+  [[nodiscard]] uint16_t listen_port() const { return listen_port_; }
 
   [[nodiscard]] uint64_t connections() const {
     return connections_.load(std::memory_order_relaxed);
@@ -71,6 +79,8 @@ class ChaosProxy {
   NetFaultInjector injector_;
 
   int listen_fd_ = -1;
+  uint16_t listen_port_ = 0;
+  bool listen_unix_ = false;  // unlink the socket file on Stop()
   int stop_pipe_[2] = {-1, -1};
   std::thread accept_thread_;
   bool running_ = false;

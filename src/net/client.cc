@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/binary.h"
+#include "net/endpoint.h"
 #include "net/faultwire.h"
 #include "net/frame.h"
 #include "support/digest.h"
@@ -20,40 +22,6 @@ namespace autovac::net {
 namespace {
 
 constexpr std::string_view kBusyPrefix = "vacd busy: ";
-
-Result<int> Connect(const std::string& path, uint64_t deadline_ms) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument(
-        StrFormat("socket path too long: %s", path.c_str()));
-  }
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(
-        StrFormat("socket failed: %s", std::strerror(errno)));
-  }
-  timeval tv;
-  tv.tv_sec = static_cast<time_t>(deadline_ms / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((deadline_ms % 1000) * 1000);
-  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  // WireConnect retries EINTR (an interrupted connect completes in the
-  // background and reports EISCONN on the retry) and applies the
-  // installed NetFaultPlan, if any.
-  if (WireConnect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-    const int err = errno;
-    WireClose(fd);
-    // Refused/absent reads as "no server yet" so startup-wait loops can
-    // key on NotFound alone.
-    return Status::NotFound(StrFormat("connect %s failed: %s", path.c_str(),
-                                      std::strerror(err)));
-  }
-  return fd;
-}
 
 // Maps an ErrorReply to a Status for the typed helpers.
 Status ErrorToStatus(const ErrorReply& error) {
@@ -73,15 +41,18 @@ uint64_t ElapsedMs(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-Result<std::string> FrameRoundTrip(const std::string& socket_path,
+Result<std::string> FrameRoundTrip(const std::string& endpoint_spec,
                                    uint64_t deadline_ms,
-                                   std::string_view request_json,
+                                   std::string_view request_payload,
                                    const std::function<void()>& after_send) {
-  AUTOVAC_ASSIGN_OR_RETURN(const int fd, Connect(socket_path, deadline_ms));
+  AUTOVAC_ASSIGN_OR_RETURN(const Endpoint endpoint,
+                           ParseEndpoint(endpoint_spec));
+  AUTOVAC_ASSIGN_OR_RETURN(const int fd,
+                           DialEndpoint(endpoint, deadline_ms));
   // A failed write is not yet fatal: an overloaded server answers BUSY
   // and closes without reading, so the reply may already be waiting in
   // our receive buffer while our send sees a broken pipe.
-  const Status written = WriteNetFrame(fd, request_json);
+  const Status written = WriteNetFrame(fd, request_payload);
   if (after_send) after_send();
   Result<std::string> reply = ReadNetFrame(fd);
   WireClose(fd);
@@ -93,8 +64,8 @@ Result<std::string> FrameRoundTrip(const std::string& socket_path,
 }
 
 Result<std::string> VacdClient::RoundTripRaw(
-    std::string_view request_json) const {
-  return FrameRoundTrip(socket_path_, deadline_ms_, request_json);
+    std::string_view request_payload) const {
+  return FrameRoundTrip(endpoint_spec_, deadline_ms_, request_payload);
 }
 
 bool VacdClient::IsRetryable(const Status& status) {
@@ -108,16 +79,19 @@ bool VacdClient::IsRetryable(const Status& status) {
   }
 }
 
-Result<Reply> VacdClient::RoundTripJson(const std::string& json) const {
+Result<Reply> VacdClient::RoundTripPayload(const std::string& payload) const {
   // The jitter stream is deterministic per (seed, request): two runs of
   // the same campaign sleep the same schedule.
-  Rng jitter(retry_.seed ^ Fnv1a64(json));
+  Rng jitter(retry_.seed ^ Fnv1a64(payload));
   const auto start = std::chrono::steady_clock::now();
   for (uint32_t attempt = 1;; ++attempt) {
     Status last = Status::Ok();
-    Result<std::string> raw = RoundTripRaw(json);
+    Result<std::string> raw = RoundTripRaw(payload);
     if (raw.ok()) {
-      Result<Reply> reply = ParseReply(*raw);
+      // The server answers in the request's encoding; sniffing the first
+      // byte keeps one retry loop for both.
+      Result<Reply> reply = IsBinaryPayload(*raw) ? ParseBinaryReply(*raw)
+                                                  : ParseReply(*raw);
       if (!reply.ok()) return reply;  // malformed reply: not transient
       const auto* error = std::get_if<ErrorReply>(&reply.value());
       if (error == nullptr || !error->busy) return reply;
@@ -151,7 +125,13 @@ Result<Reply> VacdClient::RoundTripJson(const std::string& json) const {
 }
 
 Result<Reply> VacdClient::RoundTrip(const Request& request) const {
-  return RoundTripJson(RequestToJson(request));
+  if (binary_) {
+    bool ok = false;
+    std::string payload = EncodeBinaryRequest(request, &ok);
+    // Mutations have no binary form and fall through to JSON.
+    if (ok) return RoundTripPayload(payload);
+  }
+  return RoundTripPayload(RequestToJson(request));
 }
 
 Result<PushReply> VacdClient::Push(
@@ -175,6 +155,20 @@ Result<PushReply> VacdClient::Push(
   }
   if (const auto* pushed = std::get_if<PushReply>(&reply)) return *pushed;
   return Status::Internal("unexpected reply kind for push");
+}
+
+Result<QuarantineReply> VacdClient::Quarantine(
+    std::string_view digest, std::string_view reason) const {
+  QuarantineRequest request;
+  request.digest = std::string(digest);
+  request.reason = std::string(reason);
+  AUTOVAC_ASSIGN_OR_RETURN(const Reply reply,
+                           RoundTrip(Request(std::move(request))));
+  if (const auto* error = std::get_if<ErrorReply>(&reply)) {
+    return ErrorToStatus(*error);
+  }
+  if (const auto* done = std::get_if<QuarantineReply>(&reply)) return *done;
+  return Status::Internal("unexpected reply kind for quarantine");
 }
 
 Result<QueryReply> VacdClient::Query(os::ResourceType resource_type,

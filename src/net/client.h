@@ -1,6 +1,11 @@
 // vacd client library: one connection per request (the protocol is
 // strictly request/reply, and a feed client syncs rarely), blocking with
-// the same deadline discipline as the server.
+// the same deadline discipline as the server. Speaks to either tier
+// through an endpoint spec (net/endpoint.h): a plain path dials the
+// Unix socket, "tcp:host:port" / "tcp:port" dials the TCP event tier.
+// With set_binary(true) the read-path requests (query/pull/status) go
+// out in the compact binary encoding (net/binary.h); mutations always
+// travel as JSON.
 //
 // The typed helpers unwrap the reply variant into Status codes:
 //   * a busy shed  -> FailedPrecondition("vacd busy: ...") — back off and
@@ -32,20 +37,21 @@
 
 namespace autovac::net {
 
-// One AVNF frame round trip on a fresh connection: connect to the Unix
-// socket, send `request_json`, read one reply frame, close. Single
-// attempt — retry loops layer on top. Connect refused/absent maps to
-// NotFound (the "no server yet" signal startup-wait loops key on); a
-// clean close before any reply byte maps to Internal. Shared by the vacd
-// client and the fleet control-plane client, so both tiers inherit the
-// same wire-fault shim (faultwire.h) and deadline discipline.
+// One AVNF frame round trip on a fresh connection: dial the endpoint
+// spec (Unix path or tcp:host:port), send `request_payload`, read one
+// reply frame, close. Single attempt — retry loops layer on top.
+// Connect refused/absent maps to NotFound (the "no server yet" signal
+// startup-wait loops key on); a clean close before any reply byte maps
+// to Internal. Shared by the vacd client and the fleet control-plane
+// client, so both tiers inherit the same wire-fault shim (faultwire.h)
+// and deadline discipline.
 //
 // `after_send` is a chaos-test seam: invoked between the request frame
 // landing and the reply read — the "request delivered, acknowledgement
 // lost" window crash tests SIGKILL inside. Production passes nothing.
 [[nodiscard]] Result<std::string> FrameRoundTrip(
-    const std::string& socket_path, uint64_t deadline_ms,
-    std::string_view request_json,
+    const std::string& endpoint_spec, uint64_t deadline_ms,
+    std::string_view request_payload,
     const std::function<void()>& after_send = nullptr);
 
 // Capped exponential backoff with deterministic seeded jitter. The
@@ -75,17 +81,28 @@ struct RetryPolicy {
 
 class VacdClient {
  public:
-  explicit VacdClient(std::string socket_path, uint64_t deadline_ms = 5000,
+  // `endpoint_spec` is a Unix socket path or "tcp:host:port"/"tcp:port".
+  explicit VacdClient(std::string endpoint_spec, uint64_t deadline_ms = 5000,
                       RetryPolicy retry = RetryPolicy())
-      : socket_path_(std::move(socket_path)),
+      : endpoint_spec_(std::move(endpoint_spec)),
         deadline_ms_(deadline_ms),
         retry_(retry) {}
+
+  // Binary encoding for the read path (query/pull/status). Mutations
+  // and RoundTripRaw stay in whatever bytes the caller provides.
+  void set_binary(bool binary) { binary_ = binary; }
+  [[nodiscard]] bool binary() const { return binary_; }
 
   // Under a retrying policy the push carries a request id derived from
   // the policy seed, a per-client sequence number and the batch content,
   // so every retry of one logical push presents the same id.
   [[nodiscard]] Result<PushReply> Push(
       const std::vector<vaccine::Vaccine>& vaccines) const;
+  // Retracts one vaccine by digest (idempotent: reply.already on a
+  // repeat). The tombstone reaches delta-syncing clients on their next
+  // pull.
+  [[nodiscard]] Result<QuarantineReply> Quarantine(
+      std::string_view digest, std::string_view reason) const;
   [[nodiscard]] Result<QueryReply> Query(os::ResourceType resource_type,
                                          std::string_view identifier) const;
   // One feed page: at most `limit` items (0 = everything), never
@@ -104,11 +121,12 @@ class VacdClient {
   // returned as-is once attempts run out).
   [[nodiscard]] Result<Reply> RoundTrip(const Request& request) const;
 
-  // Sends `request_json` verbatim and returns the raw reply payload —
-  // the byte-identity the store sync tests compare across restarts.
-  // Single attempt: retries live in RoundTrip and the typed helpers.
+  // Sends `request_payload` verbatim (JSON or binary) and returns the
+  // raw reply payload — the byte-identity the store sync tests compare
+  // across restarts. Single attempt: retries live in RoundTrip and the
+  // typed helpers.
   [[nodiscard]] Result<std::string> RoundTripRaw(
-      std::string_view request_json) const;
+      std::string_view request_payload) const;
 
   // True iff `status` is the overload-shed outcome of a typed helper.
   [[nodiscard]] static bool IsBusy(const Status& status);
@@ -121,12 +139,15 @@ class VacdClient {
   [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
 
  private:
-  // RoundTrip on pre-serialized json, with the retry loop.
-  [[nodiscard]] Result<Reply> RoundTripJson(const std::string& json) const;
+  // RoundTrip on a pre-serialized payload, with the retry loop. The
+  // reply's encoding is sniffed (first byte), so one loop serves both.
+  [[nodiscard]] Result<Reply> RoundTripPayload(
+      const std::string& payload) const;
 
-  std::string socket_path_;
+  std::string endpoint_spec_;
   uint64_t deadline_ms_;
   RetryPolicy retry_;
+  bool binary_ = false;
   // Distinguishes two pushes of identical content from one retried push
   // in the request-id derivation.
   mutable std::atomic<uint64_t> push_sequence_{0};

@@ -93,6 +93,31 @@ Status WriteNetFrame(int fd, std::string_view payload) {
   return WriteAll(fd, EncodeNetFrame(payload));
 }
 
+Result<bool> FrameDecoder::Next(std::string* payload) {
+  if (buffer_.size() - pos_ < kNetFrameHeaderSize) return false;
+  const char* header = buffer_.data() + pos_;
+  if (GetU32(header) != kNetFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const uint32_t length = GetU32(header + 4);
+  if (length > kMaxNetFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  if (buffer_.size() - pos_ < kNetFrameHeaderSize + length) return false;
+  payload->assign(buffer_, pos_ + kNetFrameHeaderSize, length);
+  pos_ += kNetFrameHeaderSize + length;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection doesn't hold every frame it ever received.
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
 Result<std::string> ReadNetFrame(int fd) {
   char header[kNetFrameHeaderSize];
   bool clean_eof = false;

@@ -36,4 +36,28 @@ inline constexpr size_t kMaxNetFramePayload = 64u << 20;
 // Reads exactly one frame.
 [[nodiscard]] Result<std::string> ReadNetFrame(int fd);
 
+// Incremental frame parser for non-blocking connections: feed whatever
+// the socket had, take out however many complete frames arrived. The
+// event-loop tier's per-connection read state machine — a frame split
+// across any number of reads reassembles, pipelined frames in one read
+// all come out.
+class FrameDecoder {
+ public:
+  void Append(std::string_view bytes) { buffer_.append(bytes); }
+
+  // Extracts the next complete frame's payload into `*payload`. Returns
+  // true when one was extracted, false when more bytes are needed, and
+  // InvalidArgument on a malformed header (bad magic / oversize length)
+  // — after which the stream is unrecoverable and should be closed.
+  [[nodiscard]] Result<bool> Next(std::string* payload);
+
+  // Bytes buffered but not yet consumed (a flow-control signal: a
+  // client that pipelines faster than it reads replies shows up here).
+  [[nodiscard]] size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;  // consumed prefix, compacted opportunistically
+};
+
 }  // namespace autovac::net

@@ -70,6 +70,12 @@ std::string RequestToJson(const Request& request) {
                      static_cast<unsigned long long>(pull->since),
                      static_cast<unsigned long long>(pull->limit));
   }
+  if (const auto* quarantine = std::get_if<QuarantineRequest>(&request)) {
+    return StrFormat("{\"op\":\"quarantine\",\"digest\":\"%s\","
+                     "\"reason\":\"%s\"}",
+                     JsonEscape(quarantine->digest).c_str(),
+                     JsonEscape(quarantine->reason).c_str());
+  }
   return "{\"op\":\"status\"}";
 }
 
@@ -104,6 +110,12 @@ Result<Request> ParseRequest(std::string_view text) {
     }
     return Request(request);
   }
+  if (op == "quarantine") {
+    QuarantineRequest request;
+    AUTOVAC_ASSIGN_OR_RETURN(request.digest, JsonFieldString(json, "digest"));
+    AUTOVAC_ASSIGN_OR_RETURN(request.reason, JsonFieldString(json, "reason"));
+    return Request(std::move(request));
+  }
   if (op == "status") return Request(StatusRequest{});
   return Status::InvalidArgument(
       StrFormat("unknown op '%s'", op.c_str()));
@@ -128,9 +140,12 @@ std::string ReplyToJson(const Reply& reply) {
     for (size_t i = 0; i < pull->items.size(); ++i) {
       const FeedItem& item = pull->items[i];
       if (i > 0) items += ",";
+      // The tombstone flag is emitted only when set, so full pulls keep
+      // their pre-tombstone bytes (the restart byte-identity contract).
       items += StrFormat(
-          "{\"digest\":\"%s\",\"epoch\":%llu,\"vaccine\":%s}",
+          "{\"digest\":\"%s\",\"epoch\":%llu,%s\"vaccine\":%s}",
           item.digest.c_str(), static_cast<unsigned long long>(item.epoch),
+          item.quarantined ? "\"quarantined\":true," : "",
           vaccine::VaccineToJson(item.vaccine).c_str());
     }
     items += "]";
@@ -138,6 +153,12 @@ std::string ReplyToJson(const Reply& reply) {
                      "\"more\":%s,\"items\":%s}",
                      static_cast<unsigned long long>(pull->epoch),
                      pull->more ? "true" : "false", items.c_str());
+  }
+  if (const auto* quarantine = std::get_if<QuarantineReply>(&reply)) {
+    return StrFormat(
+        "{\"ok\":true,\"op\":\"quarantine\",\"epoch\":%llu,\"already\":%s}",
+        static_cast<unsigned long long>(quarantine->epoch),
+        quarantine->already ? "true" : "false");
   }
   if (const auto* status = std::get_if<StatusReply>(&reply)) {
     return StrFormat(
@@ -202,6 +223,10 @@ Result<Reply> ParseReply(std::string_view text) {
       AUTOVAC_ASSIGN_OR_RETURN(item.digest,
                                JsonFieldString(element, "digest"));
       AUTOVAC_ASSIGN_OR_RETURN(item.epoch, JsonFieldUint64(element, "epoch"));
+      if (element.Find("quarantined") != nullptr) {
+        AUTOVAC_ASSIGN_OR_RETURN(item.quarantined,
+                                 JsonFieldBool(element, "quarantined"));
+      }
       const JsonValue* vaccine = element.Find("vaccine");
       if (vaccine == nullptr) {
         return Status::InvalidArgument("feed item has no vaccine");
@@ -211,6 +236,12 @@ Result<Reply> ParseReply(std::string_view text) {
       reply.items.push_back(std::move(item));
     }
     return Reply(std::move(reply));
+  }
+  if (op == "quarantine") {
+    QuarantineReply reply;
+    AUTOVAC_ASSIGN_OR_RETURN(reply.epoch, JsonFieldUint64(json, "epoch"));
+    AUTOVAC_ASSIGN_OR_RETURN(reply.already, JsonFieldBool(json, "already"));
+    return Reply(reply);
   }
   if (op == "status") {
     StatusReply reply;

@@ -5,6 +5,7 @@
 //   {"op":"push","vaccines":[<vaccine json>...]}
 //   {"op":"query","resource":<enum>,"identifier":"..."}
 //   {"op":"pull","since":<epoch>}
+//   {"op":"quarantine","digest":"...","reason":"..."}
 //   {"op":"status"}
 // Replies echo the op and carry {"ok":true,...}; failures are
 //   {"ok":false,"busy":<bool>,"error":"..."}
@@ -49,10 +50,18 @@ struct PullRequest {
   uint64_t limit = 0;
 };
 
+// Operator retraction over the wire: quarantines an already-stored
+// vaccine by digest, bumping the feed epoch so delta-syncing clients
+// receive the tombstone.
+struct QuarantineRequest {
+  std::string digest;
+  std::string reason;
+};
+
 struct StatusRequest {};
 
-using Request =
-    std::variant<PushRequest, QueryRequest, PullRequest, StatusRequest>;
+using Request = std::variant<PushRequest, QueryRequest, PullRequest,
+                             QuarantineRequest, StatusRequest>;
 
 struct PushReply {
   uint64_t added = 0;
@@ -66,12 +75,17 @@ struct QueryReply {
   std::vector<vaccine::Vaccine> matches;
 };
 
-// One feed record: the vaccine plus its content address and epoch, so a
-// client can resume a sync with "since" and dedup by digest.
+// One feed record: the vaccine plus its content address and change
+// epoch, so a client can resume a sync with "since" and dedup by
+// digest. A quarantined item is a *tombstone* — "drop this digest" —
+// which a delta pull serves to clients that already hold the vaccine;
+// full pulls (since = 0) never contain one, which keeps their bytes
+// identical to the pre-tombstone protocol.
 struct FeedItem {
   std::string digest;
-  uint64_t epoch = 0;
+  uint64_t epoch = 0;  // change epoch (add, or later quarantine)
   vaccine::Vaccine vaccine;
+  bool quarantined = false;
 };
 
 struct PullReply {
@@ -102,13 +116,18 @@ struct StatusReply {
   uint64_t dedup_hits = 0;
 };
 
+struct QuarantineReply {
+  uint64_t epoch = 0;   // store epoch after the retraction
+  bool already = false;  // digest was quarantined before this request
+};
+
 struct ErrorReply {
   bool busy = false;  // overload shed, retry later
   std::string message;
 };
 
-using Reply =
-    std::variant<PushReply, QueryReply, PullReply, StatusReply, ErrorReply>;
+using Reply = std::variant<PushReply, QueryReply, PullReply, QuarantineReply,
+                           StatusReply, ErrorReply>;
 
 [[nodiscard]] std::string RequestToJson(const Request& request);
 [[nodiscard]] Result<Request> ParseRequest(std::string_view text);

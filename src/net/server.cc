@@ -1,15 +1,20 @@
 #include "net/server.h"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "net/binary.h"
+#include "net/endpoint.h"
 #include "net/frame.h"
 #include "support/strings.h"
 #include "support/tracing.h"
@@ -25,6 +30,20 @@ void SetDeadline(int fd, uint64_t deadline_ms) {
   (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
+// A mutation must leave the loop thread (it takes the exclusive lock
+// and does store IO); everything else is answered inline.
+bool IsMutation(const Request& request) {
+  return std::holds_alternative<PushRequest>(request) ||
+         std::holds_alternative<QuarantineRequest>(request);
+}
+
+uint64_t MsSince(std::chrono::steady_clock::time_point then,
+                 std::chrono::steady_clock::time_point now) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - then)
+          .count());
+}
+
 }  // namespace
 
 VacdServer::VacdServer(vacstore::VaccineStore store, VacdOptions options)
@@ -32,6 +51,8 @@ VacdServer::VacdServer(vacstore::VaccineStore store, VacdOptions options)
   if (options_.threads == 0) options_.threads = 1;
   MetricsRegistry& metrics = GlobalMetrics();
   requests_metric_ = metrics.GetCounter("vacd.requests");
+  rate_limited_metric_ = metrics.GetCounter("vacd.rate_limited");
+  quarantine_metric_ = metrics.GetCounter("vacd.quarantines");
   shed_metric_ = metrics.GetCounter("vacd.requests_shed");
   failed_metric_ = metrics.GetCounter("vacd.requests_failed");
   evicted_metric_ = metrics.GetCounter("vacd.slow_client_evictions");
@@ -102,6 +123,21 @@ Status VacdServer::Start() {
   }
 
   pool_ = std::make_unique<ThreadPool>(options_.threads);
+
+  if (!options_.tcp_host.empty()) {
+    const Status tcp = StartTcp();
+    if (!tcp.ok()) {
+      pool_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ::close(stop_pipe_[0]);
+      ::close(stop_pipe_[1]);
+      stop_pipe_[0] = stop_pipe_[1] = -1;
+      (void)::unlink(options_.socket_path.c_str());
+      return tcp;
+    }
+  }
+
   accept_thread_ = std::thread(&VacdServer::AcceptLoop, this);
   running_ = true;
   return Status::Ok();
@@ -113,7 +149,15 @@ void VacdServer::Stop() {
   while (::write(stop_pipe_[1], &stop, 1) < 0 && errno == EINTR) {
   }
   accept_thread_.join();
+  // Stop the event loop before draining the pool: a joined loop submits
+  // no new mutations, and in-flight workers may still Post replies to the
+  // (stopped but live) loop object, where they are harmlessly dropped.
+  if (loop_) {
+    loop_->Stop();
+    loop_thread_.join();
+  }
   pool_.reset();  // drains queued connections, joins workers
+  StopTcp();      // closes TCP conns + listener, destroys the loop
   // Every in-flight push has been answered; make its bytes durable, and
   // leave a fresh checkpoint behind when auto-checkpointing is on so the
   // next start replays nothing.
@@ -171,14 +215,22 @@ void VacdServer::AcceptLoop() {
 void VacdServer::ServeConnection(int fd) {
   Result<std::string> payload = ReadNetFrame(fd);
   bool answer = true;
+  bool binary = false;  // answer in the request's encoding
   Reply reply = ErrorReply{};
   if (!payload.ok()) {
     // A clean hang-up (client connected and left) gets no reply.
     answer = payload.status().code() != StatusCode::kNotFound;
     reply = ErrorReply{false, payload.status().ToString()};
   } else {
-    Result<Request> request = ParseRequest(*payload);
+    binary = IsBinaryPayload(*payload);
+    Result<Request> request =
+        binary ? ParseBinaryRequest(*payload) : ParseRequest(*payload);
     if (!request.ok()) {
+      // Garbage that parses as neither encoding gets a JSON error reply:
+      // the sender's encoding is unknown, and JSON is the one a human
+      // (or the seed-era tooling) can read. Real binary clients sniff
+      // the reply encoding, so they handle this fine too.
+      binary = false;
       reply = ErrorReply{false, request.status().ToString()};
     } else {
       reply = Dispatch(*request);
@@ -189,7 +241,8 @@ void VacdServer::ServeConnection(int fd) {
     failed_metric_->Increment();
   }
   if (answer) {
-    const Status written = WriteNetFrame(fd, ReplyToJson(reply));
+    const Status written = WriteNetFrame(
+        fd, binary ? EncodeBinaryReply(reply) : ReplyToJson(reply));
     if (written.code() == StatusCode::kDeadlineExceeded) {
       // The client stopped draining and our bounded SO_SNDBUF filled:
       // that is an eviction (close on them), not a generic failure.
@@ -255,6 +308,27 @@ Reply VacdServer::Dispatch(const Request& request) {
     }
     return reply;
   }
+  if (const auto* quarantine = std::get_if<QuarantineRequest>(&request)) {
+    std::unique_lock lock(mutex_);
+    const vacstore::StoreEntry* entry = store_.FindDigest(quarantine->digest);
+    if (entry == nullptr) {
+      return ErrorReply{
+          false, StrFormat("no vaccine with digest %s",
+                           quarantine->digest.c_str())};
+    }
+    const bool already = entry->quarantined;
+    if (!already) {
+      const Status pulled =
+          store_.Quarantine(quarantine->digest, quarantine->reason);
+      if (!pulled.ok()) {
+        return ErrorReply{false, pulled.ToString()};
+      }
+      ScopedSpan span(GlobalTracer(), "vacd.index_rebuild");
+      RebuildIndex();
+      quarantine_metric_->Increment();
+    }
+    return QuarantineReply{store_.epoch(), already};
+  }
   if (const auto* query = std::get_if<QueryRequest>(&request)) {
     std::shared_lock lock(mutex_);
     const auto type = static_cast<size_t>(query->resource_type);
@@ -272,14 +346,15 @@ Reply VacdServer::Dispatch(const Request& request) {
     reply.epoch = store_.epoch();
     for (const vacstore::StoreEntry* entry : store_.Since(pull->since)) {
       // A page never splits a feed epoch: once the limit is reached the
-      // page still extends through the current epoch, so "epoch of the
-      // last item received" is always an exact resume cursor.
+      // page still extends through the current (change-)epoch, so "epoch
+      // of the last item received" is always an exact resume cursor.
       if (pull->limit > 0 && reply.items.size() >= pull->limit &&
-          entry->epoch != reply.items.back().epoch) {
+          entry->change_epoch != reply.items.back().epoch) {
         reply.more = true;
         break;
       }
-      reply.items.push_back({entry->digest, entry->epoch, entry->vaccine});
+      reply.items.push_back({entry->digest, entry->change_epoch,
+                             entry->vaccine, entry->quarantined});
     }
     return reply;
   }
@@ -337,6 +412,291 @@ void VacdServer::RebuildIndex() {
   for (size_t type = 0; type < os::kNumResourceTypes; ++type) {
     index_[type].Build();
   }
+}
+
+// --- TCP event tier ---------------------------------------------------
+
+Status VacdServer::StartTcp() {
+  Endpoint endpoint;
+  endpoint.tcp = true;
+  endpoint.host = options_.tcp_host;
+  endpoint.port = options_.tcp_port;
+  // A deep backlog: fleet ramps connect thousands of clients in bursts,
+  // and a dropped SYN costs the client a multi-second kernel retry.
+  AUTOVAC_ASSIGN_OR_RETURN(tcp_listen_fd_, ListenEndpoint(endpoint, 1024));
+  const int flags = ::fcntl(tcp_listen_fd_, F_GETFL, 0);
+  (void)::fcntl(tcp_listen_fd_, F_SETFL, flags | O_NONBLOCK);
+  const Result<uint16_t> port = ListenPort(tcp_listen_fd_);
+  if (!port.ok()) {
+    StopTcp();
+    return port.status();
+  }
+  tcp_port_ = *port;
+  loop_ = std::make_unique<EventLoop>();
+  Status status = loop_->Init();
+  if (status.ok()) {
+    status = loop_->Add(tcp_listen_fd_, EPOLLIN,
+                        [this](uint32_t) { OnAcceptReady(); });
+  }
+  if (!status.ok()) {
+    StopTcp();
+    return status;
+  }
+  loop_thread_ =
+      std::thread([this] { loop_->Run(500, [this] { SweepIdle(); }); });
+  return Status::Ok();
+}
+
+// Teardown half: Stop() has already stopped the loop and joined its
+// thread (and drained the pool), so conns_ is safe to touch here. Also
+// the cleanup path for a partially-constructed StartTcp.
+void VacdServer::StopTcp() {
+  for (const auto& [id, conn] : conns_) ::close(conn->fd);
+  conns_.clear();
+  conn_count_.store(0, std::memory_order_relaxed);
+  loop_.reset();
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
+  tcp_port_ = 0;
+}
+
+void VacdServer::OnAcceptReady() {
+  while (true) {
+    const int fd = ::accept4(tcp_listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: accepted everything pending
+    }
+    if (conns_.size() >= options_.max_connections) {
+      // Shed at the door, like the Unix tier's max_pending: one
+      // best-effort busy frame, then close.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_metric_->Increment();
+      const std::string frame = EncodeNetFrame(
+          ReplyToJson(Reply(ErrorReply{true, "server overloaded"})));
+      (void)::send(fd, frame.data(), frame.size(),
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<TcpConn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->tokens = options_.rate_limit_burst;
+    const auto now = std::chrono::steady_clock::now();
+    conn->last_refill = now;
+    conn->last_activity = now;
+    const uint64_t id = conn->id;
+    const Status added = loop_->Add(
+        fd, EPOLLIN, [this, id](uint32_t events) { OnConnReady(id, events); });
+    if (!added.ok()) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    conn_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void VacdServer::OnConnReady(uint64_t id, uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  TcpConn& conn = *it->second;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    CloseConn(id);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    FlushConn(conn);
+    if (conns_.find(id) == conns_.end()) return;
+  }
+  if ((events & EPOLLIN) != 0 && !conn.read_closed) {
+    conn.last_activity = std::chrono::steady_clock::now();
+    char buf[64 * 1024];
+    while (true) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.decoder.Append(std::string_view(buf, static_cast<size_t>(n)));
+        continue;
+      }
+      if (n == 0) {
+        // Peer half-closed. Drop EPOLLIN so the (level-triggered) EOF
+        // condition does not spin the loop while replies drain.
+        conn.read_closed = true;
+        (void)loop_->Modify(conn.fd,
+                            conn.want_write ? uint32_t{EPOLLOUT} : 0u);
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(id);
+      return;
+    }
+    ServeFrames(conn);
+    const auto again = conns_.find(id);
+    if (again != conns_.end()) MaybeFinish(*again->second);
+  }
+}
+
+void VacdServer::ServeFrames(TcpConn& conn) {
+  const uint64_t id = conn.id;
+  while (true) {
+    std::string payload;
+    const Result<bool> got = conn.decoder.Next(&payload);
+    if (!got.ok()) {
+      // Framing corruption is unrecoverable: one best-effort error
+      // reply, then close — resyncing a torn stream is not possible.
+      failed_metric_->Increment();
+      SendReply(conn, ErrorReply{false, got.status().ToString()}, false);
+      if (conns_.find(id) != conns_.end()) CloseConn(id);
+      return;
+    }
+    if (!*got) return;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_metric_->Increment();
+    const bool binary = IsBinaryPayload(payload);
+    if (!TakeToken(conn)) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_metric_->Increment();
+      rate_limited_metric_->Increment();
+      SendReply(conn, ErrorReply{true, "rate limited"}, binary);
+      if (conns_.find(id) == conns_.end()) return;
+      continue;
+    }
+    Result<Request> request =
+        binary ? ParseBinaryRequest(payload) : ParseRequest(payload);
+    if (!request.ok()) {
+      failed_metric_->Increment();
+      // Unparseable payloads answer in JSON regardless of the sniff:
+      // the sender's encoding is unknown, and clients sniff replies.
+      SendReply(conn, ErrorReply{false, request.status().ToString()},
+                false);
+      if (conns_.find(id) == conns_.end()) return;
+      continue;
+    }
+    if (IsMutation(*request)) {
+      // Mutations take the exclusive lock and do store IO — off the
+      // loop thread. The reply comes back by connection id; a closed
+      // connection just drops it.
+      conn.inflight++;
+      pool_->Submit([this, id, binary, req = std::move(*request)] {
+        Reply reply = Dispatch(req);
+        if (const auto* error = std::get_if<ErrorReply>(&reply);
+            error != nullptr && !error->busy) {
+          failed_metric_->Increment();
+        }
+        loop_->Post([this, id, binary, reply = std::move(reply)] {
+          const auto it = conns_.find(id);
+          if (it == conns_.end()) return;
+          it->second->inflight--;
+          SendReply(*it->second, reply, binary);
+          const auto again = conns_.find(id);
+          if (again != conns_.end()) MaybeFinish(*again->second);
+        });
+      });
+    } else {
+      const Reply reply = Dispatch(*request);
+      if (const auto* error = std::get_if<ErrorReply>(&reply);
+          error != nullptr && !error->busy) {
+        failed_metric_->Increment();
+      }
+      SendReply(conn, reply, binary);
+      if (conns_.find(id) == conns_.end()) return;
+    }
+  }
+}
+
+bool VacdServer::TakeToken(TcpConn& conn) {
+  if (options_.rate_limit_rps <= 0.0) return true;
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - conn.last_refill).count();
+  conn.last_refill = now;
+  conn.tokens = std::min(options_.rate_limit_burst,
+                         conn.tokens + elapsed * options_.rate_limit_rps);
+  if (conn.tokens < 1.0) return false;
+  conn.tokens -= 1.0;
+  return true;
+}
+
+void VacdServer::SendReply(TcpConn& conn, const Reply& reply, bool binary) {
+  conn.outbuf +=
+      EncodeNetFrame(binary ? EncodeBinaryReply(reply) : ReplyToJson(reply));
+  conn.last_activity = std::chrono::steady_clock::now();
+  FlushConn(conn);
+}
+
+void VacdServer::FlushConn(TcpConn& conn) {
+  const uint64_t id = conn.id;
+  while (conn.out_pos < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_pos,
+               conn.outbuf.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConn(id);
+    return;
+  }
+  if (conn.out_pos >= conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_pos = 0;
+    if (conn.want_write) {
+      conn.want_write = false;
+      (void)loop_->Modify(conn.fd,
+                          conn.read_closed ? 0u : uint32_t{EPOLLIN});
+    }
+    MaybeFinish(conn);
+    return;
+  }
+  if (conn.outbuf.size() - conn.out_pos > options_.write_buffer_limit) {
+    // The reader stopped draining and the bounded buffer filled: evict,
+    // the event-tier analogue of the Unix tier's send-deadline eviction.
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+    evicted_metric_->Increment();
+    CloseConn(id);
+    return;
+  }
+  if (!conn.want_write) {
+    conn.want_write = true;
+    (void)loop_->Modify(conn.fd, (conn.read_closed ? 0u : uint32_t{EPOLLIN}) |
+                                     uint32_t{EPOLLOUT});
+  }
+}
+
+void VacdServer::CloseConn(uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  loop_->Remove(it->second->fd);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  conn_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void VacdServer::MaybeFinish(TcpConn& conn) {
+  if (conn.read_closed && conn.inflight == 0 &&
+      conn.out_pos >= conn.outbuf.size()) {
+    CloseConn(conn.id);
+  }
+}
+
+void VacdServer::SweepIdle() {
+  if (options_.idle_timeout_ms == 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<uint64_t> stale;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->inflight == 0 &&
+        MsSince(conn->last_activity, now) > options_.idle_timeout_ms) {
+      stale.push_back(id);
+    }
+  }
+  for (const uint64_t id : stale) CloseConn(id);
 }
 
 }  // namespace autovac::net

@@ -1,24 +1,40 @@
 // vacd: the long-lived vaccine distribution server (§V deployment,
 // scaled from "copy the vaccine to the host" to a feed service).
 //
-// One Unix-domain listening socket, one accept thread, a fixed
-// support/threadpool of request workers. The accept queue is explicitly
-// bounded: when `max_pending` requests are already in flight the server
-// answers the new connection with a busy reply and closes it — overload
-// is shed at the door with a counted metric, never queued unbounded.
-// Every accepted connection gets SO_RCVTIMEO/SO_SNDTIMEO so one stalled
-// client cannot pin a worker past the request deadline.
+// Two serving tiers share one store:
 //
-// Store access is a reader/writer lock: PUSH takes it exclusively (the
-// store appends + the match index rebuilds), QUERY/PULL/STATUS share it.
-// Tracing spans are recorded only inside the exclusive sections
-// ("vacd.push", "vacd.index_rebuild") because the global tracer is
-// single-threaded by design; the shared-lock paths report through the
-// (thread-safe) metrics registry only.
+//   * The Unix-domain tier: one accept thread, a fixed
+//     support/threadpool of request workers, connection per request.
+//     The accept queue is explicitly bounded: when `max_pending`
+//     requests are already in flight the server answers the new
+//     connection with a busy reply and closes it — overload is shed at
+//     the door with a counted metric, never queued unbounded. Every
+//     accepted connection gets SO_RCVTIMEO/SO_SNDTIMEO so one stalled
+//     client cannot pin a worker past the request deadline.
+//
+//   * The TCP tier (enabled by `tcp_host`): a single-threaded epoll
+//     event loop (net/eventloop.h) driving non-blocking per-connection
+//     read/write state machines — persistent connections, pipelined
+//     frames, JSON or binary payloads (net/binary.h). Read-only
+//     requests (query/pull/status) are answered inline on the loop
+//     thread under the shared lock; mutations (push/quarantine) are
+//     handed to the worker pool and their replies posted back to the
+//     loop. Flow control per connection: a token bucket sheds BUSY when
+//     a client out-runs its rate, a bounded output buffer evicts
+//     readers that stop draining, `max_connections` sheds new connects
+//     at the door, and an idle sweep closes connections that go quiet.
+//
+// Store access is a reader/writer lock: PUSH/QUARANTINE take it
+// exclusively (the store appends + the match index rebuilds),
+// QUERY/PULL/STATUS share it. Tracing spans are recorded only inside
+// the exclusive sections ("vacd.push", "vacd.index_rebuild") because
+// the global tracer is single-threaded by design; the shared-lock paths
+// report through the (thread-safe) metrics registry only.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -28,6 +44,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/eventloop.h"
+#include "net/frame.h"
 #include "net/protocol.h"
 #include "support/match_index.h"
 #include "support/metrics.h"
@@ -56,6 +74,26 @@ struct VacdOptions {
   // Stop), bounding restart recovery to O(delta-since-checkpoint).
   // 0 = never checkpoint automatically.
   size_t checkpoint_every = 0;
+
+  // --- TCP event-driven tier ---
+  // Numeric IPv4 (or "localhost") to listen on; empty disables the TCP
+  // tier. No authentication yet: bind loopback unless the network is
+  // trusted (cross-machine auth lands with the multi-node fleet work).
+  std::string tcp_host;
+  uint16_t tcp_port = 0;  // 0 = ephemeral; read the result via tcp_port()
+  // Concurrent TCP connections before new connects are shed BUSY.
+  size_t max_connections = 4096;
+  // Buffered reply bytes per connection before a non-draining reader is
+  // evicted — the event-tier analogue of the SO_SNDBUF write deadline.
+  size_t write_buffer_limit = 4u << 20;
+  // Per-connection token bucket: sustained requests/second and burst
+  // capacity; a client that out-runs it gets BUSY replies (counted as
+  // shed). 0 rps disables rate limiting.
+  double rate_limit_rps = 0.0;
+  double rate_limit_burst = 64.0;
+  // Connections with no traffic for this long are closed by the idle
+  // sweep. 0 disables.
+  uint64_t idle_timeout_ms = 60000;
 };
 
 class VacdServer {
@@ -88,7 +126,32 @@ class VacdServer {
     return store_;
   }
 
+  // The TCP tier's bound port (resolves tcp_port = 0 to the ephemeral
+  // port the kernel assigned). Valid after Start(); 0 when disabled.
+  [[nodiscard]] uint16_t tcp_port() const { return tcp_port_; }
+
+  // Live TCP connections (event tier only).
+  [[nodiscard]] size_t tcp_connections() const {
+    return conn_count_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // One TCP connection's state machine. Owned by the loop thread; never
+  // touched from anywhere else (worker replies arrive via Post).
+  struct TcpConn {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameDecoder decoder;
+    std::string outbuf;        // encoded reply frames awaiting the socket
+    size_t out_pos = 0;
+    bool want_write = false;   // EPOLLOUT currently armed
+    bool read_closed = false;  // peer half-closed (or we stopped reading)
+    size_t inflight = 0;       // mutations at the pool, replies pending
+    double tokens = 0.0;       // rate-limit bucket
+    std::chrono::steady_clock::time_point last_refill;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
   void AcceptLoop();
   void ServeConnection(int fd);
   [[nodiscard]] Reply Dispatch(const Request& request);
@@ -99,6 +162,24 @@ class VacdServer {
   // Rebuilds the per-resource-type indexes from served store entries.
   // Caller holds the exclusive lock.
   void RebuildIndex();
+
+  // --- TCP event tier (loop thread unless noted) ---
+  [[nodiscard]] Status StartTcp();
+  void StopTcp();
+  void OnAcceptReady();
+  void OnConnReady(uint64_t id, uint32_t events);
+  // Decodes and serves every complete frame buffered on `conn`.
+  void ServeFrames(TcpConn& conn);
+  // True when the bucket granted one request; refills lazily.
+  [[nodiscard]] bool TakeToken(TcpConn& conn);
+  void SendReply(TcpConn& conn, const Reply& reply, bool binary);
+  // Drives the buffered writer; arms/disarms EPOLLOUT; evicts when the
+  // buffer outgrows write_buffer_limit.
+  void FlushConn(TcpConn& conn);
+  void CloseConn(uint64_t id);
+  // Closes the connection when nothing more can happen on it.
+  void MaybeFinish(TcpConn& conn);
+  void SweepIdle();
 
   vacstore::VaccineStore store_;
   VacdOptions options_;
@@ -115,6 +196,16 @@ class VacdServer {
   std::unique_ptr<ThreadPool> pool_;
   bool running_ = false;
 
+  // TCP tier state. conns_ is loop-thread-only; conn_count_ mirrors its
+  // size for cross-thread reads.
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+  int tcp_listen_fd_ = -1;
+  uint16_t tcp_port_ = 0;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<TcpConn>> conns_;
+  std::atomic<size_t> conn_count_{0};
+
   std::atomic<size_t> pending_{0};    // accepted, not yet answered
   std::atomic<uint64_t> requests_{0};  // answered (ok or error)
   std::atomic<uint64_t> shed_{0};      // refused with busy
@@ -128,6 +219,8 @@ class VacdServer {
   size_t added_since_checkpoint_ = 0;  // guarded by mutex_
 
   Counter* requests_metric_ = nullptr;
+  Counter* rate_limited_metric_ = nullptr;
+  Counter* quarantine_metric_ = nullptr;
   Counter* shed_metric_ = nullptr;
   Counter* failed_metric_ = nullptr;
   Counter* evicted_metric_ = nullptr;

@@ -1,0 +1,88 @@
+#include "net/sync.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace autovac::net {
+
+Status FeedMirror::Apply(const PullReply& page) {
+  if (page.epoch < cursor_) {
+    return Status::FailedPrecondition(StrFormat(
+        "feed regressed: server epoch %llu behind cursor %llu",
+        static_cast<unsigned long long>(page.epoch),
+        static_cast<unsigned long long>(cursor_)));
+  }
+  for (const FeedItem& item : page.items) {
+    if (item.quarantined) {
+      // Tombstone: drop the digest. Erasing one we never held is fine —
+      // the add and its retraction can land in the same delta window.
+      entries_.erase(item.digest);
+      cursor_ = std::max(cursor_, item.epoch);
+      continue;
+    }
+    const auto it = entries_.find(item.digest);
+    if (it == entries_.end() || it->second.change_epoch != item.epoch) {
+      // New to the mirror (or re-added at a newer epoch). A retried page
+      // re-presenting a held (digest, epoch) pair lands in the other
+      // branch and keeps its first-arrival seq — canonical order holds.
+      Entry entry;
+      entry.change_epoch = item.epoch;
+      entry.seq = next_seq_++;
+      entry.vaccine = item.vaccine;
+      entries_[item.digest] = std::move(entry);
+    }
+    cursor_ = std::max(cursor_, item.epoch);
+  }
+  // The final page vouches for everything through the server's epoch —
+  // epochs with no surviving items (e.g. fully superseded) included.
+  if (!page.more) cursor_ = std::max(cursor_, page.epoch);
+  return Status::Ok();
+}
+
+Status FeedMirror::SyncFrom(const VacdClient& client, uint64_t page_limit) {
+  while (true) {
+    AUTOVAC_ASSIGN_OR_RETURN(const PullReply page,
+                             client.Pull(cursor_, page_limit));
+    const Status applied = Apply(page);
+    if (!applied.ok()) {
+      if (applied.code() != StatusCode::kFailedPrecondition) return applied;
+      Reset();  // regressed server: full resync
+      continue;
+    }
+    if (!page.more) return Status::Ok();
+  }
+}
+
+PullReply FeedMirror::Snapshot() const {
+  std::vector<const std::pair<const std::string, Entry>*> order;
+  order.reserve(entries_.size());
+  for (const auto& pair : entries_) order.push_back(&pair);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    if (a->second.change_epoch != b->second.change_epoch) {
+      return a->second.change_epoch < b->second.change_epoch;
+    }
+    return a->second.seq < b->second.seq;
+  });
+  PullReply reply;
+  reply.epoch = cursor_;
+  for (const auto* pair : order) {
+    reply.items.push_back(
+        {pair->first, pair->second.change_epoch, pair->second.vaccine});
+  }
+  return reply;
+}
+
+std::string FeedMirror::CanonicalJson() const {
+  return ReplyToJson(Reply(Snapshot()));
+}
+
+void FeedMirror::Reset() {
+  entries_.clear();
+  cursor_ = 0;
+  next_seq_ = 0;
+}
+
+}  // namespace autovac::net

@@ -1,0 +1,65 @@
+// FeedMirror: the client side of epoch delta-sync. A fleet host keeps
+// one mirror of the vacd feed and refreshes it with `pull since=cursor`
+// — each refresh costs O(changes since last sync), not O(store).
+//
+// Convergence contract (what the delta-sync tests pin down): after any
+// sequence of Apply()ed pages — full pulls, delta pulls, retried or
+// duplicated pages, tombstones — CanonicalJson() is byte-identical to
+// the reply a single full pull (since = 0) would return from the live
+// server. Tombstoned digests vanish, re-sent items do not reorder, and
+// the cursor only advances past pages that were fully applied.
+//
+// Ordering: the server feeds items in change-epoch order, insertion
+// order within an epoch. The mirror preserves that by remembering the
+// arrival sequence of each (digest, change-epoch) pair — a page retried
+// after a torn reply re-presents items the mirror already holds, and
+// their original sequence (hence their canonical position) is kept.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "support/status.h"
+
+namespace autovac::net {
+
+class FeedMirror {
+ public:
+  // Applies one pull page. Duplicated items (page retries) are no-ops;
+  // tombstones erase. FailedPrecondition means the server's epoch is
+  // behind the cursor — a server restored from older state — and the
+  // caller should Reset() and re-sync from scratch (SyncFrom does).
+  [[nodiscard]] Status Apply(const PullReply& page);
+
+  // Pulls pages from `client` at the current cursor until the feed is
+  // drained (page.more false). Auto-resets on a regressed server.
+  [[nodiscard]] Status SyncFrom(const VacdClient& client,
+                                uint64_t page_limit = 0);
+
+  // The full mirrored feed as a PullReply in canonical order; its
+  // ReplyToJson bytes match a server full pull at the same epoch.
+  [[nodiscard]] PullReply Snapshot() const;
+  [[nodiscard]] std::string CanonicalJson() const;
+
+  // Next pull's `since`: the newest change epoch fully applied.
+  [[nodiscard]] uint64_t cursor() const { return cursor_; }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+  void Reset();
+
+ private:
+  struct Entry {
+    uint64_t change_epoch = 0;
+    uint64_t seq = 0;  // arrival order; canonical tiebreak within epoch
+    vaccine::Vaccine vaccine;
+  };
+
+  std::unordered_map<std::string, Entry> entries_;  // by digest
+  uint64_t cursor_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace autovac::net

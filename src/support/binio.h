@@ -1,0 +1,91 @@
+// Little-endian binary encode/decode primitives shared by the vacstore
+// checkpoint codec, the vaccine wire codec and the vacd binary protocol.
+//
+// Writers append to a std::string (the framing layers all deal in byte
+// strings); the reader is a bounds-checked cursor over an immutable view
+// — every accessor reports truncation instead of reading past the end,
+// so a torn or hostile payload degrades to a parse error, never UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace autovac {
+
+inline void PutU8(std::string& out, uint8_t value) {
+  out.push_back(static_cast<char>(value));
+}
+
+inline void PutU32(std::string& out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+inline void PutU64(std::string& out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+inline void PutF64(std::string& out, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline void PutStr(std::string& out, std::string_view text) {
+  PutU32(out, static_cast<uint32_t>(text.size()));
+  out.append(text);
+}
+
+// Bounds-checked cursor over an encoded image. Each accessor returns
+// false on truncation and leaves the cursor wherever it stopped.
+struct BinReader {
+  std::string_view data;
+  size_t pos = 0;
+
+  bool U8(uint8_t* out) {
+    if (pos + 1 > data.size()) return false;
+    *out = static_cast<uint8_t>(data[pos++]);
+    return true;
+  }
+  bool U32(uint32_t* out) {
+    if (pos + 4 > data.size()) return false;
+    *out = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      *out |= static_cast<uint32_t>(static_cast<unsigned char>(data[pos++]))
+              << shift;
+    }
+    return true;
+  }
+  bool U64(uint64_t* out) {
+    if (pos + 8 > data.size()) return false;
+    *out = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      *out |= static_cast<uint64_t>(static_cast<unsigned char>(data[pos++]))
+              << shift;
+    }
+    return true;
+  }
+  bool F64(double* out) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+  bool Str(std::string* out) {
+    uint32_t length;
+    if (!U32(&length)) return false;
+    if (pos + length > data.size()) return false;
+    out->assign(data.data() + pos, length);
+    pos += length;
+    return true;
+  }
+  [[nodiscard]] bool Done() const { return pos == data.size(); }
+};
+
+}  // namespace autovac

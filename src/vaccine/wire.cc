@@ -1,0 +1,93 @@
+#include "vaccine/wire.h"
+
+#include "support/json.h"
+#include "vaccine/json.h"
+
+namespace autovac::vaccine {
+
+void EncodeVaccine(std::string& out, const Vaccine& v) {
+  if (v.slice.has_value()) {
+    PutU8(out, kVaccineWireJson);
+    PutStr(out, VaccineToJson(v));
+    return;
+  }
+  PutU8(out, kVaccineWireFlat);
+  PutStr(out, v.malware_name);
+  PutStr(out, v.malware_digest);
+  PutU8(out, static_cast<uint8_t>(v.resource_type));
+  PutU8(out, static_cast<uint8_t>(v.operation));
+  PutStr(out, v.identifier);
+  PutU8(out, v.simulate_presence ? 1 : 0);
+  PutU8(out, static_cast<uint8_t>(v.identifier_kind));
+  PutU8(out, static_cast<uint8_t>(v.immunization));
+  PutU8(out, static_cast<uint8_t>(v.delivery));
+  PutStr(out, v.pattern.text());
+  PutStr(out, v.OperationSymbols());
+  PutF64(out, v.behavior_decreasing_ratio);
+}
+
+bool DecodeVaccine(BinReader& reader, Vaccine* vaccine, std::string* error) {
+  const auto fail = [error](const char* what) {
+    *error = what;
+    return false;
+  };
+  uint8_t format;
+  if (!reader.U8(&format)) return fail("truncated vaccine format");
+  if (format != kVaccineWireFlat && format != kVaccineWireJson) {
+    return fail("unknown vaccine format");
+  }
+  if (format == kVaccineWireJson) {
+    std::string json;
+    if (!reader.Str(&json)) return fail("truncated vaccine JSON");
+    auto parsed = ParseJson(json);
+    if (!parsed.ok()) return fail("corrupt vaccine JSON");
+    auto decoded = VaccineFromJson(parsed.value());
+    if (!decoded.ok()) return fail("invalid vaccine JSON");
+    *vaccine = std::move(decoded).value();
+    return true;
+  }
+  Vaccine& v = *vaccine;
+  uint8_t byte;
+  if (!reader.Str(&v.malware_name)) return fail("truncated malware name");
+  if (!reader.Str(&v.malware_digest)) return fail("truncated malware digest");
+  if (!reader.U8(&byte) || byte >= os::kNumResourceTypes) {
+    return fail("bad resource type");
+  }
+  v.resource_type = static_cast<os::ResourceType>(byte);
+  if (!reader.U8(&byte) || byte >= os::kNumOperations) {
+    return fail("bad operation");
+  }
+  v.operation = static_cast<os::Operation>(byte);
+  if (!reader.Str(&v.identifier)) return fail("truncated identifier");
+  if (!reader.U8(&byte)) return fail("truncated simulate flag");
+  v.simulate_presence = byte != 0;
+  if (!reader.U8(&byte) ||
+      byte > static_cast<uint8_t>(
+                 analysis::IdentifierClass::kNonDeterministic)) {
+    return fail("bad identifier class");
+  }
+  v.identifier_kind = static_cast<analysis::IdentifierClass>(byte);
+  if (!reader.U8(&byte) ||
+      byte > static_cast<uint8_t>(
+                 analysis::ImmunizationType::kTypeIVProcessInjection)) {
+    return fail("bad immunization type");
+  }
+  v.immunization = static_cast<analysis::ImmunizationType>(byte);
+  if (!reader.U8(&byte) ||
+      byte > static_cast<uint8_t>(DeliveryMethod::kDaemon)) {
+    return fail("bad delivery method");
+  }
+  v.delivery = static_cast<DeliveryMethod>(byte);
+  std::string pattern_text;
+  if (!reader.Str(&pattern_text)) return fail("truncated pattern");
+  auto pattern = Pattern::Compile(pattern_text);
+  if (!pattern.ok()) return fail("invalid pattern");
+  v.pattern = std::move(pattern).value();
+  std::string operations;
+  if (!reader.Str(&operations)) return fail("truncated operations");
+  for (char c : operations) v.observed_operations.insert(c);
+  if (!reader.F64(&v.behavior_decreasing_ratio)) return fail("truncated bdr");
+  return true;
+}
+
+}  // namespace autovac::vaccine

@@ -1,0 +1,31 @@
+// Binary vaccine codec, shared by the vacstore checkpoint image and the
+// vacd binary wire protocol so both sides of the feed agree on one
+// byte layout.
+//
+// A vaccine encodes as a one-byte format tag followed by either the
+// flat field list (the common case) or its canonical JSON (the rare
+// slice-bearing, algorithm-deterministic kind, whose slice program the
+// JSON codec already round-trips exactly). Strings are length-prefixed,
+// integers little-endian (support/binio.h). Decoding validates every
+// enum against its bound, so a corrupt or hostile image degrades to an
+// error, never an out-of-range enum.
+#pragma once
+
+#include <string>
+
+#include "support/binio.h"
+#include "vaccine/vaccine.h"
+
+namespace autovac::vaccine {
+
+// Format tags, first byte of every encoded vaccine.
+inline constexpr uint8_t kVaccineWireFlat = 0;
+inline constexpr uint8_t kVaccineWireJson = 1;  // embedded canonical JSON
+
+void EncodeVaccine(std::string& out, const Vaccine& vaccine);
+
+// Returns false with a reason in `*error` on truncation or corruption.
+[[nodiscard]] bool DecodeVaccine(BinReader& reader, Vaccine* vaccine,
+                                 std::string* error);
+
+}  // namespace autovac::vaccine

@@ -10,10 +10,12 @@
 #include <cstring>
 #include <utility>
 
+#include "support/binio.h"
 #include "support/digest.h"
 #include "support/json.h"
 #include "support/strings.h"
 #include "vaccine/json.h"
+#include "vaccine/wire.h"
 
 namespace autovac::vacstore {
 namespace {
@@ -106,6 +108,12 @@ std::string AddLine(const StoreEntry& entry) {
       "\"quarantined\":%s",
       entry.digest.c_str(), static_cast<unsigned long long>(entry.epoch),
       entry.quarantined ? "true" : "false");
+  // Only a later quarantine moves change_epoch off the add epoch, so the
+  // common case stays one field smaller.
+  if (entry.change_epoch != entry.epoch) {
+    line += StrFormat(",\"change_epoch\":%llu",
+                      static_cast<unsigned long long>(entry.change_epoch));
+  }
   if (entry.quarantined) {
     line += StrFormat(",\"reason\":\"%s\"",
                       JsonEscape(entry.quarantine_reason).c_str());
@@ -121,11 +129,14 @@ std::string CommitLine(uint64_t epoch) {
                    static_cast<unsigned long long>(epoch));
 }
 
-std::string QuarantineLine(std::string_view digest, std::string_view reason) {
+// `epoch` is the feed epoch the retraction joined — what delta sync
+// serves the tombstone under.
+std::string QuarantineLine(std::string_view digest, std::string_view reason,
+                           uint64_t epoch) {
   return StrFormat("{\"type\":\"quarantine\",\"digest\":\"%s\","
-                   "\"reason\":\"%s\"}\n",
-                   std::string(digest).c_str(),
-                   JsonEscape(reason).c_str());
+                   "\"reason\":\"%s\",\"epoch\":%llu}\n",
+                   std::string(digest).c_str(), JsonEscape(reason).c_str(),
+                   static_cast<unsigned long long>(epoch));
 }
 
 std::string CkptHeaderLine(uint64_t epoch, size_t entries,
@@ -149,190 +160,38 @@ std::string CkptEndLine(const std::string& digest) {
 //
 // The body between the JSON header line and the ckpt-end trailer is a
 // flat binary image: length-prefixed strings and single-byte enums,
-// little-endian. The trailer digest covers header + body, so the loader
-// trusts the bytes after one whole-file hash instead of re-parsing (and
-// re-hashing) one JSON document per vaccine — that is what makes
-// checkpoint recovery several times cheaper than a journal replay of
-// the same entry count. Slice-bearing vaccines (the rare
-// algorithm-deterministic kind) embed their canonical JSON instead of
-// flattening the slice program.
-
-constexpr uint8_t kCkptEntryFlat = 0;
-constexpr uint8_t kCkptEntryJson = 1;  // vaccine embedded as JSON
-
-void PutU8(std::string& out, uint8_t value) {
-  out.push_back(static_cast<char>(value));
-}
-
-void PutU32(std::string& out, uint32_t value) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out.push_back(static_cast<char>((value >> shift) & 0xFF));
-  }
-}
-
-void PutU64(std::string& out, uint64_t value) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    out.push_back(static_cast<char>((value >> shift) & 0xFF));
-  }
-}
-
-void PutF64(std::string& out, double value) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(value));
-  std::memcpy(&bits, &value, sizeof(bits));
-  PutU64(out, bits);
-}
-
-void PutStr(std::string& out, std::string_view text) {
-  PutU32(out, static_cast<uint32_t>(text.size()));
-  out.append(text);
-}
+// little-endian (support/binio.h), vaccines via the shared wire codec
+// (vaccine/wire.h) the vacd binary protocol also speaks. The trailer
+// digest covers header + body, so the loader trusts the bytes after one
+// whole-file hash instead of re-parsing (and re-hashing) one JSON
+// document per vaccine — that is what makes checkpoint recovery several
+// times cheaper than a journal replay of the same entry count.
 
 void AppendCkptEntry(std::string& out, const StoreEntry& entry) {
-  PutU8(out, entry.vaccine.slice.has_value() ? kCkptEntryJson
-                                             : kCkptEntryFlat);
   PutStr(out, entry.digest);
   PutU64(out, entry.epoch);
+  PutU64(out, entry.change_epoch);
   PutU8(out, entry.quarantined ? 1 : 0);
   if (entry.quarantined) PutStr(out, entry.quarantine_reason);
-  const vaccine::Vaccine& v = entry.vaccine;
-  if (v.slice.has_value()) {
-    PutStr(out, vaccine::VaccineToJson(v));
-    return;
-  }
-  PutStr(out, v.malware_name);
-  PutStr(out, v.malware_digest);
-  PutU8(out, static_cast<uint8_t>(v.resource_type));
-  PutU8(out, static_cast<uint8_t>(v.operation));
-  PutStr(out, v.identifier);
-  PutU8(out, v.simulate_presence ? 1 : 0);
-  PutU8(out, static_cast<uint8_t>(v.identifier_kind));
-  PutU8(out, static_cast<uint8_t>(v.immunization));
-  PutU8(out, static_cast<uint8_t>(v.delivery));
-  PutStr(out, v.pattern.text());
-  PutStr(out, v.OperationSymbols());
-  PutF64(out, v.behavior_decreasing_ratio);
+  vaccine::EncodeVaccine(out, entry.vaccine);
 }
 
-// Bounds-checked cursor over the (already digest-verified) body.
-struct CkptReader {
-  std::string_view data;
-  size_t pos = 0;
-
-  bool U8(uint8_t* out) {
-    if (pos + 1 > data.size()) return false;
-    *out = static_cast<uint8_t>(data[pos++]);
-    return true;
-  }
-  bool U32(uint32_t* out) {
-    if (pos + 4 > data.size()) return false;
-    *out = 0;
-    for (int shift = 0; shift < 32; shift += 8) {
-      *out |= static_cast<uint32_t>(
-                  static_cast<unsigned char>(data[pos++]))
-              << shift;
-    }
-    return true;
-  }
-  bool U64(uint64_t* out) {
-    if (pos + 8 > data.size()) return false;
-    *out = 0;
-    for (int shift = 0; shift < 64; shift += 8) {
-      *out |= static_cast<uint64_t>(
-                  static_cast<unsigned char>(data[pos++]))
-              << shift;
-    }
-    return true;
-  }
-  bool F64(double* out) {
-    uint64_t bits;
-    if (!U64(&bits)) return false;
-    std::memcpy(out, &bits, sizeof(*out));
-    return true;
-  }
-  bool Str(std::string* out) {
-    uint32_t length;
-    if (!U32(&length)) return false;
-    if (pos + length > data.size()) return false;
-    out->assign(data.data() + pos, length);
-    pos += length;
-    return true;
-  }
-};
-
-bool DecodeCkptEntry(CkptReader& reader, StoreEntry* entry,
+bool DecodeCkptEntry(BinReader& reader, StoreEntry* entry,
                      std::string* error) {
   const auto fail = [error](const char* what) {
     *error = what;
     return false;
   };
-  uint8_t format;
-  if (!reader.U8(&format)) return fail("truncated entry format");
-  if (format != kCkptEntryFlat && format != kCkptEntryJson) {
-    return fail("unknown entry format");
-  }
   if (!reader.Str(&entry->digest)) return fail("truncated digest");
   if (!reader.U64(&entry->epoch)) return fail("truncated epoch");
+  if (!reader.U64(&entry->change_epoch)) return fail("truncated change epoch");
   uint8_t quarantined;
   if (!reader.U8(&quarantined)) return fail("truncated quarantine flag");
   entry->quarantined = quarantined != 0;
   if (entry->quarantined && !reader.Str(&entry->quarantine_reason)) {
     return fail("truncated quarantine reason");
   }
-  if (format == kCkptEntryJson) {
-    std::string json;
-    if (!reader.Str(&json)) return fail("truncated vaccine JSON");
-    auto parsed = ParseJson(json);
-    if (!parsed.ok()) return fail("corrupt vaccine JSON");
-    auto decoded = vaccine::VaccineFromJson(parsed.value());
-    if (!decoded.ok()) return fail("invalid vaccine JSON");
-    entry->vaccine = std::move(decoded).value();
-    return true;
-  }
-  vaccine::Vaccine& v = entry->vaccine;
-  uint8_t byte;
-  if (!reader.Str(&v.malware_name)) return fail("truncated malware name");
-  if (!reader.Str(&v.malware_digest)) {
-    return fail("truncated malware digest");
-  }
-  if (!reader.U8(&byte) || byte >= os::kNumResourceTypes) {
-    return fail("bad resource type");
-  }
-  v.resource_type = static_cast<os::ResourceType>(byte);
-  if (!reader.U8(&byte) || byte >= os::kNumOperations) {
-    return fail("bad operation");
-  }
-  v.operation = static_cast<os::Operation>(byte);
-  if (!reader.Str(&v.identifier)) return fail("truncated identifier");
-  if (!reader.U8(&byte)) return fail("truncated simulate flag");
-  v.simulate_presence = byte != 0;
-  if (!reader.U8(&byte) ||
-      byte > static_cast<uint8_t>(
-                 analysis::IdentifierClass::kNonDeterministic)) {
-    return fail("bad identifier class");
-  }
-  v.identifier_kind = static_cast<analysis::IdentifierClass>(byte);
-  if (!reader.U8(&byte) ||
-      byte > static_cast<uint8_t>(
-                 analysis::ImmunizationType::kTypeIVProcessInjection)) {
-    return fail("bad immunization type");
-  }
-  v.immunization = static_cast<analysis::ImmunizationType>(byte);
-  if (!reader.U8(&byte) ||
-      byte > static_cast<uint8_t>(vaccine::DeliveryMethod::kDaemon)) {
-    return fail("bad delivery method");
-  }
-  v.delivery = static_cast<vaccine::DeliveryMethod>(byte);
-  std::string pattern_text;
-  if (!reader.Str(&pattern_text)) return fail("truncated pattern");
-  auto pattern = Pattern::Compile(pattern_text);
-  if (!pattern.ok()) return fail("invalid pattern");
-  v.pattern = std::move(pattern).value();
-  std::string operations;
-  if (!reader.Str(&operations)) return fail("truncated operations");
-  for (char c : operations) v.observed_operations.insert(c);
-  if (!reader.F64(&v.behavior_decreasing_ratio)) return fail("truncated bdr");
-  return true;
+  return vaccine::DecodeVaccine(reader, &entry->vaccine, error);
 }
 
 Result<StoreEntry> ParseAddRecord(const JsonValue& json, size_t index,
@@ -340,6 +199,11 @@ Result<StoreEntry> ParseAddRecord(const JsonValue& json, size_t index,
   StoreEntry entry;
   AUTOVAC_ASSIGN_OR_RETURN(entry.digest, JsonFieldString(json, "digest"));
   AUTOVAC_ASSIGN_OR_RETURN(entry.epoch, JsonFieldUint64(json, "epoch"));
+  entry.change_epoch = entry.epoch;
+  if (json.Find("change_epoch") != nullptr) {
+    AUTOVAC_ASSIGN_OR_RETURN(entry.change_epoch,
+                             JsonFieldUint64(json, "change_epoch"));
+  }
   AUTOVAC_ASSIGN_OR_RETURN(entry.quarantined,
                            JsonFieldBool(json, "quarantined"));
   if (entry.quarantined) {
@@ -512,7 +376,7 @@ std::optional<VaccineStore::CheckpointImage> VaccineStore::LoadCheckpoint(
 
   CheckpointImage image;
   image.epoch = epoch.value();
-  CkptReader reader{
+  BinReader reader{
       std::string_view(text.data() + body_start, body_bytes.value()), 0};
   image.entries.reserve(entry_count.value());
   for (uint64_t i = 0; i < entry_count.value(); ++i) {
@@ -656,6 +520,8 @@ Result<VaccineStore> VaccineStore::Open(const std::string& path) {
                                JsonFieldString(parsed.value(), "digest"));
       AUTOVAC_ASSIGN_OR_RETURN(const std::string reason,
                                JsonFieldString(parsed.value(), "reason"));
+      AUTOVAC_ASSIGN_OR_RETURN(const uint64_t q_epoch,
+                               JsonFieldUint64(parsed.value(), "epoch"));
       auto it = store.index_of_digest_.find(digest);
       if (it == store.index_of_digest_.end()) {
         return Status::InvalidArgument(
@@ -665,6 +531,10 @@ Result<VaccineStore> VaccineStore::Open(const std::string& path) {
       StoreEntry& entry = store.entries_[it->second];
       entry.quarantined = true;
       entry.quarantine_reason = reason;
+      entry.change_epoch = q_epoch;
+      // A quarantine record is its own atomicity unit and advances the
+      // feed epoch just like a committed push batch.
+      store.epoch_ = std::max(store.epoch_, q_epoch);
       needs_rewrite = true;  // fold the record into the add line
     } else {
       return Status::InvalidArgument(
@@ -834,6 +704,7 @@ Result<PushStats> VaccineStore::Push(
     entry.vaccine = vaccine;
     entry.digest = std::move(digest);
     entry.epoch = batch_epoch;
+    entry.change_epoch = batch_epoch;
     if (std::optional<std::string> reason = ConflictReason(vaccine);
         reason.has_value()) {
       entry.quarantined = true;
@@ -871,9 +742,14 @@ Status VaccineStore::Quarantine(std::string_view digest,
   }
   StoreEntry& entry = entries_[it->second];
   if (entry.quarantined) return Status::Ok();
+  // The retraction joins its own feed epoch: a delta-syncing client that
+  // already pulled the add learns of it as a tombstone.
+  const uint64_t q_epoch = epoch_ + 1;
+  AUTOVAC_RETURN_IF_ERROR(AppendBytes(QuarantineLine(digest, reason, q_epoch)));
   entry.quarantined = true;
   entry.quarantine_reason = std::string(reason);
-  AUTOVAC_RETURN_IF_ERROR(AppendBytes(QuarantineLine(digest, reason)));
+  entry.change_epoch = q_epoch;
+  epoch_ = q_epoch;
   return SyncNow();
 }
 
@@ -883,10 +759,15 @@ Result<size_t> VaccineStore::RescanConflicts() {
     if (entry.quarantined) continue;
     std::optional<std::string> reason = ConflictReason(entry.vaccine);
     if (!reason.has_value()) continue;
+    // One epoch per retraction keeps "a feed epoch is either one push
+    // batch or one tombstone" — the invariant pull paging leans on.
+    const uint64_t q_epoch = epoch_ + 1;
+    AUTOVAC_RETURN_IF_ERROR(
+        AppendBytes(QuarantineLine(entry.digest, *reason, q_epoch)));
     entry.quarantined = true;
     entry.quarantine_reason = *reason;
-    AUTOVAC_RETURN_IF_ERROR(
-        AppendBytes(QuarantineLine(entry.digest, *reason)));
+    entry.change_epoch = q_epoch;
+    epoch_ = q_epoch;
     ++retracted;
   }
   if (retracted > 0) AUTOVAC_RETURN_IF_ERROR(SyncNow());
@@ -896,8 +777,23 @@ Result<size_t> VaccineStore::RescanConflicts() {
 std::vector<const StoreEntry*> VaccineStore::Since(uint64_t since) const {
   std::vector<const StoreEntry*> delta;
   for (const StoreEntry& entry : entries_) {
-    if (!entry.quarantined && entry.epoch > since) delta.push_back(&entry);
+    if (!entry.quarantined) {
+      if (entry.change_epoch > since) delta.push_back(&entry);
+    } else if (entry.change_epoch > since && entry.epoch <= since) {
+      // Tombstone: the client may hold this vaccine from a pull at or
+      // after its add epoch; anyone synced before the add never saw it
+      // and needs nothing.
+      delta.push_back(&entry);
+    }
   }
+  // Change-epoch order keeps "epoch of the last item received" an exact
+  // resume cursor; stability keeps insertion order inside a push batch,
+  // which is what makes a since=0 delta byte-identical to the old
+  // feed-order full pull.
+  std::stable_sort(delta.begin(), delta.end(),
+                   [](const StoreEntry* a, const StoreEntry* b) {
+                     return a->change_epoch < b->change_epoch;
+                   });
   return delta;
 }
 

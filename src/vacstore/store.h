@@ -48,13 +48,18 @@
 
 namespace autovac::vacstore {
 
-// Version 2: per-batch commit records and checkpoint/rotation support.
-inline constexpr uint64_t kStoreVersion = 2;
+// Version 3: quarantines bump the feed epoch and every entry carries a
+// change epoch, so delta sync can ship retractions as tombstones.
+inline constexpr uint64_t kStoreVersion = 3;
 
 struct StoreEntry {
   vaccine::Vaccine vaccine;
   std::string digest;          // content address (VaccineDigest)
   uint64_t epoch = 0;          // feed epoch the vaccine joined
+  // Feed epoch of the last state change: the add epoch, or the epoch of
+  // a later quarantine. Delta sync keys on this, so a retraction reaches
+  // clients that already hold the vaccine.
+  uint64_t change_epoch = 0;
   bool quarantined = false;    // stored but never served
   std::string quarantine_reason;
 };
@@ -94,7 +99,8 @@ class VaccineStore {
       const std::vector<vaccine::Vaccine>& vaccines);
 
   // Quarantines an already-stored vaccine (new clinic evidence, operator
-  // retraction). No-op Ok when the digest is already quarantined.
+  // retraction). Bumps the feed epoch so delta-syncing clients learn of
+  // the retraction. No-op Ok when the digest is already quarantined.
   [[nodiscard]] Status Quarantine(std::string_view digest,
                                   std::string_view reason);
 
@@ -118,8 +124,14 @@ class VaccineStore {
     return entries_;
   }
 
-  // Served (non-quarantined) entries with epoch > `since`, feed order —
-  // the PULL delta payload.
+  // The PULL delta payload: everything a client synced to `since` needs
+  // to converge on the served set, ordered by change epoch (so the
+  // change epoch of the last item received is an exact resume cursor).
+  // That is: served entries with change_epoch > since, plus *tombstones*
+  // — quarantined entries whose add epoch is <= since (the client may
+  // hold them) and whose quarantine happened after `since`. A full pull
+  // (since = 0) therefore never contains tombstones; it is exactly the
+  // served set in feed order.
   [[nodiscard]] std::vector<const StoreEntry*> Since(uint64_t since) const;
 
   [[nodiscard]] const StoreEntry* FindDigest(std::string_view digest) const;

@@ -214,7 +214,9 @@ TEST(VaccineStore, ReloadIsByteIdenticalAndDurable) {
   ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
   EXPECT_FALSE(reloaded->repaired_torn_tail());
   EXPECT_EQ(FeedImage(*reloaded), image);
-  EXPECT_EQ(reloaded->epoch(), 2u);
+  // Two pushes plus one quarantine: retractions get their own epoch so
+  // delta-sync clients can pull the tombstone.
+  EXPECT_EQ(reloaded->epoch(), 3u);
   EXPECT_EQ(reloaded->served_count(), 2u);
   EXPECT_EQ(reloaded->quarantined_count(), 1u);
 

@@ -90,8 +90,10 @@
 #include "malware/benign.h"
 #include "net/chaosproxy.h"
 #include "net/client.h"
+#include "net/endpoint.h"
 #include "net/faultwire.h"
 #include "net/server.h"
+#include "net/sync.h"
 #include "sandbox/sandbox.h"
 #include "support/metrics.h"
 #include "support/strings.h"
@@ -121,10 +123,13 @@ void PrintUsage(std::FILE* out) {
       "  test     <sample.asm> <package.pkg>\n"
       "  trace    <sample.asm> [--out trace.txt]\n"
       "  disasm   <sample.asm>\n"
-      "  serve    --socket <s> [--store <f>] [serving options]\n"
+      "  serve    --socket <s> [--store <f>] [--tcp <host:port>]\n"
+      "           [serving options]\n"
       "  push     --socket <s> <package.pkg>...\n"
       "  query    --socket <s> --resource <type> <identifier>\n"
       "  pull     --socket <s> [--since <epoch>] [--out <f>]\n"
+      "  sync     --socket <s> [--page <n>] [--out <f>] [--binary]\n"
+      "  quarantine --socket <s> <digest> [--reason <s>]\n"
       "  chaos-proxy --listen <s> --backend <s> [--fault-seed <n>]\n"
       "  status   --socket <s>\n"
       "  coordinate --socket <s> <sample.asm>... [fleet options]\n"
@@ -171,7 +176,20 @@ void PrintUsage(std::FILE* out) {
       "  --dedup-window <n>   push replies remembered for idempotent\n"
       "                       retries (default 128, 0 disables)\n"
       "  --no-exclusiveness   skip the benign-conflict quarantine scan\n"
-      "vacd client options (push/query/pull):\n"
+      "  --tcp <host:port>    also serve the event-driven TCP tier\n"
+      "                       (persistent connections, pipelined JSON or\n"
+      "                       binary frames; port 0 = ephemeral, printed\n"
+      "                       on the readiness line). Loopback only\n"
+      "                       unless the network is trusted: no auth yet\n"
+      "  --max-connections <n>  concurrent TCP connections before new\n"
+      "                       connects shed BUSY (default 4096)\n"
+      "  --rate-rps <r>       per-connection sustained requests/second\n"
+      "                       before BUSY (default 0 = unlimited)\n"
+      "  --rate-burst <n>     token-bucket burst size (default 64)\n"
+      "  --idle-timeout-ms <n>  close TCP connections idle this long\n"
+      "                       (default 60000, 0 disables)\n"
+      "vacd client options (push/query/pull/sync/quarantine; --socket\n"
+      "also accepts a TCP endpoint spec 'tcp:host:port' or 'tcp:port'):\n"
       "  --deadline-ms <n>    request deadline (default 5000)\n"
       "  --retries <n>        attempts per request (default 1 = no retry);\n"
       "                       retried pushes carry an idempotency id\n"
@@ -180,8 +198,12 @@ void PrintUsage(std::FILE* out) {
       "  --retry-seed <n>     seed for deterministic backoff jitter\n"
       "  --resource <type>    query: file|registry|mutex|process|window|\n"
       "                       library|service\n"
+      "  --binary             query/pull/status/sync: compact binary\n"
+      "                       wire encoding for the hot read path\n"
       "  --since <n>          pull: only vaccines after feed epoch n\n"
-      "  --out <f>            pull: write the feed page JSON to a file\n"
+      "  --out <f>            pull/sync: write the feed JSON to a file\n"
+      "  --page <n>           sync: delta-pull page size (0 = unpaged)\n"
+      "  --reason <s>         quarantine: recorded retraction reason\n"
       "chaos-proxy options:\n"
       "  --listen <s>         socket the client should connect to\n"
       "  --backend <s>        the real vacd socket to relay to\n"
@@ -817,8 +839,9 @@ void HandleStopSignal(int) { g_stop_requested.store(true); }
 
 // Flags shared by the vacd client commands (push/query/pull).
 struct ClientFlags {
-  std::string socket_path;
+  std::string socket_path;  // endpoint spec: Unix path or tcp:host:port
   uint64_t deadline_ms = 5000;
+  bool binary = false;  // compact binary encoding for the read path
   net::RetryPolicy retry;  // default: a single attempt
 };
 
@@ -829,6 +852,9 @@ int CmdServe(int argc, char** argv) {
         "                     [--queue <n>] [--deadline-ms <n>]\n"
         "                     [--checkpoint-every <n>] [--sndbuf <bytes>]\n"
         "                     [--dedup-window <n>] [--no-exclusiveness]\n"
+        "                     [--tcp <host:port>] [--max-connections <n>]\n"
+        "                     [--rate-rps <r>] [--rate-burst <n>]\n"
+        "                     [--idle-timeout-ms <n>]\n"
         "Runs vacd, the vaccine store + distribution server, until SIGINT\n"
         "or SIGTERM (both drain: in-flight requests finish and the store\n"
         "is fsync'd before exit). With --store the feed is durable: pushes\n"
@@ -836,7 +862,13 @@ int CmdServe(int argc, char** argv) {
         "restarts; --checkpoint-every bounds restart recovery to the\n"
         "delta since the last checkpoint. Vaccines whose identifier or\n"
         "pattern collides with the benign corpus are quarantined (stored,\n"
-        "never served) unless --no-exclusiveness is given.\n");
+        "never served) unless --no-exclusiveness is given.\n"
+        "--tcp adds the event-driven TCP tier: persistent connections,\n"
+        "pipelined JSON or binary frames, per-connection flow control\n"
+        "(token bucket, bounded write buffer, idle sweep). Port 0 picks\n"
+        "an ephemeral port, printed in the readiness line. No\n"
+        "authentication yet: bind loopback (the default host) unless the\n"
+        "network is trusted.\n");
     return 0;
   }
   std::string socket_path;
@@ -885,6 +917,32 @@ int CmdServe(int argc, char** argv) {
           static_cast<size_t>(std::strtoull(value, nullptr, 0));
     } else if (std::strcmp(arg, "--no-exclusiveness") == 0) {
       use_exclusiveness = false;
+    } else if (std::strcmp(arg, "--tcp") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      // Accept "host:port", "port", or a full "tcp:..." spec.
+      std::string spec(value);
+      if (spec.rfind("tcp:", 0) != 0) spec = "tcp:" + spec;
+      auto endpoint = net::ParseEndpoint(spec);
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     endpoint.status().ToString().c_str());
+        return 2;
+      }
+      options.tcp_host = endpoint->host;
+      options.tcp_port = endpoint->port;
+    } else if (std::strcmp(arg, "--max-connections") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.max_connections =
+          static_cast<size_t>(std::strtoull(value, nullptr, 0));
+    } else if (std::strcmp(arg, "--rate-rps") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.rate_limit_rps = std::strtod(value, nullptr);
+    } else if (std::strcmp(arg, "--rate-burst") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.rate_limit_burst = std::strtod(value, nullptr);
+    } else if (std::strcmp(arg, "--idle-timeout-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.idle_timeout_ms = std::strtoull(value, nullptr, 0);
     } else if (std::strncmp(arg, "--", 2) == 0) {
       return UnknownOption(arg);
     } else {
@@ -941,6 +999,13 @@ int CmdServe(int argc, char** argv) {
               socket_path.c_str(), server.Stats().served,
               server.Stats().quarantined,
               static_cast<unsigned long long>(server.Stats().epoch));
+  if (server.tcp_port() != 0) {
+    // Scripts parse the resolved port from this line (--tcp ...:0
+    // binds an ephemeral one).
+    std::printf("vacd: tcp listening on tcp:%s:%u\n",
+                options.tcp_host.c_str(),
+                static_cast<unsigned>(server.tcp_port()));
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStopSignal);
@@ -989,6 +1054,8 @@ int ParseClientFlags(int argc, char** argv, ClientFlags* flags,
     } else if (std::strcmp(arg, "--retry-seed") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
       flags->retry.seed = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--binary") == 0) {
+      flags->binary = true;
     } else if (extra_flag != nullptr && std::strcmp(arg, extra_flag) == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
       *extra_value = value;
@@ -1040,6 +1107,7 @@ int CmdPush(int argc, char** argv) {
                     parsed_package->end());
   }
   net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
+  client.set_binary(flags.binary);
   auto reply = client.Push(vaccines);
   if (!reply.ok()) {
     std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
@@ -1083,6 +1151,7 @@ int CmdQuery(int argc, char** argv) {
     return 2;
   }
   net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
+  client.set_binary(flags.binary);
   auto reply = client.Query(resource.value(), positional[0]);
   if (!reply.ok()) {
     std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
@@ -1145,6 +1214,8 @@ int CmdPull(int argc, char** argv) {
     } else if (std::strcmp(arg, "--out") == 0) {
       if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
       out_path = value;
+    } else if (std::strcmp(arg, "--binary") == 0) {
+      flags.binary = true;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       return UnknownOption(arg);
     } else {
@@ -1157,12 +1228,14 @@ int CmdPull(int argc, char** argv) {
     return Usage();
   }
   net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
+  client.set_binary(flags.binary);
   const net::Request request = net::PullRequest{since};
-  // RoundTripRaw is one attempt by design; under --retries, fall back to
-  // the retrying typed path and re-serialize (canonical JSON, so the
-  // output bytes match what the server would have sent).
+  // RoundTripRaw is one attempt by design; under --retries (or --binary,
+  // whose raw reply is not printable), fall back to the typed path and
+  // re-serialize (canonical JSON, so the output bytes match what the
+  // server would have sent for a JSON request).
   Result<std::string> raw = Status::Internal("unreachable");
-  if (flags.retry.max_attempts > 1) {
+  if (flags.retry.max_attempts > 1 || flags.binary) {
     auto retried = client.RoundTrip(request);
     if (retried.ok()) {
       raw = net::ReplyToJson(*retried);
@@ -1203,6 +1276,124 @@ int CmdPull(int argc, char** argv) {
                "%llu)\n",
                page->items.size(), static_cast<unsigned long long>(since),
                static_cast<unsigned long long>(page->epoch));
+  return 0;
+}
+
+int CmdSync(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac sync --socket <s> [--page <n>] [--out <f>]\n"
+        "                    [--binary] [client options]\n"
+        "Mirrors the full vaccine feed with incremental pulls: pages of\n"
+        "at most --page items (0 = one unbounded pull) are fetched with\n"
+        "'pull --since <cursor>' until the feed is drained, tombstones\n"
+        "are applied, and the converged mirror is written to --out (or\n"
+        "stdout) as canonical feed JSON — byte-identical to one full\n"
+        "pull from the live server. The summary line goes to stderr.\n");
+    return 0;
+  }
+  ClientFlags flags;
+  uint64_t page_limit = 0;
+  std::string out_path;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--socket") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags.socket_path = value;
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags.deadline_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      const long long attempts = std::strtoll(value, nullptr, 0);
+      if (attempts <= 0) {
+        std::fprintf(stderr, "error: --retries requires at least 1\n");
+        return 2;
+      }
+      flags.retry.max_attempts = static_cast<uint32_t>(attempts);
+    } else if (std::strcmp(arg, "--retry-budget-ms") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags.retry.max_total_ms = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--retry-seed") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      flags.retry.seed = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--binary") == 0) {
+      flags.binary = true;
+    } else if (std::strcmp(arg, "--page") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      page_limit = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      out_path = value;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return UnknownOption(arg);
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg);
+      return Usage();
+    }
+  }
+  if (flags.socket_path.empty()) {
+    std::fprintf(stderr, "error: sync requires --socket\n");
+    return Usage();
+  }
+  net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
+  client.set_binary(flags.binary);
+  net::FeedMirror mirror;
+  const Status synced = mirror.SyncFrom(client, page_limit);
+  if (!synced.ok()) {
+    std::fprintf(stderr, "error: %s\n", synced.ToString().c_str());
+    return net::VacdClient::IsBusy(synced) ? 4 : 1;
+  }
+  const std::string canonical = mirror.CanonicalJson();
+  if (out_path.empty()) {
+    std::printf("%s\n", canonical.c_str());
+  } else {
+    const Status written = WriteStringToFile(out_path, canonical + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "synced %zu vaccines to feed epoch %llu (page limit %llu)\n",
+               mirror.size(),
+               static_cast<unsigned long long>(mirror.cursor()),
+               static_cast<unsigned long long>(page_limit));
+  return 0;
+}
+
+int CmdQuarantine(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac quarantine --socket <s> <digest> [--reason <s>]\n"
+        "Retracts one vaccine from a running vacd by content digest: it\n"
+        "stays stored but is never served again, and delta-syncing\n"
+        "clients receive a tombstone on their next pull. Idempotent —\n"
+        "quarantining an already-quarantined digest reports 'already'.\n");
+    return 0;
+  }
+  ClientFlags flags;
+  std::vector<std::string> positional;
+  const char* reason = nullptr;
+  const int parsed = ParseClientFlags(argc, argv, &flags, &positional,
+                                      "--reason", &reason);
+  if (parsed >= 0) return parsed;
+  if (positional.size() != 1) {
+    std::fprintf(stderr, "error: quarantine needs exactly one digest\n");
+    return Usage();
+  }
+  net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
+  auto reply = client.Quarantine(positional[0],
+                                 reason != nullptr ? reason : "operator");
+  if (!reply.ok()) {
+    std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
+    return net::VacdClient::IsBusy(reply.status()) ? 4 : 1;
+  }
+  std::printf("%s %s; feed epoch %llu\n",
+              reply->already ? "already quarantined" : "quarantined",
+              positional[0].c_str(),
+              static_cast<unsigned long long>(reply->epoch));
   return 0;
 }
 
@@ -1305,6 +1496,7 @@ int CmdStatus(int argc, char** argv) {
     return Usage();
   }
   net::VacdClient client(flags.socket_path, flags.deadline_ms, flags.retry);
+  client.set_binary(flags.binary);
   auto stats = client.Stats();
   if (!stats.ok()) {
     std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
@@ -1744,6 +1936,8 @@ int main(int argc, char** argv) {
   if (command == "push") return CmdPush(argc - 2, argv + 2);
   if (command == "query") return CmdQuery(argc - 2, argv + 2);
   if (command == "pull") return CmdPull(argc - 2, argv + 2);
+  if (command == "sync") return CmdSync(argc - 2, argv + 2);
+  if (command == "quarantine") return CmdQuarantine(argc - 2, argv + 2);
   if (command == "chaos-proxy") return CmdChaosProxy(argc - 2, argv + 2);
   if (command == "status") return CmdStatus(argc - 2, argv + 2);
   if (command == "coordinate") return CmdCoordinate(argc - 2, argv + 2);

@@ -142,7 +142,7 @@ def compare_campaign(base, cur, gate):
 
 
 def compare_serving(base, cur, gate, min_index_speedup,
-                    min_recovery_speedup):
+                    min_recovery_speedup, min_qps, max_p99_us):
     gate.check_exact("patterns", require(base, "patterns", "baseline"),
                      require(cur, "patterns", "current"))
     gate.check_exact("lookups", require(base, "lookups", "baseline"),
@@ -211,6 +211,55 @@ def compare_serving(base, cur, gate, min_index_speedup,
                float(base_rec.get("checkpoint_open_ms", 0)),
                float(cur_rec.get("checkpoint_open_ms", 0)),
                gate=gate.check_wall)
+
+    # Fleet-load section: 10k concurrent clients on the TCP event tier.
+    # Item counts are deterministic (a cold pull returns the whole feed,
+    # a caught-up delta returns exactly what changed) and gate exactly.
+    # Absolute QPS / p99 only gate when the lane opts in with --min-qps /
+    # --max-p99-us — and then the keys MUST exist: a lane that asks for a
+    # throughput floor and silently skips it because the bench stopped
+    # emitting the metric is worse than a failure.
+    cur_fleet = cur.get("fleet")
+    if cur_fleet is None:
+        if min_qps is not None or max_p99_us is not None:
+            print("check_bench: --min-qps/--max-p99-us given but current "
+                  "run has no 'fleet' section", file=sys.stderr)
+            sys.exit(2)
+        print("  fleet section missing from current run  REGRESSION")
+        gate.failures.append("fleet")
+        return
+    base_fleet = require(base, "fleet", "baseline")
+    gate.check_exact("fleet clients",
+                     require(base_fleet, "clients", "baseline"),
+                     require(cur_fleet, "clients", "current"))
+    gate.check_exact("fleet full_items (cold pull)",
+                     require(base_fleet, "full_items", "baseline"),
+                     require(cur_fleet, "full_items", "current"))
+    gate.check_exact("fleet delta_items (caught-up pull)",
+                     require(base_fleet, "delta_items", "baseline"),
+                     require(cur_fleet, "delta_items", "current"))
+    gate.check("fleet wall_ms", float(base_fleet.get("wall_ms", 0)),
+               float(cur_fleet.get("wall_ms", 0)), gate=gate.check_wall)
+    if min_qps is not None:
+        qps = float(require(cur_fleet, "sustained_qps", "current"))
+        verdict = "ok" if qps >= min_qps else "REGRESSION"
+        if verdict != "ok":
+            gate.failures.append("fleet.sustained_qps")
+        print(f"  {'fleet sustained QPS floor':<44} {min_qps:>14.1f} "
+              f"<= {qps:>12.1f} {verdict}")
+    else:
+        print(f"  {'fleet sustained_qps':<44} "
+              f"{float(cur_fleet.get('sustained_qps', 0)):>14.1f} info")
+    if max_p99_us is not None:
+        p99 = float(require(cur_fleet, "pull_p99_us", "current"))
+        verdict = "ok" if p99 <= max_p99_us else "REGRESSION"
+        if verdict != "ok":
+            gate.failures.append("fleet.pull_p99_us")
+        print(f"  {'fleet pull p99 ceiling (us)':<44} {max_p99_us:>14.1f} "
+              f">= {p99:>12.1f} {verdict}")
+    else:
+        print(f"  {'fleet pull_p99_us':<44} "
+              f"{float(cur_fleet.get('pull_p99_us', 0)):>14.1f} info")
 
 
 def compare_fleet(base, cur, gate, min_fleet_efficiency):
@@ -286,6 +335,13 @@ def main():
     parser.add_argument("--min-recovery-speedup", type=float, default=2.0,
                         help="minimum checkpoint-recovery speedup over a "
                              "full journal replay (serving bench)")
+    parser.add_argument("--min-qps", type=float, default=None,
+                        help="minimum sustained fleet-load QPS (serving "
+                             "bench); errors if the metric is absent")
+    parser.add_argument("--max-p99-us", type=float, default=None,
+                        help="maximum fleet-load pull p99 in microseconds "
+                             "(serving bench); errors if the metric is "
+                             "absent")
     parser.add_argument("--min-fleet-efficiency", type=float, default=0.10,
                         help="minimum fault-free fleet efficiency against "
                              "the ideal shard time (fleet bench)")
@@ -310,7 +366,8 @@ def main():
         compare_campaign(base, cur, gate)
     elif kind == "serving":
         compare_serving(base, cur, gate, args.min_index_speedup,
-                        args.min_recovery_speedup)
+                        args.min_recovery_speedup, args.min_qps,
+                        args.max_p99_us)
     elif kind == "fleet":
         compare_fleet(base, cur, gate, args.min_fleet_efficiency)
     else:
