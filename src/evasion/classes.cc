@@ -1,0 +1,30 @@
+#include "evasion/classes.h"
+
+namespace autovac::evasion {
+
+std::string_view EvasionClassName(EvasionClass cls) {
+  switch (cls) {
+    case EvasionClass::kStalling: return "stalling";
+    case EvasionClass::kEnvProbe: return "env-probe";
+    case EvasionClass::kRuntimeUnpack: return "runtime-unpack";
+    case EvasionClass::kVaccineAware: return "vaccine-aware";
+    case EvasionClass::kClassCount: break;
+  }
+  return "?";
+}
+
+std::optional<EvasionClass> ParseEvasionClass(std::string_view name) {
+  for (EvasionClass cls : AllEvasionClasses()) {
+    if (name == EvasionClassName(cls)) return cls;
+  }
+  return std::nullopt;
+}
+
+const std::vector<EvasionClass>& AllEvasionClasses() {
+  static const std::vector<EvasionClass> kAll = {
+      EvasionClass::kStalling, EvasionClass::kEnvProbe,
+      EvasionClass::kRuntimeUnpack, EvasionClass::kVaccineAware};
+  return kAll;
+}
+
+}  // namespace autovac::evasion

@@ -1,0 +1,48 @@
+// The evasion-class taxonomy measured by the robustness bench: one
+// enumerator per anti-analysis technique family from the dynamic-
+// analysis evasion survey. Every evasive sample is stamped with its
+// class (Program::evasion_class / SampleReport::evasion_class) so
+// blocked-detection rates can be broken down per class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autovac::evasion {
+
+enum class EvasionClass : uint8_t {
+  // Sleep-burn stalling loops + virtual-clock probes before the first
+  // resource touch; long enough stalls push the resource constraint past
+  // the analyzer's Phase-I budget.
+  kStalling = 0,
+  // Environment/artifact probes: sandbox-marker files, analysis-DLL
+  // handle sniffing, analysis-process and debugger-window checks.
+  kEnvProbe,
+  // XOR / add-rolling packed payloads that materialize their mutex
+  // identifier (and the code touching it) in a .data buffer at runtime —
+  // requires the VM's write-then-execute support.
+  kRuntimeUnpack,
+  // Families that treat their own infection marker as a potential
+  // vaccine and walk a seeded derivation chain of fallback identifiers.
+  kVaccineAware,
+  kClassCount,
+};
+
+inline constexpr size_t kNumEvasionClasses =
+    static_cast<size_t>(EvasionClass::kClassCount);
+
+// Canonical names ("stalling", "env-probe", "runtime-unpack",
+// "vaccine-aware") — the spelling used by CLI flags, report tags and
+// BENCH_robustness.json keys.
+[[nodiscard]] std::string_view EvasionClassName(EvasionClass cls);
+
+// Strict inverse of EvasionClassName; nullopt for unknown names.
+[[nodiscard]] std::optional<EvasionClass> ParseEvasionClass(
+    std::string_view name);
+
+[[nodiscard]] const std::vector<EvasionClass>& AllEvasionClasses();
+
+}  // namespace autovac::evasion

@@ -1,0 +1,98 @@
+#include "evasion/corpus.h"
+
+#include "evasion/generators.h"
+#include "malware/behaviors.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace autovac::evasion {
+namespace {
+
+// Stable per-sample seed independent of which class subset is being
+// generated: requesting one class reproduces exactly the samples a full
+// run would have produced for it.
+uint64_t SampleSeed(uint64_t corpus_seed, EvasionClass cls, size_t index) {
+  return HashSeed(StrFormat("%llx/%s/%zu",
+                            static_cast<unsigned long long>(corpus_seed),
+                            std::string(EvasionClassName(cls)).c_str(),
+                            index));
+}
+
+}  // namespace
+
+Result<EvasiveSample> GenerateEvasiveSample(EvasionClass cls,
+                                            uint64_t sample_seed,
+                                            const std::string& name) {
+  malware::AsmWriter w(name);
+  Rng rng(sample_seed);
+  w.SetEvasionClass(std::string(EvasionClassName(cls)));
+  const std::string exit_label = w.NewLabel("bail");
+  const std::string mutex_name = "EVA_" + rng.NextIdentifier(10);
+  const std::string host = "cnc-" + rng.NextIdentifier(6) + ".example.net";
+
+  malware::EmitJunk(w, rng, 2 + rng.NextBelow(4));
+  switch (cls) {
+    case EvasionClass::kStalling: {
+      // 20s..110s of virtual stall: kOneMinuteBudget sits inside this
+      // range, so a seed-stable share of samples outlast Phase-I before
+      // ever touching their marker.
+      const auto total_ms =
+          static_cast<uint32_t>(20'000 + rng.NextBelow(90'001));
+      EmitStallingPrelude(w, rng, total_ms, exit_label);
+      malware::EmitMutexMarkerStatic(w, mutex_name, exit_label);
+      break;
+    }
+    case EvasionClass::kEnvProbe:
+      EmitEnvironmentProbes(w, rng, 2 + rng.NextBelow(3), exit_label);
+      malware::EmitMutexMarkerStatic(w, mutex_name, exit_label);
+      break;
+    case EvasionClass::kRuntimeUnpack: {
+      const PackScheme scheme =
+          rng.NextBool() ? PackScheme::kXor : PackScheme::kAddRolling;
+      const auto key = static_cast<uint8_t>(1 + rng.NextBelow(255));
+      EmitPackedMutexMarker(w, scheme, key, mutex_name);
+      break;
+    }
+    case EvasionClass::kVaccineAware: {
+      // ~40% degenerate single-name chains (plain-marker behaviour);
+      // the rest re-derive through 2-3 fallback identifiers.
+      const uint32_t chain =
+          rng.NextBool(0.4) ? 1 : 2 + static_cast<uint32_t>(rng.NextBelow(2));
+      EmitVaccineAwareMarker(w, "EVA_" + rng.NextIdentifier(6), chain,
+                             exit_label);
+      break;
+    }
+    case EvasionClass::kClassCount:
+      return Status::InvalidArgument("bad evasion class");
+  }
+  malware::EmitNetworkBurst(w, host, 2);
+  malware::EmitEpilogue(w, exit_label);
+
+  EvasiveSample sample;
+  sample.cls = cls;
+  sample.source = w.Source();
+  AUTOVAC_ASSIGN_OR_RETURN(sample.program, w.Assemble());
+  return sample;
+}
+
+Result<std::vector<EvasiveSample>> GenerateEvasiveCorpus(
+    const EvasiveCorpusOptions& options) {
+  const std::vector<EvasionClass>& classes =
+      options.classes.empty() ? AllEvasionClasses() : options.classes;
+  std::vector<EvasiveSample> corpus;
+  corpus.reserve(classes.size() * options.per_class);
+  for (EvasionClass cls : classes) {
+    for (size_t i = 0; i < options.per_class; ++i) {
+      const std::string name =
+          StrFormat("evasive_%s_%03zu",
+                    std::string(EvasionClassName(cls)).c_str(), i);
+      AUTOVAC_ASSIGN_OR_RETURN(
+          EvasiveSample sample,
+          GenerateEvasiveSample(cls, SampleSeed(options.seed, cls, i), name));
+      corpus.push_back(std::move(sample));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace autovac::evasion

@@ -1,0 +1,39 @@
+// Evasive corpus generation: per-class samples composing the evasion
+// generators with the standard infection-marker + payload snippets. The
+// same seed yields a byte-identical corpus (sources and programs), which
+// the CLI relies on to write reproducible .asm corpora to disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "evasion/classes.h"
+#include "support/status.h"
+#include "vm/program.h"
+
+namespace autovac::evasion {
+
+struct EvasiveSample {
+  vm::Program program;
+  EvasionClass cls = EvasionClass::kStalling;
+  // Assembler source the program was built from — what `autovac corpus`
+  // writes to disk; assembling it reproduces `program` exactly.
+  std::string source;
+};
+
+struct EvasiveCorpusOptions {
+  uint64_t seed = 2013;
+  size_t per_class = 8;
+  // Classes to generate; empty means all of them.
+  std::vector<EvasionClass> classes;
+};
+
+[[nodiscard]] Result<std::vector<EvasiveSample>> GenerateEvasiveCorpus(
+    const EvasiveCorpusOptions& options = {});
+
+// One sample of the given class (exposed for tests and the demo tools).
+[[nodiscard]] Result<EvasiveSample> GenerateEvasiveSample(
+    EvasionClass cls, uint64_t sample_seed, const std::string& name);
+
+}  // namespace autovac::evasion

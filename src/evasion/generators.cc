@@ -1,0 +1,187 @@
+#include "evasion/generators.h"
+
+#include "malware/behaviors.h"
+#include "sandbox/api_ids.h"
+#include "support/strings.h"
+
+namespace autovac::evasion {
+namespace {
+
+int64_t Api(sandbox::ApiId id) { return static_cast<int64_t>(id); }
+
+}  // namespace
+
+void EmitStallingPrelude(malware::AsmWriter& w, Rng& rng,
+                         uint32_t total_millis,
+                         const std::string& exit_label) {
+  const uint32_t rounds = 2 + static_cast<uint32_t>(rng.NextBelow(3));
+  const uint32_t per_round = total_millis / rounds;
+  for (uint32_t r = 0; r < rounds; ++r) {
+    w.Text("sys GetTickCount");
+    w.Text("mov edi, eax");
+    w.Text("push %u", per_round);
+    w.Text("sys Sleep");
+    w.Text("add esp, 4");
+    w.Text("sys GetTickCount");
+    w.Text("sub eax, edi");
+    // GetTickCount carries up to ~1s of jitter; half the sleep is a safe
+    // "did the clock really advance" threshold on any honest machine.
+    w.Text("cmp eax, %u", per_round / 2);
+    w.Text("jl %s", exit_label.c_str());
+  }
+}
+
+void EmitEnvironmentProbes(malware::AsmWriter& w, Rng& rng, size_t count,
+                           const std::string& exit_label) {
+  static const std::vector<std::string> kMarkerFiles = {
+      "C:\\sandbox.flag", "C:\\analysis\\agent.py",
+      "C:\\iDEFENSE\\SysAnalyzer.exe", "C:\\cuckoo\\agent.pyw"};
+  static const std::vector<std::string> kAnalysisDlls = {
+      "sbiedll.dll", "dbghelp_hook.dll", "api_log.dll", "vmcheck.dll"};
+  static const std::vector<std::string> kAnalysisProcs = {
+      "vmtoolsd.exe", "wireshark.exe", "procmon.exe", "vboxservice.exe"};
+  static const std::vector<std::string> kDebuggerWindows = {
+      "OLLYDBG", "WinDbgFrameClass", "ID"};
+
+  for (size_t i = 0; i < count; ++i) {
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        // Sandbox-marker file present -> being analyzed -> bail.
+        const std::string label = w.AddString(rng.Pick(kMarkerFiles));
+        w.Text("push %s", label.c_str());
+        w.Text("sys GetFileAttributesA");
+        w.Text("add esp, 4");
+        w.Text("cmp eax, 0xFFFFFFFF");
+        w.Text("jnz %s", exit_label.c_str());
+        break;
+      }
+      case 1:
+        // Instrumentation DLL in the module table (handle sniffing).
+        malware::EmitAvLibraryCheck(w, rng.Pick(kAnalysisDlls), exit_label);
+        break;
+      case 2:
+        malware::EmitAvProcessCheck(w, rng.Pick(kAnalysisProcs), exit_label);
+        break;
+      default: {
+        // Debugger top-level window probe.
+        const std::string cls = w.AddString(rng.Pick(kDebuggerWindows));
+        const std::string title = w.AddString("");
+        w.Text("push %s", title.c_str());
+        w.Text("push %s", cls.c_str());
+        w.Text("sys FindWindowA");
+        w.Text("add esp, 8");
+        w.Text("cmp eax, 0");
+        w.Text("jnz %s", exit_label.c_str());
+        break;
+      }
+    }
+  }
+}
+
+void EmitPackedMutexMarker(malware::AsmWriter& w, PackScheme scheme,
+                           uint8_t key, const std::string& mutex_name,
+                           uint32_t* unpacked_bytes) {
+  // Plaintext payload (position-independent, esi = buffer base): create
+  // the marker mutex whose name lives in the blob's own data region,
+  // exit when it already existed, otherwise return to the stub.
+  PayloadBuilder payload;
+  const uint32_t name_off = payload.AddCString(mutex_name);
+  payload.EmitDataRef(vm::Op::kLea, vm::Reg::kEax, vm::Reg::kEsi, name_off);
+  payload.Emit(vm::Op::kPushR, vm::Reg::kEax);
+  payload.Emit(vm::Op::kPushI, vm::Reg::kNone, vm::Reg::kNone, 1);
+  payload.Emit(vm::Op::kSys, vm::Reg::kNone, vm::Reg::kNone,
+               Api(sandbox::ApiId::kCreateMutexA));
+  payload.Emit(vm::Op::kAddRI, vm::Reg::kEsp, vm::Reg::kNone, 8);
+  payload.Emit(vm::Op::kSys, vm::Reg::kNone, vm::Reg::kNone,
+               Api(sandbox::ApiId::kGetLastError));
+  payload.Emit(vm::Op::kCmpRI, vm::Reg::kEax, vm::Reg::kNone,
+               183);  // ERROR_ALREADY_EXISTS
+  payload.EmitBranch(vm::Op::kJz, "infected");
+  payload.Emit(vm::Op::kRet);
+  payload.Bind("infected");
+  payload.Emit(vm::Op::kPushI, vm::Reg::kNone, vm::Reg::kNone, 0);
+  payload.Emit(vm::Op::kSys, vm::Reg::kNone, vm::Reg::kNone,
+               Api(sandbox::ApiId::kExitProcess));
+
+  const std::vector<uint8_t> plain = payload.Build();
+  const std::vector<uint8_t> packed = Pack(plain, scheme, key);
+  const std::string blob = w.AddWords(BytesToWords(packed));
+  const std::string buf = w.AddBuffer((plain.size() + 7) & ~size_t{7});
+  if (unpacked_bytes != nullptr) {
+    *unpacked_bytes = static_cast<uint32_t>(plain.size());
+  }
+
+  // Unpacker stub: byte-wise copy+decrypt loop, then enter the buffer.
+  const std::string loop = w.NewLabel("unpack");
+  const std::string done = w.NewLabel("unpacked");
+  w.Text("mov ecx, 0");
+  w.Text("mov edx, %s", blob.c_str());
+  w.Text("mov edi, %s", buf.c_str());
+  if (scheme == PackScheme::kAddRolling) w.Text("mov ebx, %u", key);
+  w.Label(loop);
+  w.Text("cmp ecx, %zu", plain.size());
+  w.Text("jge %s", done.c_str());
+  w.Text("loadb eax, [edx]");
+  switch (scheme) {
+    case PackScheme::kXor:
+      w.Text("xor eax, %u", key);
+      break;
+    case PackScheme::kAddRolling:
+      w.Text("sub eax, ebx");
+      w.Text("and eax, 255");
+      w.Text("inc ebx");
+      break;
+  }
+  w.Text("storeb [edi], eax");
+  w.Text("inc edx");
+  w.Text("inc edi");
+  w.Text("inc ecx");
+  w.Text("jmp %s", loop.c_str());
+  w.Label(done);
+  w.Text("mov esi, %s", buf.c_str());
+  w.Text("call %s", buf.c_str());
+}
+
+std::string DeriveChainName(const std::string& stem, uint32_t index) {
+  uint64_t h = HashSeed(stem);
+  for (uint32_t i = 0; i <= index; ++i) {
+    h = h * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  return StrFormat("%s-%06x", stem.c_str(),
+                   static_cast<unsigned>(h % 0x1000000));
+}
+
+void EmitVaccineAwareMarker(malware::AsmWriter& w, const std::string& stem,
+                            uint32_t chain_length,
+                            const std::string& exit_label) {
+  const std::string proceed = w.NewLabel("chain_ok");
+  std::vector<std::string> names;
+  std::vector<std::string> claims;
+  for (uint32_t i = 0; i < chain_length; ++i) {
+    names.push_back(w.AddString(DeriveChainName(stem, i)));
+    claims.push_back(w.NewLabel("claim"));
+  }
+  // Probe the chain in order; a taken name might be a vaccine, so
+  // re-derive instead of trusting it.
+  for (uint32_t i = 0; i < chain_length; ++i) {
+    w.Text("push %s", names[i].c_str());
+    w.Text("push 0");
+    w.Text("sys OpenMutexA");
+    w.Text("add esp, 8");
+    w.Text("cmp eax, 0");
+    w.Text("jz %s", claims[i].c_str());
+  }
+  // Every derived identifier is taken: accept "already infected".
+  w.Text("jmp %s", exit_label.c_str());
+  for (uint32_t i = 0; i < chain_length; ++i) {
+    w.Label(claims[i]);
+    w.Text("push %s", names[i].c_str());
+    w.Text("push 1");
+    w.Text("sys CreateMutexA");
+    w.Text("add esp, 8");
+    w.Text("jmp %s", proceed.c_str());
+  }
+  w.Label(proceed);
+}
+
+}  // namespace autovac::evasion

@@ -1,0 +1,63 @@
+// Evasive-behaviour generators layered over malware/behaviors: each
+// emitter drops one anti-analysis technique into an AsmWriter sample.
+// The evasion corpus composes these with the standard marker/payload
+// snippets so every evasive sample still carries a resource constraint
+// the pipeline could, in principle, turn into a vaccine — the robustness
+// bench measures how often each technique defeats that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "evasion/classes.h"
+#include "evasion/payload.h"
+#include "malware/asm_writer.h"
+#include "support/rng.h"
+
+namespace autovac::evasion {
+
+// ---- stalling / virtual-clock abuse ----------------------------------
+// Burns roughly `total_millis` of virtual time in Sleep rounds before
+// control reaches whatever follows, re-reading GetTickCount around each
+// round and bailing to `exit_label` when the clock fails to advance
+// (the classic fake-clock sandbox probe; the sandbox's virtual clock
+// does advance, so on the analyzer the probe passes).
+void EmitStallingPrelude(malware::AsmWriter& w, Rng& rng,
+                         uint32_t total_millis,
+                         const std::string& exit_label);
+
+// ---- environment / artifact probes -----------------------------------
+// Emits `count` probes for analysis-environment artifacts — sandbox
+// marker files, instrumentation DLLs in the module table, analysis
+// processes, debugger windows — each exiting via `exit_label` when the
+// artifact is present.
+void EmitEnvironmentProbes(malware::AsmWriter& w, Rng& rng, size_t count,
+                           const std::string& exit_label);
+
+// ---- runtime unpacking ------------------------------------------------
+// Emits a packed infection-marker stage: `mutex_name` and the code that
+// checks it are packed with `scheme`/`key` into an .rdata blob; at
+// runtime a stub decrypts the blob into a .data buffer and calls into
+// it (write-then-execute). The in-buffer payload creates the mutex,
+// checks ERROR_ALREADY_EXISTS and ExitProcess-es when the marker is
+// present; otherwise it returns to the stub, which falls through to the
+// code emitted after this call.
+void EmitPackedMutexMarker(malware::AsmWriter& w, PackScheme scheme,
+                           uint8_t key, const std::string& mutex_name,
+                           uint32_t* unpacked_bytes = nullptr);
+
+// ---- vaccine-aware marker chains -------------------------------------
+// Seeded derivation chain: name i is DeriveChainName(stem, i). The
+// sample probes each name with OpenMutexA in order and claims the first
+// free one; a taken name is treated as a potential vaccine and the
+// sample re-derives the next identifier instead of trusting it. Only
+// when every name in the chain is taken does it accept "infected" and
+// exit. chain_length == 1 degenerates to a plain marker.
+[[nodiscard]] std::string DeriveChainName(const std::string& stem,
+                                          uint32_t index);
+void EmitVaccineAwareMarker(malware::AsmWriter& w, const std::string& stem,
+                            uint32_t chain_length,
+                            const std::string& exit_label);
+
+}  // namespace autovac::evasion

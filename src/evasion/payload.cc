@@ -1,0 +1,110 @@
+#include "evasion/payload.h"
+
+#include "support/status.h"
+
+namespace autovac::evasion {
+
+void PayloadBuilder::Emit(vm::Op op, vm::Reg r1, vm::Reg r2, int64_t imm) {
+  Slot slot;
+  slot.inst = {op, r1, r2, imm};
+  code_.push_back(std::move(slot));
+}
+
+void PayloadBuilder::EmitBranch(vm::Op op, const std::string& label) {
+  Slot slot;
+  slot.inst = {op, vm::Reg::kNone, vm::Reg::kNone, 0};
+  slot.fixup = FixupKind::kBranch;
+  slot.label = label;
+  code_.push_back(std::move(slot));
+}
+
+void PayloadBuilder::EmitDataRef(vm::Op op, vm::Reg r1, vm::Reg r2,
+                                 uint32_t data_off, int64_t extra) {
+  Slot slot;
+  slot.inst = {op, r1, r2, 0};
+  slot.fixup = FixupKind::kData;
+  slot.data_off = data_off;
+  slot.extra = extra;
+  code_.push_back(std::move(slot));
+}
+
+void PayloadBuilder::Bind(const std::string& label) {
+  AUTOVAC_CHECK_MSG(labels_.emplace(label, code_.size()).second,
+                    "duplicate payload label");
+}
+
+uint32_t PayloadBuilder::AddData(std::string_view bytes) {
+  const auto off = static_cast<uint32_t>(data_.size());
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  return off;
+}
+
+uint32_t PayloadBuilder::AddCString(const std::string& text) {
+  const uint32_t off = AddData(text);
+  data_.push_back(0);
+  return off;
+}
+
+std::vector<uint8_t> PayloadBuilder::Build() const {
+  const uint32_t code_bytes =
+      static_cast<uint32_t>(code_.size()) * vm::kEncodedInstrSize;
+  std::vector<uint8_t> out;
+  out.reserve(code_bytes + data_.size());
+  for (size_t i = 0; i < code_.size(); ++i) {
+    vm::Instruction inst = code_[i].inst;
+    switch (code_[i].fixup) {
+      case FixupKind::kNone:
+        break;
+      case FixupKind::kBranch: {
+        auto it = labels_.find(code_[i].label);
+        AUTOVAC_CHECK_MSG(it != labels_.end(), "undefined payload label");
+        inst.imm = (static_cast<int64_t>(it->second) -
+                    static_cast<int64_t>(i)) *
+                   vm::kEncodedInstrSize;
+        break;
+      }
+      case FixupKind::kData:
+        inst.imm = static_cast<int64_t>(code_bytes) + code_[i].data_off +
+                   code_[i].extra;
+        break;
+    }
+    const auto encoded = vm::EncodeInstruction(inst);
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  out.insert(out.end(), data_.begin(), data_.end());
+  return out;
+}
+
+std::string_view PackSchemeName(PackScheme scheme) {
+  switch (scheme) {
+    case PackScheme::kXor: return "xor";
+    case PackScheme::kAddRolling: return "add-rolling";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> Pack(const std::vector<uint8_t>& plain,
+                          PackScheme scheme, uint8_t key) {
+  std::vector<uint8_t> out(plain.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    switch (scheme) {
+      case PackScheme::kXor:
+        out[i] = plain[i] ^ key;
+        break;
+      case PackScheme::kAddRolling:
+        out[i] = static_cast<uint8_t>(plain[i] + key + (i & 0xFF));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> BytesToWords(const std::vector<uint8_t>& bytes) {
+  std::vector<uint32_t> words((bytes.size() + 3) / 4, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    words[i / 4] |= static_cast<uint32_t>(bytes[i]) << (8 * (i % 4));
+  }
+  return words;
+}
+
+}  // namespace autovac::evasion

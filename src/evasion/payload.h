@@ -1,0 +1,80 @@
+// Builder for position-independent in-memory payloads: the plaintext a
+// packer stub decrypts into a .data buffer and then executes via the
+// VM's memory-execution mode (vm/isa.h's fixed 8-byte encoding).
+//
+// Blob layout: encoded instructions first (entry at offset 0, so a stub
+// simply `call`s the buffer base), then a data region for the strings
+// the payload materializes at runtime. Control flow inside the blob is
+// pc-relative; data references are esi-relative by convention — the stub
+// loads the buffer base into esi before entering the payload.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vm/isa.h"
+
+namespace autovac::evasion {
+
+class PayloadBuilder {
+ public:
+  // Appends one instruction with a literal immediate.
+  void Emit(vm::Op op, vm::Reg r1 = vm::Reg::kNone,
+            vm::Reg r2 = vm::Reg::kNone, int64_t imm = 0);
+
+  // Appends a branch/call whose immediate becomes the pc-relative byte
+  // offset to `label` at Build() time.
+  void EmitBranch(vm::Op op, const std::string& label);
+
+  // Appends an instruction whose immediate becomes `data_off` rebased
+  // onto the blob's data region (code_size + data_off + extra). Used for
+  // `lea reg, [esi + <data>]` style references.
+  void EmitDataRef(vm::Op op, vm::Reg r1, vm::Reg r2, uint32_t data_off,
+                   int64_t extra = 0);
+
+  // Binds `label` to the next emitted instruction.
+  void Bind(const std::string& label);
+
+  // Reserves bytes in the data region; returns the offset within it.
+  uint32_t AddData(std::string_view bytes);
+  // Convenience: AddData(text + NUL).
+  uint32_t AddCString(const std::string& text);
+
+  // Resolves fixups and returns the raw plaintext blob.
+  [[nodiscard]] std::vector<uint8_t> Build() const;
+
+ private:
+  enum class FixupKind : uint8_t { kNone, kBranch, kData };
+  struct Slot {
+    vm::Instruction inst;
+    FixupKind fixup = FixupKind::kNone;
+    std::string label;      // kBranch
+    uint32_t data_off = 0;  // kData
+    int64_t extra = 0;      // kData
+  };
+
+  std::vector<Slot> code_;
+  std::vector<uint8_t> data_;
+  std::map<std::string, size_t> labels_;  // label -> instruction index
+};
+
+// Packing schemes the unpacker stubs implement.
+enum class PackScheme : uint8_t { kXor = 0, kAddRolling };
+
+[[nodiscard]] std::string_view PackSchemeName(PackScheme scheme);
+
+// kXor: out[i] = in[i] ^ key.
+// kAddRolling: out[i] = (in[i] + key + i) & 0xFF — a rolling-key scheme
+// whose unpacker must track position, not just a constant.
+[[nodiscard]] std::vector<uint8_t> Pack(const std::vector<uint8_t>& plain,
+                                        PackScheme scheme, uint8_t key);
+
+// Chops bytes into little-endian 32-bit words (zero-padded) for the
+// assembler's `word` data kind.
+[[nodiscard]] std::vector<uint32_t> BytesToWords(
+    const std::vector<uint8_t>& bytes);
+
+}  // namespace autovac::evasion

@@ -252,7 +252,7 @@ std::string VaccineDigest(const Vaccine& vaccine) {
 
 std::string SampleReportToJson(const SampleReport& report) {
   std::string out = StrFormat(
-      "{\"name\":%s,\"digest\":%s,\"disposition\":%d,"
+      "{\"name\":%s,\"digest\":%s,\"evasion_class\":%s,\"disposition\":%d,"
       "\"resource_api_occurrences\":%zu,\"tainted_occurrences\":%zu,"
       "\"resource_sensitive\":%s,\"phase1_stop\":%d,"
       "\"phase1_status\":%s,\"phase2_status\":%s,"
@@ -262,6 +262,7 @@ std::string SampleReportToJson(const SampleReport& report) {
       "\"vaccines_demoted\":%zu,\"faults_injected\":%zu",
       Quoted(report.sample_name).c_str(),
       Quoted(report.sample_digest).c_str(),
+      Quoted(report.evasion_class).c_str(),
       static_cast<int>(report.disposition),
       report.resource_api_occurrences, report.tainted_occurrences,
       report.resource_sensitive ? "true" : "false",
@@ -303,6 +304,11 @@ Result<SampleReport> SampleReportFromJson(const JsonValue& json) {
                            JsonFieldString(json, "name"));
   AUTOVAC_ASSIGN_OR_RETURN(report.sample_digest,
                            JsonFieldString(json, "digest"));
+  // Absent in journals written before the evasion subsystem existed.
+  if (json.Find("evasion_class") != nullptr) {
+    AUTOVAC_ASSIGN_OR_RETURN(report.evasion_class,
+                             JsonFieldString(json, "evasion_class"));
+  }
   AUTOVAC_ASSIGN_OR_RETURN(
       const uint64_t disposition,
       EnumField(json, "disposition", kNumDispositions));

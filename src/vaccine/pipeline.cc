@@ -350,6 +350,7 @@ SampleReport VaccinePipeline::Analyze(const vm::Program& sample) const {
   SampleReport report;
   report.sample_name = sample.name;
   report.sample_digest = sample.Digest();
+  report.evasion_class = sample.evasion_class;
 
   GetPipelineMetrics().samples_analyzed->Increment();
   Tracer& tracer = GlobalTracer();
@@ -434,6 +435,7 @@ SampleReport AnalyzeIsolated(const VaccinePipeline& pipeline,
     // this unreachable, but a hostile sample must never kill the wave.
     SampleReport report;
     report.sample_name = sample.name;
+    report.evasion_class = sample.evasion_class;
     report.disposition = SampleDisposition::kIsolatedCrash;
     report.phase1_status =
         Status::Internal(std::string("analysis crash: ") + e.what());

@@ -79,6 +79,9 @@ enum class SampleDisposition : uint8_t {
 struct SampleReport {
   std::string sample_name;
   std::string sample_digest;
+  // Free-form evasion-class tag copied from the sample's `.evasion`
+  // directive; empty for ordinary (non-adversarial) corpora.
+  std::string evasion_class;
   SampleDisposition disposition = SampleDisposition::kAnalyzed;
 
   // Phase-I statistics.

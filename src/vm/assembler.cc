@@ -9,10 +9,12 @@
 namespace autovac::vm {
 namespace {
 
+// Symbols resolve code-label first, then data-label. Branch/call targets
+// may name data labels too: jumping into a .data buffer (an address >=
+// kMemExecBase) is how a sample enters code it unpacked at runtime.
 struct PendingFixup {
   size_t inst_index;
   std::string symbol;   // code or data label
-  bool code_only;       // branch targets must be code labels
   int64_t addend = 0;
   int line;
 };
@@ -106,6 +108,11 @@ class AssemblerImpl {
     } else if (head == ".entry") {
       if (tokens.size() != 2) return Error(line, ".entry needs one argument");
       entry_label_ = tokens[1];
+    } else if (head == ".evasion") {
+      if (tokens.size() != 2) {
+        return Error(line, ".evasion needs one argument");
+      }
+      program_.evasion_class = tokens[1];
     } else {
       return Error(line, "unknown directive: " + head);
     }
@@ -162,8 +169,10 @@ class AssemblerImpl {
       return Error(line, "unknown data kind: " + kind);
     }
 
-    // 4-byte alignment keeps word loads in bounds.
-    cursor = (cursor + 3u) & ~3u;
+    // 4-byte alignment keeps word loads in bounds; buffers get 8-byte
+    // alignment so unpacked code placed in them meets the memory-
+    // execution mode's fetch alignment (see vm/cpu.h kMemExecBase).
+    cursor = kind == "buffer" ? (cursor + 7u) & ~7u : (cursor + 3u) & ~3u;
     if (cursor + bytes.size() > limit) {
       return Error(line, "section overflow placing " + label);
     }
@@ -316,9 +325,8 @@ class AssemblerImpl {
   }
 
   void EmitWithSymbol(Op op, Reg r1, Reg r2, const std::string& symbol,
-                      bool code_only, int64_t addend, int line) {
-    fixups_.push_back(
-        {program_.code.size(), symbol, code_only, addend, line});
+                      int64_t addend, int line) {
+    fixups_.push_back({program_.code.size(), symbol, addend, line});
     program_.code.push_back({op, r1, r2, 0});
   }
 
@@ -360,7 +368,7 @@ class AssemblerImpl {
         Emit(it->second, Reg::kNone, Reg::kNone, imm);
       } else {
         EmitWithSymbol(it->second, Reg::kNone, Reg::kNone, operands[0],
-                       /*code_only=*/true, 0, line);
+                       0, line);
       }
       return Status::Ok();
     }
@@ -393,7 +401,7 @@ class AssemblerImpl {
         Emit(Op::kPushI, Reg::kNone, Reg::kNone, imm);
       } else {
         EmitWithSymbol(Op::kPushI, Reg::kNone, Reg::kNone, operands[0],
-                       /*code_only=*/false, 0, line);
+                       0, line);
       }
       return Status::Ok();
     }
@@ -430,8 +438,7 @@ class AssemblerImpl {
       if (mem.symbol.empty()) {
         Emit(op, *reg, mem.base, mem.disp);
       } else {
-        EmitWithSymbol(op, *reg, Reg::kNone, mem.symbol,
-                       /*code_only=*/false, mem.disp, line);
+        EmitWithSymbol(op, *reg, Reg::kNone, mem.symbol, mem.disp, line);
       }
       return Status::Ok();
     }
@@ -444,8 +451,7 @@ class AssemblerImpl {
       if (mem.symbol.empty()) {
         Emit(op, mem.base, *reg, mem.disp);
       } else {
-        EmitWithSymbol(op, Reg::kNone, *reg, mem.symbol,
-                       /*code_only=*/false, mem.disp, line);
+        EmitWithSymbol(op, Reg::kNone, *reg, mem.symbol, mem.disp, line);
       }
       return Status::Ok();
     }
@@ -483,7 +489,7 @@ class AssemblerImpl {
         Emit(it->second.ri, *dst, Reg::kNone, imm);
       } else {
         EmitWithSymbol(it->second.ri, *dst, Reg::kNone, operands[1],
-                       /*code_only=*/false, 0, line);
+                       0, line);
       }
       return Status::Ok();
     }
@@ -496,7 +502,7 @@ class AssemblerImpl {
       int64_t value = 0;
       if (auto code = program_.CodeSymbol(fixup.symbol); code.ok()) {
         value = code.value();
-      } else if (!fixup.code_only) {
+      } else {
         auto data = program_.DataSymbol(fixup.symbol);
         if (!data.ok()) {
           return Status::InvalidArgument(
@@ -504,10 +510,6 @@ class AssemblerImpl {
                         fixup.symbol.c_str()));
         }
         value = data.value();
-      } else {
-        return Status::InvalidArgument(
-            StrFormat("line %d: undefined code label: %s", fixup.line,
-                      fixup.symbol.c_str()));
       }
       program_.code[fixup.inst_index].imm = value + fixup.addend;
     }

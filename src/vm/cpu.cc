@@ -13,6 +13,7 @@ struct VmMetrics {
   std::array<Counter*, kNumOpClasses> dispatch;
   std::array<Counter*, kNumStopReasons> stops;
   Counter* runs;
+  Counter* smc_regions;
 };
 
 VmMetrics& GetVmMetrics() {
@@ -31,6 +32,7 @@ VmMetrics& GetVmMetrics() {
           StopReasonName(static_cast<StopReason>(i)));
     }
     m->runs = registry.GetCounter("vm.runs");
+    m->smc_regions = registry.GetCounter("vm.smc_regions");
     return m;
   }();
   return *metrics;
@@ -85,6 +87,13 @@ OpClass ClassifyOp(Op op) {
   return OpClass::kControl;
 }
 
+const char* VmEventName(VmEvent event) {
+  switch (event) {
+    case VmEvent::kSelfModifyingCode: return "self-modifying-code";
+  }
+  return "?";
+}
+
 const char* StopReasonName(StopReason reason) {
   switch (reason) {
     case StopReason::kRunning: return "running";
@@ -133,6 +142,10 @@ void Cpu::FlushMetrics() {
     metrics.instructions->Increment(instructions_retired_);
     instructions_retired_ = 0;
   }
+  if (smc_events_ != 0) {
+    metrics.smc_regions->Increment(smc_events_);
+    smc_events_ = 0;
+  }
   for (size_t i = 0; i < kNumOpClasses; ++i) {
     if (dispatch_counts_[i] != 0) {
       metrics.dispatch[i]->Increment(dispatch_counts_[i]);
@@ -169,7 +182,11 @@ void Cpu::Restore(const CpuSnapshot& snap) {
   stop_reason_ = StopReason::kRunning;
   fault_.clear();
   instructions_retired_ = 0;
+  smc_events_ = 0;
   dispatch_counts_.fill(0);
+  // The restored Memory may hold older bytes at the same write
+  // generations this cache was built against; drop it and re-decode.
+  decode_cache_.clear();
 }
 
 StopReason Cpu::Fault(std::string message) {
@@ -178,12 +195,64 @@ StopReason Cpu::Fault(std::string message) {
   return stop_reason_;
 }
 
+bool Cpu::FetchFromMemory(Instruction* out) {
+  if (pc_ % kEncodedInstrSize != 0) {
+    Fault(StrFormat("misaligned code fetch at %#x", pc_));
+    return false;
+  }
+  if (!Memory::InBounds(pc_, kEncodedInstrSize)) {
+    Fault(StrFormat("code fetch out of bounds at %#x", pc_));
+    return false;
+  }
+  const uint32_t page = Memory::PageOf(pc_);
+  const uint32_t write_gen = memory_.page_write_gen(page);
+  if (write_gen != memory_.page_exec_gen(page)) {
+    // Write-then-execute: the page changed since it last ran. Stamp the
+    // generation first so re-entrant observers see the armed state
+    // cleared, then surface the event exactly once for this dirtying.
+    memory_.set_page_exec_gen(page, write_gen);
+    ++smc_events_;
+    if (observer_ != nullptr) {
+      observer_->OnVmEvent(*this, VmEvent::kSelfModifyingCode,
+                           page * kCodePageSize, kCodePageSize);
+    }
+  }
+  DecodedPage& entry = decode_cache_[page];
+  if (!entry.populated || entry.gen != write_gen) {
+    entry.gen = write_gen;
+    entry.populated = true;
+    entry.valid = 0;
+    const std::string_view raw =
+        memory_.RawView(page * kCodePageSize, kCodePageSize);
+    for (uint32_t slot = 0; slot < entry.insts.size(); ++slot) {
+      if (DecodeInstruction(reinterpret_cast<const uint8_t*>(raw.data()) +
+                                slot * kEncodedInstrSize,
+                            &entry.insts[slot])) {
+        entry.valid |= 1u << slot;
+      }
+    }
+  }
+  const uint32_t slot = (pc_ % kCodePageSize) / kEncodedInstrSize;
+  if ((entry.valid & (1u << slot)) == 0) {
+    Fault(StrFormat("invalid instruction encoding at %#x", pc_));
+    return false;
+  }
+  *out = entry.insts[slot];
+  return true;
+}
+
 StopReason Cpu::Step() {
   if (stop_reason_ != StopReason::kRunning) return stop_reason_;
-  if (pc_ >= program_.code.size()) {
+  const bool mem_mode = pc_ >= kMemExecBase;
+  Instruction fetched;
+  if (mem_mode) {
+    if (!FetchFromMemory(&fetched)) return stop_reason_;
+  } else if (pc_ >= program_.code.size()) {
     return Fault(StrFormat("pc out of range: %u", pc_));
+  } else {
+    fetched = program_.code[pc_];
   }
-  const Instruction inst = program_.code[pc_];
+  const Instruction inst = fetched;
   current_pc_ = pc_;
   ++cycles_used_;
   ++instructions_retired_;
@@ -196,7 +265,9 @@ StopReason Cpu::Step() {
   if (inst.r2 != Reg::kNone) step.u2 = reg(inst.r2);
 
   const auto imm32 = static_cast<uint32_t>(inst.imm);
-  uint32_t next_pc = pc_ + 1;
+  // Static code advances by instruction index; in-memory code by encoded
+  // instruction width.
+  uint32_t next_pc = pc_ + (mem_mode ? kEncodedInstrSize : 1);
 
   auto base2 = [&]() -> uint32_t {
     return (inst.r2 == Reg::kNone ? 0u : reg(inst.r2)) + imm32;
@@ -248,9 +319,13 @@ StopReason Cpu::Step() {
       default: AUTOVAC_CHECK_MSG(false, "alu on non-alu op"); return 0;
     }
   };
+  // Branch targets: absolute in static code (imm may also name a memory
+  // address >= kMemExecBase, which is how an unpacker enters its
+  // payload); pc-relative byte offsets in memory mode so packed payloads
+  // stay position-independent.
   auto branch_to = [&](bool taken) {
     step.branch_taken = taken;
-    if (taken) next_pc = imm32;
+    if (taken) next_pc = mem_mode ? pc_ + imm32 : imm32;
   };
 
   switch (inst.op) {
@@ -412,7 +487,12 @@ StopReason Cpu::Step() {
       branch_to(zf_ || sf_);
       break;
     case Op::kCall:
-      if (!push32(pc_ + 1)) return stop_reason_;
+      // The pushed return value is mode-typed like pc itself: an index
+      // for static calls, an address for in-memory calls. `ret` pops it
+      // blind, which is exactly what lets a payload return across modes.
+      if (!push32(pc_ + (mem_mode ? kEncodedInstrSize : 1))) {
+        return stop_reason_;
+      }
       branch_to(true);
       ++call_depth_;
       if (call_depth_limit_ != 0 && call_depth_ > call_depth_limit_) {

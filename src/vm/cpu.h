@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "support/status.h"
 #include "vm/isa.h"
@@ -96,12 +97,39 @@ class SyscallHandler {
   virtual void OnSyscall(Cpu& cpu, int64_t api_id) = 0;
 };
 
+// Instrumentation events beyond plain instruction retirement.
+enum class VmEvent : uint8_t {
+  // A dirtied page (guest-written since its last decode) is about to
+  // execute — the write-then-execute signal a generic unpacking detector
+  // keys on. Fired once per dirtied region: re-executing the same page
+  // without further writes stays silent; writing it again re-arms it.
+  kSelfModifyingCode = 0,
+};
+
+[[nodiscard]] const char* VmEventName(VmEvent event);
+
 // Instrumentation interface (taint engine, instruction tracer).
 class ExecutionObserver {
  public:
   virtual ~ExecutionObserver() = default;
   virtual void OnStep(const Cpu& cpu, const StepInfo& step) = 0;
+  // Default no-op so existing observers need not care about VM events.
+  // `addr`/`size` describe the affected region (the dirtied page for
+  // kSelfModifyingCode).
+  virtual void OnVmEvent(const Cpu& cpu, VmEvent event, uint32_t addr,
+                         uint32_t size) {
+    (void)cpu; (void)event; (void)addr; (void)size;
+  }
 };
+
+// Program-counter values below this execute the static program's decoded
+// `code` vector (pc = instruction index). Values at or above it are guest
+// memory addresses: the CPU decodes the fixed 8-byte encoding (see
+// isa.h) straight out of .data/heap, which is how multi-stage samples run
+// the payloads they unpack at runtime. The threshold equals kDataBase, so
+// every writable segment is executable and no static program is large
+// enough to collide with it.
+inline constexpr uint32_t kMemExecBase = kDataBase;
 
 class Cpu {
  public:
@@ -153,6 +181,10 @@ class Cpu {
   [[nodiscard]] uint64_t instructions_retired() const {
     return instructions_retired_;
   }
+  // kSelfModifyingCode events since the last metrics flush (flushed to
+  // vm.smc_regions; like instructions_retired, a flush-delta — observers
+  // wanting exact per-run counts hook OnVmEvent).
+  [[nodiscard]] uint64_t smc_events() const { return smc_events_; }
   [[nodiscard]] uint64_t dispatch_count(OpClass cls) const {
     return dispatch_counts_[static_cast<size_t>(cls)];
   }
@@ -192,7 +224,22 @@ class Cpu {
   [[nodiscard]] const std::string& fault_message() const { return fault_; }
 
  private:
+  // One decoded page of in-memory code. Pure derived state: `gen` pins
+  // the Memory write generation the decode came from, so a stale entry
+  // (page rewritten, or machine restored to an older snapshot) is simply
+  // re-decoded. Never serialized.
+  struct DecodedPage {
+    uint32_t gen = 0;
+    bool populated = false;
+    uint32_t valid = 0;  // bit i — slot i decoded successfully
+    std::array<Instruction, kCodePageSize / kEncodedInstrSize> insts{};
+  };
+
   StopReason Fault(std::string message);
+  // Fetches the instruction at pc_ (>= kMemExecBase) from guest memory,
+  // firing kSelfModifyingCode and re-decoding when the page is dirty.
+  // Returns false after faulting on misalignment/bounds/bad encoding.
+  bool FetchFromMemory(Instruction* out);
 
   const Program& program_;
   Memory& memory_;
@@ -212,7 +259,9 @@ class Cpu {
   uint64_t api_call_limit_ = 0;
   uint64_t cycles_used_ = 0;
   uint64_t instructions_retired_ = 0;
+  uint64_t smc_events_ = 0;
   std::array<uint64_t, kNumOpClasses> dispatch_counts_{};
+  std::unordered_map<uint32_t, DecodedPage> decode_cache_;
   StopReason stop_reason_ = StopReason::kRunning;
   std::string fault_;
 };

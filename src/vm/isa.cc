@@ -124,4 +124,43 @@ const OpInfo& GetOpInfo(Op op) {
   return table[index];
 }
 
+namespace {
+
+bool ValidRegByte(uint8_t byte) {
+  return byte < static_cast<uint8_t>(Reg::kRegCount) ||
+         byte == static_cast<uint8_t>(Reg::kNone);
+}
+
+}  // namespace
+
+std::array<uint8_t, kEncodedInstrSize> EncodeInstruction(
+    const Instruction& inst) {
+  std::array<uint8_t, kEncodedInstrSize> out{};
+  out[0] = static_cast<uint8_t>(inst.op);
+  out[1] = static_cast<uint8_t>(inst.r1);
+  out[2] = static_cast<uint8_t>(inst.r2);
+  out[3] = 0;
+  const auto imm = static_cast<uint32_t>(inst.imm);
+  out[4] = static_cast<uint8_t>(imm);
+  out[5] = static_cast<uint8_t>(imm >> 8);
+  out[6] = static_cast<uint8_t>(imm >> 16);
+  out[7] = static_cast<uint8_t>(imm >> 24);
+  return out;
+}
+
+bool DecodeInstruction(const uint8_t* bytes, Instruction* out) {
+  if (bytes[0] >= static_cast<uint8_t>(Op::kOpCount)) return false;
+  if (!ValidRegByte(bytes[1]) || !ValidRegByte(bytes[2])) return false;
+  if (bytes[3] != 0) return false;
+  const uint32_t imm = static_cast<uint32_t>(bytes[4]) |
+                       (static_cast<uint32_t>(bytes[5]) << 8) |
+                       (static_cast<uint32_t>(bytes[6]) << 16) |
+                       (static_cast<uint32_t>(bytes[7]) << 24);
+  out->op = static_cast<Op>(bytes[0]);
+  out->r1 = static_cast<Reg>(bytes[1]);
+  out->r2 = static_cast<Reg>(bytes[2]);
+  out->imm = static_cast<int32_t>(imm);  // sign-extend relative offsets
+  return true;
+}
+
 }  // namespace autovac::vm

@@ -8,6 +8,7 @@
 // operands and its memory effects are observable.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -90,5 +91,28 @@ struct OpInfo {
 };
 
 [[nodiscard]] const OpInfo& GetOpInfo(Op op);
+
+// --- in-memory instruction encoding ------------------------------------
+// Runtime-generated code (unpacker payloads) lives in guest memory as a
+// fixed 8-byte little-endian encoding the CPU can decode when the program
+// counter points above the static code segment:
+//
+//   byte 0   opcode          (must be < kOpCount)
+//   byte 1   r1              (0..7 or 255 = kNone)
+//   byte 2   r2              (0..7 or 255 = kNone)
+//   byte 3   reserved, 0
+//   bytes 4-7  imm32, little-endian, sign-extended on decode
+//
+// Control flow in this encoding is pc-relative (byte offsets), so packed
+// payloads are position-independent and a packer can place them anywhere
+// in .data or heap.
+inline constexpr uint32_t kEncodedInstrSize = 8;
+
+[[nodiscard]] std::array<uint8_t, kEncodedInstrSize> EncodeInstruction(
+    const Instruction& inst);
+
+// Returns false (leaving `out` untouched) when the bytes are not a valid
+// encoding: bad opcode, bad register byte, or nonzero reserved byte.
+[[nodiscard]] bool DecodeInstruction(const uint8_t* bytes, Instruction* out);
 
 }  // namespace autovac::vm

@@ -22,6 +22,7 @@ MemFault Memory::Write8(uint32_t addr, uint32_t value) {
   if (!InBounds(addr, 1)) return MemFault::kOutOfBounds;
   if (IsReadOnly(addr)) return MemFault::kWriteToReadOnly;
   bytes_[addr] = static_cast<uint8_t>(value);
+  NoteWrite(addr, 1);
   return MemFault::kNone;
 }
 
@@ -31,6 +32,7 @@ MemFault Memory::Write32(uint32_t addr, uint32_t value) {
     return MemFault::kWriteToReadOnly;
   }
   std::memcpy(bytes_.data() + addr, &value, 4);
+  NoteWrite(addr, 4);
   return MemFault::kNone;
 }
 

@@ -29,6 +29,13 @@ inline constexpr uint32_t kHeapEnd = 0xE0000;
 inline constexpr uint32_t kStackBase = 0xE0000;  // lowest valid stack byte
 inline constexpr uint32_t kStackTop = 0xFFFF0;   // initial ESP
 
+// Write-then-execute tracking granularity. Guest stores bump a per-page
+// write generation; the CPU records the generation it last decoded per
+// page, so executing a page whose bytes changed since the last decode is
+// detectable in O(1) — the "concatic" unpacking detector.
+inline constexpr uint32_t kCodePageSize = 256;
+inline constexpr uint32_t kNumCodePages = kMemSize / kCodePageSize;
+
 // Result of a memory access attempt.
 enum class MemFault {
   kNone = 0,
@@ -71,8 +78,36 @@ class Memory {
   }
   [[nodiscard]] static bool IsRdata(uint32_t addr) { return IsReadOnly(addr); }
 
+  // --- write-then-execute tracking -------------------------------------
+  // Guest stores (Write8/Write32/WriteCString) bump the write generation
+  // of every page they touch; LoaderWrite does not — the loaded image is
+  // the baseline, only runtime self-modification counts. The CPU stamps
+  // exec generations as it decodes, so both live inside Memory and ride
+  // along with machine snapshots for free.
+  [[nodiscard]] static uint32_t PageOf(uint32_t addr) {
+    return addr / kCodePageSize;
+  }
+  [[nodiscard]] uint32_t page_write_gen(uint32_t page) const {
+    return write_gen_[page];
+  }
+  [[nodiscard]] uint32_t page_exec_gen(uint32_t page) const {
+    return exec_gen_[page];
+  }
+  void set_page_exec_gen(uint32_t page, uint32_t gen) {
+    exec_gen_[page] = gen;
+  }
+
  private:
+  void NoteWrite(uint32_t addr, uint32_t size) {
+    const uint32_t first = PageOf(addr);
+    const uint32_t last = PageOf(addr + size - 1);
+    ++write_gen_[first];
+    if (last != first) ++write_gen_[last];
+  }
+
   std::vector<uint8_t> bytes_;
+  std::vector<uint32_t> write_gen_ = std::vector<uint32_t>(kNumCodePages, 0);
+  std::vector<uint32_t> exec_gen_ = std::vector<uint32_t>(kNumCodePages, 0);
 };
 
 }  // namespace autovac::vm

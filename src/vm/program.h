@@ -24,6 +24,11 @@ class Program {
   std::vector<Instruction> code;
   std::vector<DataBlob> data;
   uint32_t entry = 0;
+  // Free-form evasion-class tag (`.evasion` directive). The corpus
+  // generators stamp the class a sample belongs to so pipeline reports
+  // can break results down per class; empty for non-evasive samples.
+  // Metadata only — not part of Digest().
+  std::string evasion_class;
 
   // label -> instruction index
   std::map<std::string, uint32_t> code_symbols;

@@ -561,5 +561,223 @@ TEST_P(AssemblerDeterminism, StableDigest) {
 INSTANTIATE_TEST_SUITE_P(Values, AssemblerDeterminism,
                          ::testing::Range(0, 8));
 
+// ---- memory execution + self-modifying code --------------------------
+
+TEST(IsaEncoding, RoundTripsAndRejectsGarbage) {
+  const Instruction inst{Op::kMovRI, Reg::kEax, Reg::kNone, -7};
+  const auto bytes = EncodeInstruction(inst);
+  Instruction decoded;
+  ASSERT_TRUE(DecodeInstruction(bytes.data(), &decoded));
+  EXPECT_EQ(decoded, inst);
+
+  auto bad = bytes;
+  bad[0] = static_cast<uint8_t>(Op::kOpCount);  // opcode out of range
+  EXPECT_FALSE(DecodeInstruction(bad.data(), &decoded));
+  bad = bytes;
+  bad[1] = 9;  // register out of range
+  EXPECT_FALSE(DecodeInstruction(bad.data(), &decoded));
+  bad = bytes;
+  bad[3] = 1;  // reserved byte must be zero
+  EXPECT_FALSE(DecodeInstruction(bad.data(), &decoded));
+}
+
+// Counts kSelfModifyingCode events (the accessor on Cpu is a flush-delta,
+// so tests observe the event stream directly).
+struct SmcCounter : ExecutionObserver {
+  void OnStep(const Cpu&, const StepInfo&) override {}
+  void OnVmEvent(const Cpu&, VmEvent event, uint32_t addr,
+                 uint32_t size) override {
+    if (event != VmEvent::kSelfModifyingCode) return;
+    ++events;
+    last_addr = addr;
+    last_size = size;
+  }
+  int events = 0;
+  uint32_t last_addr = 0;
+  uint32_t last_size = 0;
+};
+
+// Writes encoded instructions into guest memory. Loader writes leave the
+// page generations untouched; guest writes dirty them.
+void PlaceEncoded(Memory& memory, uint32_t addr,
+                  const std::vector<Instruction>& insts, bool guest) {
+  for (const Instruction& inst : insts) {
+    const auto bytes = EncodeInstruction(inst);
+    for (uint8_t byte : bytes) {
+      if (guest) {
+        ASSERT_EQ(memory.Write8(addr, byte), MemFault::kNone);
+      } else {
+        memory.LoaderWrite(addr, std::string(1, static_cast<char>(byte)));
+      }
+      ++addr;
+    }
+  }
+}
+
+TEST(Cpu, ExecutesEncodedPayloadFromMemory) {
+  Program program = MustAssemble(".text\n  hlt\n");
+  Memory memory;
+  program.LoadInto(memory);
+  PlaceEncoded(memory, kDataBase,
+               {{Op::kMovRI, Reg::kEax, Reg::kNone, 42},
+                {Op::kHlt, Reg::kNone, Reg::kNone, 0}},
+               /*guest=*/false);
+  program.entry = kDataBase;  // start directly in memory-execution mode
+  Cpu cpu(program, memory);
+  SmcCounter counter;
+  cpu.set_observer(&counter);
+  EXPECT_EQ(cpu.Run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(Reg::kEax), 42u);
+  // Loader-placed code was never guest-written: no unpacking signal.
+  EXPECT_EQ(counter.events, 0);
+}
+
+TEST(Cpu, MemoryModeBranchesArePcRelative) {
+  Program program = MustAssemble(".text\n  hlt\n");
+  Memory memory;
+  program.LoadInto(memory);
+  // Skip over a trap: jmp +16 hops the mov that would clobber eax.
+  PlaceEncoded(memory, kDataBase,
+               {{Op::kMovRI, Reg::kEax, Reg::kNone, 1},
+                {Op::kJmp, Reg::kNone, Reg::kNone, 16},
+                {Op::kMovRI, Reg::kEax, Reg::kNone, 99},
+                {Op::kHlt, Reg::kNone, Reg::kNone, 0}},
+               /*guest=*/false);
+  program.entry = kDataBase;
+  Cpu cpu(program, memory);
+  EXPECT_EQ(cpu.Run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(Reg::kEax), 1u);
+}
+
+TEST(Cpu, WriteThenExecuteFiresEventOncePerDirtiedRegion) {
+  Program program = MustAssemble(".text\n  hlt\n");
+  Memory memory;
+  program.LoadInto(memory);
+  // Guest-written payload: loop back to the entry once via ebx.
+  PlaceEncoded(memory, kDataBase,
+               {{Op::kIncR, Reg::kEax, Reg::kNone, 0},
+                {Op::kCmpRI, Reg::kEax, Reg::kNone, 3},
+                {Op::kJl, Reg::kNone, Reg::kNone, -16},
+                {Op::kHlt, Reg::kNone, Reg::kNone, 0}},
+               /*guest=*/true);
+  program.entry = kDataBase;
+  Cpu cpu(program, memory);
+  SmcCounter counter;
+  cpu.set_observer(&counter);
+  EXPECT_EQ(cpu.Run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(Reg::kEax), 3u);
+  // The loop re-enters the dirtied page repeatedly but the event fires
+  // exactly once; the region is the containing code page.
+  EXPECT_EQ(counter.events, 1);
+  EXPECT_EQ(counter.last_addr, Memory::PageOf(kDataBase) * kCodePageSize);
+  EXPECT_EQ(counter.last_size, kCodePageSize);
+}
+
+TEST(Cpu, RewritingExecutedPageRearmsTheEventAndRedecodes) {
+  Program program = MustAssemble(".text\n  hlt\n");
+  Memory memory;
+  program.LoadInto(memory);
+  PlaceEncoded(memory, kDataBase,
+               {{Op::kMovRI, Reg::kEax, Reg::kNone, 7},
+                {Op::kHlt, Reg::kNone, Reg::kNone, 0}},
+               /*guest=*/true);
+  program.entry = kDataBase;
+  {
+    Cpu cpu(program, memory);
+    SmcCounter counter;
+    cpu.set_observer(&counter);
+    EXPECT_EQ(cpu.Run(100), StopReason::kHalted);
+    EXPECT_EQ(cpu.reg(Reg::kEax), 7u);
+    EXPECT_EQ(counter.events, 1);
+  }
+  // Overwrite the immediate in place; a fresh run must re-decode the
+  // page (observing 8, not a stale 7) and fire the event again.
+  PlaceEncoded(memory, kDataBase,
+               {{Op::kMovRI, Reg::kEax, Reg::kNone, 8}},
+               /*guest=*/true);
+  {
+    Cpu cpu(program, memory);
+    SmcCounter counter;
+    cpu.set_observer(&counter);
+    EXPECT_EQ(cpu.Run(100), StopReason::kHalted);
+    EXPECT_EQ(cpu.reg(Reg::kEax), 8u);
+    EXPECT_EQ(counter.events, 1);
+  }
+}
+
+TEST(Cpu, CrossPageWritesDirtyBothPages) {
+  Program program = MustAssemble(".text\n  hlt\n");
+  Memory memory;
+  program.LoadInto(memory);
+  // A 32-bit guest write straddling a page boundary dirties both sides.
+  const uint32_t boundary = kDataBase + kCodePageSize;
+  ASSERT_EQ(memory.Write32(boundary - 2, 0xDEADBEEF), MemFault::kNone);
+  EXPECT_GT(memory.page_write_gen(Memory::PageOf(boundary - 2)), 0u);
+  EXPECT_GT(memory.page_write_gen(Memory::PageOf(boundary + 1)), 0u);
+
+  // Payload on the first page, falls through onto the second: both pages
+  // were dirtied, so entering each fires its own event.
+  std::vector<Instruction> pad;
+  for (uint32_t i = 0; i < kCodePageSize / kEncodedInstrSize; ++i) {
+    pad.push_back({Op::kNop, Reg::kNone, Reg::kNone, 0});
+  }
+  PlaceEncoded(memory, kDataBase, pad, /*guest=*/true);
+  PlaceEncoded(memory, boundary, {{Op::kHlt, Reg::kNone, Reg::kNone, 0}},
+               /*guest=*/true);
+  program.entry = kDataBase;
+  Cpu cpu(program, memory);
+  SmcCounter counter;
+  cpu.set_observer(&counter);
+  EXPECT_EQ(cpu.Run(1000), StopReason::kHalted);
+  EXPECT_EQ(counter.events, 2);
+}
+
+TEST(Cpu, MisalignedMemoryFetchFaults) {
+  Program program = MustAssemble(".text\n  hlt\n");
+  Memory memory;
+  program.LoadInto(memory);
+  program.entry = kDataBase + 3;
+  Cpu cpu(program, memory);
+  EXPECT_EQ(cpu.Run(10), StopReason::kFault);
+  EXPECT_NE(cpu.fault_message().find("misaligned"), std::string::npos);
+}
+
+TEST(Cpu, InvalidEncodingFaults) {
+  Program program = MustAssemble(".text\n  hlt\n");
+  Memory memory;
+  program.LoadInto(memory);
+  // 0xFF opcode at the entry: decode must reject, not execute garbage.
+  ASSERT_EQ(memory.Write8(kDataBase, 0xFF), MemFault::kNone);
+  program.entry = kDataBase;
+  Cpu cpu(program, memory);
+  EXPECT_EQ(cpu.Run(10), StopReason::kFault);
+  EXPECT_NE(cpu.fault_message().find("invalid instruction"),
+            std::string::npos);
+}
+
+TEST(Cpu, StaticCallIntoMemoryReturnsToStaticCode) {
+  // A static program calls a data-label payload; ret must bridge back
+  // into static mode at the instruction after the call.
+  Program program = MustAssemble(R"(
+.data
+  buffer buf 16
+.text
+  mov eax, 1
+  call buf
+  add eax, 100
+  hlt
+)");
+  Memory memory;
+  program.LoadInto(memory);
+  const uint32_t buf = program.DataSymbol("buf").value();
+  PlaceEncoded(memory, buf,
+               {{Op::kAddRI, Reg::kEax, Reg::kNone, 10},
+                {Op::kRet, Reg::kNone, Reg::kNone, 0}},
+               /*guest=*/false);
+  Cpu cpu(program, memory);
+  EXPECT_EQ(cpu.Run(100), StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(Reg::kEax), 111u);
+}
+
 }  // namespace
 }  // namespace autovac::vm

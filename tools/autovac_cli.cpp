@@ -67,6 +67,11 @@
 //       report, repeat until the campaign is done. The worker needs the
 //       same corpus files and pipeline flags as the coordinator, or its
 //       claims are refused.
+//   autovac corpus --out <dir> [--seed <n>] [--per-class <n>]
+//                  [--evasion <class>[,<class>...]]
+//       Generate the adversarial evasion corpus as .asm files. The same
+//       seed writes byte-identical sources; unknown class names are
+//       rejected (exit 2).
 //
 // Samples are written in the sandbox assembly dialect (see
 // src/vm/assembler.h); everything runs inside the simulator — no real
@@ -75,6 +80,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -84,7 +90,11 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/stat.h>
+
 #include "campaign/supervisor.h"
+#include "evasion/classes.h"
+#include "evasion/corpus.h"
 #include "fleet/agent.h"
 #include "fleet/coordinator.h"
 #include "malware/benign.h"
@@ -134,6 +144,8 @@ void PrintUsage(std::FILE* out) {
       "  status   --socket <s>\n"
       "  coordinate --socket <s> <sample.asm>... [fleet options]\n"
       "  detonate-worker --socket <s> <sample.asm>... [fleet options]\n"
+      "  corpus   --out <dir> [--seed <n>] [--per-class <n>]\n"
+      "           [--evasion <class>[,<class>...]]\n"
       "analyze/campaign options:\n"
       "  --no-exclusiveness   skip the benign-corpus exclusiveness filter\n"
       "  --no-clinic          skip the malware-clinic safety test\n"
@@ -828,6 +840,93 @@ int CmdDisasm(int argc, char** argv) {
       vm::DisassembleProgram(program.value(), sandbox::SandboxApiNamer())
           .c_str(),
       stdout);
+  return 0;
+}
+
+int CmdCorpus(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    std::printf(
+        "usage: autovac corpus --out <dir> [--seed <n>] [--per-class <n>]\n"
+        "                      [--evasion <class>[,<class>...]]\n"
+        "Generates the adversarial evasion corpus as assembly sources in\n"
+        "<dir> (created if absent). Classes: stalling, env-probe,\n"
+        "runtime-unpack, vaccine-aware; default is all of them. The same\n"
+        "--seed writes byte-identical files regardless of which class\n"
+        "subset is requested; unknown class names are rejected (exit 2).\n");
+    return 0;
+  }
+  std::string out_dir;
+  evasion::EvasiveCorpusOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--out") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      out_dir = value;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      options.seed = std::strtoull(value, nullptr, 0);
+    } else if (std::strcmp(arg, "--per-class") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      const long long per_class = std::strtoll(value, nullptr, 0);
+      if (per_class <= 0) {
+        std::fprintf(stderr, "error: --per-class requires at least 1\n");
+        return 2;
+      }
+      options.per_class = static_cast<size_t>(per_class);
+    } else if (std::strcmp(arg, "--evasion") == 0) {
+      if ((value = OptionValue(argc, argv, &i)) == nullptr) return 2;
+      // Comma-separated, strict: one unknown name fails the whole run
+      // instead of silently generating a smaller corpus.
+      const std::string list(value);
+      size_t start = 0;
+      while (true) {
+        const size_t comma = list.find(',', start);
+        const std::string name = list.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        auto cls = evasion::ParseEvasionClass(name);
+        if (!cls.has_value()) {
+          std::fprintf(stderr, "error: unknown evasion class '%s'\n",
+                       name.c_str());
+          return 2;
+        }
+        options.classes.push_back(*cls);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return UnknownOption(arg);
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg);
+      return Usage();
+    }
+  }
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "error: corpus requires --out\n");
+    return Usage();
+  }
+  if (::mkdir(out_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "error: cannot create %s: %s\n", out_dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  auto corpus = evasion::GenerateEvasiveCorpus(options);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  for (const evasion::EvasiveSample& sample : corpus.value()) {
+    const std::string path = out_dir + "/" + sample.program.name + ".asm";
+    const Status written = WriteStringToFile(path, sample.source);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("corpus: wrote %zu samples to %s (seed %llu)\n",
+              corpus->size(), out_dir.c_str(),
+              static_cast<unsigned long long>(options.seed));
   return 0;
 }
 
@@ -1932,6 +2031,7 @@ int main(int argc, char** argv) {
   if (command == "test") return CmdTest(argc - 2, argv + 2);
   if (command == "trace") return CmdTrace(argc - 2, argv + 2);
   if (command == "disasm") return CmdDisasm(argc - 2, argv + 2);
+  if (command == "corpus") return CmdCorpus(argc - 2, argv + 2);
   if (command == "serve") return CmdServe(argc - 2, argv + 2);
   if (command == "push") return CmdPush(argc - 2, argv + 2);
   if (command == "query") return CmdQuery(argc - 2, argv + 2);

@@ -119,6 +119,58 @@ def compare_pipeline(base, cur, gate, min_speedup):
           f"{float(fastpath.get('fast_ms', 0)):>14.3f} info")
 
 
+def compare_robustness(base, cur, gate, min_bdr):
+    """Adversarial-corpus bench: evasive corpus and pipeline are both
+    seed-deterministic, so per-class counts must match the baseline
+    exactly; --min-bdr adds absolute floors on the current run."""
+    gate.check_exact("per_class", require(base, "per_class", "baseline"),
+                     require(cur, "per_class", "current"))
+    base_classes = {c["class"]: c
+                    for c in require(base, "classes", "baseline")}
+    cur_classes = {c["class"]: c for c in require(cur, "classes", "current")}
+    for name in sorted(base_classes):
+        if name not in cur_classes:
+            print(f"  class '{name}' missing from current run  REGRESSION")
+            gate.failures.append(f"class:{name}")
+            continue
+        b = base_classes[name]
+        c = cur_classes[name]
+        for key in ("samples", "sensitive", "vaccinated", "blocked"):
+            gate.check_exact(f"{name} {key}",
+                             require(b, key, f"baseline class '{name}'"),
+                             require(c, key, f"current class '{name}'"))
+    for name, floor in min_bdr:
+        if name not in cur_classes:
+            print(f"check_bench: --min-bdr names class '{name}' absent "
+                  f"from the current run", file=sys.stderr)
+            sys.exit(2)
+        bdr = 100.0 * float(require(cur_classes[name], "bdr",
+                                    f"current class '{name}'"))
+        verdict = "ok" if bdr >= floor else "REGRESSION"
+        if verdict != "ok":
+            gate.failures.append(f"min-bdr:{name}")
+        print(f"  {f'{name} blocked-detection rate':<44} {floor:>13.1f}% "
+              f"<= {bdr:>10.1f}% {verdict}")
+
+
+def parse_min_bdr(specs):
+    """Parses repeatable --min-bdr '<class>=<pct>' arguments."""
+    floors = []
+    for spec in specs or []:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            print(f"check_bench: malformed --min-bdr '{spec}' "
+                  f"(expected <class>=<pct>)", file=sys.stderr)
+            sys.exit(2)
+        try:
+            floors.append((name, float(value)))
+        except ValueError:
+            print(f"check_bench: --min-bdr '{spec}' has a non-numeric "
+                  f"percentage", file=sys.stderr)
+            sys.exit(2)
+    return floors
+
+
 def compare_campaign(base, cur, gate):
     gate.check_exact("samples", require(base, "samples", "baseline"),
                      require(cur, "samples", "current"))
@@ -345,6 +397,11 @@ def main():
     parser.add_argument("--min-fleet-efficiency", type=float, default=0.10,
                         help="minimum fault-free fleet efficiency against "
                              "the ideal shard time (fleet bench)")
+    parser.add_argument("--min-bdr", action="append", metavar="CLASS=PCT",
+                        help="repeatable; minimum blocked-detection rate "
+                             "in percent for one evasion class "
+                             "(robustness bench); errors if the class or "
+                             "its bdr key is absent")
     parser.add_argument("--check-wall", action="store_true",
                         help="also gate wall-clock times (off by default: "
                              "shared runners are noisy)")
@@ -370,6 +427,8 @@ def main():
                         args.max_p99_us)
     elif kind == "fleet":
         compare_fleet(base, cur, gate, args.min_fleet_efficiency)
+    elif kind == "robustness":
+        compare_robustness(base, cur, gate, parse_min_bdr(args.min_bdr))
     else:
         print(f"check_bench: unknown bench kind '{kind}'", file=sys.stderr)
         sys.exit(2)

@@ -4,7 +4,7 @@
 # the sanitizers. Any injected-fault path that corrupts memory or trips
 # UB fails loudly here rather than silently in a campaign.
 #
-# The default run covers all three chaos surfaces:
+# The default run covers all four chaos surfaces:
 #   * chaos_test    — VM / analysis fault injection
 #   * netchaos_test — wire faults: refused connects, mid-frame cuts,
 #                     short reads/writes, EINTR, duplicate delivery,
@@ -12,6 +12,11 @@
 #   * fleet_test    — distributed campaigns: dying workers, stale
 #                     leases, a SIGKILLed coordinator resumed from its
 #                     journal, byte-identical merged reports
+#   * evasion_test  — adversarial corpus: self-modifying unpacker
+#                     stubs, stalling loops, vaccine-aware chains, and
+#                     the byte-identity of SMC reports across the
+#                     snapshot fast path, mutation threads, jobs, and
+#                     journal resume
 #
 # The fleet CLI drill (tools/run_fleet_chaos.sh) layers the same kill
 # matrix over the `autovac coordinate` / `detonate-worker` surface;
@@ -53,6 +58,7 @@ else
   "$build_dir/tests/chaos_test"
   "$build_dir/tests/netchaos_test"
   "$build_dir/tests/fleet_test"
+  "$build_dir/tests/evasion_test"
 fi
 if [[ "$fleet_drill" == 1 ]]; then
   tools/run_fleet_chaos.sh "$build_dir"
